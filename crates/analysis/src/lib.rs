@@ -1,0 +1,24 @@
+//! Path-quality analysis for the §5.3 evaluation.
+//!
+//! * [`maxflow`] — Dinic's algorithm over AS multigraphs with unit link
+//!   capacities. Because every inter-AS link has uniform capacity (§5.3:
+//!   "assuming that all inter-AS links have uniform capacity"), max-flow
+//!   between two ASes simultaneously gives
+//!   - the **capacity** in multiples of inter-AS links (Fig. 6b/8), and
+//!   - by Menger's theorem, the **failure resilience**: the minimum number
+//!     of link failures disconnecting the pair (Fig. 6a/7). The paper makes
+//!     the same identification ("maximizing the number of links which can
+//!     fail before connectivity is lost … is equivalent to maximizing the
+//!     number of parallel links on which traffic can be sent").
+//! * [`quality`] — the per-pair metrics: optimum (full topology), an
+//!   algorithm's value (union of disseminated paths), and BGP multi-path.
+//! * [`stats`] — CDFs, quantiles, and distribution summaries used by the
+//!   figure harnesses.
+
+pub mod maxflow;
+pub mod quality;
+pub mod stats;
+
+pub use maxflow::{max_flow, FlowNetwork};
+pub use quality::{pair_quality, PairQuality};
+pub use stats::{Cdf, Summary};

@@ -1,0 +1,289 @@
+//! Dinic's max-flow over undirected unit-capacity link sets.
+//!
+//! The networks here are small (a pair's disseminated path union is tens of
+//! links; the full core topology is a few thousand), so a clean Dinic with
+//! BFS level graphs and DFS blocking flows is more than fast enough:
+//! O(E·√V) on unit-capacity graphs.
+
+use std::collections::HashMap;
+
+use scion_topology::{AsIndex, AsTopology, LinkIndex};
+
+/// A flow network built from a subset of topology links. Undirected unit
+/// edges are stored as a (forward, backward) arc pair with capacity 1 each,
+/// the standard undirected-edge encoding.
+pub struct FlowNetwork {
+    /// arcs: (to, capacity, index of reverse arc)
+    arcs: Vec<(u32, u32, u32)>,
+    /// adjacency: node -> arc indices
+    adj: Vec<Vec<u32>>,
+    /// dense node index per AS
+    node_of: HashMap<AsIndex, u32>,
+}
+
+impl FlowNetwork {
+    /// Builds a network from `links` (each an undirected unit-capacity
+    /// edge; parallel links stack capacity naturally by being separate
+    /// edges). Duplicate link indices are deduplicated — a link can carry
+    /// one unit regardless of how many disseminated paths traverse it.
+    pub fn from_links(topo: &AsTopology, links: impl IntoIterator<Item = LinkIndex>) -> FlowNetwork {
+        let mut net = FlowNetwork {
+            arcs: Vec::new(),
+            adj: Vec::new(),
+            node_of: HashMap::new(),
+        };
+        let mut seen = std::collections::HashSet::new();
+        for li in links {
+            if !seen.insert(li) {
+                continue;
+            }
+            let l = topo.link(li);
+            let a = net.intern(l.a);
+            let b = net.intern(l.b);
+            net.add_undirected(a, b);
+        }
+        net
+    }
+
+    fn intern(&mut self, ia: AsIndex) -> u32 {
+        if let Some(&n) = self.node_of.get(&ia) {
+            return n;
+        }
+        let n = self.adj.len() as u32;
+        self.node_of.insert(ia, n);
+        self.adj.push(Vec::new());
+        n
+    }
+
+    fn add_undirected(&mut self, a: u32, b: u32) {
+        let i = self.arcs.len() as u32;
+        self.arcs.push((b, 1, i + 1));
+        self.arcs.push((a, 1, i));
+        self.adj[a as usize].push(i);
+        self.adj[b as usize].push(i + 1);
+    }
+
+    /// Number of nodes that appear on at least one link.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Computes the max flow (= min cut = max link-disjoint paths) between
+    /// two ASes. Returns 0 if either AS touches no link in the set.
+    pub fn max_flow(&mut self, src: AsIndex, dst: AsIndex) -> u64 {
+        let (Some(&s), Some(&t)) = (self.node_of.get(&src), self.node_of.get(&dst)) else {
+            return 0;
+        };
+        if s == t {
+            return 0;
+        }
+        let n = self.adj.len();
+        let mut flow = 0u64;
+        let mut level = vec![-1i32; n];
+        let mut iter = vec![0usize; n];
+        loop {
+            // BFS level graph.
+            level.iter_mut().for_each(|l| *l = -1);
+            level[s as usize] = 0;
+            let mut queue = std::collections::VecDeque::from([s]);
+            while let Some(u) = queue.pop_front() {
+                for &ai in &self.adj[u as usize] {
+                    let (to, cap, _) = self.arcs[ai as usize];
+                    if cap > 0 && level[to as usize] < 0 {
+                        level[to as usize] = level[u as usize] + 1;
+                        queue.push_back(to);
+                    }
+                }
+            }
+            if level[t as usize] < 0 {
+                break;
+            }
+            iter.iter_mut().for_each(|i| *i = 0);
+            // DFS blocking flow.
+            while self.dfs(s, t, &level, &mut iter) {
+                flow += 1;
+            }
+        }
+        flow
+    }
+
+    /// Finds one augmenting unit path in the level graph (iterative DFS).
+    fn dfs(&mut self, s: u32, t: u32, level: &[i32], iter: &mut [usize]) -> bool {
+        // Stack of (node, arc index chosen to get here).
+        let mut path: Vec<(u32, u32)> = Vec::new();
+        let mut u = s;
+        loop {
+            if u == t {
+                for &(_, ai) in &path {
+                    let (_, ref mut cap, rev) = self.arcs[ai as usize];
+                    *cap -= 1;
+                    self.arcs[rev as usize].1 += 1;
+                }
+                return true;
+            }
+            let mut advanced = false;
+            while iter[u as usize] < self.adj[u as usize].len() {
+                let ai = self.adj[u as usize][iter[u as usize]];
+                let (to, cap, _) = self.arcs[ai as usize];
+                if cap > 0 && level[to as usize] == level[u as usize] + 1 {
+                    path.push((u, ai));
+                    u = to;
+                    advanced = true;
+                    break;
+                }
+                iter[u as usize] += 1;
+            }
+            if !advanced {
+                // Dead end: retreat.
+                match path.pop() {
+                    Some((prev, _)) => {
+                        iter[u as usize] = self.adj[u as usize].len(); // exhaust
+                        u = prev;
+                        iter[u as usize] += 1;
+                    }
+                    None => return false,
+                }
+            }
+        }
+    }
+}
+
+/// One-shot max flow between `src` and `dst` over `links`.
+pub fn max_flow(
+    topo: &AsTopology,
+    links: impl IntoIterator<Item = LinkIndex>,
+    src: AsIndex,
+    dst: AsIndex,
+) -> u64 {
+    FlowNetwork::from_links(topo, links).max_flow(src, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use scion_topology::{topology_from_edges, Relationship};
+    use scion_types::{Asn, Isd, IsdAsn};
+
+    fn ia(asn: u64) -> IsdAsn {
+        IsdAsn::new(Isd(1), Asn::from_u64(asn))
+    }
+
+    fn all_links(t: &AsTopology) -> Vec<LinkIndex> {
+        t.link_indices().collect()
+    }
+
+    #[test]
+    fn parallel_links_stack_capacity() {
+        let t = topology_from_edges(&[(1, 2, Relationship::PeerToPeer, 3)]);
+        let a = t.by_address(ia(1)).unwrap();
+        let b = t.by_address(ia(2)).unwrap();
+        assert_eq!(max_flow(&t, all_links(&t), a, b), 3);
+    }
+
+    #[test]
+    fn series_bottleneck() {
+        // 1 ==3== 2 ==1== 3: bottleneck is the single 2-3 link.
+        let t = topology_from_edges(&[
+            (1, 2, Relationship::PeerToPeer, 3),
+            (2, 3, Relationship::PeerToPeer, 1),
+        ]);
+        let a = t.by_address(ia(1)).unwrap();
+        let c = t.by_address(ia(3)).unwrap();
+        assert_eq!(max_flow(&t, all_links(&t), a, c), 1);
+    }
+
+    #[test]
+    fn diamond_disjoint_paths() {
+        let t = topology_from_edges(&[
+            (1, 2, Relationship::PeerToPeer, 1),
+            (1, 3, Relationship::PeerToPeer, 1),
+            (2, 4, Relationship::PeerToPeer, 1),
+            (3, 4, Relationship::PeerToPeer, 1),
+        ]);
+        let a = t.by_address(ia(1)).unwrap();
+        let d = t.by_address(ia(4)).unwrap();
+        assert_eq!(max_flow(&t, all_links(&t), a, d), 2);
+    }
+
+    #[test]
+    fn undirected_edges_allow_zigzag_flow() {
+        // Classic case where treating edges as directed would undercount:
+        // 1-2, 1-3, 2-4, 3-4, 2-3 cross edge. Flow 1->4 = 2.
+        let t = topology_from_edges(&[
+            (1, 2, Relationship::PeerToPeer, 1),
+            (1, 3, Relationship::PeerToPeer, 1),
+            (2, 4, Relationship::PeerToPeer, 1),
+            (3, 4, Relationship::PeerToPeer, 1),
+            (2, 3, Relationship::PeerToPeer, 1),
+        ]);
+        let a = t.by_address(ia(1)).unwrap();
+        let d = t.by_address(ia(4)).unwrap();
+        assert_eq!(max_flow(&t, all_links(&t), a, d), 2);
+    }
+
+    #[test]
+    fn disconnected_or_missing_nodes_give_zero() {
+        let t = topology_from_edges(&[
+            (1, 2, Relationship::PeerToPeer, 1),
+            (3, 4, Relationship::PeerToPeer, 1),
+        ]);
+        let a = t.by_address(ia(1)).unwrap();
+        let c = t.by_address(ia(3)).unwrap();
+        assert_eq!(max_flow(&t, all_links(&t), a, c), 0);
+        // dst not on any provided link:
+        assert_eq!(
+            max_flow(&t, vec![t.link_indices().next().unwrap()], a, c),
+            0
+        );
+        // src == dst:
+        assert_eq!(max_flow(&t, all_links(&t), a, a), 0);
+    }
+
+    #[test]
+    fn duplicate_links_do_not_double_capacity() {
+        let t = topology_from_edges(&[(1, 2, Relationship::PeerToPeer, 1)]);
+        let a = t.by_address(ia(1)).unwrap();
+        let b = t.by_address(ia(2)).unwrap();
+        let li = t.link_indices().next().unwrap();
+        assert_eq!(max_flow(&t, vec![li, li, li], a, b), 1);
+    }
+
+    #[test]
+    fn subset_of_links_restricts_flow() {
+        let t = topology_from_edges(&[(1, 2, Relationship::PeerToPeer, 3)]);
+        let a = t.by_address(ia(1)).unwrap();
+        let b = t.by_address(ia(2)).unwrap();
+        let two: Vec<LinkIndex> = t.link_indices().take(2).collect();
+        assert_eq!(max_flow(&t, two, a, b), 2);
+    }
+
+    proptest! {
+        /// Max-flow over a random ladder graph equals the analytically
+        /// known bottleneck: min over rungs of parallel-link counts.
+        #[test]
+        fn prop_chain_bottleneck(counts in proptest::collection::vec(1usize..5, 1..8)) {
+            let edges: Vec<(u64, u64, Relationship, usize)> = counts
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (i as u64 + 1, i as u64 + 2, Relationship::PeerToPeer, c))
+                .collect();
+            let t = topology_from_edges(&edges);
+            let first = t.by_address(ia(1)).unwrap();
+            let last = t.by_address(ia(counts.len() as u64 + 1)).unwrap();
+            let expected = *counts.iter().min().unwrap() as u64;
+            prop_assert_eq!(max_flow(&t, t.link_indices().collect::<Vec<_>>(), first, last), expected);
+        }
+
+        /// Flow is monotone in the link set.
+        #[test]
+        fn prop_monotone_in_links(n_links in 1usize..10) {
+            let t = topology_from_edges(&[(1, 2, Relationship::PeerToPeer, 10)]);
+            let a = t.by_address(ia(1)).unwrap();
+            let b = t.by_address(ia(2)).unwrap();
+            let some: Vec<LinkIndex> = t.link_indices().take(n_links).collect();
+            let all: Vec<LinkIndex> = t.link_indices().collect();
+            prop_assert!(max_flow(&t, some, a, b) <= max_flow(&t, all, a, b));
+        }
+    }
+}

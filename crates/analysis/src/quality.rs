@@ -1,0 +1,120 @@
+//! Per-pair path-quality metrics (§5.3).
+//!
+//! For an AS pair, three link sets are compared by max-flow under uniform
+//! unit link capacities:
+//!
+//! * **optimum** — every link of the topology ("All Paths (optimum)");
+//! * **algorithm** — the union of the links of the paths the destination's
+//!   beacon server disseminated/stores for the pair;
+//! * **BGP multi-path** — all parallel links along the single BGP best
+//!   path (computed by `scion-bgp`).
+//!
+//! The resulting number is simultaneously the pair's failure resilience
+//! (minimum failing links that disconnect) and its capacity in multiples
+//! of inter-AS links — see the crate docs for why those coincide here.
+
+use scion_topology::{AsIndex, AsTopology, LinkIndex};
+
+use crate::maxflow::max_flow;
+
+/// Quality of one ordered AS pair under one path set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairQuality {
+    /// Max-flow value: resilience = capacity (unit capacities).
+    pub value: u64,
+}
+
+/// Computes the quality of `paths` (each a list of links) for the pair
+/// `(src, dst)`: max-flow over the union of the paths' links.
+pub fn pair_quality(
+    topo: &AsTopology,
+    paths: &[Vec<LinkIndex>],
+    src: AsIndex,
+    dst: AsIndex,
+) -> PairQuality {
+    let links: Vec<LinkIndex> = paths.iter().flatten().copied().collect();
+    PairQuality {
+        value: max_flow(topo, links, src, dst),
+    }
+}
+
+/// The optimum quality for the pair: max-flow over the whole topology
+/// restricted to `links` (pass all links, or e.g. only core links).
+pub fn optimum_quality(
+    topo: &AsTopology,
+    links: &[LinkIndex],
+    src: AsIndex,
+    dst: AsIndex,
+) -> PairQuality {
+    PairQuality {
+        value: max_flow(topo, links.iter().copied(), src, dst),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_topology::{topology_from_edges, Relationship};
+    use scion_types::{Asn, Isd, IsdAsn};
+
+    fn ia(asn: u64) -> IsdAsn {
+        IsdAsn::new(Isd(1), Asn::from_u64(asn))
+    }
+
+    #[test]
+    fn algorithm_quality_bounded_by_optimum() {
+        // Square with parallel top edge.
+        let t = topology_from_edges(&[
+            (1, 2, Relationship::PeerToPeer, 2),
+            (2, 3, Relationship::PeerToPeer, 1),
+            (1, 4, Relationship::PeerToPeer, 1),
+            (4, 3, Relationship::PeerToPeer, 1),
+        ]);
+        let a = t.by_address(ia(1)).unwrap();
+        let c = t.by_address(ia(3)).unwrap();
+        let all: Vec<LinkIndex> = t.link_indices().collect();
+        let opt = optimum_quality(&t, &all, a, c);
+        assert_eq!(opt.value, 2); // 2-3 bottleneck on top + bottom path
+
+        // A dissemination that only found the bottom path.
+        let bottom: Vec<LinkIndex> = t
+            .link_indices()
+            .filter(|&li| {
+                let l = t.link(li);
+                let asn =
+                    |i: AsIndex| t.node(i).ia.asn.value();
+                matches!(
+                    (asn(l.a), asn(l.b)),
+                    (1, 4) | (4, 1) | (4, 3) | (3, 4)
+                )
+            })
+            .collect();
+        let q = pair_quality(&t, &[bottom], a, c);
+        assert_eq!(q.value, 1);
+        assert!(q.value <= opt.value);
+    }
+
+    #[test]
+    fn empty_path_set_has_zero_quality() {
+        let t = topology_from_edges(&[(1, 2, Relationship::PeerToPeer, 1)]);
+        let a = t.by_address(ia(1)).unwrap();
+        let b = t.by_address(ia(2)).unwrap();
+        assert_eq!(pair_quality(&t, &[], a, b).value, 0);
+    }
+
+    #[test]
+    fn overlapping_paths_do_not_inflate_quality() {
+        let t = topology_from_edges(&[
+            (1, 2, Relationship::PeerToPeer, 1),
+            (2, 3, Relationship::PeerToPeer, 2),
+        ]);
+        let a = t.by_address(ia(1)).unwrap();
+        let c = t.by_address(ia(3)).unwrap();
+        let l12 = t.links_between(a, t.by_address(ia(2)).unwrap())[0];
+        let l23 = t.links_between(t.by_address(ia(2)).unwrap(), c);
+        // Two paths share the single 1-2 link: quality stays 1.
+        let p1 = vec![l12, l23[0]];
+        let p2 = vec![l12, l23[1]];
+        assert_eq!(pair_quality(&t, &[p1, p2], a, c).value, 1);
+    }
+}

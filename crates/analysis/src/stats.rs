@@ -1,0 +1,198 @@
+//! Distribution statistics for the figure harnesses: empirical CDFs,
+//! quantiles, and five-number summaries.
+
+use serde::Serialize;
+
+/// An empirical CDF over `f64` samples.
+#[derive(Clone, Debug, Serialize)]
+pub struct Cdf {
+    /// Sorted samples.
+    values: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (NaNs are rejected loudly — they would
+    /// poison ordering silently otherwise).
+    pub fn new(mut samples: Vec<f64>) -> Cdf {
+        assert!(
+            samples.iter().all(|v| !v.is_nan()),
+            "CDF built from NaN samples"
+        );
+        samples.sort_by(|a, b| a.total_cmp(b));
+        Cdf { values: samples }
+    }
+
+    /// From integer samples.
+    pub fn from_u64(samples: impl IntoIterator<Item = u64>) -> Cdf {
+        Cdf::new(samples.into_iter().map(|v| v as f64).collect())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn at(&self, x: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let idx = self.values.partition_point(|&v| v <= x);
+        idx as f64 / self.values.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1), nearest-rank.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        assert!(!self.values.is_empty(), "quantile of empty CDF");
+        let idx = ((q * self.values.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.values.len() - 1);
+        self.values[idx]
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// The `(value, cumulative fraction)` step points, thinned to at most
+    /// `max_points` for plotting/printing.
+    pub fn points(&self, max_points: usize) -> Vec<(f64, f64)> {
+        let n = self.values.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let stride = (n / max_points.max(1)).max(1);
+        let mut pts: Vec<(f64, f64)> = (0..n)
+            .step_by(stride)
+            .map(|i| (self.values[i], (i + 1) as f64 / n as f64))
+            .collect();
+        // Always include the final point.
+        let last = (self.values[n - 1], 1.0);
+        if pts.last() != Some(&last) {
+            pts.push(last);
+        }
+        pts
+    }
+
+    /// Five-number summary.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            min: self.quantile(0.0),
+            q25: self.quantile(0.25),
+            median: self.quantile(0.5),
+            q75: self.quantile(0.75),
+            max: self.quantile(1.0),
+            mean: self.mean(),
+        }
+    }
+}
+
+/// Five-number summary (plus mean) of a distribution — the shape behind
+/// the Fig. 5 box plot.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Summary {
+    pub min: f64,
+    pub q25: f64,
+    pub median: f64,
+    pub q75: f64,
+    pub max: f64,
+    pub mean: f64,
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "min {:.3e}  q25 {:.3e}  median {:.3e}  q75 {:.3e}  max {:.3e}  mean {:.3e}",
+            self.min, self.q25, self.median, self.q75, self.max, self.mean
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cdf_basic() {
+        let c = Cdf::from_u64([1, 2, 2, 4]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.at(0.0), 0.0);
+        assert_eq!(c.at(1.0), 0.25);
+        assert_eq!(c.at(2.0), 0.75);
+        assert_eq!(c.at(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let c = Cdf::from_u64([10, 20, 30, 40]);
+        assert_eq!(c.quantile(0.0), 10.0);
+        assert_eq!(c.quantile(0.25), 10.0);
+        assert_eq!(c.quantile(0.5), 20.0);
+        assert_eq!(c.quantile(1.0), 40.0);
+    }
+
+    #[test]
+    fn summary_and_mean() {
+        let c = Cdf::from_u64([1, 2, 3, 4, 5]);
+        let s = c.summary();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn points_are_monotone_and_end_at_one() {
+        let c = Cdf::from_u64(0..1000);
+        let pts = c.points(50);
+        assert!(pts.len() <= 52);
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Cdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_of_empty_panics() {
+        let c = Cdf::new(vec![]);
+        let _ = c.quantile(0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cdf_at_is_monotone(mut xs in proptest::collection::vec(0u64..100, 1..50),
+                                   a in 0f64..100.0, b in 0f64..100.0) {
+            xs.sort_unstable();
+            let c = Cdf::from_u64(xs);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(c.at(lo) <= c.at(hi));
+        }
+
+        #[test]
+        fn prop_quantile_within_range(xs in proptest::collection::vec(0u64..100, 1..50),
+                                      q in 0f64..=1.0) {
+            let c = Cdf::from_u64(xs.clone());
+            let v = c.quantile(q);
+            let min = *xs.iter().min().unwrap() as f64;
+            let max = *xs.iter().max().unwrap() as f64;
+            prop_assert!(v >= min && v <= max);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! The baseline path construction algorithm.
+//!
+//! §4.2: "a simple baseline path construction algorithm is used, which
+//! optimizes paths for the same metric as BGP, which is (AS) path length. …
+//! only the 𝑃 shortest paths are disseminated at each interval. … The
+//! algorithm sends a set of paths irrespective of previously sent paths."
+//! §5.1: "For the baseline path construction algorithm, the limit is
+//! applied to each interface."
+//!
+//! Selection per `[origin, egress interface]`: the `k` shortest valid
+//! stored beacons (ties: freshest instance first, then path key for
+//! determinism), re-sent **every interval** — exactly the redundancy the
+//! diversity algorithm eliminates.
+
+use scion_types::SimTime;
+
+use crate::server::{Pick, PickSource, SelectionCtx};
+use crate::store::{BeaconStore, StoredBeacon};
+
+/// Stateless marker for the baseline algorithm: all its inputs are in the
+/// beacon store; it keeps no dissemination history by design.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BaselineAlgorithm;
+
+impl BaselineAlgorithm {
+    /// Runs one interval of baseline selection; picks are returned in
+    /// deterministic (interface-major, then shortest-first) order.
+    pub(crate) fn select<'a>(
+        &self,
+        ctx: &SelectionCtx<'_>,
+        store: &'a BeaconStore,
+        now: SimTime,
+    ) -> Vec<Pick<'a>> {
+        let mut picks = Vec::new();
+        for &egress in ctx.egress_links {
+            // Origination: for origin = self the zero-hop beacon is the
+            // only candidate, freshly instantiated every interval — this
+            // per-interval refresh is what makes the baseline chatty.
+            if ctx.originate {
+                picks.push(Pick {
+                    source: PickSource::Originate,
+                    egress,
+                });
+            }
+            for origin in store.origins() {
+                let mut candidates: Vec<&StoredBeacon> = store
+                    .beacons_of(origin, now)
+                    .into_iter()
+                    .filter(|b| !b.pcb.contains_as(egress.neighbor_ia))
+                    .collect();
+                candidates.sort_by(|a, b| {
+                    a.pcb
+                        .hop_count()
+                        .cmp(&b.pcb.hop_count())
+                        .then(b.pcb.initiated_at.cmp(&a.pcb.initiated_at))
+                        .then_with(|| a.pcb.path_key().0.cmp(&b.pcb.path_key().0))
+                });
+                candidates.truncate(ctx.dissemination_limit);
+                picks.extend(candidates.into_iter().map(|b| Pick {
+                    source: PickSource::Stored(b),
+                    egress,
+                }));
+            }
+        }
+        picks
+    }
+}

@@ -1,0 +1,488 @@
+//! The beacon server: receives beacons, stores them, and runs the
+//! configured path construction algorithm every interval (paper §2.2:
+//! "The beaconing process in each AS is performed by its beacon server …
+//! The beacon server decides which PCBs to propagate on which interfaces
+//! based on AS-local policies").
+
+use scion_crypto::trc::TrustStore;
+use scion_proto::pcb::{Pcb, PcbError};
+use scion_topology::{AsIndex, AsTopology, LinkIndex};
+use scion_types::{Duration, IfId, IsdAsn, SimTime};
+
+use crate::baseline::BaselineAlgorithm;
+use crate::config::{Algorithm, BeaconingConfig};
+use crate::diversity::DiversityAlgorithm;
+use crate::store::{BeaconStore, StoredBeacon};
+
+/// One candidate egress: the link, its local interface id, and the
+/// neighbor on the far side.
+#[derive(Clone, Copy, Debug)]
+pub struct EgressRef {
+    pub link: LinkIndex,
+    pub local_if: IfId,
+    pub neighbor: AsIndex,
+    pub neighbor_ia: IsdAsn,
+}
+
+/// What a selection algorithm decided to send (before extension/signing).
+#[derive(Clone, Debug)]
+pub(crate) enum PickSource<'a> {
+    /// Originate a fresh zero-hop beacon.
+    Originate,
+    /// Extend this stored beacon.
+    Stored(&'a StoredBeacon),
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Pick<'a> {
+    pub source: PickSource<'a>,
+    pub egress: EgressRef,
+}
+
+/// Read-only context handed to selection algorithms.
+pub(crate) struct SelectionCtx<'a> {
+    pub topo: &'a AsTopology,
+    pub me_ia: IsdAsn,
+    pub egress_links: &'a [EgressRef],
+    pub dissemination_limit: usize,
+    pub originate: bool,
+    pub pcb_lifetime: Duration,
+}
+
+/// A fully-built outgoing beacon, ready for the simulation to deliver.
+#[derive(Clone, Debug)]
+pub struct Propagation {
+    pub pcb: Pcb,
+    pub egress_link: LinkIndex,
+    pub egress_if: IfId,
+    pub to: AsIndex,
+    /// Wire size of the message, for traffic accounting.
+    pub bytes: u64,
+}
+
+/// Why an incoming beacon was dropped instead of stored.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// The local AS already appears on the path (loop).
+    Loop,
+    /// Validation failed.
+    Invalid(PcbError),
+}
+
+enum AlgorithmState {
+    Baseline(BaselineAlgorithm),
+    Diversity(Box<DiversityAlgorithm>),
+}
+
+/// A beacon server instance for one AS.
+pub struct BeaconServer {
+    idx: AsIndex,
+    ia: IsdAsn,
+    cfg: BeaconingConfig,
+    store: BeaconStore,
+    algorithm: AlgorithmState,
+    /// Origination sequence counter (disambiguates same-interval beacons).
+    seq: u32,
+    /// Messages dropped on receive, by reason (loop, invalid).
+    pub drops: u64,
+}
+
+impl BeaconServer {
+    /// Creates a beacon server for AS `idx` of `topo`.
+    pub fn new(topo: &AsTopology, idx: AsIndex, cfg: BeaconingConfig) -> BeaconServer {
+        BeaconServer {
+            idx,
+            ia: topo.node(idx).ia,
+            store: BeaconStore::new(cfg.storage_limit),
+            algorithm: match cfg.algorithm {
+                Algorithm::Baseline => AlgorithmState::Baseline(BaselineAlgorithm),
+                Algorithm::Diversity(p) => {
+                    AlgorithmState::Diversity(Box::new(DiversityAlgorithm::new(p)))
+                }
+            },
+            cfg,
+            seq: 0,
+            drops: 0,
+        }
+    }
+
+    /// The AS this server belongs to.
+    pub fn as_index(&self) -> AsIndex {
+        self.idx
+    }
+
+    /// The AS address.
+    pub fn isd_asn(&self) -> IsdAsn {
+        self.ia
+    }
+
+    /// The beacon store (read-only; used for path-quality extraction).
+    pub fn store(&self) -> &BeaconStore {
+        &self.store
+    }
+
+    /// Handles a beacon arriving over `via`. Returns `Ok(true)` if the
+    /// store changed, `Ok(false)` if it was a known-or-stale instance, and
+    /// `Err` if the beacon was dropped.
+    pub fn handle_beacon(
+        &mut self,
+        pcb: Pcb,
+        via: LinkIndex,
+        topo: &AsTopology,
+        trust: &TrustStore,
+        now: SimTime,
+    ) -> Result<bool, DropReason> {
+        if pcb.contains_as(self.ia) {
+            self.drops += 1;
+            return Err(DropReason::Loop);
+        }
+        if self.cfg.verify_on_receive {
+            if let Err(e) = pcb.validate(trust, now) {
+                self.drops += 1;
+                return Err(DropReason::Invalid(e));
+            }
+        } else if pcb.is_expired(now) {
+            self.drops += 1;
+            return Err(DropReason::Invalid(PcbError::Expired));
+        }
+        let (_, local_if, _) = topo.link(via).opposite(self.idx);
+        Ok(self.store.insert(
+            StoredBeacon {
+                pcb,
+                ingress_link: via,
+                ingress_if: local_if,
+                received_at: now,
+            },
+            now,
+        ))
+    }
+
+    /// Runs one beaconing interval: purges expired state, runs the
+    /// configured selection algorithm over `egress_links`, and returns the
+    /// signed, extended beacons to send. `originate` is true for ASes that
+    /// initiate beacons on these links (core ASes).
+    pub fn run_interval(
+        &mut self,
+        topo: &AsTopology,
+        trust: &TrustStore,
+        now: SimTime,
+        egress_links: &[EgressRef],
+        originate: bool,
+    ) -> Vec<Propagation> {
+        self.run_interval_with_peers(topo, trust, now, egress_links, originate, &[])
+    }
+
+    /// Like [`BeaconServer::run_interval`], additionally advertising the
+    /// given peering links in every extended beacon (§2.2: "Non-core ASes
+    /// can include their peering links in the PCBs, enabling valley-free
+    /// forwarding if both up- and down-path segments contain the same
+    /// peering link"). Originations carry no peer entries — only the
+    /// appending non-core ASes advertise theirs.
+    pub fn run_interval_with_peers(
+        &mut self,
+        topo: &AsTopology,
+        trust: &TrustStore,
+        now: SimTime,
+        egress_links: &[EgressRef],
+        originate: bool,
+        peer_links: &[EgressRef],
+    ) -> Vec<Propagation> {
+        self.store.purge_expired(now);
+        let ctx = SelectionCtx {
+            topo,
+            me_ia: self.ia,
+            egress_links,
+            dissemination_limit: self.cfg.dissemination_limit,
+            originate,
+            pcb_lifetime: self.cfg.pcb_lifetime,
+        };
+        let picks = match &mut self.algorithm {
+            AlgorithmState::Baseline(b) => b.select(&ctx, &self.store, now),
+            AlgorithmState::Diversity(d) => d.select(&ctx, &self.store, now),
+        };
+
+        let mut out = Vec::with_capacity(picks.len());
+        for pick in picks {
+            let pcb = match pick.source {
+                PickSource::Originate => {
+                    let seq = self.seq;
+                    self.seq += 1;
+                    Pcb::originate(
+                        self.ia,
+                        pick.egress.local_if,
+                        now,
+                        self.cfg.pcb_lifetime,
+                        seq,
+                        trust,
+                    )
+                }
+                PickSource::Stored(b) => {
+                    let peers = peer_links
+                        .iter()
+                        .map(|p| scion_proto::pcb::PeerEntry {
+                            peer: p.neighbor_ia,
+                            peer_if: {
+                                let (_, _, remote_if) = topo.link(p.link).opposite(self.idx);
+                                remote_if
+                            },
+                            hop: scion_proto::hopfield::HopField::new(
+                                p.local_if,
+                                scion_types::IfId::NONE,
+                                b.pcb.expires_at,
+                                scion_proto::pcb::forwarding_key(self.ia),
+                            ),
+                        })
+                        .collect();
+                    b.pcb
+                        .extend(self.ia, b.ingress_if, pick.egress.local_if, peers, trust)
+                }
+            };
+            let bytes = pcb.wire_size();
+            out.push(Propagation {
+                pcb,
+                egress_link: pick.egress.link,
+                egress_if: pick.egress.local_if,
+                to: pick.egress.neighbor,
+                bytes,
+            });
+        }
+        out
+    }
+}
+
+/// Computes the egress references of `idx` over the given links.
+pub fn egress_refs(topo: &AsTopology, idx: AsIndex, links: &[LinkIndex]) -> Vec<EgressRef> {
+    links
+        .iter()
+        .map(|&li| {
+            let (neighbor, local_if, _) = topo.link(li).opposite(idx);
+            EgressRef {
+                link: li,
+                local_if,
+                neighbor,
+                neighbor_ia: topo.node(neighbor).ia,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Algorithm, DiversityParams};
+    use scion_topology::{topology_from_edges, Relationship};
+    use scion_types::{Asn, Isd};
+
+    fn ia(asn: u64) -> IsdAsn {
+        IsdAsn::new(Isd(1), Asn::from_u64(asn))
+    }
+
+    /// Triangle of three core ASes with a parallel link on one edge.
+    fn triangle() -> AsTopology {
+        let mut t = topology_from_edges(&[
+            (1, 2, Relationship::PeerToPeer, 2),
+            (2, 3, Relationship::PeerToPeer, 1),
+            (1, 3, Relationship::PeerToPeer, 1),
+        ]);
+        for idx in t.as_indices().collect::<Vec<_>>() {
+            t.set_core(idx, true);
+        }
+        t
+    }
+
+    fn trust(topo: &AsTopology) -> TrustStore {
+        TrustStore::bootstrap(
+            topo.as_indices().map(|i| (topo.node(i).ia, topo.node(i).core)),
+            SimTime::ZERO + Duration::from_days(365),
+        )
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_secs(secs)
+    }
+
+    fn core_egress(topo: &AsTopology, idx: AsIndex) -> Vec<EgressRef> {
+        let links: Vec<LinkIndex> = topo
+            .node(idx)
+            .links
+            .iter()
+            .copied()
+            .filter(|&li| {
+                let l = topo.link(li);
+                topo.node(l.a).core && topo.node(l.b).core
+            })
+            .collect();
+        egress_refs(topo, idx, &links)
+    }
+
+    #[test]
+    fn baseline_originates_on_every_interface_every_interval() {
+        let topo = triangle();
+        let tr = trust(&topo);
+        let a = topo.by_address(ia(1)).unwrap();
+        let mut srv = BeaconServer::new(&topo, a, BeaconingConfig::default());
+        let egress = core_egress(&topo, a);
+        assert_eq!(egress.len(), 3); // 2 parallel to AS2 + 1 to AS3
+
+        let p1 = srv.run_interval(&topo, &tr, t(0), &egress, true);
+        assert_eq!(p1.len(), 3, "one origination per interface");
+        // And again next interval — the baseline never suppresses.
+        let p2 = srv.run_interval(&topo, &tr, t(600), &egress, true);
+        assert_eq!(p2.len(), 3);
+    }
+
+    #[test]
+    fn diversity_suppresses_reorigination() {
+        let topo = triangle();
+        let tr = trust(&topo);
+        let a = topo.by_address(ia(1)).unwrap();
+        let mut srv = BeaconServer::new(
+            &topo,
+            a,
+            BeaconingConfig::with_algorithm(Algorithm::Diversity(DiversityParams::default())),
+        );
+        let egress = core_egress(&topo, a);
+
+        let p1 = srv.run_interval(&topo, &tr, t(0), &egress, true);
+        assert_eq!(p1.len(), 3, "first interval explores every interface");
+        let p2 = srv.run_interval(&topo, &tr, t(600), &egress, true);
+        assert!(
+            p2.is_empty(),
+            "second interval suppressed, got {} sends",
+            p2.len()
+        );
+    }
+
+    #[test]
+    fn diversity_refreshes_before_expiry() {
+        let topo = triangle();
+        let tr = trust(&topo);
+        let a = topo.by_address(ia(1)).unwrap();
+        let mut srv = BeaconServer::new(
+            &topo,
+            a,
+            BeaconingConfig::with_algorithm(Algorithm::Diversity(DiversityParams::default())),
+        );
+        let egress = core_egress(&topo, a);
+        assert_eq!(srv.run_interval(&topo, &tr, t(0), &egress, true).len(), 3);
+        // Walk intervals for a full lifetime: refreshes must happen before
+        // the original instances expire (connectivity objective), but far
+        // fewer than the baseline's 36 per interface.
+        let mut refreshes = 0;
+        for i in 1..=36u64 {
+            refreshes += srv
+                .run_interval(&topo, &tr, t(i * 600), &egress, true)
+                .len();
+        }
+        assert!(refreshes > 0, "must refresh before expiry");
+        assert!(
+            refreshes <= 3 * 6,
+            "suppression failed: {refreshes} refreshes in one lifetime"
+        );
+    }
+
+    #[test]
+    fn handle_beacon_stores_and_loops_are_dropped() {
+        let topo = triangle();
+        let tr = trust(&topo);
+        let a = topo.by_address(ia(1)).unwrap();
+        let b = topo.by_address(ia(2)).unwrap();
+        let link_ab = topo.links_between(a, b)[0];
+        let (_, a_if, b_if) = topo.link(link_ab).opposite(a);
+
+        let mut srv_b = BeaconServer::new(&topo, b, BeaconingConfig::default());
+        let pcb = Pcb::originate(ia(1), a_if, t(0), Duration::from_hours(6), 0, &tr);
+        assert_eq!(
+            srv_b.handle_beacon(pcb.clone(), link_ab, &topo, &tr, t(1)),
+            Ok(true)
+        );
+        assert_eq!(srv_b.store().beacons_of(ia(1), t(2)).len(), 1);
+        assert_eq!(
+            srv_b.store().beacons_of(ia(1), t(2))[0].ingress_if,
+            b_if
+        );
+
+        // A beacon already containing AS 2 loops.
+        let looped = pcb.extend(ia(2), b_if, IfId(9), vec![], &tr);
+        assert_eq!(
+            srv_b.handle_beacon(looped, link_ab, &topo, &tr, t(2)),
+            Err(DropReason::Loop)
+        );
+        assert_eq!(srv_b.drops, 1);
+    }
+
+    #[test]
+    fn handle_beacon_rejects_tampered() {
+        let topo = triangle();
+        let tr = trust(&topo);
+        let a = topo.by_address(ia(1)).unwrap();
+        let b = topo.by_address(ia(2)).unwrap();
+        let link_ab = topo.links_between(a, b)[0];
+        let (_, a_if, _) = topo.link(link_ab).opposite(a);
+
+        let mut srv_b = BeaconServer::new(&topo, b, BeaconingConfig::default());
+        let mut pcb = Pcb::originate(ia(1), a_if, t(0), Duration::from_hours(6), 0, &tr);
+        pcb.expires_at = pcb.expires_at + Duration::from_hours(100); // forge
+        assert!(matches!(
+            srv_b.handle_beacon(pcb, link_ab, &topo, &tr, t(1)),
+            Err(DropReason::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn propagation_extends_with_correct_interfaces() {
+        let topo = triangle();
+        let tr = trust(&topo);
+        let a = topo.by_address(ia(1)).unwrap();
+        let b = topo.by_address(ia(2)).unwrap();
+        let link_ab = topo.links_between(a, b)[0];
+        let (_, a_if, _) = topo.link(link_ab).opposite(a);
+
+        let mut srv_b = BeaconServer::new(&topo, b, BeaconingConfig::default());
+        let pcb = Pcb::originate(ia(1), a_if, t(0), Duration::from_hours(6), 0, &tr);
+        srv_b.handle_beacon(pcb, link_ab, &topo, &tr, t(1)).unwrap();
+
+        // B propagates toward C only (A is on the path).
+        let egress = core_egress(&topo, b);
+        let props = srv_b.run_interval(&topo, &tr, t(600), &egress, false);
+        assert!(!props.is_empty());
+        for p in &props {
+            assert_eq!(p.pcb.hop_count(), 2);
+            assert_eq!(p.pcb.as_path(), vec![ia(1), ia(2)]);
+            let c = topo.by_address(ia(3)).unwrap();
+            assert_eq!(p.to, c, "must not send back toward the origin");
+            assert_eq!(p.pcb.validate(&tr, t(601)), Ok(()));
+            assert!(p.bytes > 0);
+        }
+    }
+
+    #[test]
+    fn diversity_prefers_unused_parallel_link() {
+        // AS2 has two parallel links to AS1 and receives beacons from AS3;
+        // when propagating AS3's beacons to AS1 the algorithm must use both
+        // parallel links before repeating one.
+        let topo = triangle();
+        let tr = trust(&topo);
+        let b = topo.by_address(ia(2)).unwrap();
+        let c = topo.by_address(ia(3)).unwrap();
+        let link_cb = topo.links_between(c, b)[0];
+        let (_, c_if, _) = topo.link(link_cb).opposite(c);
+
+        let mut srv_b = BeaconServer::new(
+            &topo,
+            b,
+            BeaconingConfig::with_algorithm(Algorithm::Diversity(DiversityParams::default())),
+        );
+        let pcb = Pcb::originate(ia(3), c_if, t(0), Duration::from_hours(6), 0, &tr);
+        srv_b.handle_beacon(pcb, link_cb, &topo, &tr, t(1)).unwrap();
+
+        let a = topo.by_address(ia(1)).unwrap();
+        let to_a: Vec<LinkIndex> = topo.links_between(b, a);
+        assert_eq!(to_a.len(), 2);
+        let egress = egress_refs(&topo, b, &to_a);
+        let props = srv_b.run_interval(&topo, &tr, t(600), &egress, false);
+        let used: std::collections::HashSet<LinkIndex> =
+            props.iter().map(|p| p.egress_link).collect();
+        assert_eq!(used.len(), 2, "both parallel links should be used");
+    }
+}

@@ -1,0 +1,17 @@
+//! Criterion wrapper for the Figure 5 pipeline at Tiny scale (BGP + BGPsec
+//! month, SCION core baseline + diversity, intra-ISD).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scion_core::experiments::run_fig5;
+use scion_core::prelude::ExperimentScale;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig5_bench", |b| b.iter(|| run_fig5(ExperimentScale::Bench)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion wrapper for the Figures 6a/6b pipeline at Tiny scale
+//! (five beaconing runs, BGP convergence, max-flow per sampled pair).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scion_core::experiments::run_fig6;
+use scion_core::prelude::ExperimentScale;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig6_bench", |b| b.iter(|| run_fig6(ExperimentScale::Bench)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion wrapper for the Appendix B Figures 7/8 pipeline (SCIONLab
+//! quality, five algorithm/storage series over 420 core pairs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scion_core::experiments::run_fig78;
+use scion_core::prelude::ExperimentScale;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig78_scionlab", |b| {
+        b.iter(|| run_fig78(ExperimentScale::Bench))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

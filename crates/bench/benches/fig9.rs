@@ -1,0 +1,17 @@
+//! Criterion wrapper for the Appendix B Figure 9 pipeline (SCIONLab
+//! per-interface beaconing bandwidth).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scion_core::experiments::run_fig9;
+use scion_core::prelude::ExperimentScale;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig9_scionlab", |b| b.iter(|| run_fig9(ExperimentScale::Bench)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

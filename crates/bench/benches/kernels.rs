@@ -1,0 +1,132 @@
+//! Criterion microbenchmarks of the hot kernels behind every experiment:
+//! PCB extension/validation, one beacon-server interval under each
+//! algorithm, max-flow, and one BGP origin convergence.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use scion_core::beaconing::server::{egress_refs, BeaconServer};
+use scion_core::beaconing::{Algorithm, BeaconingConfig, DiversityParams};
+use scion_core::crypto::trc::TrustStore;
+use scion_core::prelude::*;
+use scion_core::topology::isd::assign_isds;
+
+fn bench_topology() -> AsTopology {
+    let internet = generate_internet(&GeneratorConfig::small(200, 42));
+    let (mut core, _) = prune_to_top_degree(&internet, 16);
+    assign_isds(&mut core, 4);
+    core
+}
+
+fn trust_for(topo: &AsTopology) -> TrustStore {
+    TrustStore::bootstrap(
+        topo.as_indices().map(|i| (topo.node(i).ia, topo.node(i).core)),
+        SimTime::ZERO + Duration::from_days(365),
+    )
+}
+
+fn bench_pcb(c: &mut Criterion) {
+    let topo = bench_topology();
+    let trust = trust_for(&topo);
+    let origin = topo.node(AsIndex(0)).ia;
+    let mid = topo.node(AsIndex(1)).ia;
+    let leaf = topo.node(AsIndex(2)).ia;
+
+    c.bench_function("pcb_originate_extend_3hops", |b| {
+        b.iter(|| {
+            let pcb = Pcb::originate(origin, IfId(1), SimTime::ZERO, Duration::from_hours(6), 0, &trust);
+            let pcb = pcb.extend(mid, IfId(1), IfId(2), vec![], &trust);
+            pcb.extend(leaf, IfId(1), IfId(2), vec![], &trust)
+        })
+    });
+
+    let pcb = Pcb::originate(origin, IfId(1), SimTime::ZERO, Duration::from_hours(6), 0, &trust)
+        .extend(mid, IfId(1), IfId(2), vec![], &trust)
+        .extend(leaf, IfId(1), IfId(2), vec![], &trust);
+    c.bench_function("pcb_validate_3hops", |b| {
+        b.iter(|| pcb.validate(&trust, SimTime::ZERO + Duration::from_secs(1)).unwrap())
+    });
+}
+
+fn bench_selection_interval(c: &mut Criterion) {
+    let topo = bench_topology();
+    let trust = trust_for(&topo);
+
+    // Warm a server with beacons from every other core AS.
+    let me = AsIndex(0);
+    let core_links: Vec<_> = topo
+        .node(me)
+        .links
+        .iter()
+        .copied()
+        .filter(|&li| {
+            let l = topo.link(li);
+            topo.node(l.a).core && topo.node(l.b).core
+        })
+        .collect();
+    let egress = egress_refs(&topo, me, &core_links);
+
+    let fill = |cfg: BeaconingConfig| {
+        let mut srv = BeaconServer::new(&topo, me, cfg);
+        for (li, nb, _, remote_if) in topo.incident(me) {
+            let pcb = Pcb::originate(
+                topo.node(nb).ia,
+                remote_if,
+                SimTime::ZERO,
+                Duration::from_hours(6),
+                0,
+                &trust,
+            );
+            let _ = srv.handle_beacon(pcb, li, &topo, &trust, SimTime::from_micros(1));
+        }
+        srv
+    };
+
+    let now = SimTime::ZERO + Duration::from_mins(10);
+    c.bench_function("interval_baseline", |b| {
+        b.iter_batched(
+            || fill(BeaconingConfig::default()),
+            |mut srv| srv.run_interval(&topo, &trust, now, &egress, true),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("interval_diversity", |b| {
+        b.iter_batched(
+            || fill(BeaconingConfig::with_algorithm(Algorithm::Diversity(DiversityParams::default()))),
+            |mut srv| srv.run_interval(&topo, &trust, now, &egress, true),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_maxflow(c: &mut Criterion) {
+    let topo = bench_topology();
+    let links: Vec<_> = topo.link_indices().collect();
+    let (src, dst) = (AsIndex(0), AsIndex(15));
+    c.bench_function("maxflow_core_graph", |b| {
+        b.iter(|| max_flow(&topo, links.iter().copied(), src, dst))
+    });
+}
+
+fn bench_bgp_origin(c: &mut Criterion) {
+    let topo = generate_internet(&GeneratorConfig::small(200, 42));
+    let origin = AsIndex(150);
+    c.bench_function("bgp_origin_convergence_200as", |b| {
+        b.iter(|| {
+            scion_core::bgp::simulate_origin(
+                &topo,
+                origin,
+                &scion_core::bgp::OriginSimConfig {
+                    churn_resets: 0,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pcb, bench_selection_interval, bench_maxflow, bench_bgp_origin
+}
+criterion_main!(kernels);

@@ -1,0 +1,19 @@
+//! Criterion wrapper for the Table 1 scenario at Tiny scale: tracks the
+//! end-to-end cost of regenerating the table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scion_core::experiments::run_table1;
+use scion_core::prelude::ExperimentScale;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table1_bench", |b| {
+        b.iter(|| run_table1(ExperimentScale::Bench))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

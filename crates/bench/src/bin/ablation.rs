@@ -1,0 +1,30 @@
+//! Runs the diversity-algorithm **ablation** (DESIGN.md §6): how each
+//! scoring ingredient affects the overhead/quality trade-off.
+//!
+//! ```text
+//! cargo run --release -p scion-bench --bin ablation [--scale tiny|small]
+//! ```
+
+use scion_bench::{parse_scale, write_json};
+use scion_core::experiments::run_ablation;
+use scion_core::report::{human_bytes, json_line, Table};
+
+fn main() {
+    let scale = parse_scale();
+    eprintln!("running diversity ablation at {scale:?} scale (6 variants)…");
+    let result = run_ablation(scale);
+
+    println!("Diversity-algorithm ablation: overhead vs path quality");
+    let mut table = Table::new(&["variant", "beaconing bytes", "fraction of optimum"]);
+    for row in &result.rows {
+        table.row(&[
+            row.variant.clone(),
+            human_bytes(row.total_bytes),
+            format!("{:.3}", row.fraction_of_optimum),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let path = write_json("ablation", &json_line(&result));
+    eprintln!("JSON written to {}", path.display());
+}

@@ -1,0 +1,52 @@
+//! Regenerates **Figure 6a**: CDF of the minimum number of failing links
+//! disconnecting an AS pair, for the SCION algorithms, BGP, and the
+//! optimum.
+//!
+//! ```text
+//! cargo run --release -p scion-bench --bin fig6a [--scale tiny|small|paper]
+//! ```
+
+use scion_bench::{parse_scale, write_json};
+use scion_core::analysis::Cdf;
+use scion_core::experiments::run_fig6;
+use scion_core::report::{json_line, Table};
+
+fn main() {
+    let scale = parse_scale();
+    eprintln!("running Figure 6a pipeline at {scale:?} scale (5 beaconing runs + BGP)…");
+    let result = run_fig6(scale);
+
+    println!("Figure 6a: minimum number of failing links disconnecting an AS pair");
+    let mut table = Table::new(&["series", "mean", "p25", "median", "p75", "max"]);
+    let mut add = |name: &str, values: &[u64]| {
+        let cdf = Cdf::from_u64(values.iter().copied());
+        let s = cdf.summary();
+        table.row(&[
+            name.to_string(),
+            format!("{:.2}", s.mean),
+            format!("{}", s.q25),
+            format!("{}", s.median),
+            format!("{}", s.q75),
+            format!("{}", s.max),
+        ]);
+    };
+    add("Optimum", &result.optimum);
+    for (name, values) in &result.series {
+        add(name, values);
+    }
+    println!("{}", table.render());
+
+    println!("CDF points (value -> cumulative fraction of AS pairs):");
+    for (name, values) in &result.series {
+        let cdf = Cdf::from_u64(values.iter().copied());
+        let pts: Vec<String> = cdf
+            .points(8)
+            .into_iter()
+            .map(|(v, f)| format!("{v}:{f:.2}"))
+            .collect();
+        println!("  {name:<24} {}", pts.join("  "));
+    }
+
+    let path = write_json("fig6a", &json_line(&result));
+    eprintln!("JSON written to {}", path.display());
+}

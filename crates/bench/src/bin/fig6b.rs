@@ -1,0 +1,45 @@
+//! Regenerates **Figure 6b**: CDF of the maximum capacity between AS
+//! pairs in multiples of inter-AS links, and each series' fraction of the
+//! optimal capacity (the paper's 99 % / 97 % / 95 % / 82 % numbers).
+//!
+//! ```text
+//! cargo run --release -p scion-bench --bin fig6b [--scale tiny|small|paper]
+//! ```
+
+use scion_bench::{parse_scale, write_json};
+use scion_core::analysis::Cdf;
+use scion_core::experiments::run_fig6;
+use scion_core::report::{json_line, Table};
+
+fn main() {
+    let scale = parse_scale();
+    eprintln!("running Figure 6b pipeline at {scale:?} scale…");
+    let result = run_fig6(scale);
+
+    println!("Figure 6b: maximum capacity in multiples of inter-AS links");
+    let mut table = Table::new(&["series", "Σ capacity / Σ optimum", "mean capacity"]);
+    let opt_cdf = Cdf::from_u64(result.optimum.iter().copied());
+    table.row(&[
+        "All Paths (optimum)".into(),
+        "1.000".into(),
+        format!("{:.2}", opt_cdf.mean()),
+    ]);
+    for (name, frac) in &result.fraction_of_optimum {
+        let values = &result
+            .series
+            .iter()
+            .find(|(n, _)| n == name)
+            .expect("series exists")
+            .1;
+        let cdf = Cdf::from_u64(values.iter().copied());
+        table.row(&[
+            name.clone(),
+            format!("{frac:.3}"),
+            format!("{:.2}", cdf.mean()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let path = write_json("fig6b", &json_line(&result));
+    eprintln!("JSON written to {}", path.display());
+}

@@ -1,0 +1,50 @@
+//! Regenerates **Figure 7** (Appendix B): minimum number of failing links
+//! disconnecting two ASes on the SCIONLab-scale topology, per storage
+//! limit.
+//!
+//! ```text
+//! cargo run --release -p scion-bench --bin fig7
+//! ```
+
+use scion_bench::{parse_scale, write_json};
+use scion_core::analysis::Cdf;
+use scion_core::experiments::run_fig78;
+use scion_core::report::{json_line, Table};
+
+fn main() {
+    let scale = parse_scale();
+    eprintln!("running Figure 7 (SCIONLab resilience) at {scale:?} scale…");
+    let result = run_fig78(scale);
+
+    println!("Figure 7: minimum failing links disconnecting two SCIONLab core ASes");
+    let mut table = Table::new(&["series", "mean", "median", "max", "optimal share"]);
+    let opt_cdf = Cdf::from_u64(result.optimum.iter().copied());
+    table.row(&[
+        "Optimum".into(),
+        format!("{:.2}", opt_cdf.mean()),
+        format!("{}", opt_cdf.summary().median),
+        format!("{}", opt_cdf.summary().max),
+        "1.000".into(),
+    ]);
+    for (name, values) in &result.series {
+        let cdf = Cdf::from_u64(values.iter().copied());
+        // Fraction of pairs achieving exactly the optimal resilience.
+        let optimal_share = values
+            .iter()
+            .zip(&result.optimum)
+            .filter(|&(v, o)| v == o)
+            .count() as f64
+            / values.len() as f64;
+        table.row(&[
+            name.clone(),
+            format!("{:.2}", cdf.mean()),
+            format!("{}", cdf.summary().median),
+            format!("{}", cdf.summary().max),
+            format!("{optimal_share:.3}"),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let path = write_json("fig7", &json_line(&result));
+    eprintln!("JSON written to {}", path.display());
+}

@@ -1,0 +1,46 @@
+//! Regenerates **Figure 8** (Appendix B): maximum capacity in multiples of
+//! inter-AS links on the SCIONLab-scale topology.
+//!
+//! ```text
+//! cargo run --release -p scion-bench --bin fig8
+//! ```
+
+use scion_bench::{parse_scale, write_json};
+use scion_core::analysis::Cdf;
+use scion_core::experiments::run_fig78;
+use scion_core::report::{json_line, Table};
+
+fn main() {
+    let scale = parse_scale();
+    eprintln!("running Figure 8 (SCIONLab capacity) at {scale:?} scale…");
+    let result = run_fig78(scale);
+
+    println!("Figure 8: maximum capacity between SCIONLab core AS pairs");
+    let mut table = Table::new(&["series", "Σ capacity / Σ optimum", "CDF points"]);
+    let fmt_cdf = |values: &[u64]| {
+        Cdf::from_u64(values.iter().copied())
+            .points(6)
+            .into_iter()
+            .map(|(v, f)| format!("{v}:{f:.2}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    table.row(&[
+        "All Paths (optimum)".into(),
+        "1.000".into(),
+        fmt_cdf(&result.optimum),
+    ]);
+    for (name, frac) in &result.fraction_of_optimum {
+        let values = &result
+            .series
+            .iter()
+            .find(|(n, _)| n == name)
+            .expect("series exists")
+            .1;
+        table.row(&[name.clone(), format!("{frac:.3}"), fmt_cdf(values)]);
+    }
+    println!("{}", table.render());
+
+    let path = write_json("fig8", &json_line(&result));
+    eprintln!("JSON written to {}", path.display());
+}

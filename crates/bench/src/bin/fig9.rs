@@ -1,0 +1,32 @@
+//! Regenerates **Figure 9** (Appendix B): CDF of core-beaconing bandwidth
+//! per interface on the SCIONLab-scale topology. The paper observes
+//! "less than 4 KB/s per interface for almost 80 % of all core
+//! interfaces".
+//!
+//! ```text
+//! cargo run --release -p scion-bench --bin fig9
+//! ```
+
+use scion_bench::{parse_scale, write_json};
+use scion_core::experiments::run_fig9;
+use scion_core::report::json_line;
+
+fn main() {
+    let scale = parse_scale();
+    eprintln!("running Figure 9 (SCIONLab per-interface bandwidth) at {scale:?} scale…");
+    let result = run_fig9(scale);
+
+    println!("Figure 9: core beaconing bandwidth per interface (SCIONLab)");
+    println!("CDF (bytes/second -> cumulative fraction of interfaces):");
+    for (bps, frac) in &result.cdf_points {
+        println!("  {bps:>10.1} Bps  {frac:.3}");
+    }
+    println!();
+    println!(
+        "interfaces below 4 KB/s: {:.1} %  (paper: ~80 %)",
+        result.fraction_below_4kbps * 100.0
+    );
+
+    let path = write_json("fig9", &json_line(&result));
+    eprintln!("JSON written to {}", path.display());
+}

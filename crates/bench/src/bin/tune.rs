@@ -1,0 +1,76 @@
+//! Runs the §4.2 **grid search** for the diversity parameters (α, β, γ,
+//! score threshold): a coarse exponential sweep followed by a linear
+//! refinement, on a small core topology.
+//!
+//! ```text
+//! cargo run --release -p scion-bench --bin tune
+//! ```
+
+use scion_bench::{parse_scale, write_json};
+use scion_core::beaconing::tuning::grid_search;
+use scion_core::beaconing::BeaconingConfig;
+use scion_core::prelude::*;
+use scion_core::report::{human_bytes, Table};
+use scion_core::topology::isd::assign_isds;
+
+fn main() {
+    let scale = parse_scale();
+    let params = scale.params();
+    eprintln!("running parameter grid search at {scale:?} scale…");
+
+    // Tuning runs dozens of simulations, so use a deliberately small core.
+    let internet = generate_internet(&GeneratorConfig::small(
+        params.num_ases.min(200),
+        params.seed,
+    ));
+    let (mut core, _) = prune_to_top_degree(&internet, params.num_core.min(16));
+    assign_isds(&mut core, params.isd_size);
+
+    let base = BeaconingConfig {
+        interval: params.interval,
+        pcb_lifetime: params.pcb_lifetime,
+        ..BeaconingConfig::default()
+    };
+    let results = grid_search(&core, &base, params.sim_duration, params.seed);
+
+    println!("Grid search results (best first, top 15 of {}):", results.len());
+    let mut table = Table::new(&[
+        "alpha", "beta", "gamma", "threshold", "bytes", "coverage", "links/pair", "objective",
+    ]);
+    for r in results.iter().take(15) {
+        table.row(&[
+            format!("{:.1}", r.params.alpha),
+            format!("{:.1}", r.params.beta),
+            format!("{:.1}", r.params.gamma),
+            format!("{:.2}", r.params.score_threshold),
+            human_bytes(r.total_bytes),
+            format!("{:.2}", r.coverage),
+            format!("{:.2}", r.avg_distinct_links),
+            format!("{:.4}", r.objective),
+        ]);
+    }
+    println!("{}", table.render());
+    let best = &results[0];
+    println!(
+        "selected: alpha={:.1} beta={:.1} gamma={:.1} threshold={:.2}",
+        best.params.alpha, best.params.beta, best.params.gamma, best.params.score_threshold
+    );
+
+    let rows: Vec<serde_json::Value> = results
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "alpha": r.params.alpha,
+                "beta": r.params.beta,
+                "gamma": r.params.gamma,
+                "threshold": r.params.score_threshold,
+                "bytes": r.total_bytes,
+                "coverage": r.coverage,
+                "links_per_pair": r.avg_distinct_links,
+                "objective": r.objective,
+            })
+        })
+        .collect();
+    let path = write_json("tune", &serde_json::to_string(&rows).expect("serializable"));
+    eprintln!("JSON written to {}", path.display());
+}

@@ -1,0 +1,68 @@
+//! Shared plumbing for the experiment harness binaries.
+//!
+//! Every binary accepts `--scale tiny|small|paper` (default `small`),
+//! prints a human-readable table to stdout, and writes a JSON record to
+//! `results/<name>.json` so EXPERIMENTS.md numbers can be regenerated and
+//! diffed.
+
+use std::path::PathBuf;
+
+use scion_core::prelude::ExperimentScale;
+
+/// Parses the common CLI arguments of a harness binary.
+///
+/// Exits with a usage message on unknown arguments, so typos never
+/// silently run at the wrong scale.
+pub fn parse_scale() -> ExperimentScale {
+    let mut args = std::env::args().skip(1);
+    let mut scale = ExperimentScale::Small;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = ExperimentScale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale '{v}' (expected tiny|small|paper)");
+                    std::process::exit(2);
+                });
+            }
+            "--full" => scale = ExperimentScale::Paper,
+            "--tiny" => scale = ExperimentScale::Tiny,
+            "--help" | "-h" => {
+                eprintln!("usage: <bin> [--scale tiny|small|paper] [--tiny] [--full]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    scale
+}
+
+/// Writes an experiment's JSON record under `results/`.
+pub fn write_json(name: &str, json: &str) -> PathBuf {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, json).expect("write results file");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_json_creates_file() {
+        let tmp = std::env::temp_dir().join(format!("scion-bench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&tmp).unwrap();
+        let prev = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&tmp).unwrap();
+        let path = write_json("probe", "{\"x\":1}");
+        assert!(path.exists());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"x\":1}");
+        std::env::set_current_dir(prev).unwrap();
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+}

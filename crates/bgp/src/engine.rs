@@ -1,0 +1,476 @@
+//! Event-driven per-origin BGP dynamics.
+//!
+//! Simulates the distributed path-vector protocol for **one origin AS**
+//! (one prefix): initial announcement, optional withdraw/re-announce churn
+//! cycles, MRAI batching, per-update processing delay, loop detection, and
+//! Gao–Rexford policy (see [`crate::policy`]). Per-origin runs are fully
+//! independent — BGP keeps per-prefix state — so the monthly workload
+//! ([`crate::monthly`]) runs them in parallel and sums per-AS counters.
+//!
+//! §5.1 parameters: "each BGPsec speaker has a Minimum Route Advertisement
+//! Interval (MRAI) timer of 15 seconds and a processing delay of 5 ms for
+//! each incoming update message. Within an AS, only the internal BGPsec
+//! speaker has LOC_RIB" — hence one speaker node per AS here, with border
+//! routers abstracted into the link latency.
+
+use std::collections::HashMap;
+
+use scion_simulator::{Engine, Event, LatencyModel};
+use scion_topology::{AsIndex, AsTopology, LinkIndex};
+use scion_types::{Duration, SimTime};
+
+use crate::policy::{export_allowed, prefer, Candidate, PolicyMode, RouteClass};
+
+/// Configuration of one origin's dynamics.
+#[derive(Clone, Copy, Debug)]
+pub struct OriginSimConfig {
+    /// Minimum Route Advertisement Interval per session (§5.1: 15 s).
+    pub mrai: Duration,
+    /// Per-update processing delay at the speaker (§5.1: 5 ms).
+    pub processing_delay: Duration,
+    /// Number of withdraw/re-announce churn cycles after convergence.
+    pub churn_resets: usize,
+    /// Gap between a withdraw and its re-announce.
+    pub reset_gap: Duration,
+    /// Gap between convergence and the first churn event, and between
+    /// churn cycles.
+    pub settle_gap: Duration,
+    /// Seed for link latencies.
+    pub seed: u64,
+    /// Routing policy (Gao–Rexford by default; shortest-path for the
+    /// §5.3 core-mesh comparison).
+    pub policy: PolicyMode,
+}
+
+impl Default for OriginSimConfig {
+    fn default() -> Self {
+        OriginSimConfig {
+            mrai: Duration::from_secs(15),
+            processing_delay: Duration::from_millis(5),
+            churn_resets: 1,
+            reset_gap: Duration::from_secs(30),
+            settle_gap: Duration::from_secs(600),
+            seed: 1,
+            policy: PolicyMode::GaoRexford,
+        }
+    }
+}
+
+/// Per-AS counters and converged routes from one origin's run.
+#[derive(Clone, Debug)]
+pub struct OriginOutcome {
+    /// Announcements received per AS over the whole run.
+    pub announces_received: Vec<u64>,
+    /// Sum of AS-path lengths over those announcements (for sizing).
+    pub announce_pathlen_sum: Vec<u64>,
+    /// Withdrawals received per AS.
+    pub withdraws_received: Vec<u64>,
+    /// Announcements received during the initial convergence (before any
+    /// churn) — the basis of the BGPsec daily-re-beaconing extrapolation.
+    pub initial_announces: Vec<u64>,
+    /// Path-length sum of the initial-phase announcements.
+    pub initial_pathlen_sum: Vec<u64>,
+    /// Converged best AS path per AS toward the origin (next hop first,
+    /// origin last; `None` = unreachable; the origin's own entry is
+    /// an empty path).
+    pub best_paths: Vec<Option<Vec<AsIndex>>>,
+}
+
+/// A BGP update: the announced AS path, or `None` for a withdrawal.
+type BgpMsg = Option<Vec<AsIndex>>;
+
+/// Timer kinds.
+const TIMER_MRAI_BASE: u32 = 0; // + neighbor index
+const TIMER_WITHDRAW: u32 = u32::MAX;
+const TIMER_REANNOUNCE: u32 = u32::MAX - 1;
+
+struct SpeakerState {
+    /// Paths learned per neighbor.
+    adj_rib_in: HashMap<AsIndex, Vec<AsIndex>>,
+    /// What we last advertised to each neighbor (`None` = nothing /
+    /// withdrawn).
+    adv_out: HashMap<AsIndex, BgpMsg>,
+    /// Last time an update was sent to each neighbor.
+    last_sent: HashMap<AsIndex, Option<SimTime>>,
+    /// Neighbors with a pending (MRAI-suppressed) update.
+    pending: HashMap<AsIndex, bool>,
+    /// Speaker busy horizon (serializes the 5 ms per-update processing).
+    busy_until: SimTime,
+    /// Current best route: `(neighbor, path)`.
+    best: Option<(AsIndex, Vec<AsIndex>)>,
+    /// True for the origin while its prefix is announced.
+    originating: bool,
+}
+
+impl SpeakerState {
+    fn new() -> SpeakerState {
+        SpeakerState {
+            adj_rib_in: HashMap::new(),
+            adv_out: HashMap::new(),
+            last_sent: HashMap::new(),
+            pending: HashMap::new(),
+            busy_until: SimTime::ZERO,
+            best: None,
+            originating: false,
+        }
+    }
+
+    /// The route class of the current best (None when self-originated).
+    fn best_class(&self, topo: &AsTopology, me: AsIndex) -> Option<RouteClass> {
+        if self.originating {
+            return None;
+        }
+        self.best
+            .as_ref()
+            .map(|(n, _)| RouteClass::classify(topo, me, *n))
+    }
+
+    /// Recomputes the best route from adj-rib-in. Returns true on change.
+    fn recompute_best(&mut self, topo: &AsTopology, me: AsIndex, policy: PolicyMode) -> bool {
+        if self.originating {
+            return false; // the origin's own route always wins
+        }
+        let mut best: Option<(Candidate, &Vec<AsIndex>)> = None;
+        for (&n, path) in &self.adj_rib_in {
+            let cand = Candidate {
+                class: match policy {
+                    PolicyMode::GaoRexford => RouteClass::classify(topo, me, n),
+                    PolicyMode::ShortestPath => RouteClass::Peer,
+                },
+                path_len: path.len(),
+                neighbor: n,
+            };
+            best = Some(match best {
+                Some((bc, bp)) if !prefer(&cand, &bc) => (bc, bp),
+                _ => (cand, path),
+            });
+        }
+        let new_best = best.map(|(c, p)| (c.neighbor, p.clone()));
+        if new_best != self.best {
+            self.best = new_best;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// One speaker's view of which path (if any) it should advertise to `to`.
+fn desired_advertisement(
+    topo: &AsTopology,
+    me: AsIndex,
+    state: &SpeakerState,
+    to: AsIndex,
+    policy: PolicyMode,
+) -> BgpMsg {
+    if state.originating {
+        return Some(vec![me]);
+    }
+    let (_, path) = state.best.as_ref()?;
+    if path.contains(&to) {
+        return None; // guaranteed loop-discard at the receiver; skip
+    }
+    if policy == PolicyMode::GaoRexford
+        && !export_allowed(topo, me, state.best_class(topo, me), to)
+    {
+        return None;
+    }
+    let mut out = Vec::with_capacity(path.len() + 1);
+    out.push(me);
+    out.extend_from_slice(path);
+    Some(out)
+}
+
+/// Runs the dynamics for one origin. See module docs.
+pub fn simulate_origin(
+    topo: &AsTopology,
+    origin: AsIndex,
+    cfg: &OriginSimConfig,
+) -> OriginOutcome {
+    let n = topo.num_ases();
+    let latency = LatencyModel::default_for(topo, cfg.seed);
+
+    // One session (and one representative link) per neighbor pair.
+    let sessions: Vec<Vec<(AsIndex, LinkIndex)>> = topo
+        .as_indices()
+        .map(|idx| {
+            let mut nb: Vec<(AsIndex, LinkIndex)> = topo
+                .neighbors(idx)
+                .into_iter()
+                .map(|o| (o, topo.links_between(idx, o)[0]))
+                .collect();
+            nb.sort_by_key(|&(o, _)| o);
+            nb
+        })
+        .collect();
+
+    let mut states: Vec<SpeakerState> = (0..n).map(|_| SpeakerState::new()).collect();
+    let mut out = OriginOutcome {
+        announces_received: vec![0; n],
+        announce_pathlen_sum: vec![0; n],
+        withdraws_received: vec![0; n],
+        initial_announces: vec![0; n],
+        initial_pathlen_sum: vec![0; n],
+        best_paths: vec![None; n],
+    };
+
+    let mut engine: Engine<BgpMsg> = Engine::new();
+
+    // Schedule churn cycles. The first withdraw comes after a settle gap
+    // long enough for initial convergence.
+    let mut churn_start = SimTime::from_micros(u64::MAX);
+    for k in 0..cfg.churn_resets {
+        let t_withdraw =
+            SimTime::ZERO + cfg.settle_gap + (cfg.settle_gap + cfg.reset_gap) * (k as u64);
+        if k == 0 {
+            churn_start = t_withdraw;
+        }
+        engine.schedule_timer(t_withdraw, origin, TIMER_WITHDRAW);
+        engine.schedule_timer(t_withdraw + cfg.reset_gap, origin, TIMER_REANNOUNCE);
+    }
+
+    // Initial announcement.
+    states[origin.as_usize()].originating = true;
+    engine.schedule_timer(SimTime::ZERO, origin, TIMER_MRAI_BASE); // kick-off
+
+    // Sends updates (respecting MRAI) from `me` to every neighbor whose
+    // desired advertisement changed.
+    fn flush(
+        topo: &AsTopology,
+        sessions: &[Vec<(AsIndex, LinkIndex)>],
+        states: &mut [SpeakerState],
+        engine: &mut Engine<BgpMsg>,
+        latency: &LatencyModel,
+        cfg: &OriginSimConfig,
+        me: AsIndex,
+        eff_now: SimTime,
+    ) {
+        for &(nb, link) in &sessions[me.as_usize()] {
+            let desired =
+                desired_advertisement(topo, me, &states[me.as_usize()], nb, cfg.policy);
+            let state = &mut states[me.as_usize()];
+            let already = state.adv_out.get(&nb).cloned().unwrap_or(None);
+            if desired == already {
+                continue;
+            }
+            // Never send a withdrawal for something never advertised.
+            if desired.is_none() && already.is_none() {
+                continue;
+            }
+            let mrai_ok = match state.last_sent.get(&nb).copied().flatten() {
+                Some(t) => eff_now.since(t) >= cfg.mrai,
+                None => true,
+            };
+            if mrai_ok {
+                state.adv_out.insert(nb, desired.clone());
+                state.last_sent.insert(nb, Some(eff_now));
+                state.pending.insert(nb, false);
+                let extra = eff_now.since(engine.now());
+                engine.send(latency.delay(link) + extra, nb, link, desired);
+            } else if !state.pending.get(&nb).copied().unwrap_or(false) {
+                state.pending.insert(nb, true);
+                let fire_at = state.last_sent[&nb].expect("mrai implies sent") + cfg.mrai;
+                engine.schedule_timer(fire_at.max(eff_now), me, TIMER_MRAI_BASE + nb.0 + 1);
+            }
+        }
+    }
+
+    let deadline = SimTime::from_micros(u64::MAX);
+    while let Some((now, ev)) = engine.pop_until(deadline) {
+        match ev {
+            Event::Timer { node, kind } => match kind {
+                TIMER_WITHDRAW => {
+                    states[node.as_usize()].originating = false;
+                    flush(topo, &sessions, &mut states, &mut engine, &latency, cfg, node, now);
+                }
+                TIMER_REANNOUNCE | TIMER_MRAI_BASE => {
+                    if kind == TIMER_REANNOUNCE {
+                        states[node.as_usize()].originating = true;
+                    }
+                    flush(topo, &sessions, &mut states, &mut engine, &latency, cfg, node, now);
+                }
+                k => {
+                    // Per-neighbor MRAI expiry.
+                    let nb = AsIndex(k - TIMER_MRAI_BASE - 1);
+                    if states[node.as_usize()].pending.get(&nb).copied() == Some(true) {
+                        states[node.as_usize()].pending.insert(nb, false);
+                        flush(topo, &sessions, &mut states, &mut engine, &latency, cfg, node, now);
+                    }
+                }
+            },
+            Event::Deliver { to, via, msg } => {
+                let (from, _, _) = topo.link(via).opposite(to);
+                // Serialize the 5 ms processing through the speaker.
+                let state = &mut states[to.as_usize()];
+                let eff_now = if state.busy_until > now {
+                    state.busy_until
+                } else {
+                    now
+                } + cfg.processing_delay;
+                state.busy_until = eff_now;
+
+                match &msg {
+                    Some(path) => {
+                        out.announces_received[to.as_usize()] += 1;
+                        out.announce_pathlen_sum[to.as_usize()] += path.len() as u64;
+                        if now < churn_start {
+                            out.initial_announces[to.as_usize()] += 1;
+                            out.initial_pathlen_sum[to.as_usize()] += path.len() as u64;
+                        }
+                        if path.contains(&to) {
+                            // AS-path loop: discard (treat as implicit
+                            // withdraw of this neighbor's route).
+                            state.adj_rib_in.remove(&from);
+                        } else {
+                            state.adj_rib_in.insert(from, path.clone());
+                        }
+                    }
+                    None => {
+                        out.withdraws_received[to.as_usize()] += 1;
+                        state.adj_rib_in.remove(&from);
+                    }
+                }
+                if states[to.as_usize()].recompute_best(topo, to, cfg.policy) {
+                    flush(topo, &sessions, &mut states, &mut engine, &latency, cfg, to, eff_now);
+                }
+            }
+        }
+    }
+
+    for idx in topo.as_indices() {
+        let s = &states[idx.as_usize()];
+        out.best_paths[idx.as_usize()] = if idx == origin {
+            Some(Vec::new())
+        } else {
+            s.best.as_ref().map(|(_, p)| p.clone())
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_topology::{topology_from_edges, Relationship};
+    use scion_types::{Asn, Isd, IsdAsn};
+
+    fn ia(asn: u64) -> IsdAsn {
+        IsdAsn::new(Isd(1), Asn::from_u64(asn))
+    }
+
+    /// Diamond: 1 provides to 2 and 3; both provide to 4.
+    fn diamond() -> AsTopology {
+        topology_from_edges(&[
+            (1, 2, Relationship::AProviderOfB, 1),
+            (1, 3, Relationship::AProviderOfB, 1),
+            (2, 4, Relationship::AProviderOfB, 1),
+            (3, 4, Relationship::AProviderOfB, 1),
+        ])
+    }
+
+    #[test]
+    fn converges_to_valley_free_paths() {
+        let topo = diamond();
+        let four = topo.by_address(ia(4)).unwrap();
+        let out = simulate_origin(&topo, four, &OriginSimConfig::default());
+        // AS 1 reaches 4 via one of its customers, path length 2.
+        let one = topo.by_address(ia(1)).unwrap();
+        let p = out.best_paths[one.as_usize()].as_ref().unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(*p.last().unwrap(), four);
+        // Everyone reaches the origin.
+        for idx in topo.as_indices() {
+            assert!(out.best_paths[idx.as_usize()].is_some());
+        }
+    }
+
+    #[test]
+    fn peer_routes_not_given_transit() {
+        // 1 -- 2 peering; 3 is 2's other peer. 3 originates.
+        // 1 must NOT learn the route (2 won't export a peer route to a
+        // peer).
+        let topo = topology_from_edges(&[
+            (1, 2, Relationship::PeerToPeer, 1),
+            (2, 3, Relationship::PeerToPeer, 1),
+        ]);
+        let three = topo.by_address(ia(3)).unwrap();
+        let out = simulate_origin(&topo, three, &OriginSimConfig::default());
+        let one = topo.by_address(ia(1)).unwrap();
+        let two = topo.by_address(ia(2)).unwrap();
+        assert!(out.best_paths[two.as_usize()].is_some());
+        assert!(
+            out.best_paths[one.as_usize()].is_none(),
+            "valley-free violated"
+        );
+    }
+
+    #[test]
+    fn customer_route_preferred_over_peer() {
+        // 2's customer 3 and peer 4 both reach origin 5; 2 must pick the
+        // customer route even if longer.
+        let topo = topology_from_edges(&[
+            (2, 3, Relationship::AProviderOfB, 1), // 3 is customer of 2
+            (2, 4, Relationship::PeerToPeer, 1),
+            (3, 6, Relationship::AProviderOfB, 1),
+            (6, 5, Relationship::AProviderOfB, 1), // long customer chain
+            (4, 5, Relationship::AProviderOfB, 1), // short peer path
+        ])
+        ;
+        let five = topo.by_address(ia(5)).unwrap();
+        let out = simulate_origin(&topo, five, &OriginSimConfig::default());
+        let two = topo.by_address(ia(2)).unwrap();
+        let three = topo.by_address(ia(3)).unwrap();
+        let p = out.best_paths[two.as_usize()].as_ref().unwrap();
+        assert_eq!(p[0], three, "customer route must win: {p:?}");
+    }
+
+    #[test]
+    fn withdraw_reannounce_cycle_costs_messages() {
+        let topo = diamond();
+        let four = topo.by_address(ia(4)).unwrap();
+        let no_churn = simulate_origin(
+            &topo,
+            four,
+            &OriginSimConfig {
+                churn_resets: 0,
+                ..OriginSimConfig::default()
+            },
+        );
+        let with_churn = simulate_origin(&topo, four, &OriginSimConfig::default());
+        let total = |o: &OriginOutcome| {
+            o.announces_received.iter().sum::<u64>() + o.withdraws_received.iter().sum::<u64>()
+        };
+        assert!(total(&with_churn) > total(&no_churn));
+        assert!(with_churn.withdraws_received.iter().sum::<u64>() > 0);
+        // Initial-phase counters exclude churn traffic.
+        assert_eq!(
+            with_churn.initial_announces,
+            no_churn.initial_announces
+        );
+        // After the final re-announce everything re-converges.
+        for idx in topo.as_indices() {
+            assert!(with_churn.best_paths[idx.as_usize()].is_some());
+        }
+    }
+
+    #[test]
+    fn origin_receives_no_own_announcement_loops() {
+        let topo = diamond();
+        let four = topo.by_address(ia(4)).unwrap();
+        let out = simulate_origin(&topo, four, &OriginSimConfig::default());
+        // Announcements that would loop back are suppressed at the sender,
+        // so the origin sees no announce for its own prefix.
+        assert_eq!(out.announces_received[four.as_usize()], 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let topo = diamond();
+        let four = topo.by_address(ia(4)).unwrap();
+        let a = simulate_origin(&topo, four, &OriginSimConfig::default());
+        let b = simulate_origin(&topo, four, &OriginSimConfig::default());
+        assert_eq!(a.announces_received, b.announces_received);
+        assert_eq!(a.withdraws_received, b.withdraws_received);
+        assert_eq!(a.best_paths, b.best_paths);
+    }
+}

@@ -1,0 +1,190 @@
+//! Extrapolation of BGPsec overhead to a larger topology (§5.2).
+//!
+//! "Since the CAIDA AS-rel-geo topology contains only 12000 ASes, the
+//! calculated overhead is not comparable with BGP's overhead observed in
+//! the real world. Therefore, we extrapolate the overhead resulting from
+//! simulations on this topology to the entire Internet topology inferred
+//! from CAIDA AS relationships … We assume that for a prefix in AS A
+//! outside the AS-rel-geo topology, a router receives the same number of
+//! update messages as for a prefix in A's lowest-tier provider within the
+//! AS-rel-geo topology. Additionally, we assume that the routes originated
+//! from A are longer than the routes originated from its lowest-tier
+//! provider by their hop difference to their nearest Tier-1 provider."
+//!
+//! The implementation takes the simulated per-origin results on the
+//! *inner* topology plus, for each outer-only AS, its attachment point
+//! (the inner proxy provider) and extra hop distance, and returns the
+//! additional monthly BGPsec bytes each inner AS would receive.
+
+use std::collections::HashMap;
+
+use scion_topology::{AsIndex, AsTopology};
+
+use crate::sizes;
+use crate::workload::PrefixModel;
+
+/// Description of an AS outside the simulated topology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OuterAs {
+    /// Its lowest-tier provider inside the simulated topology (the proxy
+    /// whose update counts it inherits).
+    pub proxy: AsIndex,
+    /// Additional AS-path hops relative to routes originated at the proxy.
+    pub extra_hops: u64,
+    /// Prefixes the outer AS announces.
+    pub prefixes: u64,
+}
+
+/// Derives the outer-AS population from the size difference between the
+/// simulated topology and a notional full topology of `full_size` ASes.
+///
+/// Stub ASes attach to randomly-proxied low-tier inner ASes in proportion
+/// to the inner ASes' customer counts; every outer AS sits one hop below
+/// its proxy. Deterministic in the AS indices (no RNG needed: outer AS
+/// `k` proxies to the low-tier inner AS `k mod |low|`).
+pub fn synthesize_outer_population(
+    inner: &AsTopology,
+    full_size: usize,
+    prefixes: &PrefixModel,
+) -> Vec<OuterAs> {
+    let inner_size = inner.num_ases();
+    if full_size <= inner_size {
+        return Vec::new();
+    }
+    // Low-tier inner ASes: those with at least one provider (i.e. not
+    // tier-1) — the realistic attachment points for stubs.
+    let low: Vec<AsIndex> = inner
+        .as_indices()
+        .filter(|&i| !inner.providers(i).is_empty())
+        .collect();
+    let attach = if low.is_empty() {
+        inner.as_indices().collect::<Vec<_>>()
+    } else {
+        low
+    };
+    (0..full_size - inner_size)
+        .map(|k| {
+            let proxy = attach[k % attach.len()];
+            OuterAs {
+                proxy,
+                extra_hops: 1,
+                // Outer ASes are stubs: modest prefix counts, drawn from
+                // the same model keyed far outside the inner index range.
+                prefixes: prefixes
+                    .prefixes_of(inner, proxy)
+                    .min(8)
+                    .max(1),
+            }
+        })
+        .collect()
+}
+
+/// Extrapolated additional monthly BGPsec bytes received per inner AS.
+///
+/// `initial_announces`/`initial_pathlen_sum` are the per-receiver counters
+/// of each *proxy origin's* initial convergence (from
+/// [`crate::engine::OriginOutcome`]), indexed `[origin][receiver]` as a
+/// map from proxy to its counter vectors. `days` applies the daily
+/// re-beaconing assumption.
+pub fn extrapolate_bgpsec(
+    inner: &AsTopology,
+    outer: &[OuterAs],
+    per_proxy_announces: &HashMap<AsIndex, Vec<u64>>,
+    per_proxy_pathlen: &HashMap<AsIndex, Vec<u64>>,
+    days: u64,
+) -> Vec<u64> {
+    let n = inner.num_ases();
+    let mut extra = vec![0u64; n];
+    for o in outer {
+        let Some(announces) = per_proxy_announces.get(&o.proxy) else {
+            continue;
+        };
+        let Some(pathlens) = per_proxy_pathlen.get(&o.proxy) else {
+            continue;
+        };
+        for v in 0..n {
+            // Same number of updates as the proxy's prefix, each longer
+            // by `extra_hops`.
+            let a = announces[v];
+            if a == 0 {
+                continue;
+            }
+            let plen = pathlens[v] + a * o.extra_hops;
+            extra[v] += days
+                * o.prefixes
+                * (a * sizes::bgpsec_announce_size(0) + sizes::BGPSEC_PER_HOP * plen);
+        }
+    }
+    extra
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_topology::{topology_from_edges, Relationship};
+
+    fn inner() -> AsTopology {
+        // 1 provides to 2 and 3.
+        topology_from_edges(&[
+            (1, 2, Relationship::AProviderOfB, 1),
+            (1, 3, Relationship::AProviderOfB, 1),
+        ])
+    }
+
+    #[test]
+    fn outer_population_attaches_to_low_tier() {
+        let t = inner();
+        let outer = synthesize_outer_population(&t, 7, &PrefixModel::default());
+        assert_eq!(outer.len(), 4);
+        for o in &outer {
+            // AS 1 (tier-1, no providers) is never a proxy.
+            assert!(!t.providers(o.proxy).is_empty());
+            assert_eq!(o.extra_hops, 1);
+            assert!(o.prefixes >= 1);
+        }
+    }
+
+    #[test]
+    fn no_outer_population_when_full_size_not_larger() {
+        let t = inner();
+        assert!(synthesize_outer_population(&t, 3, &PrefixModel::default()).is_empty());
+        assert!(synthesize_outer_population(&t, 2, &PrefixModel::default()).is_empty());
+    }
+
+    #[test]
+    fn extrapolation_adds_longer_paths() {
+        let t = inner();
+        let proxy = t.as_indices().nth(1).unwrap(); // AS 2
+        let outer = vec![OuterAs {
+            proxy,
+            extra_hops: 2,
+            prefixes: 3,
+        }];
+        // Proxy origin's convergence: AS 0 received 1 announce of path
+        // length 1.
+        let mut ann = HashMap::new();
+        ann.insert(proxy, vec![1u64, 0, 0]);
+        let mut plen = HashMap::new();
+        plen.insert(proxy, vec![1u64, 0, 0]);
+
+        let extra = extrapolate_bgpsec(&t, &outer, &ann, &plen, 30);
+        // Receiver 0: 30 days * 3 prefixes * (fixed + per_hop * (1 + 2)).
+        let expected =
+            30 * 3 * (sizes::bgpsec_announce_size(0) + sizes::BGPSEC_PER_HOP * 3);
+        assert_eq!(extra[0], expected);
+        assert_eq!(extra[1], 0);
+        assert_eq!(extra[2], 0);
+    }
+
+    #[test]
+    fn unknown_proxy_is_skipped() {
+        let t = inner();
+        let outer = vec![OuterAs {
+            proxy: AsIndex(0),
+            extra_hops: 1,
+            prefixes: 1,
+        }];
+        let extra = extrapolate_bgpsec(&t, &outer, &HashMap::new(), &HashMap::new(), 30);
+        assert!(extra.iter().all(|&b| b == 0));
+    }
+}

@@ -1,0 +1,39 @@
+//! BGP and BGPsec simulation substrate.
+//!
+//! Fills the role of SimBGP + the RouteViews dataset in the paper's §5
+//! evaluation. The pieces:
+//!
+//! * [`policy`] — Gao–Rexford route preference (customer > peer > provider,
+//!   then shortest AS path) and valley-free export filtering;
+//! * [`engine`] — an event-driven per-origin path-vector simulation with
+//!   the §5.1 parameters: 15 s Minimum Route Advertisement Interval per
+//!   session and 5 ms processing delay per update. Origins announce, churn
+//!   events withdraw/re-announce, and every AS counts the updates it
+//!   receives. Per-origin runs are independent, which is what lets the
+//!   monthly workload fan out across CPU cores;
+//! * [`sizes`] — update-message byte models: RFC 4271 for plain BGP
+//!   (with NLRI aggregation across a origin's prefixes) and RFC 8205 for
+//!   BGPsec (per-prefix signed updates, ECDSA-P384, no aggregation);
+//! * [`workload`] — the RouteViews-substitute monthly model: Zipf prefix
+//!   counts per AS, heavy-tailed churn-event counts, and the daily
+//!   re-beaconing assumption (RFC 8374) for BGPsec;
+//! * [`monthly`] — assembles per-monitor monthly byte totals for BGP and
+//!   BGPsec (the Fig. 5 inputs);
+//! * [`multipath`] — the best-case BGP multi-path path sets used by the
+//!   §5.3 path-quality comparison ("the best path present in RouteViews
+//!   and assuming full BGP multi-path support … for bandwidth aggregation
+//!   and fast failover").
+
+pub mod engine;
+pub mod extrapolate;
+pub mod monthly;
+pub mod multipath;
+pub mod policy;
+pub mod sizes;
+pub mod workload;
+
+pub use engine::{simulate_origin, OriginOutcome, OriginSimConfig};
+pub use extrapolate::{extrapolate_bgpsec, synthesize_outer_population, OuterAs};
+pub use monthly::{monthly_overhead, MonthlyConfig, MonthlyOverhead};
+pub use multipath::{best_paths_for_origin, best_paths_with_policy, bgp_multipath_links};
+pub use policy::{export_allowed, prefer, PolicyMode, RouteClass};

@@ -1,0 +1,244 @@
+//! Monthly control-plane overhead assembly: the Fig. 5 inputs for BGP and
+//! BGPsec.
+//!
+//! Method (mirroring §5.2's):
+//!
+//! 1. For every origin, run the per-origin dynamics
+//!    ([`crate::engine::simulate_origin`]) once with **one** churn cycle.
+//!    The run yields, per AS, the update counts of (a) the initial
+//!    convergence and (b) one withdraw/re-announce cycle.
+//! 2. **BGP**: monthly updates at an AS = initial convergence once (a
+//!    monitor sees at least one session reset / table transfer a month) +
+//!    the per-cycle cost times the origin's monthly churn-event count.
+//!    Bytes use RFC 4271 sizes with the origin's prefixes aggregated into
+//!    each update's NLRI.
+//! 3. **BGPsec**: "Assuming a re-beaconing period of one day [RFC 8374],
+//!    the resulting overhead is multiplied by 30 to find the monthly
+//!    BGPsec overhead" — monthly bytes = initial-convergence announcements
+//!    × days, sized per RFC 8205 with **no aggregation** (one signed
+//!    update per prefix).
+//!
+//! Origin runs are independent; they fan out across cores with rayon.
+
+use rayon::prelude::*;
+
+use scion_topology::{AsIndex, AsTopology};
+
+use std::collections::HashMap;
+
+use crate::engine::{simulate_origin, OriginSimConfig};
+use crate::extrapolate::{synthesize_outer_population, OuterAs};
+use crate::sizes;
+use crate::workload::{ChurnModel, PrefixModel};
+
+/// Configuration for the monthly-overhead computation.
+#[derive(Clone, Debug)]
+pub struct MonthlyConfig {
+    pub origin_sim: OriginSimConfig,
+    /// Days in the accounting window (paper: one month ⇒ 30).
+    pub days: u64,
+    pub prefixes: PrefixModel,
+    pub churn: ChurnModel,
+    /// Origins to include (`None` = every AS).
+    pub origins: Option<Vec<AsIndex>>,
+    /// §5.2 BGPsec extrapolation: pretend the full Internet has this many
+    /// ASes; the extra (stub) ASes inherit their proxy provider's update
+    /// counts with one extra hop (`None` = no extrapolation). The paper
+    /// extrapolates its 12 000-AS simulation to the full CAIDA AS-rel
+    /// topology this way.
+    pub bgpsec_extrapolate_to: Option<usize>,
+}
+
+impl Default for MonthlyConfig {
+    fn default() -> Self {
+        MonthlyConfig {
+            origin_sim: OriginSimConfig::default(),
+            days: 30,
+            prefixes: PrefixModel::default(),
+            churn: ChurnModel::default(),
+            origins: None,
+            bgpsec_extrapolate_to: None,
+        }
+    }
+}
+
+/// Per-AS monthly received control-plane bytes.
+#[derive(Clone, Debug)]
+pub struct MonthlyOverhead {
+    pub bgp_bytes: Vec<u64>,
+    pub bgpsec_bytes: Vec<u64>,
+    /// Total update messages received per AS (BGP accounting).
+    pub bgp_updates: Vec<u64>,
+}
+
+/// Computes per-AS monthly BGP and BGPsec byte totals on `topo`.
+pub fn monthly_overhead(topo: &AsTopology, cfg: &MonthlyConfig) -> MonthlyOverhead {
+    let n = topo.num_ases();
+    let origins: Vec<AsIndex> = cfg
+        .origins
+        .clone()
+        .unwrap_or_else(|| topo.as_indices().collect());
+
+    // §5.2 extrapolation: group the synthesized outer stubs by their
+    // inner proxy so the per-origin pass can add their cost when it
+    // simulates the proxy itself.
+    let outer_by_proxy: HashMap<AsIndex, Vec<OuterAs>> = match cfg.bgpsec_extrapolate_to {
+        Some(full) => {
+            let mut m: HashMap<AsIndex, Vec<OuterAs>> = HashMap::new();
+            for o in synthesize_outer_population(topo, full, &cfg.prefixes) {
+                m.entry(o.proxy).or_default().push(o);
+            }
+            m
+        }
+        None => HashMap::new(),
+    };
+
+    let partials: Vec<(Vec<u64>, Vec<u64>, Vec<u64>)> = origins
+        .par_iter()
+        .map(|&origin| {
+            let sim = simulate_origin(topo, origin, &cfg.origin_sim);
+            let prefixes = cfg.prefixes.prefixes_of(topo, origin);
+            let churn_events = cfg.churn.events_of(origin);
+
+            let mut bgp = vec![0u64; n];
+            let mut bgpsec = vec![0u64; n];
+            let mut updates = vec![0u64; n];
+            for v in 0..n {
+                let a_total = sim.announces_received[v];
+                let a_init = sim.initial_announces[v];
+                let a_cycle = a_total - a_init;
+                let plen_total = sim.announce_pathlen_sum[v];
+                let plen_init = sim.initial_pathlen_sum[v];
+                let plen_cycle = plen_total - plen_init;
+                let w_cycle = sim.withdraws_received[v];
+
+                // BGP: initial table transfer once + churn cycles.
+                let announces = a_init + churn_events * a_cycle;
+                let plen_sum = plen_init + churn_events * plen_cycle;
+                let withdraws = churn_events * w_cycle;
+                // Σ over announce messages of announce_size(pathlen, p) =
+                // msgs·fixed + per_hop·Σpathlen + nlri·p·msgs.
+                bgp[v] = announces * sizes::bgp_announce_size(0, prefixes)
+                    + 4 * plen_sum
+                    + withdraws * sizes::bgp_withdraw_size(prefixes);
+                updates[v] = announces + withdraws;
+
+                // BGPsec: daily re-beaconing of the converged state, one
+                // signed update per prefix, no aggregation.
+                bgpsec[v] = cfg.days
+                    * prefixes
+                    * (a_init * sizes::bgpsec_announce_size(0)
+                        + sizes::BGPSEC_PER_HOP * plen_init);
+
+                // Extrapolated stubs behind this origin: same update
+                // counts, paths longer by their extra hops (§5.2).
+                if let Some(outer) = outer_by_proxy.get(&origin) {
+                    for o in outer {
+                        let plen = plen_init + a_init * o.extra_hops;
+                        bgpsec[v] += cfg.days
+                            * o.prefixes
+                            * (a_init * sizes::bgpsec_announce_size(0)
+                                + sizes::BGPSEC_PER_HOP * plen);
+                    }
+                }
+            }
+            (bgp, bgpsec, updates)
+        })
+        .collect();
+
+    let mut out = MonthlyOverhead {
+        bgp_bytes: vec![0; n],
+        bgpsec_bytes: vec![0; n],
+        bgp_updates: vec![0; n],
+    };
+    for (bgp, bgpsec, updates) in partials {
+        for v in 0..n {
+            out.bgp_bytes[v] += bgp[v];
+            out.bgpsec_bytes[v] += bgpsec[v];
+            out.bgp_updates[v] += updates[v];
+        }
+    }
+    out
+}
+
+/// Picks `count` monitor ASes: the highest-degree ASes, mirroring
+/// RouteViews collectors peering at the best-connected vantage points
+/// (§5.2 uses the 26 monitors present in the CAIDA topology).
+pub fn pick_monitors(topo: &AsTopology, count: usize) -> Vec<AsIndex> {
+    let mut order: Vec<AsIndex> = topo.as_indices().collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(topo.node(i).link_degree()), i.0));
+    order.truncate(count);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_topology::{generate_internet, GeneratorConfig};
+
+    fn small_topo() -> AsTopology {
+        generate_internet(&GeneratorConfig::small(60, 11))
+    }
+
+    #[test]
+    fn bgpsec_exceeds_bgp_by_an_order_of_magnitude_at_monitors() {
+        let topo = small_topo();
+        let out = monthly_overhead(&topo, &MonthlyConfig::default());
+        let monitors = pick_monitors(&topo, 5);
+        for m in monitors {
+            let bgp = out.bgp_bytes[m.as_usize()];
+            let sec = out.bgpsec_bytes[m.as_usize()];
+            assert!(bgp > 0, "monitor receives BGP traffic");
+            let ratio = sec as f64 / bgp as f64;
+            assert!(
+                ratio > 2.0,
+                "BGPsec should clearly exceed BGP (ratio {ratio:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn restricting_origins_reduces_traffic() {
+        let topo = small_topo();
+        let all = monthly_overhead(&topo, &MonthlyConfig::default());
+        let some = monthly_overhead(
+            &topo,
+            &MonthlyConfig {
+                origins: Some(topo.as_indices().take(10).collect()),
+                ..MonthlyConfig::default()
+            },
+        );
+        let total = |v: &[u64]| v.iter().sum::<u64>();
+        assert!(total(&some.bgp_bytes) < total(&all.bgp_bytes));
+        assert!(total(&some.bgpsec_bytes) < total(&all.bgpsec_bytes));
+    }
+
+    #[test]
+    fn monitors_are_high_degree() {
+        let topo = small_topo();
+        let monitors = pick_monitors(&topo, 3);
+        let min_monitor_degree = monitors
+            .iter()
+            .map(|&m| topo.node(m).link_degree())
+            .min()
+            .unwrap();
+        let median = {
+            let mut d: Vec<usize> = topo
+                .as_indices()
+                .map(|i| topo.node(i).link_degree())
+                .collect();
+            d.sort_unstable();
+            d[d.len() / 2]
+        };
+        assert!(min_monitor_degree >= median);
+    }
+
+    #[test]
+    fn deterministic() {
+        let topo = small_topo();
+        let a = monthly_overhead(&topo, &MonthlyConfig::default());
+        let b = monthly_overhead(&topo, &MonthlyConfig::default());
+        assert_eq!(a.bgp_bytes, b.bgp_bytes);
+        assert_eq!(a.bgpsec_bytes, b.bgpsec_bytes);
+    }
+}

@@ -1,0 +1,126 @@
+//! BGP multi-path path sets for the §5.3 quality comparison.
+//!
+//! The paper gives BGP its best case: "choosing the best path present in
+//! RouteViews and assuming full BGP multi-path support between every AS
+//! pair for bandwidth aggregation and fast failover". Concretely: the
+//! AS-level best path is fixed (BGP picks exactly one), but *every
+//! parallel physical link* between consecutive ASes on it may be used
+//! simultaneously. Resilience and capacity of the pair are then computed
+//! by max-flow over that link set (see `scion-analysis`), which reduces to
+//! the minimum parallel-link count along the path.
+
+use scion_topology::{AsIndex, AsTopology, LinkIndex};
+
+use crate::engine::{simulate_origin, OriginSimConfig};
+use crate::policy::PolicyMode;
+
+/// Converged BGP best AS paths from every AS toward `origin` (no churn).
+/// Entry `v` is the path from `v`'s next hop to the origin, `None` when
+/// the origin is unreachable under policy, and `Some(empty)` at the origin
+/// itself.
+pub fn best_paths_for_origin(
+    topo: &AsTopology,
+    origin: AsIndex,
+    seed: u64,
+) -> Vec<Option<Vec<AsIndex>>> {
+    best_paths_with_policy(topo, origin, seed, PolicyMode::GaoRexford)
+}
+
+/// Like [`best_paths_for_origin`] with an explicit policy. The §5.3
+/// core-mesh comparison uses [`PolicyMode::ShortestPath`]: among core ASes
+/// every link is a transit link, which is also BGP's best case.
+pub fn best_paths_with_policy(
+    topo: &AsTopology,
+    origin: AsIndex,
+    seed: u64,
+    policy: PolicyMode,
+) -> Vec<Option<Vec<AsIndex>>> {
+    let cfg = OriginSimConfig {
+        churn_resets: 0,
+        seed,
+        policy,
+        ..OriginSimConfig::default()
+    };
+    simulate_origin(topo, origin, &cfg).best_paths
+}
+
+/// The link set of the BGP multi-path best case for the pair `(src,
+/// origin)`: all parallel links between each pair of consecutive ASes on
+/// the best path. `None` if BGP has no route.
+pub fn bgp_multipath_links(
+    topo: &AsTopology,
+    src: AsIndex,
+    best_path: &Option<Vec<AsIndex>>,
+) -> Option<Vec<LinkIndex>> {
+    let path = best_path.as_ref()?;
+    let mut hops = Vec::with_capacity(path.len() + 1);
+    hops.push(src);
+    hops.extend_from_slice(path);
+    let mut links = Vec::new();
+    for w in hops.windows(2) {
+        let parallel = topo.links_between(w[0], w[1]);
+        if parallel.is_empty() {
+            return None; // malformed path
+        }
+        links.extend(parallel);
+    }
+    Some(links)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_topology::{topology_from_edges, Relationship};
+    use scion_types::{Asn, Isd, IsdAsn};
+
+    fn ia(asn: u64) -> IsdAsn {
+        IsdAsn::new(Isd(1), Asn::from_u64(asn))
+    }
+
+    #[test]
+    fn multipath_includes_parallel_links_of_best_path_only() {
+        // 1 ==2== 2 --- 3 (two parallel links 1-2, one 2-3) and a detour
+        // 1 - 4 - 3 that BGP does not use (longer).
+        let topo = topology_from_edges(&[
+            (1, 2, Relationship::PeerToPeer, 2),
+            (2, 3, Relationship::AProviderOfB, 1),
+            (1, 4, Relationship::AProviderOfB, 1),
+            (4, 3, Relationship::AProviderOfB, 1),
+        ]);
+        let one = topo.by_address(ia(1)).unwrap();
+        let three = topo.by_address(ia(3)).unwrap();
+        let best = best_paths_for_origin(&topo, three, 1);
+        // 1 reaches 3 via customer 4 (customer > peer in Gao-Rexford).
+        let links = bgp_multipath_links(&topo, one, &best[one.as_usize()]).unwrap();
+        assert_eq!(links.len(), 2, "1-4 and 4-3, single links each");
+
+        // 2 reaches 3 directly via its customer link.
+        let two = topo.by_address(ia(2)).unwrap();
+        let links2 = bgp_multipath_links(&topo, two, &best[two.as_usize()]).unwrap();
+        assert_eq!(links2.len(), 1);
+    }
+
+    #[test]
+    fn parallel_links_all_included() {
+        let topo = topology_from_edges(&[(1, 2, Relationship::PeerToPeer, 3)]);
+        let one = topo.by_address(ia(1)).unwrap();
+        let two = topo.by_address(ia(2)).unwrap();
+        let best = best_paths_for_origin(&topo, two, 1);
+        let links = bgp_multipath_links(&topo, one, &best[one.as_usize()]).unwrap();
+        assert_eq!(links.len(), 3, "full multi-path over parallel links");
+    }
+
+    #[test]
+    fn unreachable_yields_none() {
+        // Valley: 1 and 3 both peer with 2 only.
+        let topo = topology_from_edges(&[
+            (1, 2, Relationship::PeerToPeer, 1),
+            (2, 3, Relationship::PeerToPeer, 1),
+        ]);
+        let one = topo.by_address(ia(1)).unwrap();
+        let three = topo.by_address(ia(3)).unwrap();
+        let best = best_paths_for_origin(&topo, three, 1);
+        assert!(best[one.as_usize()].is_none());
+        assert!(bgp_multipath_links(&topo, one, &best[one.as_usize()]).is_none());
+    }
+}

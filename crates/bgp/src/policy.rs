@@ -1,0 +1,185 @@
+//! Gao–Rexford routing policy: preference and export rules.
+//!
+//! The economic model of inter-domain routing that both BGP practice and
+//! SCION's beaconing hierarchy assume:
+//!
+//! * **Preference**: routes learned from customers beat routes learned from
+//!   peers beat routes learned from providers (money flows beat path
+//!   length); among equals, shorter AS paths win; final tiebreak is the
+//!   lowest neighbor index (the "lowest router id" stand-in).
+//! * **Export**: customer-learned routes go to everyone; peer- or
+//!   provider-learned routes go to customers only (no transit for free).
+
+use scion_topology::{AsIndex, AsTopology};
+
+/// Which routing policy a simulation applies.
+///
+/// `GaoRexford` is the Internet-wide default. `ShortestPath` models the
+/// paper's §5.3 *best case for BGP* on the SCION core topology: all core
+/// links are transit links among the core mesh (core beaconing itself is
+/// unrestricted flooding there), so relationship classes and export
+/// filtering do not apply — only path length does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PolicyMode {
+    #[default]
+    GaoRexford,
+    ShortestPath,
+}
+
+/// How a route was learned, ordered by descending preference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RouteClass {
+    /// Learned from a customer (most preferred).
+    Customer,
+    /// Learned from a peer.
+    Peer,
+    /// Learned from a provider (least preferred).
+    Provider,
+}
+
+impl RouteClass {
+    /// Classifies a route learned by `me` from `neighbor`.
+    ///
+    /// With multiple (hybrid) relationships between two ASes the most
+    /// preferred class wins, matching how operators configure local-pref.
+    pub fn classify(topo: &AsTopology, me: AsIndex, neighbor: AsIndex) -> RouteClass {
+        let mut best: Option<RouteClass> = None;
+        for li in topo.links_between(me, neighbor) {
+            let l = topo.link(li);
+            let class = if l.is_provider_side(me) && l.is_customer_side(neighbor) {
+                RouteClass::Customer
+            } else if l.is_customer_side(me) {
+                RouteClass::Provider
+            } else {
+                RouteClass::Peer
+            };
+            best = Some(match best {
+                Some(b) if b <= class => b,
+                _ => class,
+            });
+        }
+        best.expect("classify called for non-neighbors")
+    }
+}
+
+/// A candidate route for preference comparison.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Candidate {
+    pub class: RouteClass,
+    pub path_len: usize,
+    pub neighbor: AsIndex,
+}
+
+/// Returns true if `a` is strictly preferred over `b`.
+pub fn prefer(a: &Candidate, b: &Candidate) -> bool {
+    (a.class, a.path_len, a.neighbor) < (b.class, b.path_len, b.neighbor)
+}
+
+/// Gao–Rexford export rule: may `me` export a route of class `learned` to
+/// `to`?
+///
+/// Routes the AS originates itself (`learned = None`) are exported to
+/// everyone.
+pub fn export_allowed(
+    topo: &AsTopology,
+    me: AsIndex,
+    learned: Option<RouteClass>,
+    to: AsIndex,
+) -> bool {
+    match learned {
+        None | Some(RouteClass::Customer) => true,
+        Some(RouteClass::Peer) | Some(RouteClass::Provider) => {
+            // Only to customers.
+            RouteClass::classify(topo, me, to) == RouteClass::Customer
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_topology::{topology_from_edges, Relationship};
+    use scion_types::{Asn, Isd, IsdAsn};
+
+    fn ia(asn: u64) -> IsdAsn {
+        IsdAsn::new(Isd(1), Asn::from_u64(asn))
+    }
+
+    /// 1 provides to 2; 2 peers with 3; 3 provides to 4.
+    fn topo() -> AsTopology {
+        topology_from_edges(&[
+            (1, 2, Relationship::AProviderOfB, 1),
+            (2, 3, Relationship::PeerToPeer, 1),
+            (3, 4, Relationship::AProviderOfB, 1),
+        ])
+    }
+
+    #[test]
+    fn classify_direction() {
+        let t = topo();
+        let one = t.by_address(ia(1)).unwrap();
+        let two = t.by_address(ia(2)).unwrap();
+        let three = t.by_address(ia(3)).unwrap();
+        assert_eq!(RouteClass::classify(&t, one, two), RouteClass::Customer);
+        assert_eq!(RouteClass::classify(&t, two, one), RouteClass::Provider);
+        assert_eq!(RouteClass::classify(&t, two, three), RouteClass::Peer);
+    }
+
+    #[test]
+    fn preference_order() {
+        let c = |class, len, n: u32| Candidate {
+            class,
+            path_len: len,
+            neighbor: AsIndex(n),
+        };
+        // Class dominates length.
+        assert!(prefer(
+            &c(RouteClass::Customer, 9, 5),
+            &c(RouteClass::Peer, 1, 1)
+        ));
+        // Length within class.
+        assert!(prefer(
+            &c(RouteClass::Peer, 2, 5),
+            &c(RouteClass::Peer, 3, 1)
+        ));
+        // Neighbor id as final tiebreak.
+        assert!(prefer(
+            &c(RouteClass::Peer, 2, 1),
+            &c(RouteClass::Peer, 2, 5)
+        ));
+        // Irreflexive.
+        assert!(!prefer(&c(RouteClass::Peer, 2, 1), &c(RouteClass::Peer, 2, 1)));
+    }
+
+    #[test]
+    fn export_rules_are_valley_free() {
+        let t = topo();
+        let two = t.by_address(ia(2)).unwrap();
+        let one = t.by_address(ia(1)).unwrap();
+        let three = t.by_address(ia(3)).unwrap();
+        // 2 originates: export everywhere.
+        assert!(export_allowed(&t, two, None, one));
+        assert!(export_allowed(&t, two, None, three));
+        // 2 learned from provider 1: must NOT export to peer 3.
+        assert!(!export_allowed(&t, two, Some(RouteClass::Provider), three));
+        // 2 learned from peer 3: must NOT export to provider 1.
+        assert!(!export_allowed(&t, two, Some(RouteClass::Peer), one));
+        // 3 learned from peer 2: may export to its customer 4.
+        let four = t.by_address(ia(4)).unwrap();
+        assert!(export_allowed(&t, three, Some(RouteClass::Peer), four));
+        // Customer-learned goes everywhere.
+        assert!(export_allowed(&t, three, Some(RouteClass::Customer), two));
+    }
+
+    #[test]
+    fn hybrid_relationship_prefers_customer_class() {
+        let t = topology_from_edges(&[
+            (1, 2, Relationship::AProviderOfB, 1),
+            (2, 1, Relationship::AProviderOfB, 1), // mutual transit
+        ]);
+        let one = t.by_address(ia(1)).unwrap();
+        let two = t.by_address(ia(2)).unwrap();
+        assert_eq!(RouteClass::classify(&t, one, two), RouteClass::Customer);
+        assert_eq!(RouteClass::classify(&t, two, one), RouteClass::Customer);
+    }
+}

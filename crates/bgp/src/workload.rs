@@ -1,0 +1,162 @@
+//! The RouteViews-substitute monthly workload model.
+//!
+//! The paper measures plain-BGP overhead from one month of real RouteViews
+//! update traces (§5.2). Without that dataset, two empirical distributions
+//! must be modelled (see DESIGN.md §2):
+//!
+//! * **Prefixes per origin AS** — real announcement counts are heavy
+//!   tailed: most ASes originate a handful of prefixes, a few (large
+//!   carriers, CDNs) originate thousands. We use a Zipf-like power law
+//!   with exponent ≈ 1.6 capped at [`PrefixModel::max_prefixes`].
+//! * **Churn events per origin per month** — update activity per prefix is
+//!   also heavy tailed (most prefixes are quiet; a noisy minority flaps
+//!   constantly). Power law with exponent ≈ 1.5, scaled so the mean lands
+//!   on [`ChurnModel::mean_events`] (calibration discussed in
+//!   EXPERIMENTS.md).
+//!
+//! Both draws are deterministic per (seed, AS index).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use scion_topology::{AsIndex, AsTopology};
+
+/// Power-law sampler: draws `k ∈ [1, max]` with `P(k) ∝ k^-exponent` via
+/// inverse-CDF on the continuous Pareto and rounding down.
+fn power_law(rng: &mut impl Rng, exponent: f64, max: f64) -> u64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    // Inverse CDF of bounded Pareto on [1, max].
+    let a = 1.0 - exponent;
+    let x = if (a.abs()) < 1e-9 {
+        max.powf(u)
+    } else {
+        ((max.powf(a) - 1.0) * u + 1.0).powf(1.0 / a)
+    };
+    x.floor().max(1.0) as u64
+}
+
+/// Per-AS announced prefix counts.
+#[derive(Clone, Debug)]
+pub struct PrefixModel {
+    pub exponent: f64,
+    pub max_prefixes: u64,
+    pub seed: u64,
+}
+
+impl Default for PrefixModel {
+    fn default() -> Self {
+        PrefixModel {
+            exponent: 1.6,
+            max_prefixes: 4_000,
+            seed: 0xbeef,
+        }
+    }
+}
+
+impl PrefixModel {
+    /// The number of prefixes `idx` originates. High-degree ASes draw from
+    /// the same distribution but take the max of two draws (big networks
+    /// announce more), which correlates prefix count with topology rank the
+    /// way reality does.
+    pub fn prefixes_of(&self, topo: &AsTopology, idx: AsIndex) -> u64 {
+        let mut rng =
+            ChaCha12Rng::seed_from_u64(self.seed ^ (u64::from(idx.0)).wrapping_mul(0x9E37_79B9));
+        let base = power_law(&mut rng, self.exponent, self.max_prefixes as f64);
+        if topo.node(idx).link_degree() >= 10 {
+            base.max(power_law(&mut rng, self.exponent, self.max_prefixes as f64))
+        } else {
+            base
+        }
+    }
+}
+
+/// Per-AS monthly churn (withdraw/re-announce cycles at the origin).
+#[derive(Clone, Debug)]
+pub struct ChurnModel {
+    pub exponent: f64,
+    pub max_events: u64,
+    /// Target mean events per origin per month; draws are rescaled to it.
+    pub mean_events: f64,
+    pub seed: u64,
+}
+
+impl Default for ChurnModel {
+    fn default() -> Self {
+        ChurnModel {
+            exponent: 1.5,
+            max_events: 2_000,
+            mean_events: 80.0,
+            seed: 0xcafe,
+        }
+    }
+}
+
+impl ChurnModel {
+    /// Raw (unscaled) mean of the bounded power law, used for rescaling.
+    fn raw_mean(&self) -> f64 {
+        // Estimate numerically once; cheap and exact enough.
+        let mut acc = 0.0;
+        let mut norm = 0.0;
+        for k in 1..=self.max_events {
+            let p = (k as f64).powf(-self.exponent);
+            acc += k as f64 * p;
+            norm += p;
+        }
+        acc / norm
+    }
+
+    /// Monthly churn-event count for origin `idx`.
+    pub fn events_of(&self, idx: AsIndex) -> u64 {
+        let mut rng =
+            ChaCha12Rng::seed_from_u64(self.seed ^ (u64::from(idx.0)).wrapping_mul(0x85EB_CA6B));
+        let raw = power_law(&mut rng, self.exponent, self.max_events as f64);
+        let scale = self.mean_events / self.raw_mean();
+        ((raw as f64) * scale).round().max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_topology::{generate_internet, GeneratorConfig};
+
+    #[test]
+    fn prefix_counts_deterministic_and_heavy_tailed() {
+        let topo = generate_internet(&GeneratorConfig::small(500, 3));
+        let m = PrefixModel::default();
+        let counts: Vec<u64> = topo.as_indices().map(|i| m.prefixes_of(&topo, i)).collect();
+        let counts2: Vec<u64> = topo.as_indices().map(|i| m.prefixes_of(&topo, i)).collect();
+        assert_eq!(counts, counts2);
+        assert!(counts.iter().all(|&c| c >= 1));
+        let max = *counts.iter().max().unwrap();
+        let median = {
+            let mut s = counts.clone();
+            s.sort_unstable();
+            s[s.len() / 2]
+        };
+        assert!(max >= median * 20, "max {max} median {median}");
+    }
+
+    #[test]
+    fn churn_mean_lands_near_target() {
+        let topo = generate_internet(&GeneratorConfig::small(2000, 3));
+        let m = ChurnModel::default();
+        let total: u64 = topo.as_indices().map(|i| m.events_of(i)).sum();
+        let mean = total as f64 / topo.num_ases() as f64;
+        assert!(
+            (mean - m.mean_events).abs() < m.mean_events * 0.5,
+            "mean {mean} vs target {}",
+            m.mean_events
+        );
+    }
+
+    #[test]
+    fn power_law_respects_bounds() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = power_law(&mut rng, 1.6, 100.0);
+            assert!((1..=100).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Experiment runners — one per table/figure of the paper's evaluation.
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`table1`] | Table 1 — path-management overhead: scope × frequency per control-plane component |
+//! | [`fig5`] | Figure 5 — monthly control-plane overhead of BGPsec / SCION core (baseline, diversity) / SCION intra-ISD, relative to BGP, across monitors |
+//! | [`fig6`] | Figures 6a/6b — path quality (failure resilience / capacity) of SCION algorithms vs BGP vs optimum |
+//! | [`scionlab`] | Appendix B, Figures 7/8/9 — the SCIONLab-scale versions plus per-interface beaconing bandwidth |
+//! | [`ablation`] | Ablation of the diversity algorithm's design choices (ours; DESIGN.md §6) |
+//!
+//! Every runner takes an [`crate::scale::ExperimentScale`] and returns a
+//! serializable result struct; the harness binaries in `scion-bench` print
+//! them as tables and JSON.
+
+pub mod ablation;
+pub mod fig5;
+pub mod fig6;
+pub mod scionlab;
+pub mod table1;
+pub mod world;
+
+pub use ablation::run_ablation;
+pub use fig5::run_fig5;
+pub use fig6::run_fig6;
+pub use scionlab::{run_fig78, run_fig9};
+pub use table1::run_table1;
+pub use world::World;

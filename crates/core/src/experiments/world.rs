@@ -1,0 +1,90 @@
+//! Shared experiment world: the §5.1 topology derivations.
+//!
+//! One synthetic Internet (the AS-rel-geo substitute) and its two derived
+//! views: the **core-beaconing topology** (top-degree pruning + ISD
+//! assignment) and the **intra-ISD topology** (top-cone cores + downward
+//! closure).
+
+use scion_topology::isd::assign_isds;
+use scion_topology::{
+    build_intra_isd_topology, generate_internet, prune_to_top_degree, AsIndex, AsTopology,
+    GeneratorConfig,
+};
+
+use crate::scale::ScaleParams;
+
+/// The assembled experiment world.
+pub struct World {
+    /// The full Internet-like topology.
+    pub internet: AsTopology,
+    /// Core-beaconing topology: `num_core` top-degree ASes, all marked
+    /// core, grouped into ISDs of `isd_size`.
+    pub core: AsTopology,
+    /// internet index → core index.
+    pub core_mapping: Vec<Option<AsIndex>>,
+    /// Intra-ISD topology: `intra_isd_cores` top-cone ASes plus their
+    /// customer closure, single ISD.
+    pub intra: AsTopology,
+    /// internet index → intra index.
+    pub intra_mapping: Vec<Option<AsIndex>>,
+    /// The scale parameters used.
+    pub params: ScaleParams,
+}
+
+impl World {
+    /// Builds the world for the given scale parameters.
+    pub fn build(params: ScaleParams) -> World {
+        let internet = generate_internet(&GeneratorConfig {
+            num_ases: params.num_ases,
+            seed: params.seed,
+            ..GeneratorConfig::default()
+        });
+        let (mut core, core_mapping) = prune_to_top_degree(&internet, params.num_core);
+        assign_isds(&mut core, params.isd_size);
+        let (intra, intra_mapping) = build_intra_isd_topology(&internet, params.intra_isd_cores);
+        World {
+            internet,
+            core,
+            core_mapping,
+            intra,
+            intra_mapping,
+            params,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::ExperimentScale;
+
+    #[test]
+    fn world_builds_consistent_views() {
+        let params = ExperimentScale::Tiny.params();
+        let w = World::build(params);
+        assert_eq!(w.internet.num_ases(), params.num_ases);
+        assert_eq!(w.core.num_ases(), params.num_core);
+        assert_eq!(w.core.core_ases().count(), params.num_core);
+        assert_eq!(w.intra.core_ases().count(), params.intra_isd_cores);
+        // Mappings line up: a mapped AS keeps its AS number.
+        for idx in w.internet.as_indices() {
+            if let Some(c) = w.core_mapping[idx.as_usize()] {
+                assert_eq!(
+                    w.internet.node(idx).ia.asn,
+                    w.core.node(c).ia.asn,
+                    "core mapping must preserve AS numbers"
+                );
+            }
+            if let Some(i) = w.intra_mapping[idx.as_usize()] {
+                assert_eq!(w.internet.node(idx).ia.asn, w.intra.node(i).ia.asn);
+            }
+        }
+        // Several ISDs exist in the core view.
+        let isds: std::collections::HashSet<_> = w
+            .core
+            .as_indices()
+            .map(|i| w.core.node(i).ia.isd)
+            .collect();
+        assert!(isds.len() >= 2);
+    }
+}

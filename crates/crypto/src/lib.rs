@@ -1,0 +1,32 @@
+//! Control-plane PKI substrate.
+//!
+//! SCION PCBs are signed hop by hop, and the paper's overhead evaluation
+//! (§5.2) "assume[s] the use of ECDSA384 signatures in both SCION and
+//! BGPsec". What the reproduction needs from cryptography is therefore:
+//!
+//! 1. **Exact wire sizes** — a P-384 ECDSA signature is 96 bytes raw
+//!    (two 48-byte field elements); public keys are 49 bytes compressed.
+//!    These constants feed every overhead computation.
+//! 2. **Sign/verify semantics** — a signature made over a payload with one
+//!    key must verify with the matching public key and fail for any other
+//!    key or any altered payload, so the control plane's validation paths
+//!    are really exercised.
+//!
+//! It does **not** need cryptographic strength: no adversary model is being
+//! evaluated, and pulling a full ECC implementation into an offline
+//! simulation buys nothing. The [`sim`] scheme is therefore a keyed-hash
+//! construction — deterministic, collision-resistant enough for simulation,
+//! size-faithful, and loudly documented as NOT SECURE.
+//!
+//! On top of the signature scheme, [`trc`] implements the trust structure
+//! from §2.1–2.2: per-ISD Trust Root Configurations listing the core ASes'
+//! keys, AS certificates issued by core ASes, and full chain verification
+//! (signature → AS certificate → TRC).
+
+pub mod hash;
+pub mod sim;
+pub mod sizes;
+pub mod trc;
+
+pub use sim::{KeyPair, PublicKey, Signature};
+pub use trc::{AsCertificate, Trc, TrustStore, VerifyError};

@@ -1,0 +1,36 @@
+//! Wire-size constants for the overhead models.
+//!
+//! Sources: RFC 8205 (BGPsec) §3.1 recommends ECDSA-P-256; the paper
+//! instead "assume[s] the use of ECDSA384 signatures in both SCION and
+//! BGPsec" (§5.2), so every signed artifact here is sized for **P-384**.
+
+/// Raw ECDSA P-384 signature: r ‖ s, two 48-byte scalars.
+pub const ECDSA_P384_SIGNATURE: usize = 96;
+
+/// Compressed SEC1 P-384 public key: 1 tag byte + 48-byte x coordinate.
+pub const ECDSA_P384_PUBKEY_COMPRESSED: usize = 49;
+
+/// Subject Key Identifier used by BGPsec to reference a router certificate
+/// (RFC 8205 §3.1: 20-octet SKI).
+pub const SKI: usize = 20;
+
+/// A compact AS certificate in our control plane: subject `⟨ISD,AS⟩`
+/// (8 bytes), validity window (2×8), public key, issuer id (8), issuer
+/// signature.
+pub const AS_CERTIFICATE: usize = 8 + 16 + ECDSA_P384_PUBKEY_COMPRESSED + 8 + ECDSA_P384_SIGNATURE;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p384_sizes() {
+        assert_eq!(ECDSA_P384_SIGNATURE, 96);
+        assert_eq!(ECDSA_P384_PUBKEY_COMPRESSED, 49);
+    }
+
+    #[test]
+    fn cert_size_adds_up() {
+        assert_eq!(AS_CERTIFICATE, 8 + 16 + 49 + 8 + 96);
+    }
+}

@@ -1,0 +1,31 @@
+//! The SCION data plane (paper §2.3).
+//!
+//! "The path segments contain compact hop-fields … The hop-fields are
+//! cryptographically protected, preventing path alteration. This so-called
+//! Packet-Carried Forwarding State (PCFS) replaces signaling to use a
+//! path, ensuring that routers do not need any local state on either paths
+//! or flows."
+//!
+//! * [`packet`] — the SCION packet: source/destination addresses, the
+//!   embedded forwarding path (hop fields + current-hop pointer), and a
+//!   payload. Includes the wire-size model.
+//! * [`router`] — the border router: verifies the current hop field's MAC
+//!   and expiry, checks the ingress interface, advances the pointer, and
+//!   forwards — **no routing table, no per-flow state**. Link failures
+//!   produce SCMP "interface down" errors back to the source.
+//! * [`scmp`] — SCION Control Message Protocol messages (§4.1: endpoints
+//!   learn of link failures "through SCMP messages sent by the border
+//!   router observing the failed link" and immediately switch paths).
+//! * [`network`] — a harness that walks a packet hop by hop across a
+//!   topology, exercising every router on the path; used by tests and the
+//!   failover machinery.
+
+pub mod network;
+pub mod packet;
+pub mod router;
+pub mod scmp;
+
+pub use network::{deliver, DeliveryError};
+pub use packet::{ForwardingPath, Packet};
+pub use router::{forward, ForwardAction, ForwardError};
+pub use scmp::ScmpMessage;

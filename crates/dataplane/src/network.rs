@@ -1,0 +1,160 @@
+//! End-to-end packet delivery across a topology: drives every border
+//! router on the path and produces SCMP errors at failures.
+
+use std::collections::HashSet;
+
+use scion_topology::{AsTopology, LinkIndex};
+use scion_types::{IfId, SimTime};
+
+use crate::packet::Packet;
+use crate::router::{forward, ForwardAction, ForwardError};
+use crate::scmp::ScmpMessage;
+
+/// Why delivery failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeliveryError {
+    /// A router dropped the packet.
+    Dropped(ForwardError),
+    /// The egress interface named by the hop field does not exist.
+    NoSuchInterface,
+    /// The next link is down; carries the SCMP message the observing
+    /// border router sends back to the source (§4.1).
+    LinkDown(ScmpMessage),
+}
+
+/// Walks `packet` from its source AS to its destination across `topo`,
+/// treating every link in `failed_links` as down.
+///
+/// Returns the number of inter-domain links traversed. The packet's PCFS
+/// pointer is advanced as real routers would; on failure the packet stops
+/// where it was dropped.
+pub fn deliver(
+    topo: &AsTopology,
+    packet: &mut Packet,
+    failed_links: &HashSet<LinkIndex>,
+    now: SimTime,
+) -> Result<usize, DeliveryError> {
+    let mut arrival_if = IfId::NONE; // first hop starts inside the source
+    let mut cur_as = topo
+        .by_address(packet.source)
+        .expect("source AS exists in topology");
+    let mut traversed = 0usize;
+
+    loop {
+        let local_ia = topo.node(cur_as).ia;
+        match forward(packet, local_ia, arrival_if, now).map_err(DeliveryError::Dropped)? {
+            ForwardAction::Deliver => return Ok(traversed),
+            ForwardAction::Egress(egress) => {
+                let li = topo
+                    .link_by_interface(cur_as, egress)
+                    .ok_or(DeliveryError::NoSuchInterface)?;
+                if failed_links.contains(&li) {
+                    return Err(DeliveryError::LinkDown(
+                        ScmpMessage::ExternalInterfaceDown {
+                            at: local_ia,
+                            interface: egress,
+                            observed_at: now,
+                        },
+                    ));
+                }
+                let (next, _, remote_if) = topo.link(li).opposite(cur_as);
+                cur_as = next;
+                arrival_if = remote_if;
+                traversed += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_proto::combine::EndToEndPath;
+    use scion_topology::{topology_from_edges, Relationship};
+    use scion_types::{Asn, Duration, Isd, IsdAsn};
+
+    fn ia(asn: u64) -> IsdAsn {
+        IsdAsn::new(Isd(1), Asn::from_u64(asn))
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_secs(secs)
+    }
+
+    /// Line topology 1 - 2 - 3 and the path across it with the *actual*
+    /// interface ids assigned by the topology.
+    fn world() -> (AsTopology, EndToEndPath) {
+        let topo = topology_from_edges(&[
+            (1, 2, Relationship::PeerToPeer, 1),
+            (2, 3, Relationship::PeerToPeer, 1),
+        ]);
+        let a = topo.by_address(ia(1)).unwrap();
+        let b = topo.by_address(ia(2)).unwrap();
+        let c = topo.by_address(ia(3)).unwrap();
+        let l_ab = topo.links_between(a, b)[0];
+        let l_bc = topo.links_between(b, c)[0];
+        let (_, a_if, b_in) = topo.link(l_ab).opposite(a);
+        let (_, b_out, c_in) = topo.link(l_bc).opposite(b);
+        let path = EndToEndPath {
+            hops: vec![
+                (ia(1), IfId::NONE, a_if),
+                (ia(2), b_in, b_out),
+                (ia(3), c_in, IfId::NONE),
+            ],
+        };
+        (topo, path)
+    }
+
+    #[test]
+    fn delivers_across_two_links() {
+        let (topo, path) = world();
+        let mut pkt = Packet::along(&path, t(100), 64);
+        let hops = deliver(&topo, &mut pkt, &HashSet::new(), t(1)).unwrap();
+        assert_eq!(hops, 2);
+        assert!(pkt.path.at_destination() || pkt.path.current == pkt.path.hops.len());
+    }
+
+    #[test]
+    fn failed_link_produces_scmp_from_observing_router() {
+        let (topo, path) = world();
+        let b = topo.by_address(ia(2)).unwrap();
+        let c = topo.by_address(ia(3)).unwrap();
+        let failed: HashSet<LinkIndex> = [topo.links_between(b, c)[0]].into_iter().collect();
+        let mut pkt = Packet::along(&path, t(100), 64);
+        match deliver(&topo, &mut pkt, &failed, t(1)) {
+            Err(DeliveryError::LinkDown(ScmpMessage::ExternalInterfaceDown {
+                at,
+                interface,
+                ..
+            })) => {
+                assert_eq!(at, ia(2), "AS 2 observes the failure");
+                assert_eq!(interface, path.hops[1].2);
+            }
+            other => panic!("expected LinkDown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tampered_packet_dropped_mid_path() {
+        let (topo, path) = world();
+        let mut pkt = Packet::along(&path, t(100), 64);
+        pkt.path.hops[1].1.egress = IfId(42); // tamper at hop 2
+        assert_eq!(
+            deliver(&topo, &mut pkt, &HashSet::new(), t(1)),
+            Err(DeliveryError::Dropped(ForwardError::BadMac))
+        );
+        // Pointer stopped at the tampered hop.
+        assert_eq!(pkt.path.current, 1);
+    }
+
+    #[test]
+    fn bogus_egress_interface_detected() {
+        let (topo, mut path) = world();
+        path.hops[0].2 = IfId(42);
+        let mut pkt = Packet::along(&path, t(100), 64);
+        assert_eq!(
+            deliver(&topo, &mut pkt, &HashSet::new(), t(1)),
+            Err(DeliveryError::NoSuchInterface)
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! The border router: stateless PCFS forwarding.
+//!
+//! §4.1, Mechanism 4: "SCION border routers are simple by design.
+//! Packet-Carried Forwarding State (PCFS) removes the need for large
+//! inter-domain forwarding tables on routers. Additionally, routers only
+//! perform packet forwarding and no control-plane functionalities."
+//!
+//! [`forward`] is the entire per-packet pipeline of one AS: verify the
+//! current hop field (MAC, expiry, ingress interface), decide, advance.
+
+use scion_proto::pcb::forwarding_key;
+use scion_types::{IfId, IsdAsn, SimTime};
+
+use crate::packet::Packet;
+
+/// What the router decided.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ForwardAction {
+    /// Send out of the given egress interface toward the next AS.
+    Egress(IfId),
+    /// The packet has arrived: hand it to the local dispatcher.
+    Deliver,
+}
+
+/// Why a packet was dropped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ForwardError {
+    /// The current hop field does not belong to this AS — the path
+    /// pointer is corrupt or the packet was mis-routed.
+    WrongAs { expected: IsdAsn, got: IsdAsn },
+    /// MAC verification failed: the hop field was altered (§2.3:
+    /// "cryptographically protected, preventing path alteration").
+    BadMac,
+    /// The hop field's authorization has expired.
+    Expired,
+    /// The packet arrived on an interface other than the authorized one.
+    WrongIngress { expected: IfId, got: IfId },
+    /// The path pointer ran past the end.
+    PathExhausted,
+}
+
+impl std::fmt::Display for ForwardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ForwardError::WrongAs { expected, got } => {
+                write!(f, "hop field for {got} processed at {expected}")
+            }
+            ForwardError::BadMac => write!(f, "hop field MAC invalid"),
+            ForwardError::Expired => write!(f, "hop field expired"),
+            ForwardError::WrongIngress { expected, got } => {
+                write!(f, "arrived on {got}, authorized ingress is {expected}")
+            }
+            ForwardError::PathExhausted => write!(f, "path pointer past the end"),
+        }
+    }
+}
+
+impl std::error::Error for ForwardError {}
+
+/// Processes `packet` at the border router of `local_as`, having arrived
+/// via `arrival_if` ([`IfId::NONE`] when coming from inside the AS, i.e.
+/// from the source host). On success the path pointer is advanced past
+/// this AS's hop.
+pub fn forward(
+    packet: &mut Packet,
+    local_as: IsdAsn,
+    arrival_if: IfId,
+    now: SimTime,
+) -> Result<ForwardAction, ForwardError> {
+    let &(owner, hf) = packet
+        .path
+        .current_hop()
+        .ok_or(ForwardError::PathExhausted)?;
+    if owner != local_as {
+        return Err(ForwardError::WrongAs {
+            expected: local_as,
+            got: owner,
+        });
+    }
+    if !hf.verify(forwarding_key(local_as)) {
+        return Err(ForwardError::BadMac);
+    }
+    if now >= hf.expiry {
+        return Err(ForwardError::Expired);
+    }
+    if hf.ingress != arrival_if {
+        return Err(ForwardError::WrongIngress {
+            expected: hf.ingress,
+            got: arrival_if,
+        });
+    }
+    if packet.path.at_destination() {
+        packet.path.current += 1; // consume the final hop
+        return Ok(ForwardAction::Deliver);
+    }
+    packet.path.current += 1;
+    Ok(ForwardAction::Egress(hf.egress))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Packet;
+    use scion_proto::combine::EndToEndPath;
+    use scion_types::{Asn, Duration, Isd};
+
+    fn ia(asn: u64) -> IsdAsn {
+        IsdAsn::new(Isd(1), Asn::from_u64(asn))
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_secs(secs)
+    }
+
+    fn packet() -> Packet {
+        Packet::along(
+            &EndToEndPath {
+                hops: vec![
+                    (ia(1), IfId::NONE, IfId(1)),
+                    (ia(2), IfId(3), IfId(4)),
+                    (ia(3), IfId(5), IfId::NONE),
+                ],
+            },
+            t(100),
+            64,
+        )
+    }
+
+    #[test]
+    fn full_forwarding_pipeline() {
+        let mut p = packet();
+        // Source AS: packet comes from inside (no arrival interface).
+        assert_eq!(
+            forward(&mut p, ia(1), IfId::NONE, t(1)),
+            Ok(ForwardAction::Egress(IfId(1)))
+        );
+        // Transit AS.
+        assert_eq!(
+            forward(&mut p, ia(2), IfId(3), t(1)),
+            Ok(ForwardAction::Egress(IfId(4)))
+        );
+        // Destination AS.
+        assert_eq!(forward(&mut p, ia(3), IfId(5), t(1)), Ok(ForwardAction::Deliver));
+        // Nothing left.
+        assert_eq!(forward(&mut p, ia(3), IfId(5), t(1)), Err(ForwardError::PathExhausted));
+    }
+
+    #[test]
+    fn altered_hop_field_is_dropped() {
+        let mut p = packet();
+        // Attacker rewrites the egress interface to divert the packet.
+        p.path.hops[0].1.egress = IfId(9);
+        assert_eq!(forward(&mut p, ia(1), IfId::NONE, t(1)), Err(ForwardError::BadMac));
+    }
+
+    #[test]
+    fn expired_authorization_is_dropped() {
+        let mut p = packet();
+        assert_eq!(forward(&mut p, ia(1), IfId::NONE, t(100)), Err(ForwardError::Expired));
+    }
+
+    #[test]
+    fn wrong_ingress_is_dropped() {
+        let mut p = packet();
+        forward(&mut p, ia(1), IfId::NONE, t(1)).unwrap();
+        // Packet shows up at AS 2 on interface 7 instead of 3.
+        assert_eq!(
+            forward(&mut p, ia(2), IfId(7), t(1)),
+            Err(ForwardError::WrongIngress {
+                expected: IfId(3),
+                got: IfId(7)
+            })
+        );
+    }
+
+    #[test]
+    fn misrouted_packet_is_detected() {
+        let mut p = packet();
+        assert!(matches!(
+            forward(&mut p, ia(2), IfId(3), t(1)),
+            Err(ForwardError::WrongAs { .. })
+        ));
+    }
+}

@@ -1,0 +1,63 @@
+//! SCION Control Message Protocol messages.
+//!
+//! §4.1: "Endpoints and border routers that use a path containing a failed
+//! link are informed of the link failure through SCMP messages sent by the
+//! border router observing the failed link … hosts switch to a different
+//! path as soon as the SCMP message is received."
+
+use serde::{Deserialize, Serialize};
+
+use scion_proto::wire;
+use scion_types::{IfId, IsdAsn, SimTime};
+
+/// An SCMP error message sent back toward a packet's source.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScmpMessage {
+    /// The egress interface of `at` is down — every path through
+    /// `(at, interface)` is unusable.
+    ExternalInterfaceDown {
+        at: IsdAsn,
+        interface: IfId,
+        observed_at: SimTime,
+    },
+    /// The packet could not be processed (MAC/expiry failures).
+    InvalidPath { at: IsdAsn, observed_at: SimTime },
+}
+
+impl ScmpMessage {
+    /// Wire size per the control-plane size model.
+    pub fn wire_size(&self) -> u64 {
+        wire::SCMP_REVOCATION
+    }
+
+    /// The AS that raised the error.
+    pub fn origin(&self) -> IsdAsn {
+        match self {
+            ScmpMessage::ExternalInterfaceDown { at, .. } => *at,
+            ScmpMessage::InvalidPath { at, .. } => *at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_types::{Asn, Duration, Isd};
+
+    #[test]
+    fn scmp_accessors() {
+        let at = IsdAsn::new(Isd(1), Asn::from_u64(5));
+        let m = ScmpMessage::ExternalInterfaceDown {
+            at,
+            interface: IfId(3),
+            observed_at: SimTime::ZERO + Duration::from_secs(9),
+        };
+        assert_eq!(m.origin(), at);
+        assert_eq!(m.wire_size(), wire::SCMP_REVOCATION);
+        let m2 = ScmpMessage::InvalidPath {
+            at,
+            observed_at: SimTime::ZERO,
+        };
+        assert_eq!(m2.origin(), at);
+    }
+}

@@ -1,0 +1,172 @@
+//! The ASMap: IPv4-prefix → `⟨ISD, AS⟩` mapping used by SCION-IP
+//! gateways (§3.4: "For the mapping between IP address space and ASes,
+//! the SIG keeps the ASMap table").
+
+use serde::{Deserialize, Serialize};
+
+use scion_types::IsdAsn;
+
+/// An IPv4 prefix in CIDR form.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Ipv4Prefix {
+    /// Network address (host bits must be zero).
+    pub network: u32,
+    /// Prefix length, 0..=32.
+    pub len: u8,
+}
+
+impl Ipv4Prefix {
+    /// Creates a prefix, validating length and host bits.
+    pub fn new(network: u32, len: u8) -> Result<Ipv4Prefix, String> {
+        if len > 32 {
+            return Err(format!("prefix length {len} > 32"));
+        }
+        let mask = Self::mask_of(len);
+        if network & !mask != 0 {
+            return Err(format!(
+                "network {network:#010x}/{len} has host bits set"
+            ));
+        }
+        Ok(Ipv4Prefix { network, len })
+    }
+
+    /// Parses dotted-quad CIDR, e.g. `"10.1.0.0/16"`.
+    pub fn parse(s: &str) -> Result<Ipv4Prefix, String> {
+        let (addr, len) = s.split_once('/').ok_or_else(|| format!("no '/' in {s}"))?;
+        let len: u8 = len.parse().map_err(|_| format!("bad length in {s}"))?;
+        let mut octets = [0u8; 4];
+        let parts: Vec<&str> = addr.split('.').collect();
+        if parts.len() != 4 {
+            return Err(format!("bad IPv4 address in {s}"));
+        }
+        for (i, p) in parts.iter().enumerate() {
+            octets[i] = p.parse().map_err(|_| format!("bad octet in {s}"))?;
+        }
+        Ipv4Prefix::new(u32::from_be_bytes(octets), len)
+    }
+
+    fn mask_of(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// True if `addr` falls inside the prefix.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr & Self::mask_of(self.len) == self.network
+    }
+}
+
+impl std::fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let o = self.network.to_be_bytes();
+        write!(f, "{}.{}.{}.{}/{}", o[0], o[1], o[2], o[3], self.len)
+    }
+}
+
+/// The longest-prefix-match table.
+#[derive(Clone, Debug, Default)]
+pub struct AsMap {
+    /// Entries sorted by descending prefix length so the first match is
+    /// the longest.
+    entries: Vec<(Ipv4Prefix, IsdAsn)>,
+}
+
+impl AsMap {
+    pub fn new() -> AsMap {
+        AsMap::default()
+    }
+
+    /// Registers a mapping; replaces an existing identical prefix.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, ia: IsdAsn) {
+        self.entries.retain(|&(p, _)| p != prefix);
+        let pos = self
+            .entries
+            .partition_point(|&(p, _)| p.len >= prefix.len);
+        self.entries.insert(pos, (prefix, ia));
+    }
+
+    /// Longest-prefix match for `addr`.
+    pub fn lookup(&self, addr: u32) -> Option<IsdAsn> {
+        self.entries
+            .iter()
+            .find(|(p, _)| p.contains(addr))
+            .map(|&(_, ia)| ia)
+    }
+
+    /// Number of mappings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no mappings are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use scion_types::{Asn, Isd};
+
+    fn ia(asn: u64) -> IsdAsn {
+        IsdAsn::new(Isd(1), Asn::from_u64(asn))
+    }
+
+    fn addr(s: &str) -> u32 {
+        let p = Ipv4Prefix::parse(&format!("{s}/32")).unwrap();
+        p.network
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let p = Ipv4Prefix::parse("10.1.0.0/16").unwrap();
+        assert_eq!(p.to_string(), "10.1.0.0/16");
+        assert!(Ipv4Prefix::parse("10.1.0.0/33").is_err());
+        assert!(Ipv4Prefix::parse("10.1.0.1/16").is_err(), "host bits");
+        assert!(Ipv4Prefix::parse("10.1.0.0").is_err());
+        assert!(Ipv4Prefix::parse("10.1.0/16").is_err());
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut m = AsMap::new();
+        m.insert(Ipv4Prefix::parse("10.0.0.0/8").unwrap(), ia(1));
+        m.insert(Ipv4Prefix::parse("10.1.0.0/16").unwrap(), ia(2));
+        m.insert(Ipv4Prefix::parse("10.1.2.0/24").unwrap(), ia(3));
+        assert_eq!(m.lookup(addr("10.1.2.3")), Some(ia(3)));
+        assert_eq!(m.lookup(addr("10.1.9.9")), Some(ia(2)));
+        assert_eq!(m.lookup(addr("10.9.9.9")), Some(ia(1)));
+        assert_eq!(m.lookup(addr("11.0.0.1")), None);
+    }
+
+    #[test]
+    fn insert_replaces_same_prefix() {
+        let mut m = AsMap::new();
+        let p = Ipv4Prefix::parse("192.168.0.0/16").unwrap();
+        m.insert(p, ia(1));
+        m.insert(p, ia(2));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.lookup(addr("192.168.1.1")), Some(ia(2)));
+    }
+
+    #[test]
+    fn default_route_catches_everything() {
+        let mut m = AsMap::new();
+        m.insert(Ipv4Prefix::new(0, 0).unwrap(), ia(9));
+        assert_eq!(m.lookup(addr("203.0.113.7")), Some(ia(9)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_contains_consistent_with_mask(network in any::<u32>(), len in 0u8..=32, probe in any::<u32>()) {
+            let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+            let p = Ipv4Prefix::new(network & mask, len).unwrap();
+            prop_assert_eq!(p.contains(probe), probe & mask == network & mask);
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! The SCION daemon: per-host path resolution and fast failover.
+//!
+//! §3.4: "The control-plane component (i.e., SCION daemon) communicates
+//! with the AS's control service (CS) to build end-to-end forwarding paths
+//! for applications on their behalf." §4.2: after a link failure "it can
+//! immediately switch to an alternative path not containing the failed
+//! link" — which is why diverse path sets matter in the first place.
+
+use std::collections::{HashMap, HashSet};
+
+use scion_dataplane::scmp::ScmpMessage;
+use scion_proto::combine::{combine_paths, peering_path, shortcut_path, EndToEndPath};
+use scion_proto::segment::{PathSegment, SegmentType};
+use scion_types::{IsdAsn, LinkEnd, LinkId, SimTime};
+
+/// The segments the control service handed the daemon for one resolution:
+/// the host's up-segments, core segments toward the destination ISD, and
+/// the destination's down-segments.
+#[derive(Clone, Debug, Default)]
+pub struct SegmentSet {
+    pub up: Vec<PathSegment>,
+    pub core: Vec<PathSegment>,
+    pub down: Vec<PathSegment>,
+}
+
+/// The SCION daemon of one host/AS.
+#[derive(Clone, Debug, Default)]
+pub struct ScionDaemon {
+    /// Resolved paths per destination, best (shortest) first.
+    cache: HashMap<IsdAsn, Vec<EndToEndPath>>,
+    /// Links currently known-failed from SCMP messages, with the time of
+    /// the notification.
+    failed_links: HashMap<LinkId, SimTime>,
+    /// Paths handed out (for statistics).
+    pub paths_served: u64,
+    /// SCMP messages processed.
+    pub scmp_processed: u64,
+}
+
+/// The links of a path as canonical [`LinkId`]s.
+fn path_links(path: &EndToEndPath) -> Vec<LinkId> {
+    path.links()
+        .into_iter()
+        .map(|(a, b): (LinkEnd, LinkEnd)| LinkId::new(a, b))
+        .collect()
+}
+
+impl ScionDaemon {
+    pub fn new() -> ScionDaemon {
+        ScionDaemon::default()
+    }
+
+    /// Resolves every end-to-end path the segment set permits, caches
+    /// them (shortest first, deduplicated by link sequence), and returns
+    /// how many were found.
+    ///
+    /// Tries all of §2.3's combinations: up+core+down, up+down at a
+    /// shared core, shortcuts at a common non-core AS, and peering-link
+    /// crossovers.
+    pub fn resolve(&mut self, dst: IsdAsn, segments: &SegmentSet, now: SimTime) -> usize {
+        let mut found: Vec<EndToEndPath> = Vec::new();
+        let live = |s: &PathSegment| !s.is_expired(now);
+
+        let ups: Vec<&PathSegment> = segments.up.iter().filter(|s| live(s)).collect();
+        let cores: Vec<&PathSegment> = segments.core.iter().filter(|s| live(s)).collect();
+        let downs: Vec<&PathSegment> = segments.down.iter().filter(|s| live(s)).collect();
+
+        for u in &ups {
+            debug_assert_eq!(u.seg_type, SegmentType::Up);
+            // Same-core join (no core segment needed).
+            for d in &downs {
+                if let Ok(p) = combine_paths(Some(u), None, Some(d)) {
+                    found.push(p);
+                }
+                if let Ok(p) = shortcut_path(u, d) {
+                    found.push(p);
+                }
+                if let Ok(p) = peering_path(u, d) {
+                    found.push(p);
+                }
+                for c in &cores {
+                    if let Ok(p) = combine_paths(Some(u), Some(c), Some(d)) {
+                        found.push(p);
+                    }
+                }
+            }
+        }
+        found.retain(|p| p.destination() == dst);
+        found.sort_by_key(|p| (p.len(), p.links()));
+        found.dedup_by_key(|p| p.links());
+        let n = found.len();
+        self.cache.insert(dst, found);
+        n
+    }
+
+    /// The best usable (non-failed) path toward `dst`, if any.
+    pub fn best_path(&mut self, dst: IsdAsn) -> Option<EndToEndPath> {
+        let failed: HashSet<LinkId> = self.failed_links.keys().copied().collect();
+        let path = self
+            .cache
+            .get(&dst)?
+            .iter()
+            .find(|p| path_links(p).iter().all(|l| !failed.contains(l)))
+            .cloned();
+        if path.is_some() {
+            self.paths_served += 1;
+        }
+        path
+    }
+
+    /// All cached paths toward `dst` (failed ones included; callers that
+    /// want usable paths should ask [`ScionDaemon::best_path`]).
+    pub fn cached_paths(&self, dst: IsdAsn) -> &[EndToEndPath] {
+        self.cache.get(&dst).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Processes an SCMP failure notification: marks the link failed so
+    /// subsequent [`ScionDaemon::best_path`] calls avoid it. "Hosts switch
+    /// to a different path as soon as the SCMP message is received" (§4.1).
+    pub fn handle_scmp(&mut self, msg: &ScmpMessage, now: SimTime) {
+        self.scmp_processed += 1;
+        if let ScmpMessage::ExternalInterfaceDown { at, interface, .. } = msg {
+            // The failed link is identified by its near end; we mark every
+            // cached link with that end.
+            let near = LinkEnd::new(*at, *interface);
+            let mut hit = Vec::new();
+            for paths in self.cache.values() {
+                for p in paths {
+                    for l in path_links(p) {
+                        if l.lo() == near || l.hi() == near {
+                            hit.push(l);
+                        }
+                    }
+                }
+            }
+            for l in hit {
+                self.failed_links.insert(l, now);
+            }
+        }
+    }
+
+    /// Clears failure state older than `horizon` (links get repaired; the
+    /// control plane re-disseminates paths over them).
+    pub fn expire_failures(&mut self, horizon: SimTime) {
+        self.failed_links.retain(|_, &mut at| at >= horizon);
+    }
+
+    /// Number of currently known-failed links.
+    pub fn failed_link_count(&self) -> usize {
+        self.failed_links.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_crypto::trc::TrustStore;
+    use scion_proto::pcb::Pcb;
+    use scion_types::{Asn, Duration, IfId, Isd};
+
+    fn ia(isd: u16, asn: u64) -> IsdAsn {
+        IsdAsn::new(Isd(isd), Asn::from_u64(asn))
+    }
+
+    fn trust() -> TrustStore {
+        let mut ases = vec![];
+        for isd in 1..=2u16 {
+            for asn in 1..=9u64 {
+                ases.push((ia(isd, asn), asn <= 2));
+            }
+        }
+        TrustStore::bootstrap(ases.into_iter(), SimTime::ZERO + Duration::from_days(30))
+    }
+
+    fn seg(
+        tr: &TrustStore,
+        ty: SegmentType,
+        hops: &[(IsdAsn, u16, u16)],
+        lifetime_h: u64,
+    ) -> PathSegment {
+        let (first, rest) = hops.split_first().unwrap();
+        let mut pcb = Pcb::originate(
+            first.0,
+            IfId(first.2),
+            SimTime::ZERO,
+            Duration::from_hours(lifetime_h),
+            0,
+            tr,
+        );
+        for &(h, ing, eg) in rest {
+            pcb = pcb.extend(h, IfId(ing), IfId(eg), vec![], tr);
+        }
+        PathSegment::from_terminated_pcb(ty, pcb)
+    }
+
+    /// Host in 1-5, destination 2-5; two up-segments (dual-homed through
+    /// different core interfaces), one core segment, one down-segment.
+    fn segments(tr: &TrustStore) -> SegmentSet {
+        SegmentSet {
+            up: vec![
+                seg(tr, SegmentType::Up, &[(ia(1, 1), 0, 1), (ia(1, 5), 1, 0)], 6),
+                seg(tr, SegmentType::Up, &[(ia(1, 1), 0, 2), (ia(1, 5), 2, 0)], 6),
+            ],
+            core: vec![seg(
+                tr,
+                SegmentType::Core,
+                &[(ia(1, 1), 0, 9), (ia(2, 1), 9, 0)],
+                6,
+            )],
+            down: vec![seg(
+                tr,
+                SegmentType::Down,
+                &[(ia(2, 1), 0, 3), (ia(2, 5), 1, 0)],
+                6,
+            )],
+        }
+    }
+
+    #[test]
+    fn resolve_finds_all_combinations() {
+        let tr = trust();
+        let mut d = ScionDaemon::new();
+        let n = d.resolve(ia(2, 5), &segments(&tr), SimTime::ZERO);
+        assert_eq!(n, 2, "two up-segments x one core x one down");
+        let best = d.best_path(ia(2, 5)).unwrap();
+        assert_eq!(best.source(), ia(1, 5));
+        assert_eq!(best.destination(), ia(2, 5));
+        assert_eq!(d.paths_served, 1);
+    }
+
+    #[test]
+    fn expired_segments_are_ignored() {
+        let tr = trust();
+        let mut segs = segments(&tr);
+        segs.up.truncate(1);
+        // Make the only remaining up-segment short-lived.
+        segs.up[0] = seg(
+            &tr,
+            SegmentType::Up,
+            &[(ia(1, 1), 0, 1), (ia(1, 5), 1, 0)],
+            1,
+        );
+        let mut d = ScionDaemon::new();
+        let later = SimTime::ZERO + Duration::from_hours(2);
+        assert_eq!(d.resolve(ia(2, 5), &segs, later), 0);
+        assert!(d.best_path(ia(2, 5)).is_none());
+    }
+
+    #[test]
+    fn scmp_triggers_instant_failover() {
+        let tr = trust();
+        let mut d = ScionDaemon::new();
+        d.resolve(ia(2, 5), &segments(&tr), SimTime::ZERO);
+        let first = d.best_path(ia(2, 5)).unwrap();
+
+        // A border router reports the first path's first link down.
+        let (near, _) = first.links()[0];
+        d.handle_scmp(
+            &ScmpMessage::ExternalInterfaceDown {
+                at: near.ia,
+                interface: near.ifid,
+                observed_at: SimTime::ZERO + Duration::from_secs(5),
+            },
+            SimTime::ZERO + Duration::from_secs(5),
+        );
+        assert!(d.failed_link_count() >= 1);
+        let second = d.best_path(ia(2, 5)).expect("disjoint alternative exists");
+        assert_ne!(first.links(), second.links());
+        // The new path avoids the failed link end.
+        assert!(second
+            .links()
+            .iter()
+            .all(|&(a, b)| a != near && b != near));
+    }
+
+    #[test]
+    fn failure_expiry_restores_paths() {
+        let tr = trust();
+        let mut d = ScionDaemon::new();
+        d.resolve(ia(2, 5), &segments(&tr), SimTime::ZERO);
+        let first = d.best_path(ia(2, 5)).unwrap();
+        let (near, _) = first.links()[0];
+        let t_fail = SimTime::ZERO + Duration::from_secs(5);
+        d.handle_scmp(
+            &ScmpMessage::ExternalInterfaceDown {
+                at: near.ia,
+                interface: near.ifid,
+                observed_at: t_fail,
+            },
+            t_fail,
+        );
+        assert_ne!(d.best_path(ia(2, 5)).unwrap().links(), first.links());
+        // The failure ages out.
+        d.expire_failures(t_fail + Duration::from_secs(1));
+        assert_eq!(d.failed_link_count(), 0);
+        assert_eq!(d.best_path(ia(2, 5)).unwrap().links(), first.links());
+    }
+
+    #[test]
+    fn all_paths_failed_means_none_served() {
+        let tr = trust();
+        let mut segs = segments(&tr);
+        segs.up.truncate(1); // single-homed now
+        let mut d = ScionDaemon::new();
+        d.resolve(ia(2, 5), &segs, SimTime::ZERO);
+        let only = d.best_path(ia(2, 5)).unwrap();
+        let (near, _) = only.links()[0];
+        d.handle_scmp(
+            &ScmpMessage::ExternalInterfaceDown {
+                at: near.ia,
+                interface: near.ifid,
+                observed_at: SimTime::ZERO,
+            },
+            SimTime::ZERO,
+        );
+        assert!(d.best_path(ia(2, 5)).is_none());
+        assert_eq!(d.cached_paths(ia(2, 5)).len(), 1, "cache keeps the path");
+    }
+}

@@ -1,0 +1,25 @@
+//! The end-domain deployment stack (paper §3.4).
+//!
+//! "A customer can use SCION in two different ways: (1) native SCION
+//! applications, and (2) transparent IP-to-SCION conversion."
+//!
+//! * [`daemon`] — the SCION daemon: "communicates with the AS's control
+//!   service to build end-to-end forwarding paths for applications on
+//!   their behalf". Combines up/core/down segments (including shortcut
+//!   and peering crossovers), caches resolved paths, and reacts to SCMP
+//!   link-failure messages by switching to a disjoint cached path — the
+//!   fast-failover property the paper's customers bought.
+//! * [`asmap`] — the SIG's table "for the mapping between IP address
+//!   space and ASes" (§3.4, the ASMap): longest-prefix matching from IPv4
+//!   prefixes to `⟨ISD, AS⟩`.
+//! * [`sig`] — the SCION-IP Gateway: "encapsulating legacy IP packets in
+//!   SCION packets", in both CPE form (Case b) and carrier-grade form
+//!   (Case c, one gateway aggregating many customer prefixes).
+
+pub mod asmap;
+pub mod daemon;
+pub mod sig;
+
+pub use asmap::{AsMap, Ipv4Prefix};
+pub use daemon::{ScionDaemon, SegmentSet};
+pub use sig::{CarrierGradeSig, Sig, SigError};

@@ -1,0 +1,238 @@
+//! SCION-IP Gateways (§3.4, Cases b and c).
+//!
+//! "The SIG is responsible for encapsulating legacy IP packets in SCION
+//! packets … When the SIG receives an outgoing packet, it first determines
+//! the SCION AS to which the destination IP address belongs [ASMap],
+//! … obtains paths to the remote AS from the control service,
+//! encapsulates the packet with a SCION header, and routes it via a BR."
+//!
+//! [`Sig`] is the customer-premise form (one gateway per AS);
+//! [`CarrierGradeSig`] (Case c) aggregates many SCION-unaware customer
+//! networks behind a provider-operated gateway.
+
+use std::collections::HashMap;
+
+use scion_dataplane::packet::Packet;
+use scion_types::{IsdAsn, SimTime};
+
+use crate::asmap::{AsMap, Ipv4Prefix};
+use crate::daemon::ScionDaemon;
+
+/// Why encapsulation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SigError {
+    /// No ASMap entry covers the destination IP.
+    UnmappedDestination(u32),
+    /// The daemon has no usable path to the destination AS.
+    NoPath(IsdAsn),
+}
+
+impl std::fmt::Display for SigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SigError::UnmappedDestination(a) => {
+                let o = a.to_be_bytes();
+                write!(f, "no ASMap entry for {}.{}.{}.{}", o[0], o[1], o[2], o[3])
+            }
+            SigError::NoPath(ia) => write!(f, "no usable path to {ia}"),
+        }
+    }
+}
+
+impl std::error::Error for SigError {}
+
+/// A customer-premise SCION-IP gateway: ASMap + daemon + encapsulation.
+#[derive(Debug, Default)]
+pub struct Sig {
+    pub asmap: AsMap,
+    pub daemon: ScionDaemon,
+    /// Packets encapsulated, per destination AS.
+    stats: HashMap<IsdAsn, u64>,
+}
+
+impl Sig {
+    pub fn new(asmap: AsMap, daemon: ScionDaemon) -> Sig {
+        Sig {
+            asmap,
+            daemon,
+            stats: HashMap::new(),
+        }
+    }
+
+    /// Encapsulates an IP packet of `payload_len` bytes destined to
+    /// `dst_ip` into a SCION packet along the daemon's best path.
+    ///
+    /// `expiry` stamps the hop-field authorization horizon.
+    pub fn encapsulate(
+        &mut self,
+        dst_ip: u32,
+        payload_len: u32,
+        expiry: SimTime,
+    ) -> Result<Packet, SigError> {
+        let dst_as = self
+            .asmap
+            .lookup(dst_ip)
+            .ok_or(SigError::UnmappedDestination(dst_ip))?;
+        let path = self
+            .daemon
+            .best_path(dst_as)
+            .ok_or(SigError::NoPath(dst_as))?;
+        *self.stats.entry(dst_as).or_insert(0) += 1;
+        // The encapsulated payload carries the original IP packet
+        // (20-byte IPv4 header + payload).
+        Ok(Packet::along(&path, expiry, payload_len + 20))
+    }
+
+    /// Packets encapsulated toward `dst_as`.
+    pub fn encapsulated_to(&self, dst_as: IsdAsn) -> u64 {
+        self.stats.get(&dst_as).copied().unwrap_or(0)
+    }
+}
+
+/// A carrier-grade SIG (Case c): the provider aggregates many customer
+/// prefixes behind one gateway; "legacy hosts residing in the end-domain
+/// networks remain SCION-unaware".
+#[derive(Debug, Default)]
+pub struct CarrierGradeSig {
+    sig: Sig,
+    /// Customer prefixes served by this gateway.
+    customers: Vec<Ipv4Prefix>,
+}
+
+impl CarrierGradeSig {
+    pub fn new(sig: Sig) -> CarrierGradeSig {
+        CarrierGradeSig {
+            sig,
+            customers: Vec::new(),
+        }
+    }
+
+    /// Registers a customer network behind the gateway.
+    pub fn add_customer(&mut self, prefix: Ipv4Prefix) {
+        self.customers.push(prefix);
+    }
+
+    /// Number of aggregated customer networks.
+    pub fn customer_count(&self) -> usize {
+        self.customers.len()
+    }
+
+    /// Encapsulates an upstream packet from a customer host; rejects
+    /// traffic from sources that are not customers (anti-spoofing at the
+    /// provider edge).
+    pub fn encapsulate_from(
+        &mut self,
+        src_ip: u32,
+        dst_ip: u32,
+        payload_len: u32,
+        expiry: SimTime,
+    ) -> Result<Packet, SigError> {
+        if !self.customers.iter().any(|p| p.contains(src_ip)) {
+            return Err(SigError::UnmappedDestination(src_ip));
+        }
+        self.sig.encapsulate(dst_ip, payload_len, expiry)
+    }
+
+    /// Access to the inner gateway (daemon, ASMap, stats).
+    pub fn sig_mut(&mut self) -> &mut Sig {
+        &mut self.sig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::SegmentSet;
+    use scion_crypto::trc::TrustStore;
+    use scion_proto::pcb::Pcb;
+    use scion_proto::segment::{PathSegment, SegmentType};
+    use scion_types::{Asn, Duration, IfId, Isd};
+
+    fn ia(isd: u16, asn: u64) -> IsdAsn {
+        IsdAsn::new(Isd(isd), Asn::from_u64(asn))
+    }
+
+    fn addr(s: &str) -> u32 {
+        let p = Ipv4Prefix::parse(&format!("{s}/32")).unwrap();
+        p.network
+    }
+
+    fn ready_sig() -> Sig {
+        let trust = TrustStore::bootstrap(
+            vec![(ia(1, 1), true), (ia(1, 5), false), (ia(1, 6), false)].into_iter(),
+            SimTime::ZERO + Duration::from_days(30),
+        );
+        let seg = |ty, hops: &[(IsdAsn, u16, u16)]| {
+            let (first, rest) = hops.split_first().unwrap();
+            let mut pcb = Pcb::originate(
+                first.0,
+                IfId(first.2),
+                SimTime::ZERO,
+                Duration::from_hours(6),
+                0,
+                &trust,
+            );
+            for &(h, ing, eg) in rest {
+                pcb = pcb.extend(h, IfId(ing), IfId(eg), vec![], &trust);
+            }
+            PathSegment::from_terminated_pcb(ty, pcb)
+        };
+        let segments = SegmentSet {
+            up: vec![seg(SegmentType::Up, &[(ia(1, 1), 0, 1), (ia(1, 5), 1, 0)])],
+            core: vec![],
+            down: vec![seg(SegmentType::Down, &[(ia(1, 1), 0, 2), (ia(1, 6), 1, 0)])],
+        };
+        let mut daemon = ScionDaemon::new();
+        assert!(daemon.resolve(ia(1, 6), &segments, SimTime::ZERO) > 0);
+
+        let mut asmap = AsMap::new();
+        asmap.insert(Ipv4Prefix::parse("192.0.2.0/24").unwrap(), ia(1, 6));
+        Sig::new(asmap, daemon)
+    }
+
+    #[test]
+    fn encapsulation_builds_scion_packet() {
+        let mut sig = ready_sig();
+        let pkt = sig
+            .encapsulate(addr("192.0.2.7"), 100, SimTime::ZERO + Duration::from_hours(1))
+            .unwrap();
+        assert_eq!(pkt.source, ia(1, 5));
+        assert_eq!(pkt.destination, ia(1, 6));
+        assert_eq!(pkt.payload_len, 120, "inner IPv4 header accounted");
+        assert_eq!(sig.encapsulated_to(ia(1, 6)), 1);
+    }
+
+    #[test]
+    fn unmapped_destination_rejected() {
+        let mut sig = ready_sig();
+        assert!(matches!(
+            sig.encapsulate(addr("198.51.100.1"), 10, SimTime::ZERO),
+            Err(SigError::UnmappedDestination(_))
+        ));
+    }
+
+    #[test]
+    fn no_path_rejected() {
+        let mut sig = ready_sig();
+        sig.asmap
+            .insert(Ipv4Prefix::parse("198.51.100.0/24").unwrap(), ia(1, 9));
+        assert_eq!(
+            sig.encapsulate(addr("198.51.100.1"), 10, SimTime::ZERO),
+            Err(SigError::NoPath(ia(1, 9)))
+        );
+    }
+
+    #[test]
+    fn carrier_grade_sig_filters_non_customers() {
+        let mut cg = CarrierGradeSig::new(ready_sig());
+        cg.add_customer(Ipv4Prefix::parse("10.0.0.0/8").unwrap());
+        assert_eq!(cg.customer_count(), 1);
+        let exp = SimTime::ZERO + Duration::from_hours(1);
+        assert!(cg
+            .encapsulate_from(addr("10.1.2.3"), addr("192.0.2.7"), 64, exp)
+            .is_ok());
+        assert!(cg
+            .encapsulate_from(addr("172.16.0.1"), addr("192.0.2.7"), 64, exp)
+            .is_err());
+    }
+}

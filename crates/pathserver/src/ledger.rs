@@ -1,0 +1,284 @@
+//! Per-component control-plane accounting: the measured Table 1.
+//!
+//! Table 1 characterizes each control-plane component by the *scope* of
+//! its messages (AS / ISD / global) and its *frequency* (hours / minutes /
+//! seconds). The ledger records every message with its component and scope
+//! and keeps event timestamps per component, so the table can be printed
+//! from measurements rather than asserted.
+
+use std::collections::HashMap;
+
+use scion_types::{Duration, SimTime};
+
+/// The SCION control-plane components of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Component {
+    CoreBeaconing,
+    IntraIsdBeaconing,
+    DownSegmentLookup,
+    CoreSegmentLookup,
+    EndpointPathLookup,
+    PathRegistration,
+    PathRevocation,
+}
+
+impl Component {
+    /// All components, in Table 1 row order.
+    pub const ALL: [Component; 7] = [
+        Component::CoreBeaconing,
+        Component::IntraIsdBeaconing,
+        Component::DownSegmentLookup,
+        Component::CoreSegmentLookup,
+        Component::EndpointPathLookup,
+        Component::PathRegistration,
+        Component::PathRevocation,
+    ];
+
+    /// Row label matching the paper's wording.
+    pub fn label(self) -> &'static str {
+        match self {
+            Component::CoreBeaconing => "Core Beaconing",
+            Component::IntraIsdBeaconing => "Intra-ISD Beaconing",
+            Component::DownSegmentLookup => "Down-Path Segment Lookup",
+            Component::CoreSegmentLookup => "Core-Path Segment Lookup",
+            Component::EndpointPathLookup => "Endpoint Path Lookup",
+            Component::PathRegistration => "Path (De-)Registration",
+            Component::PathRevocation => "Path Revocation",
+        }
+    }
+}
+
+/// Communication scope of a message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scope {
+    /// Between entities of one AS.
+    IntraAs,
+    /// Between ASes of one ISD.
+    IntraIsd,
+    /// Across ISDs.
+    Global,
+}
+
+impl Scope {
+    pub fn label(self) -> &'static str {
+        match self {
+            Scope::IntraAs => "AS",
+            Scope::IntraIsd => "ISD",
+            Scope::Global => "Global",
+        }
+    }
+}
+
+/// Frequency classes of Table 1, derived from the measured median period.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrequencyClass {
+    Hours,
+    Minutes,
+    Seconds,
+}
+
+impl FrequencyClass {
+    /// Classifies a period.
+    pub fn of(period: Duration) -> FrequencyClass {
+        if period >= Duration::from_hours(1) {
+            FrequencyClass::Hours
+        } else if period >= Duration::from_mins(1) {
+            FrequencyClass::Minutes
+        } else {
+            FrequencyClass::Seconds
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            FrequencyClass::Hours => "Hours",
+            FrequencyClass::Minutes => "Minutes",
+            FrequencyClass::Seconds => "Seconds",
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct ComponentStats {
+    messages: u64,
+    bytes: u64,
+    by_scope: HashMap<Scope, u64>,
+    first_event: Option<SimTime>,
+    last_event: Option<SimTime>,
+    events: u64,
+}
+
+/// The accounting ledger.
+#[derive(Clone, Debug, Default)]
+pub struct Ledger {
+    stats: HashMap<Component, ComponentStats>,
+}
+
+/// A printable Table 1 row.
+#[derive(Clone, Debug)]
+pub struct TableRow {
+    pub component: Component,
+    /// The widest scope this component's messages reached.
+    pub scope: Option<Scope>,
+    pub frequency: Option<FrequencyClass>,
+    pub messages: u64,
+    pub bytes: u64,
+}
+
+impl Ledger {
+    pub fn new() -> Ledger {
+        Ledger::default()
+    }
+
+    /// Records one message of `bytes` for `component` at `scope`.
+    pub fn record(&mut self, component: Component, scope: Scope, bytes: u64) {
+        let s = self.stats.entry(component).or_default();
+        s.messages += 1;
+        s.bytes += bytes;
+        *s.by_scope.entry(scope).or_insert(0) += 1;
+    }
+
+    /// Records an aggregate of `messages` messages totalling `bytes` for
+    /// `component` at `scope` (bulk accounting from pre-aggregated
+    /// counters).
+    pub fn record_many(&mut self, component: Component, scope: Scope, messages: u64, bytes: u64) {
+        let s = self.stats.entry(component).or_default();
+        s.messages += messages;
+        s.bytes += bytes;
+        *s.by_scope.entry(scope).or_insert(0) += messages;
+    }
+
+    /// Records one *operation event* (e.g. "a beaconing interval ran",
+    /// "a lookup happened") at `at` — the basis of the frequency column.
+    pub fn record_event(&mut self, component: Component, at: SimTime) {
+        let s = self.stats.entry(component).or_default();
+        if s.first_event.is_none() {
+            s.first_event = Some(at);
+        }
+        s.last_event = Some(at);
+        s.events += 1;
+    }
+
+    /// Total messages for a component.
+    pub fn messages(&self, component: Component) -> u64 {
+        self.stats.get(&component).map_or(0, |s| s.messages)
+    }
+
+    /// Total bytes for a component.
+    pub fn bytes(&self, component: Component) -> u64 {
+        self.stats.get(&component).map_or(0, |s| s.bytes)
+    }
+
+    /// Message count of a component at one scope.
+    pub fn messages_at(&self, component: Component, scope: Scope) -> u64 {
+        self.stats
+            .get(&component)
+            .and_then(|s| s.by_scope.get(&scope))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The widest scope the component's messages reached.
+    pub fn widest_scope(&self, component: Component) -> Option<Scope> {
+        let s = self.stats.get(&component)?;
+        s.by_scope.keys().copied().max()
+    }
+
+    /// Mean period between operation events.
+    pub fn mean_period(&self, component: Component) -> Option<Duration> {
+        let s = self.stats.get(&component)?;
+        let (first, last) = (s.first_event?, s.last_event?);
+        if s.events < 2 {
+            return None;
+        }
+        let span = last.since(first);
+        Some(Duration::from_micros(
+            span.as_micros() / (s.events - 1),
+        ))
+    }
+
+    /// Produces the measured Table 1.
+    pub fn table(&self) -> Vec<TableRow> {
+        Component::ALL
+            .iter()
+            .map(|&c| TableRow {
+                component: c,
+                scope: self.widest_scope(c),
+                frequency: self.mean_period(c).map(FrequencyClass::of),
+                messages: self.messages(c),
+                bytes: self.bytes(c),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_secs(secs)
+    }
+
+    #[test]
+    fn records_messages_and_scopes() {
+        let mut l = Ledger::new();
+        l.record(Component::DownSegmentLookup, Scope::Global, 100);
+        l.record(Component::DownSegmentLookup, Scope::IntraIsd, 50);
+        assert_eq!(l.messages(Component::DownSegmentLookup), 2);
+        assert_eq!(l.bytes(Component::DownSegmentLookup), 150);
+        assert_eq!(
+            l.messages_at(Component::DownSegmentLookup, Scope::Global),
+            1
+        );
+        assert_eq!(
+            l.widest_scope(Component::DownSegmentLookup),
+            Some(Scope::Global)
+        );
+        assert_eq!(l.widest_scope(Component::PathRevocation), None);
+    }
+
+    #[test]
+    fn frequency_classes() {
+        assert_eq!(
+            FrequencyClass::of(Duration::from_hours(6)),
+            FrequencyClass::Hours
+        );
+        assert_eq!(
+            FrequencyClass::of(Duration::from_mins(10)),
+            FrequencyClass::Minutes
+        );
+        assert_eq!(
+            FrequencyClass::of(Duration::from_secs(3)),
+            FrequencyClass::Seconds
+        );
+    }
+
+    #[test]
+    fn mean_period_from_events() {
+        let mut l = Ledger::new();
+        for i in 0..7 {
+            l.record_event(Component::CoreBeaconing, t(i * 600));
+        }
+        let p = l.mean_period(Component::CoreBeaconing).unwrap();
+        assert_eq!(p, Duration::from_mins(10));
+        assert_eq!(FrequencyClass::of(p), FrequencyClass::Minutes);
+        // One event: no period.
+        l.record_event(Component::PathRevocation, t(5));
+        assert_eq!(l.mean_period(Component::PathRevocation), None);
+    }
+
+    #[test]
+    fn table_covers_all_components() {
+        let l = Ledger::new();
+        let rows = l.table();
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows[0].component.label(), "Core Beaconing");
+    }
+
+    #[test]
+    fn scope_ordering_makes_global_widest() {
+        assert!(Scope::IntraAs < Scope::IntraIsd);
+        assert!(Scope::IntraIsd < Scope::Global);
+    }
+}

@@ -1,0 +1,31 @@
+//! The path-server infrastructure (paper §2.2, §4.1 and Table 1).
+//!
+//! Beaconing *pushes* path segments down the hierarchy; everything else in
+//! SCION's control plane is *pull*: "a separate path-server infrastructure
+//! operates a pull-based path segment lookup with caching, without the need
+//! for global broadcast" (§4.1, Mechanism 6). This crate implements those
+//! components:
+//!
+//! * [`server`] — path servers: core servers store the down-segments
+//!   registered by their ISD's leaf ASes plus core-segments to other core
+//!   ASes; local servers resolve endpoint lookups and cache remote
+//!   segments (effective because paths live for hours and destination
+//!   popularity is Zipf — §4.1);
+//! * [`ledger`] — per-component message accounting with **scope**
+//!   classification (intra-AS / intra-ISD / global) and inter-event
+//!   periods: the measured reproduction of Table 1;
+//! * [`workload`] — the Zipf destination-popularity model for endpoint
+//!   lookups (§4.1 cites the Zipf distribution of Internet traffic);
+//! * [`revocation`] — path revocation on link failure: intra-ISD
+//!   revocation at the core path server plus SCMP notifications to
+//!   affected endpoints (§4.1 "Path Revocations").
+
+pub mod ledger;
+pub mod revocation;
+pub mod server;
+pub mod workload;
+
+pub use ledger::{Component, Ledger, Scope};
+pub use revocation::{revoke_segments, Revocation};
+pub use server::{LookupResult, PathServer};
+pub use workload::ZipfDestinations;

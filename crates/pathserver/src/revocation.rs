@@ -1,0 +1,130 @@
+//! Path revocation on link failure (§4.1 "Path Revocations").
+//!
+//! "The AS in which the failing link is located revokes the affected path
+//! segments at the core path server, which is an intra-ISD operation.
+//! Endpoints and border routers that use a path containing a failed link
+//! are informed of the link failure through SCION Control Message Protocol
+//! (SCMP) messages sent by the border router observing the failed link."
+
+use scion_proto::segment::PathSegment;
+use scion_proto::wire;
+use scion_types::{LinkId, SimTime};
+
+use crate::ledger::{Component, Ledger, Scope};
+use crate::server::PathServer;
+
+/// Result of a link-failure revocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Revocation {
+    /// Segments dropped from the core path server.
+    pub segments_revoked: usize,
+    /// SCMP notifications issued to endpoints with active flows.
+    pub scmp_notifications: u64,
+}
+
+/// True if `seg` traverses `failed`.
+pub fn segment_uses_link(seg: &PathSegment, failed: LinkId) -> bool {
+    seg.links()
+        .iter()
+        .any(|&(a, b)| LinkId::new(a, b) == failed)
+}
+
+/// Performs the two reactions to a failed link:
+///
+/// 1. deregisters every affected segment at `core_ps` (one intra-ISD
+///    revocation message, accounted to the ledger);
+/// 2. issues one SCMP message per active flow that used the link
+///    (`active_flows_on_link`), accounted at the appropriate scope.
+pub fn revoke_segments(
+    core_ps: &mut PathServer,
+    failed: LinkId,
+    active_flows_on_link: u64,
+    ledger: &mut Ledger,
+    now: SimTime,
+) -> Revocation {
+    let segments_revoked = core_ps.deregister_where(|s| segment_uses_link(s, failed));
+
+    // The revocation message itself: AS → core PS, intra-ISD.
+    ledger.record(
+        Component::PathRevocation,
+        Scope::IntraIsd,
+        wire::SCMP_REVOCATION,
+    );
+    ledger.record_event(Component::PathRevocation, now);
+
+    // SCMP notifications to endpoints currently using the link. These can
+    // cross ISDs (the endpoint may be anywhere), hence Global scope.
+    for _ in 0..active_flows_on_link {
+        ledger.record(
+            Component::PathRevocation,
+            Scope::Global,
+            wire::SCMP_REVOCATION,
+        );
+    }
+
+    Revocation {
+        segments_revoked,
+        scmp_notifications: active_flows_on_link,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_crypto::trc::TrustStore;
+    use scion_proto::pcb::Pcb;
+    use scion_proto::segment::SegmentType;
+    use scion_types::{Asn, Duration, IfId, Isd, IsdAsn, LinkEnd};
+
+    fn ia(asn: u64) -> IsdAsn {
+        IsdAsn::new(Isd(1), Asn::from_u64(asn))
+    }
+
+    fn trust() -> TrustStore {
+        TrustStore::bootstrap(
+            (1..=5).map(|n| (ia(n), n == 1)),
+            SimTime::ZERO + Duration::from_days(30),
+        )
+    }
+
+    fn down_seg(tr: &TrustStore, mid_egress: u16, leaf: u64) -> PathSegment {
+        let pcb = Pcb::originate(ia(1), IfId(mid_egress), SimTime::ZERO, Duration::from_hours(6), 0, tr)
+            .extend(ia(leaf), IfId(1), IfId::NONE, vec![], tr);
+        PathSegment::from_terminated_pcb(SegmentType::Down, pcb)
+    }
+
+    #[test]
+    fn revocation_drops_only_affected_segments() {
+        let tr = trust();
+        let mut ps = PathServer::new(ia(1), true);
+        ps.register_down_segment(down_seg(&tr, 7, 3)); // via link 1#7 <-> 3#1
+        ps.register_down_segment(down_seg(&tr, 8, 4)); // via link 1#8 <-> 4#1
+        let failed = LinkId::new(LinkEnd::new(ia(1), IfId(7)), LinkEnd::new(ia(3), IfId(1)));
+
+        let mut ledger = Ledger::new();
+        let r = revoke_segments(&mut ps, failed, 3, &mut ledger, SimTime::ZERO);
+        assert_eq!(r.segments_revoked, 1);
+        assert_eq!(r.scmp_notifications, 3);
+        assert!(ps.lookup_down(ia(3), SimTime::ZERO).is_empty());
+        assert_eq!(ps.lookup_down(ia(4), SimTime::ZERO).len(), 1);
+        // Ledger: 1 intra-ISD revocation + 3 global SCMP.
+        assert_eq!(
+            ledger.messages_at(Component::PathRevocation, Scope::IntraIsd),
+            1
+        );
+        assert_eq!(
+            ledger.messages_at(Component::PathRevocation, Scope::Global),
+            3
+        );
+    }
+
+    #[test]
+    fn segment_uses_link_is_exact() {
+        let tr = trust();
+        let seg = down_seg(&tr, 7, 3);
+        let on = LinkId::new(LinkEnd::new(ia(1), IfId(7)), LinkEnd::new(ia(3), IfId(1)));
+        let off = LinkId::new(LinkEnd::new(ia(1), IfId(9)), LinkEnd::new(ia(3), IfId(1)));
+        assert!(segment_uses_link(&seg, on));
+        assert!(!segment_uses_link(&seg, off));
+    }
+}

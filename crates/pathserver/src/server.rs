@@ -1,0 +1,288 @@
+//! Path servers: segment registration, lookup, and caching.
+//!
+//! §2.2: "A global path server infrastructure is used to disseminate path
+//! segments. … The infrastructure bears similarities to DNS, where
+//! information is fetched on-demand only. A core AS's path server stores
+//! all the intra-ISD path segments that were registered by leaf ASes of
+//! its own ISD, and core-path segments to reach other core ASes."
+//!
+//! §4.1: lookups are amortized by caching — "path servers and endpoints
+//! cache path segments to serve subsequent requests for a given origin AS,
+//! which is effective in SCION due to the long lifetime of a path".
+
+use std::collections::HashMap;
+
+use scion_proto::segment::{PathSegment, SegmentType};
+use scion_types::{Isd, IsdAsn, SimTime};
+
+/// Outcome of a lookup against one server.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LookupResult {
+    /// Segments served from the local store or cache.
+    Hit(Vec<PathSegment>),
+    /// Not available locally — the caller must query `upstream`.
+    Miss,
+}
+
+/// A path server. The same type serves both roles:
+/// core servers hold the authoritative registrations, non-core (local)
+/// servers hold their AS's own up-segments plus a TTL cache of remote
+/// answers.
+#[derive(Clone, Debug)]
+pub struct PathServer {
+    ia: IsdAsn,
+    core: bool,
+    /// Authoritative down-segments per destination leaf AS (core servers).
+    down_segments: HashMap<IsdAsn, Vec<PathSegment>>,
+    /// Authoritative core-segments per remote core AS (core servers).
+    core_segments: HashMap<IsdAsn, Vec<PathSegment>>,
+    /// Up-segments of the local AS (local servers).
+    up_segments: Vec<PathSegment>,
+    /// Response cache: destination → (segments, inserted-at).
+    cache: HashMap<IsdAsn, (Vec<PathSegment>, SimTime)>,
+    /// Cache statistics.
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+}
+
+impl PathServer {
+    pub fn new(ia: IsdAsn, core: bool) -> PathServer {
+        PathServer {
+            ia,
+            core,
+            down_segments: HashMap::new(),
+            core_segments: HashMap::new(),
+            up_segments: Vec::new(),
+            cache: HashMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+
+    /// The server's AS.
+    pub fn isd_asn(&self) -> IsdAsn {
+        self.ia
+    }
+
+    /// True for a core path server.
+    pub fn is_core(&self) -> bool {
+        self.core
+    }
+
+    /// Registers a down-segment (a leaf AS registering its reachability
+    /// with its ISD core; core servers only).
+    ///
+    /// # Panics
+    /// Panics on a non-core server or a wrong-type segment.
+    pub fn register_down_segment(&mut self, seg: PathSegment) {
+        assert!(self.core, "down-segments register at core path servers");
+        assert_eq!(seg.seg_type, SegmentType::Down);
+        self.down_segments
+            .entry(seg.terminal())
+            .or_default()
+            .push(seg);
+    }
+
+    /// Registers a core-segment (core servers only).
+    pub fn register_core_segment(&mut self, seg: PathSegment) {
+        assert!(self.core, "core-segments register at core path servers");
+        assert_eq!(seg.seg_type, SegmentType::Core);
+        self.core_segments
+            .entry(seg.terminal())
+            .or_default()
+            .push(seg);
+    }
+
+    /// Stores a local up-segment (local servers).
+    pub fn store_up_segment(&mut self, seg: PathSegment) {
+        assert_eq!(seg.seg_type, SegmentType::Up);
+        self.up_segments.push(seg);
+    }
+
+    /// The local AS's live up-segments.
+    pub fn up_segments(&self, now: SimTime) -> Vec<PathSegment> {
+        self.up_segments
+            .iter()
+            .filter(|s| !s.is_expired(now))
+            .cloned()
+            .collect()
+    }
+
+    /// De-registers segments by predicate (used by revocation: drop
+    /// everything containing a failed link). Returns how many were
+    /// removed across all stores.
+    pub fn deregister_where(&mut self, mut pred: impl FnMut(&PathSegment) -> bool) -> usize {
+        let mut removed = 0;
+        for store in [&mut self.down_segments, &mut self.core_segments] {
+            for segs in store.values_mut() {
+                let before = segs.len();
+                segs.retain(|s| !pred(s));
+                removed += before - segs.len();
+            }
+            store.retain(|_, v| !v.is_empty());
+        }
+        let before = self.up_segments.len();
+        self.up_segments.retain(|s| !pred(s));
+        removed + before - self.up_segments.len()
+    }
+
+    /// Authoritative down-segment lookup at a core server.
+    pub fn lookup_down(&self, dst: IsdAsn, now: SimTime) -> Vec<PathSegment> {
+        assert!(self.core);
+        self.down_segments
+            .get(&dst)
+            .map(|v| v.iter().filter(|s| !s.is_expired(now)).cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Authoritative core-segment lookup at a core server: segments whose
+    /// far end lies in `dst_isd` (or at the exact AS when known).
+    pub fn lookup_core(&self, dst_isd: Isd, now: SimTime) -> Vec<PathSegment> {
+        assert!(self.core);
+        let mut out = Vec::new();
+        for (remote, segs) in &self.core_segments {
+            if remote.isd == dst_isd {
+                out.extend(segs.iter().filter(|s| !s.is_expired(now)).cloned());
+            }
+        }
+        out
+    }
+
+    /// Cached lookup at a local server: hit if a live cached answer
+    /// exists, miss otherwise (caller fetches upstream and calls
+    /// [`PathServer::cache_insert`]).
+    pub fn lookup_cached(&mut self, dst: IsdAsn, now: SimTime) -> LookupResult {
+        if let Some((segs, _)) = self.cache.get(&dst) {
+            let live: Vec<PathSegment> =
+                segs.iter().filter(|s| !s.is_expired(now)).cloned().collect();
+            if !live.is_empty() {
+                self.cache_hits += 1;
+                return LookupResult::Hit(live);
+            }
+            self.cache.remove(&dst);
+        }
+        self.cache_misses += 1;
+        LookupResult::Miss
+    }
+
+    /// Inserts an upstream answer into the cache.
+    pub fn cache_insert(&mut self, dst: IsdAsn, segs: Vec<PathSegment>, now: SimTime) {
+        self.cache.insert(dst, (segs, now));
+    }
+
+    /// Number of distinct destinations with authoritative down-segments.
+    pub fn down_destinations(&self) -> usize {
+        self.down_segments.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_crypto::trc::TrustStore;
+    use scion_proto::pcb::Pcb;
+    use scion_types::{Asn, Duration, IfId};
+
+    fn ia(isd: u16, asn: u64) -> IsdAsn {
+        IsdAsn::new(Isd(isd), Asn::from_u64(asn))
+    }
+
+    fn trust() -> TrustStore {
+        let mut ases = vec![];
+        for isd in 1..=2u16 {
+            for asn in 1..=5u64 {
+                ases.push((ia(isd, asn), asn == 1));
+            }
+        }
+        TrustStore::bootstrap(ases.into_iter(), SimTime::ZERO + Duration::from_days(30))
+    }
+
+    fn seg(tr: &TrustStore, ty: SegmentType, from: IsdAsn, to: IsdAsn, lifetime_h: u64) -> PathSegment {
+        let pcb = Pcb::originate(
+            from,
+            IfId(1),
+            SimTime::ZERO,
+            Duration::from_hours(lifetime_h),
+            0,
+            tr,
+        )
+        .extend(to, IfId(1), IfId::NONE, vec![], tr);
+        PathSegment::from_terminated_pcb(ty, pcb)
+    }
+
+    #[test]
+    fn registration_and_lookup() {
+        let tr = trust();
+        let mut ps = PathServer::new(ia(1, 1), true);
+        ps.register_down_segment(seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 3), 6));
+        ps.register_core_segment(seg(&tr, SegmentType::Core, ia(1, 1), ia(2, 1), 6));
+        assert_eq!(ps.lookup_down(ia(1, 3), SimTime::ZERO).len(), 1);
+        assert!(ps.lookup_down(ia(1, 4), SimTime::ZERO).is_empty());
+        assert_eq!(ps.lookup_core(Isd(2), SimTime::ZERO).len(), 1);
+        assert!(ps.lookup_core(Isd(3), SimTime::ZERO).is_empty());
+        assert_eq!(ps.down_destinations(), 1);
+    }
+
+    #[test]
+    fn expired_segments_not_served() {
+        let tr = trust();
+        let mut ps = PathServer::new(ia(1, 1), true);
+        ps.register_down_segment(seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 3), 1));
+        let later = SimTime::ZERO + Duration::from_hours(2);
+        assert!(ps.lookup_down(ia(1, 3), later).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "core path servers")]
+    fn non_core_cannot_take_registrations() {
+        let tr = trust();
+        let mut ps = PathServer::new(ia(1, 3), false);
+        ps.register_down_segment(seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 3), 6));
+    }
+
+    #[test]
+    fn cache_hit_miss_accounting() {
+        let tr = trust();
+        let mut local = PathServer::new(ia(1, 3), false);
+        assert_eq!(local.lookup_cached(ia(2, 4), SimTime::ZERO), LookupResult::Miss);
+        local.cache_insert(
+            ia(2, 4),
+            vec![seg(&tr, SegmentType::Down, ia(2, 1), ia(2, 4), 6)],
+            SimTime::ZERO,
+        );
+        assert!(matches!(
+            local.lookup_cached(ia(2, 4), SimTime::ZERO + Duration::from_mins(5)),
+            LookupResult::Hit(_)
+        ));
+        assert_eq!((local.cache_hits, local.cache_misses), (1, 1));
+        // Expired cached segments fall out and count as miss.
+        assert_eq!(
+            local.lookup_cached(ia(2, 4), SimTime::ZERO + Duration::from_hours(7)),
+            LookupResult::Miss
+        );
+        assert_eq!(local.cache_misses, 2);
+    }
+
+    #[test]
+    fn deregister_removes_matching_segments() {
+        let tr = trust();
+        let mut ps = PathServer::new(ia(1, 1), true);
+        ps.register_down_segment(seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 3), 6));
+        ps.register_down_segment(seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 4), 6));
+        let removed = ps.deregister_where(|s| s.terminal() == ia(1, 3));
+        assert_eq!(removed, 1);
+        assert!(ps.lookup_down(ia(1, 3), SimTime::ZERO).is_empty());
+        assert_eq!(ps.lookup_down(ia(1, 4), SimTime::ZERO).len(), 1);
+    }
+
+    #[test]
+    fn up_segments_stored_and_filtered() {
+        let tr = trust();
+        let mut local = PathServer::new(ia(1, 3), false);
+        local.store_up_segment(seg(&tr, SegmentType::Up, ia(1, 1), ia(1, 3), 1));
+        assert_eq!(local.up_segments(SimTime::ZERO).len(), 1);
+        assert!(local
+            .up_segments(SimTime::ZERO + Duration::from_hours(2))
+            .is_empty());
+    }
+}

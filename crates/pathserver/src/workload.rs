@@ -1,0 +1,110 @@
+//! Zipf destination popularity for endpoint lookups.
+//!
+//! §4.1: "due to the Zipf distribution of Internet traffic's destinations,
+//! scalability is further improved by caching path segments for popular
+//! origin ASes, such as CDN providers."
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use scion_types::IsdAsn;
+
+/// A Zipf sampler over a fixed destination set.
+#[derive(Clone, Debug)]
+pub struct ZipfDestinations {
+    destinations: Vec<IsdAsn>,
+    /// Cumulative weights for inverse-CDF sampling.
+    cumulative: Vec<f64>,
+    rng: ChaCha12Rng,
+}
+
+impl ZipfDestinations {
+    /// Builds a sampler over `destinations` with Zipf exponent `s`
+    /// (classic web-traffic fits use s ≈ 0.8–1.1). Rank order is the given
+    /// order: the first destination is the most popular.
+    pub fn new(destinations: Vec<IsdAsn>, s: f64, seed: u64) -> ZipfDestinations {
+        assert!(!destinations.is_empty());
+        let mut cumulative = Vec::with_capacity(destinations.len());
+        let mut acc = 0.0;
+        for rank in 1..=destinations.len() {
+            acc += 1.0 / (rank as f64).powf(s);
+            cumulative.push(acc);
+        }
+        ZipfDestinations {
+            destinations,
+            cumulative,
+            rng: ChaCha12Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the next lookup destination.
+    pub fn sample(&mut self) -> IsdAsn {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = self.rng.gen_range(0.0..total);
+        let idx = self.cumulative.partition_point(|&c| c <= x);
+        self.destinations[idx.min(self.destinations.len() - 1)]
+    }
+
+    /// Number of destinations.
+    pub fn len(&self) -> usize {
+        self.destinations.len()
+    }
+
+    /// True if the destination set is empty (cannot happen post-new).
+    pub fn is_empty(&self) -> bool {
+        self.destinations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_types::{Asn, Isd};
+
+    fn dests(n: u64) -> Vec<IsdAsn> {
+        (1..=n)
+            .map(|i| IsdAsn::new(Isd(1), Asn::from_u64(i)))
+            .collect()
+    }
+
+    #[test]
+    fn top_rank_dominates() {
+        let mut z = ZipfDestinations::new(dests(100), 1.0, 42);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..10_000 {
+            *counts.entry(z.sample()).or_insert(0u32) += 1;
+        }
+        let first = counts
+            .get(&IsdAsn::new(Isd(1), Asn::from_u64(1)))
+            .copied()
+            .unwrap_or(0);
+        let tail = counts
+            .get(&IsdAsn::new(Isd(1), Asn::from_u64(90)))
+            .copied()
+            .unwrap_or(0);
+        assert!(first > 1000, "rank-1 should dominate, got {first}");
+        assert!(first > tail * 10, "rank-1 {first} vs rank-90 {tail}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ZipfDestinations::new(dests(50), 0.9, 7);
+        let mut b = ZipfDestinations::new(dests(50), 0.9, 7);
+        for _ in 0..100 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    fn all_destinations_reachable() {
+        let mut z = ZipfDestinations::new(dests(5), 0.5, 3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5_000 {
+            seen.insert(z.sample());
+        }
+        assert_eq!(seen.len(), 5);
+        assert_eq!(z.len(), 5);
+        assert!(!z.is_empty());
+    }
+}

@@ -1,0 +1,514 @@
+//! End-to-end path construction from path segments.
+//!
+//! Paper §2.2–2.3: "Each end-to-end path consists of up to three path
+//! segments: core-path, up-path, and down-path segments. … In a shortcut, a
+//! path only contains an up-path and a down-path segment, which can cross
+//! over at a non-core AS that is common to both paths. Peering links can be
+//! added to up- or down-path segments" — a peering shortcut is valid "if
+//! both up- and down-path segments contain the same peering link".
+//!
+//! [`combine_paths`] implements the general three-segment join;
+//! [`shortcut_path`] the common-AS crossover; [`peering_path`] the
+//! peering-link crossover. All return an [`EndToEndPath`]: the hop sequence
+//! in travel direction with fully-resolved interfaces.
+
+use serde::{Deserialize, Serialize};
+
+use scion_types::{IsdAsn, LinkEnd};
+
+use crate::segment::{PathSegment, SegmentType, TraversalHop};
+
+/// Why a combination attempt failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CombineError {
+    /// A segment was supplied in a role its type does not allow.
+    WrongSegmentType,
+    /// Segment endpoints do not meet at a common AS.
+    Disconnected,
+    /// No common non-core AS for a shortcut.
+    NoCommonAs,
+    /// No matching peering link present in both segments.
+    NoPeeringLink,
+}
+
+impl std::fmt::Display for CombineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CombineError::WrongSegmentType => write!(f, "segment used in wrong role"),
+            CombineError::Disconnected => write!(f, "segments do not share a junction AS"),
+            CombineError::NoCommonAs => write!(f, "no common non-core AS for shortcut"),
+            CombineError::NoPeeringLink => write!(f, "no shared peering link"),
+        }
+    }
+}
+
+impl std::error::Error for CombineError {}
+
+/// A complete forwarding path: hops in travel direction, each with the
+/// interfaces used to enter and leave the AS (`IfId::NONE` at source
+/// ingress and destination egress).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EndToEndPath {
+    pub hops: Vec<TraversalHop>,
+}
+
+impl EndToEndPath {
+    /// AS-level path, source first.
+    pub fn as_path(&self) -> Vec<IsdAsn> {
+        self.hops.iter().map(|&(ia, _, _)| ia).collect()
+    }
+
+    /// Source AS.
+    pub fn source(&self) -> IsdAsn {
+        self.hops.first().expect("non-empty path").0
+    }
+
+    /// Destination AS.
+    pub fn destination(&self) -> IsdAsn {
+        self.hops.last().expect("non-empty path").0
+    }
+
+    /// The inter-domain links traversed, as `(near, far)` interface pairs.
+    pub fn links(&self) -> Vec<(LinkEnd, LinkEnd)> {
+        self.hops
+            .windows(2)
+            .map(|w| {
+                (
+                    LinkEnd::new(w[0].0, w[0].2),
+                    LinkEnd::new(w[1].0, w[1].1),
+                )
+            })
+            .collect()
+    }
+
+    /// Number of AS hops.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// True if the path has no hops (never produced by the combiners).
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// Structural sanity: no repeated AS (SCION forbids loops) and interior
+    /// interfaces present.
+    pub fn check(&self) -> Result<(), String> {
+        let mut seen = Vec::new();
+        for &(ia, _, _) in &self.hops {
+            if seen.contains(&ia) {
+                return Err(format!("AS {ia} repeats on path"));
+            }
+            seen.push(ia);
+        }
+        for (i, &(ia, ingress, egress)) in self.hops.iter().enumerate() {
+            if i > 0 && ingress.is_none() {
+                return Err(format!("hop {ia} missing ingress"));
+            }
+            if i + 1 < self.hops.len() && egress.is_none() {
+                return Err(format!("hop {ia} missing egress"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Glues two traversals that meet at the same AS: the junction AS appears
+/// as the last hop of `a` (with egress NONE) and the first hop of `b`
+/// (with ingress NONE); the merged junction hop uses `a`'s ingress and
+/// `b`'s egress.
+fn join(a: Vec<TraversalHop>, b: Vec<TraversalHop>) -> Result<Vec<TraversalHop>, CombineError> {
+    let (&(ja, ja_in, _), &(jb, _, jb_out)) = match (a.last(), b.first()) {
+        (Some(x), Some(y)) => (x, y),
+        _ => return Err(CombineError::Disconnected),
+    };
+    if ja != jb {
+        return Err(CombineError::Disconnected);
+    }
+    let mut out = a;
+    out.pop();
+    out.push((ja, ja_in, jb_out));
+    out.extend(b.into_iter().skip(1));
+    Ok(out)
+}
+
+/// Orients a core segment so the traversal starts at `from`: forward if the
+/// segment originates there, reversed if it terminates there.
+fn orient_core(core: &PathSegment, from: IsdAsn) -> Result<Vec<TraversalHop>, CombineError> {
+    if core.seg_type != SegmentType::Core {
+        return Err(CombineError::WrongSegmentType);
+    }
+    if core.origin() == from {
+        Ok(core.hops_forward())
+    } else if core.terminal() == from {
+        Ok(core.hops_reversed())
+    } else {
+        Err(CombineError::Disconnected)
+    }
+}
+
+/// Combines up to three segments into an end-to-end path.
+///
+/// * `up` — segment whose *terminal* is the source leaf AS (an up/down
+///   segment stored in beaconing direction; traversed in reverse).
+///   `None` if the source is itself a core AS.
+/// * `core` — core segment connecting the two ISD cores; `None` for
+///   intra-ISD paths whose up and down segments meet at the same core AS.
+/// * `down` — segment whose terminal is the destination leaf; `None` if
+///   the destination is a core AS.
+///
+/// At least one segment must be given; junction ASes must match.
+pub fn combine_paths(
+    up: Option<&PathSegment>,
+    core: Option<&PathSegment>,
+    down: Option<&PathSegment>,
+) -> Result<EndToEndPath, CombineError> {
+    let mut acc: Option<Vec<TraversalHop>> = None;
+
+    if let Some(u) = up {
+        if u.seg_type == SegmentType::Core {
+            return Err(CombineError::WrongSegmentType);
+        }
+        acc = Some(u.hops_reversed());
+    }
+    if let Some(c) = core {
+        let hops = match &acc {
+            Some(a) => orient_core(c, a.last().expect("non-empty").0)?,
+            None => {
+                if c.seg_type != SegmentType::Core {
+                    return Err(CombineError::WrongSegmentType);
+                }
+                c.hops_forward()
+            }
+        };
+        acc = Some(match acc {
+            Some(a) => join(a, hops)?,
+            None => hops,
+        });
+    }
+    if let Some(d) = down {
+        if d.seg_type == SegmentType::Core {
+            return Err(CombineError::WrongSegmentType);
+        }
+        let hops = d.hops_forward();
+        acc = Some(match acc {
+            Some(a) => join(a, hops)?,
+            None => hops,
+        });
+    }
+    let hops = acc.ok_or(CombineError::Disconnected)?;
+    let path = EndToEndPath { hops };
+    path.check().map_err(|_| CombineError::Disconnected)?;
+    Ok(path)
+}
+
+/// Builds a shortcut path: up and down segments crossing over at a common
+/// non-core AS, avoiding the core entirely (§2.3).
+///
+/// Picks the crossover closest to the leaves (the latest common AS in the
+/// up traversal), which yields the shortest shortcut.
+pub fn shortcut_path(
+    up: &PathSegment,
+    down: &PathSegment,
+) -> Result<EndToEndPath, CombineError> {
+    if up.seg_type == SegmentType::Core || down.seg_type == SegmentType::Core {
+        return Err(CombineError::WrongSegmentType);
+    }
+    let up_hops = up.hops_reversed(); // source leaf first, core last
+    let down_hops = down.hops_forward(); // core first, dest leaf last
+
+    // Earliest position in the up traversal that also appears in the down
+    // traversal — excluding the core origin itself (that case is a normal
+    // combine, not a shortcut).
+    let mut best: Option<(usize, usize)> = None;
+    for (i, &(ia, _, _)) in up_hops.iter().enumerate().take(up_hops.len() - 1) {
+        if let Some(j) = down_hops
+            .iter()
+            .skip(1)
+            .position(|&(d, _, _)| d == ia)
+            .map(|p| p + 1)
+        {
+            best = Some((i, j));
+            break; // up traversal order = closest to source leaf
+        }
+    }
+    let (i, j) = best.ok_or(CombineError::NoCommonAs)?;
+    let mut hops: Vec<TraversalHop> = up_hops[..=i].to_vec();
+    let cross = hops.last_mut().expect("non-empty");
+    cross.2 = down_hops[j].2; // leave crossover via the down segment's egress
+    hops.extend_from_slice(&down_hops[j + 1..]);
+    let path = EndToEndPath { hops };
+    path.check().map_err(|_| CombineError::NoCommonAs)?;
+    Ok(path)
+}
+
+/// Builds a peering-shortcut path: an AS `u` on the up segment and an AS
+/// `d` on the down segment connected by a peering link that **both**
+/// segments advertise (§2.3). The path ascends to `u`, crosses the peering
+/// link, and descends from `d`.
+pub fn peering_path(
+    up: &PathSegment,
+    down: &PathSegment,
+) -> Result<EndToEndPath, CombineError> {
+    if up.seg_type == SegmentType::Core || down.seg_type == SegmentType::Core {
+        return Err(CombineError::WrongSegmentType);
+    }
+    let up_hops = up.hops_reversed();
+    let down_hops = down.hops_forward();
+
+    // Search for the first matching peering pair (closest to the source).
+    for (i, &(u_ia, _, _)) in up_hops.iter().enumerate() {
+        let u_entry = up
+            .pcb()
+            .entries
+            .iter()
+            .find(|e| e.ia == u_ia)
+            .expect("hop exists in segment");
+        for upe in &u_entry.peers {
+            for (j, &(d_ia, _, _)) in down_hops.iter().enumerate() {
+                if upe.peer != d_ia {
+                    continue;
+                }
+                let d_entry = down
+                    .pcb()
+                    .entries
+                    .iter()
+                    .find(|e| e.ia == d_ia)
+                    .expect("hop exists in segment");
+                // Require the *same physical link* advertised on both
+                // sides: local/remote interface ids must cross-match.
+                let matched = d_entry.peers.iter().any(|dpe| {
+                    dpe.peer == u_ia
+                        && dpe.peer_if == upe.hop.ingress
+                        && upe.peer_if == dpe.hop.ingress
+                });
+                if !matched {
+                    continue;
+                }
+                let mut hops: Vec<TraversalHop> = up_hops[..=i].to_vec();
+                hops.last_mut().expect("non-empty").2 = upe.hop.ingress;
+                let mut down_tail = down_hops[j..].to_vec();
+                down_tail[0].1 = upe.peer_if;
+                hops.extend(down_tail);
+                let path = EndToEndPath { hops };
+                if path.check().is_ok() {
+                    return Ok(path);
+                }
+            }
+        }
+    }
+    Err(CombineError::NoPeeringLink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hopfield::HopField;
+    use crate::pcb::{forwarding_key, Pcb, PeerEntry};
+    use scion_crypto::trc::TrustStore;
+    use scion_types::{Asn, Duration, IfId, Isd, SimTime};
+
+    fn ia(isd: u16, asn: u64) -> IsdAsn {
+        IsdAsn::new(Isd(isd), Asn::from_u64(asn))
+    }
+
+    fn trust() -> TrustStore {
+        let mut ases = vec![];
+        for isd in 1..=2u16 {
+            for asn in 1..=9u64 {
+                ases.push((ia(isd, asn), asn <= 2)); // AS 1,2 core per ISD
+            }
+        }
+        TrustStore::bootstrap(ases.into_iter(), SimTime::ZERO + Duration::from_days(30))
+    }
+
+    fn seg(
+        trust: &TrustStore,
+        seg_type: SegmentType,
+        hops: &[(IsdAsn, u16, u16)], // (ia, ingress, egress) beaconing dir
+    ) -> PathSegment {
+        let (first, rest) = hops.split_first().unwrap();
+        let mut pcb = Pcb::originate(
+            first.0,
+            IfId(first.2),
+            SimTime::ZERO,
+            Duration::from_hours(6),
+            0,
+            trust,
+        );
+        for &(h, ing, eg) in rest {
+            pcb = pcb.extend(h, IfId(ing), IfId(eg), vec![], trust);
+        }
+        PathSegment::from_terminated_pcb(seg_type, pcb)
+    }
+
+    #[test]
+    fn three_segment_combination() {
+        let tr = trust();
+        // Up seg (beacon dir): core 1-1 -> leaf 1-5.
+        let up = seg(&tr, SegmentType::Up, &[(ia(1, 1), 0, 1), (ia(1, 5), 1, 0)]);
+        // Core seg: 1-1 -> 2-1.
+        let core = seg(&tr, SegmentType::Core, &[(ia(1, 1), 0, 2), (ia(2, 1), 1, 0)]);
+        // Down seg: core 2-1 -> leaf 2-5.
+        let down = seg(&tr, SegmentType::Down, &[(ia(2, 1), 0, 2), (ia(2, 5), 1, 0)]);
+
+        let path = combine_paths(Some(&up), Some(&core), Some(&down)).unwrap();
+        assert_eq!(
+            path.as_path(),
+            vec![ia(1, 5), ia(1, 1), ia(2, 1), ia(2, 5)]
+        );
+        assert_eq!(path.source(), ia(1, 5));
+        assert_eq!(path.destination(), ia(2, 5));
+        path.check().unwrap();
+        // Junction interfaces resolved: 1-1 entered via 1 (up), left via 2
+        // (core); 2-1 entered via 1 (core), left via 2 (down).
+        assert_eq!(path.hops[1], (ia(1, 1), IfId(1), IfId(2)));
+        assert_eq!(path.hops[2], (ia(2, 1), IfId(1), IfId(2)));
+        assert_eq!(path.links().len(), 3);
+    }
+
+    #[test]
+    fn core_segment_reversal_when_needed() {
+        let tr = trust();
+        let up = seg(&tr, SegmentType::Up, &[(ia(2, 1), 0, 1), (ia(2, 5), 1, 0)]);
+        // Core seg originated at 1-1, but source side is 2-1: must reverse.
+        let core = seg(&tr, SegmentType::Core, &[(ia(1, 1), 0, 2), (ia(2, 1), 1, 0)]);
+        let down = seg(&tr, SegmentType::Down, &[(ia(1, 1), 0, 3), (ia(1, 5), 1, 0)]);
+        let path = combine_paths(Some(&up), Some(&core), Some(&down)).unwrap();
+        assert_eq!(
+            path.as_path(),
+            vec![ia(2, 5), ia(2, 1), ia(1, 1), ia(1, 5)]
+        );
+    }
+
+    #[test]
+    fn up_only_reaches_core() {
+        let tr = trust();
+        let up = seg(&tr, SegmentType::Up, &[(ia(1, 1), 0, 1), (ia(1, 5), 1, 0)]);
+        let path = combine_paths(Some(&up), None, None).unwrap();
+        assert_eq!(path.as_path(), vec![ia(1, 5), ia(1, 1)]);
+    }
+
+    #[test]
+    fn same_core_up_down_join() {
+        let tr = trust();
+        let up = seg(&tr, SegmentType::Up, &[(ia(1, 1), 0, 1), (ia(1, 5), 1, 0)]);
+        let down = seg(&tr, SegmentType::Down, &[(ia(1, 1), 0, 2), (ia(1, 6), 1, 0)]);
+        let path = combine_paths(Some(&up), None, Some(&down)).unwrap();
+        assert_eq!(path.as_path(), vec![ia(1, 5), ia(1, 1), ia(1, 6)]);
+    }
+
+    #[test]
+    fn disconnected_segments_rejected() {
+        let tr = trust();
+        let up = seg(&tr, SegmentType::Up, &[(ia(1, 1), 0, 1), (ia(1, 5), 1, 0)]);
+        let down = seg(&tr, SegmentType::Down, &[(ia(1, 2), 0, 2), (ia(1, 6), 1, 0)]);
+        assert_eq!(
+            combine_paths(Some(&up), None, Some(&down)),
+            Err(CombineError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn wrong_role_rejected() {
+        let tr = trust();
+        let core = seg(&tr, SegmentType::Core, &[(ia(1, 1), 0, 1), (ia(1, 2), 1, 0)]);
+        assert_eq!(
+            combine_paths(Some(&core), None, None),
+            Err(CombineError::WrongSegmentType)
+        );
+        let up = seg(&tr, SegmentType::Up, &[(ia(1, 1), 0, 1), (ia(1, 5), 1, 0)]);
+        assert_eq!(
+            combine_paths(Some(&up), Some(&up), None),
+            Err(CombineError::WrongSegmentType)
+        );
+    }
+
+    #[test]
+    fn shortcut_at_common_as() {
+        let tr = trust();
+        // Up:   1-1 -> 1-4 -> 1-5 (source 1-5).
+        // Down: 1-1 -> 1-4 -> 1-6 (dest 1-6). Common non-core AS: 1-4.
+        let up = seg(
+            &tr,
+            SegmentType::Up,
+            &[(ia(1, 1), 0, 1), (ia(1, 4), 1, 2), (ia(1, 5), 1, 0)],
+        );
+        let down = seg(
+            &tr,
+            SegmentType::Down,
+            &[(ia(1, 1), 0, 3), (ia(1, 4), 3, 4), (ia(1, 6), 1, 0)],
+        );
+        let path = shortcut_path(&up, &down).unwrap();
+        // Core AS 1-1 is avoided entirely.
+        assert_eq!(path.as_path(), vec![ia(1, 5), ia(1, 4), ia(1, 6)]);
+        // Crossover hop enters via the up segment and leaves via the down
+        // segment's egress at 1-4.
+        assert_eq!(path.hops[1], (ia(1, 4), IfId(2), IfId(4)));
+    }
+
+    #[test]
+    fn shortcut_requires_common_as() {
+        let tr = trust();
+        let up = seg(&tr, SegmentType::Up, &[(ia(1, 1), 0, 1), (ia(1, 5), 1, 0)]);
+        let down = seg(&tr, SegmentType::Down, &[(ia(1, 1), 0, 2), (ia(1, 6), 1, 0)]);
+        // Only common AS is the core origin -> not a shortcut.
+        assert_eq!(shortcut_path(&up, &down), Err(CombineError::NoCommonAs));
+    }
+
+    #[test]
+    fn peering_shortcut_requires_link_in_both_segments() {
+        let tr = trust();
+        let t0 = SimTime::ZERO;
+        let lifetime = Duration::from_hours(6);
+        // Up segment: 1-1 -> 1-5, where 1-5 advertises a peering link to
+        // 1-6 (local if 9, remote if 8).
+        let peer_up = PeerEntry {
+            peer: ia(1, 6),
+            peer_if: IfId(8),
+            hop: HopField::new(IfId(9), IfId::NONE, t0 + lifetime, forwarding_key(ia(1, 5))),
+        };
+        let up_pcb = Pcb::originate(ia(1, 1), IfId(1), t0, lifetime, 0, &tr).extend(
+            ia(1, 5),
+            IfId(1),
+            IfId::NONE,
+            vec![peer_up],
+            &tr,
+        );
+        let up = PathSegment::from_terminated_pcb(SegmentType::Up, up_pcb);
+
+        // Down segment: 1-2 -> 1-6, 1-6 advertises the same link back.
+        let peer_down = PeerEntry {
+            peer: ia(1, 5),
+            peer_if: IfId(9),
+            hop: HopField::new(IfId(8), IfId::NONE, t0 + lifetime, forwarding_key(ia(1, 6))),
+        };
+        let down_pcb = Pcb::originate(ia(1, 2), IfId(1), t0, lifetime, 0, &tr).extend(
+            ia(1, 6),
+            IfId(1),
+            IfId::NONE,
+            vec![peer_down],
+            &tr,
+        );
+        let down = PathSegment::from_terminated_pcb(SegmentType::Down, down_pcb);
+
+        let path = peering_path(&up, &down).unwrap();
+        assert_eq!(path.as_path(), vec![ia(1, 5), ia(1, 6)]);
+        // Crosses the peering link 1-5#9 <-> 1-6#8.
+        assert_eq!(path.links(), vec![(
+            LinkEnd::new(ia(1, 5), IfId(9)),
+            LinkEnd::new(ia(1, 6), IfId(8)),
+        )]);
+
+        // A down segment *without* the reciprocal peer entry must fail.
+        let down_pcb2 = Pcb::originate(ia(1, 2), IfId(1), t0, lifetime, 0, &tr).extend(
+            ia(1, 6),
+            IfId(1),
+            IfId::NONE,
+            vec![],
+            &tr,
+        );
+        let down2 = PathSegment::from_terminated_pcb(SegmentType::Down, down_pcb2);
+        assert_eq!(peering_path(&up, &down2), Err(CombineError::NoPeeringLink));
+    }
+}

@@ -1,0 +1,26 @@
+//! SCION control-plane protocol model.
+//!
+//! Implements the artifacts of paper §2.2–2.3:
+//!
+//! * [`hopfield`] — the cryptographically-protected per-AS forwarding
+//!   entries that make up Packet-Carried Forwarding State (PCFS);
+//! * [`pcb`] — Path-segment Construction Beacons: origination, extension
+//!   (append-and-sign), validation, ages/lifetimes, and the *path key*
+//!   identity used by the diversity algorithm ("has this exact path been
+//!   sent before?");
+//! * [`segment`] — finalized path segments (up / down / core) as registered
+//!   at path servers, including the up/down reversal rule;
+//! * [`combine`] — end-to-end path construction from up to three segments,
+//!   including the shortcut and peering-link rules of §2.3;
+//! * [`wire`] — the byte-size model used by every overhead experiment.
+
+pub mod combine;
+pub mod hopfield;
+pub mod pcb;
+pub mod segment;
+pub mod wire;
+
+pub use combine::{combine_paths, EndToEndPath};
+pub use hopfield::HopField;
+pub use pcb::{AsEntry, PathKey, Pcb, PcbError, PeerEntry};
+pub use segment::{PathSegment, SegmentType};

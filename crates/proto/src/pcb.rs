@@ -1,0 +1,577 @@
+//! Path-segment Construction Beacons (PCBs).
+//!
+//! Paper §2.2: a PCB is initiated by a core AS and iteratively extended:
+//! "Before propagating a PCB, the beacon server appends its AS number and
+//! the incoming and outgoing interface identifiers of the links connecting
+//! to the neighbor ASes. Additionally, each PCB has an expiration timestamp
+//! which is specified by the initiator." Every appended AS entry is signed,
+//! and validation walks the whole chain.
+//!
+//! Orientation convention: entry *i*'s `egress` interface leads to entry
+//! *i+1*'s `ingress` interface. The **last** entry's `egress` points at the
+//! AS the PCB is being sent to — that receiver has not yet appended itself,
+//! so the final link's remote interface id is known only to the receiver
+//! (from the link it arrived on). Beacon stores therefore keep
+//! `(PCB, local ingress ifid)` pairs; see the beaconing crate.
+
+use serde::{Deserialize, Serialize};
+
+use scion_crypto::sim::{SignDomain, Signature};
+use scion_crypto::trc::{TrustStore, VerifyError};
+use scion_types::{Duration, IfId, IsdAsn, LinkEnd, SimTime};
+
+use crate::hopfield::HopField;
+use crate::wire;
+
+/// A peering-link entry attached to an AS entry (paper §2.2: "Non-core ASes
+/// can include their peering links in the PCBs, enabling valley-free
+/// forwarding if both up- and down-path segments contain the same peering
+/// link").
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeerEntry {
+    /// The peer AS on the other side of the peering link.
+    pub peer: IsdAsn,
+    /// Interface id on the peer's side.
+    pub peer_if: IfId,
+    /// Hop field authorizing entry via the local peering interface
+    /// (its `ingress` is the local peering interface id).
+    pub hop: HopField,
+}
+
+/// One AS's contribution to a PCB.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsEntry {
+    /// The appending AS.
+    pub ia: IsdAsn,
+    /// Hop field: `ingress` = interface the PCB entered through
+    /// ([`IfId::NONE`] at the origin), `egress` = interface it left through
+    /// (toward the next entry / the receiver).
+    pub hop: HopField,
+    /// Advertised peering links of this AS.
+    pub peers: Vec<PeerEntry>,
+    /// Signature over the beacon up to and including this entry.
+    pub signature: Signature,
+}
+
+/// The identity of a *path* irrespective of beacon freshness: the sequence
+/// of `(AS, ingress, egress)` triples.
+///
+/// The diversity algorithm must recognize "a newer instance of a PCB with
+/// the same path as its previous instance" (§4.2) — equality of this key is
+/// exactly that notion.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct PathKey(pub Vec<(IsdAsn, IfId, IfId)>);
+
+impl PathKey {
+    /// Extends the key with an additional egress hop at the end — used to
+    /// identify the *candidate* path "stored PCB + egress interface" before
+    /// actually building the extended PCB (Algorithm 1's `p_new`).
+    pub fn with_egress(&self, egress: IfId) -> PathKey {
+        let mut v = self.0.clone();
+        if let Some(last) = v.last_mut() {
+            last.2 = egress;
+        }
+        PathKey(v)
+    }
+}
+
+/// Validation failures for received PCBs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PcbError {
+    /// The beacon has expired (or was never valid at `now`).
+    Expired,
+    /// No AS entries.
+    Empty,
+    /// The origin entry has a non-NONE ingress interface.
+    BadOriginEntry,
+    /// An AS appears twice — beacons must not loop.
+    LoopDetected(IsdAsn),
+    /// A non-final entry is missing its egress interface.
+    MissingEgress,
+    /// Signature-chain verification failed at the given hop.
+    Chain(usize, VerifyError),
+}
+
+impl std::fmt::Display for PcbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcbError::Expired => write!(f, "beacon expired"),
+            PcbError::Empty => write!(f, "beacon has no AS entries"),
+            PcbError::BadOriginEntry => write!(f, "origin entry must have no ingress interface"),
+            PcbError::LoopDetected(ia) => write!(f, "AS {ia} appears twice in beacon"),
+            PcbError::MissingEgress => write!(f, "non-final entry lacks an egress interface"),
+            PcbError::Chain(hop, e) => write!(f, "signature chain invalid at hop {hop}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PcbError {}
+
+/// A Path-segment Construction Beacon.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pcb {
+    /// The initiating core AS.
+    pub origin: IsdAsn,
+    /// Initiation timestamp (set by the origin).
+    pub initiated_at: SimTime,
+    /// Expiration timestamp (set by the origin; paper §2.2).
+    pub expires_at: SimTime,
+    /// Per-origin beacon sequence number, distinguishing beacons initiated
+    /// in the same interval on different interfaces.
+    pub segment_id: u32,
+    /// AS entries, origin first.
+    pub entries: Vec<AsEntry>,
+}
+
+/// Derives an AS's (simulation) hop-field forwarding key from its address.
+pub fn forwarding_key(ia: IsdAsn) -> u64 {
+    (u64::from(ia.isd.0) << 48) ^ ia.asn.value() ^ 0x5c10_4f0d
+}
+
+impl Pcb {
+    /// Originates a beacon at a core AS on egress interface `egress`.
+    ///
+    /// `trust` supplies the origin's signing key; `segment_id`
+    /// disambiguates beacons of the same interval.
+    pub fn originate(
+        origin: IsdAsn,
+        egress: IfId,
+        initiated_at: SimTime,
+        lifetime: Duration,
+        segment_id: u32,
+        trust: &TrustStore,
+    ) -> Pcb {
+        let expires_at = initiated_at + lifetime;
+        let hop = HopField::new(IfId::NONE, egress, expires_at, forwarding_key(origin));
+        let mut pcb = Pcb {
+            origin,
+            initiated_at,
+            expires_at,
+            segment_id,
+            entries: Vec::new(),
+        };
+        let signature = pcb.sign_next_entry(origin, &hop, &[], trust);
+        pcb.entries.push(AsEntry {
+            ia: origin,
+            hop,
+            peers: Vec::new(),
+            signature,
+        });
+        pcb
+    }
+
+    /// Returns a copy of this beacon extended by `ia`, which received it on
+    /// `ingress` and propagates it on `egress`, advertising `peers`.
+    pub fn extend(
+        &self,
+        ia: IsdAsn,
+        ingress: IfId,
+        egress: IfId,
+        peers: Vec<PeerEntry>,
+        trust: &TrustStore,
+    ) -> Pcb {
+        assert!(!ingress.is_none(), "extension requires a real ingress");
+        let hop = HopField::new(ingress, egress, self.expires_at, forwarding_key(ia));
+        let mut pcb = self.clone();
+        let signature = pcb.sign_next_entry(ia, &hop, &peers, trust);
+        pcb.entries.push(AsEntry {
+            ia,
+            hop,
+            peers,
+            signature,
+        });
+        pcb
+    }
+
+    /// The byte string signed by the `entries.len()`-th entry: everything
+    /// accumulated so far plus the new entry's unsigned fields. Hash
+    /// chaining over the serialized prefix mirrors real SCION, where each
+    /// signature covers all preceding entries.
+    fn signed_payload(&self, ia: IsdAsn, hop: &HopField, peers: &[PeerEntry]) -> Vec<u8> {
+        let mut p = Vec::with_capacity(128 + self.entries.len() * 32);
+        p.extend_from_slice(&self.origin.isd.0.to_le_bytes());
+        p.extend_from_slice(&self.origin.asn.value().to_le_bytes());
+        p.extend_from_slice(&self.initiated_at.as_micros().to_le_bytes());
+        p.extend_from_slice(&self.expires_at.as_micros().to_le_bytes());
+        p.extend_from_slice(&self.segment_id.to_le_bytes());
+        for e in &self.entries {
+            Self::push_entry_bytes(&mut p, e.ia, &e.hop, &e.peers);
+            p.extend_from_slice(&e.signature.0);
+        }
+        Self::push_entry_bytes(&mut p, ia, hop, peers);
+        p
+    }
+
+    fn push_entry_bytes(p: &mut Vec<u8>, ia: IsdAsn, hop: &HopField, peers: &[PeerEntry]) {
+        p.extend_from_slice(&ia.isd.0.to_le_bytes());
+        p.extend_from_slice(&ia.asn.value().to_le_bytes());
+        p.extend_from_slice(&hop.ingress.0.to_le_bytes());
+        p.extend_from_slice(&hop.egress.0.to_le_bytes());
+        p.extend_from_slice(&hop.expiry.as_micros().to_le_bytes());
+        p.extend_from_slice(&hop.mac);
+        for pe in peers {
+            p.extend_from_slice(&pe.peer.isd.0.to_le_bytes());
+            p.extend_from_slice(&pe.peer.asn.value().to_le_bytes());
+            p.extend_from_slice(&pe.peer_if.0.to_le_bytes());
+            p.extend_from_slice(&pe.hop.mac);
+        }
+    }
+
+    fn sign_next_entry(
+        &self,
+        ia: IsdAsn,
+        hop: &HopField,
+        peers: &[PeerEntry],
+        trust: &TrustStore,
+    ) -> Signature {
+        let payload = self.signed_payload(ia, hop, peers);
+        trust
+            .key_of(ia)
+            .unwrap_or_else(|| panic!("no signing key for {ia}"))
+            .sign(SignDomain::PcbAsEntry, &payload)
+    }
+
+    /// Full validation of a received beacon at time `now`: liveness,
+    /// structural sanity, loop freedom, and the signature chain
+    /// (each entry verified against its AS certificate and ISD TRC).
+    pub fn validate(&self, trust: &TrustStore, now: SimTime) -> Result<(), PcbError> {
+        if self.entries.is_empty() {
+            return Err(PcbError::Empty);
+        }
+        if now >= self.expires_at || self.initiated_at > now {
+            return Err(PcbError::Expired);
+        }
+        if !self.entries[0].hop.ingress.is_none() {
+            return Err(PcbError::BadOriginEntry);
+        }
+        let mut seen = Vec::with_capacity(self.entries.len());
+        for (i, e) in self.entries.iter().enumerate() {
+            if seen.contains(&e.ia) {
+                return Err(PcbError::LoopDetected(e.ia));
+            }
+            seen.push(e.ia);
+            if i + 1 < self.entries.len() && e.hop.egress.is_none() {
+                return Err(PcbError::MissingEgress);
+            }
+        }
+        // Verify the signature chain by replaying the construction.
+        let mut prefix = Pcb {
+            origin: self.origin,
+            initiated_at: self.initiated_at,
+            expires_at: self.expires_at,
+            segment_id: self.segment_id,
+            entries: Vec::new(),
+        };
+        for (i, e) in self.entries.iter().enumerate() {
+            let payload = prefix.signed_payload(e.ia, &e.hop, &e.peers);
+            trust
+                .verify_chain(e.ia, SignDomain::PcbAsEntry, &payload, &e.signature, now)
+                .map_err(|ve| PcbError::Chain(i, ve))?;
+            prefix.entries.push(e.clone());
+        }
+        Ok(())
+    }
+
+    /// Number of AS hops accumulated so far.
+    pub fn hop_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The AS-level path, origin first.
+    pub fn as_path(&self) -> Vec<IsdAsn> {
+        self.entries.iter().map(|e| e.ia).collect()
+    }
+
+    /// True if `ia` already appears in the beacon (loop prevention).
+    pub fn contains_as(&self, ia: IsdAsn) -> bool {
+        self.entries.iter().any(|e| e.ia == ia)
+    }
+
+    /// The path identity key (see [`PathKey`]).
+    pub fn path_key(&self) -> PathKey {
+        PathKey(
+            self.entries
+                .iter()
+                .map(|e| (e.ia, e.hop.ingress, e.hop.egress))
+                .collect(),
+        )
+    }
+
+    /// The fully-specified interior links of the beacon: for consecutive
+    /// entries `(i, i+1)`, the link `(ia_i, egress_i) ↔ (ia_{i+1},
+    /// ingress_{i+1})`. The final entry's egress (toward the receiver) is
+    /// *not* included — the receiver resolves it via
+    /// [`Pcb::dangling_egress`] and its own arrival interface.
+    pub fn interior_links(&self) -> Vec<(LinkEnd, LinkEnd)> {
+        self.entries
+            .windows(2)
+            .map(|w| {
+                (
+                    LinkEnd::new(w[0].ia, w[0].hop.egress),
+                    LinkEnd::new(w[1].ia, w[1].hop.ingress),
+                )
+            })
+            .collect()
+    }
+
+    /// The last entry's `(AS, egress interface)` — the local end of the
+    /// link over which the beacon is in flight, or `None` when the final
+    /// egress is unset.
+    pub fn dangling_egress(&self) -> Option<(IsdAsn, IfId)> {
+        self.entries.last().and_then(|e| {
+            if e.hop.egress.is_none() {
+                None
+            } else {
+                Some((e.ia, e.hop.egress))
+            }
+        })
+    }
+
+    /// Beacon age at `now` (zero if not yet initiated).
+    pub fn age(&self, now: SimTime) -> Duration {
+        now.since(self.initiated_at)
+    }
+
+    /// Total lifetime as stamped by the origin.
+    pub fn lifetime(&self) -> Duration {
+        self.expires_at.since(self.initiated_at)
+    }
+
+    /// Remaining lifetime at `now` (zero once expired).
+    pub fn remaining_lifetime(&self, now: SimTime) -> Duration {
+        now.until(self.expires_at)
+    }
+
+    /// True if expired at `now`.
+    pub fn is_expired(&self, now: SimTime) -> bool {
+        now >= self.expires_at
+    }
+
+    /// Wire size in bytes per the [`wire`] model.
+    pub fn wire_size(&self) -> u64 {
+        wire::pcb_size(
+            self.entries.len(),
+            self.entries.iter().map(|e| e.peers.len()).sum(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_crypto::trc::TrustStore;
+    use scion_types::{Asn, Isd};
+
+    fn ia(isd: u16, asn: u64) -> IsdAsn {
+        IsdAsn::new(Isd(isd), Asn::from_u64(asn))
+    }
+
+    fn trust() -> TrustStore {
+        TrustStore::bootstrap(
+            vec![
+                (ia(1, 1), true),
+                (ia(1, 2), true),
+                (ia(1, 3), false),
+                (ia(2, 1), true),
+            ]
+            .into_iter(),
+            SimTime::ZERO + Duration::from_days(30),
+        )
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_secs(secs)
+    }
+
+    fn sample_pcb(trust: &TrustStore) -> Pcb {
+        let pcb = Pcb::originate(ia(1, 1), IfId(5), t(0), Duration::from_hours(6), 0, trust);
+        let pcb = pcb.extend(ia(1, 2), IfId(1), IfId(2), vec![], trust);
+        pcb.extend(ia(1, 3), IfId(7), IfId(9), vec![], trust)
+    }
+
+    #[test]
+    fn origination_shape() {
+        let tr = trust();
+        let pcb = Pcb::originate(ia(1, 1), IfId(5), t(0), Duration::from_hours(6), 3, &tr);
+        assert_eq!(pcb.hop_count(), 1);
+        assert_eq!(pcb.origin, ia(1, 1));
+        assert!(pcb.entries[0].hop.ingress.is_none());
+        assert_eq!(pcb.entries[0].hop.egress, IfId(5));
+        assert_eq!(pcb.lifetime(), Duration::from_hours(6));
+        assert_eq!(pcb.segment_id, 3);
+    }
+
+    #[test]
+    fn extension_appends_and_validates() {
+        let tr = trust();
+        let pcb = sample_pcb(&tr);
+        assert_eq!(pcb.as_path(), vec![ia(1, 1), ia(1, 2), ia(1, 3)]);
+        assert_eq!(pcb.validate(&tr, t(10)), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_expired() {
+        let tr = trust();
+        let pcb = sample_pcb(&tr);
+        assert_eq!(
+            pcb.validate(&tr, t(6 * 3600)),
+            Err(PcbError::Expired),
+            "expiry boundary is exclusive"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_tampered_entry() {
+        let tr = trust();
+        let mut pcb = sample_pcb(&tr);
+        pcb.entries[1].hop.egress = IfId(42);
+        assert!(matches!(
+            pcb.validate(&tr, t(10)),
+            Err(PcbError::Chain(1, _))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_truncation_then_regrowth() {
+        // Replace the last entry's signature with the first one's: chain
+        // must break.
+        let tr = trust();
+        let mut pcb = sample_pcb(&tr);
+        pcb.entries[2].signature = pcb.entries[0].signature;
+        assert!(matches!(
+            pcb.validate(&tr, t(10)),
+            Err(PcbError::Chain(2, _))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_loop() {
+        let tr = trust();
+        let pcb = Pcb::originate(ia(1, 1), IfId(5), t(0), Duration::from_hours(6), 0, &tr);
+        let pcb = pcb.extend(ia(1, 2), IfId(1), IfId(2), vec![], &tr);
+        let pcb = pcb.extend(ia(1, 1), IfId(6), IfId(7), vec![], &tr);
+        assert_eq!(pcb.validate(&tr, t(10)), Err(PcbError::LoopDetected(ia(1, 1))));
+    }
+
+    #[test]
+    fn path_key_identifies_paths_not_instances() {
+        let tr = trust();
+        // Same path, two beacon instances initiated at different times.
+        let mk = |at: SimTime| {
+            Pcb::originate(ia(1, 1), IfId(5), at, Duration::from_hours(6), 0, &tr)
+                .extend(ia(1, 2), IfId(1), IfId(2), vec![], &tr)
+        };
+        let a = mk(t(0));
+        let b = mk(t(600));
+        assert_eq!(a.path_key(), b.path_key());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn path_key_with_egress_sets_last_hop() {
+        let tr = trust();
+        let pcb = Pcb::originate(ia(1, 1), IfId(5), t(0), Duration::from_hours(6), 0, &tr);
+        let k = pcb.path_key().with_egress(IfId(9));
+        assert_eq!(k.0.last().unwrap().2, IfId(9));
+        // Original key untouched.
+        assert_eq!(pcb.path_key().0.last().unwrap().2, IfId(5));
+    }
+
+    #[test]
+    fn interior_links_and_dangling_egress() {
+        let tr = trust();
+        let pcb = sample_pcb(&tr);
+        let links = pcb.interior_links();
+        assert_eq!(links.len(), 2);
+        assert_eq!(links[0].0, LinkEnd::new(ia(1, 1), IfId(5)));
+        assert_eq!(links[0].1, LinkEnd::new(ia(1, 2), IfId(1)));
+        assert_eq!(links[1].0, LinkEnd::new(ia(1, 2), IfId(2)));
+        assert_eq!(links[1].1, LinkEnd::new(ia(1, 3), IfId(7)));
+        assert_eq!(pcb.dangling_egress(), Some((ia(1, 3), IfId(9))));
+    }
+
+    #[test]
+    fn ages_and_lifetimes() {
+        let tr = trust();
+        let pcb = Pcb::originate(ia(1, 1), IfId(5), t(100), Duration::from_secs(1000), 0, &tr);
+        assert_eq!(pcb.age(t(150)), Duration::from_secs(50));
+        assert_eq!(pcb.remaining_lifetime(t(150)), Duration::from_secs(950));
+        assert!(!pcb.is_expired(t(1099)));
+        assert!(pcb.is_expired(t(1100)));
+        assert_eq!(pcb.remaining_lifetime(t(2000)), Duration::ZERO);
+    }
+
+    #[test]
+    fn wire_size_grows_with_hops() {
+        let tr = trust();
+        let one = Pcb::originate(ia(1, 1), IfId(5), t(0), Duration::from_hours(6), 0, &tr);
+        let two = one.extend(ia(1, 2), IfId(1), IfId(2), vec![], &tr);
+        assert!(two.wire_size() > one.wire_size());
+        // Each extra hop adds at least a signature's worth of bytes.
+        assert!(two.wire_size() - one.wire_size() >= 96);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+            /// Any loop-free extension chain built through the API
+            /// validates, and its path key length equals its hop count.
+            #[test]
+            fn prop_random_chains_validate(hops in proptest::collection::vec((1u64..4, 1u16..9, 1u16..9), 0..3)) {
+                let tr = trust();
+                // Origin is 1-1; extensions walk distinct ASes 1-2, 1-3, 2-1.
+                let mut pcb = Pcb::originate(ia(1, 1), IfId(5), t(0), Duration::from_hours(6), 0, &tr);
+                let pool = [ia(1, 2), ia(1, 3), ia(2, 1)];
+                for (i, &(_, ing, eg)) in hops.iter().enumerate() {
+                    pcb = pcb.extend(pool[i], IfId(ing), IfId(eg), vec![], &tr);
+                }
+                prop_assert_eq!(pcb.validate(&tr, t(10)), Ok(()));
+                prop_assert_eq!(pcb.path_key().0.len(), pcb.hop_count());
+                prop_assert_eq!(pcb.interior_links().len(), pcb.hop_count() - 1);
+            }
+
+            /// Corrupting any single signature byte anywhere in the chain
+            /// is always detected.
+            #[test]
+            fn prop_any_signature_corruption_detected(entry in 0usize..3, byte in 0usize..96) {
+                let tr = trust();
+                let mut pcb = sample_pcb(&tr);
+                pcb.entries[entry].signature.0[byte] ^= 0x01;
+                prop_assert!(matches!(pcb.validate(&tr, t(10)), Err(PcbError::Chain(_, _))));
+            }
+
+            /// Remaining lifetime plus age equals total lifetime while the
+            /// beacon is alive.
+            #[test]
+            fn prop_age_lifetime_identity(offset in 0u64..21_599) {
+                let tr = trust();
+                let pcb = Pcb::originate(ia(1, 1), IfId(5), t(0), Duration::from_hours(6), 0, &tr);
+                let now = t(offset);
+                prop_assert_eq!(
+                    pcb.age(now) + pcb.remaining_lifetime(now),
+                    pcb.lifetime()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn peer_entries_signed() {
+        let tr = trust();
+        let pcb = Pcb::originate(ia(1, 1), IfId(5), t(0), Duration::from_hours(6), 0, &tr);
+        let peer = PeerEntry {
+            peer: ia(2, 1),
+            peer_if: IfId(3),
+            hop: HopField::new(IfId(8), IfId::NONE, t(3600), forwarding_key(ia(1, 2))),
+        };
+        let mut ext = pcb.extend(ia(1, 2), IfId(1), IfId(2), vec![peer], &tr);
+        assert_eq!(ext.validate(&tr, t(1)), Ok(()));
+        // Dropping the peer entry invalidates the signature.
+        ext.entries[1].peers.clear();
+        assert!(matches!(ext.validate(&tr, t(1)), Err(PcbError::Chain(1, _))));
+    }
+}

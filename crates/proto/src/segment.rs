@@ -1,0 +1,205 @@
+//! Finalized path segments.
+//!
+//! When beaconing terminates (a PCB reaches a leaf AS, or a core AS decides
+//! to register a core path), the receiving AS appends a *terminal* entry —
+//! its own AS entry with no egress interface — and registers the result at
+//! a path server. The terminal beacon is a **path segment**: every link on
+//! it is fully specified.
+//!
+//! Segment types follow §2.2: *up* (leaf→core inside an ISD), *down*
+//! (core→leaf), and *core* (between core ASes). "Up- and down-path segments
+//! are interchangeable, simply by reversing the order of ASes in a
+//! segment" — segments are stored in beaconing direction (origin first) and
+//! reversal happens at path-construction time ([`crate::combine`]).
+
+use serde::{Deserialize, Serialize};
+
+use scion_types::{IfId, IsdAsn, LinkEnd, SimTime};
+
+use crate::pcb::{PathKey, Pcb};
+
+/// The role a segment plays in end-to-end path construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SegmentType {
+    /// Leaf→core within an ISD (a reversed down-segment).
+    Up,
+    /// Core→leaf within an ISD (beaconing direction).
+    Down,
+    /// Between core ASes (possibly across ISDs).
+    Core,
+}
+
+/// A hop of a traversal: `(AS, ingress, egress)` in travel direction.
+pub type TraversalHop = (IsdAsn, IfId, IfId);
+
+/// A finalized path segment.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathSegment {
+    pub seg_type: SegmentType,
+    pcb: Pcb,
+}
+
+impl PathSegment {
+    /// Finalizes a beacon into a segment.
+    ///
+    /// # Panics
+    /// Panics if the beacon's last entry still has an egress interface set
+    /// (i.e. it was captured mid-flight rather than terminated) or if it is
+    /// empty.
+    pub fn from_terminated_pcb(seg_type: SegmentType, pcb: Pcb) -> PathSegment {
+        let last = pcb.entries.last().expect("segment from empty beacon");
+        assert!(
+            last.hop.egress.is_none(),
+            "segment requires a terminated beacon (last egress must be NONE)"
+        );
+        PathSegment { seg_type, pcb }
+    }
+
+    /// The underlying beacon (read-only).
+    pub fn pcb(&self) -> &Pcb {
+        &self.pcb
+    }
+
+    /// The initiating core AS.
+    pub fn origin(&self) -> IsdAsn {
+        self.pcb.origin
+    }
+
+    /// The terminal AS (leaf for up/down segments, far core for core
+    /// segments).
+    pub fn terminal(&self) -> IsdAsn {
+        self.pcb.entries.last().expect("non-empty").ia
+    }
+
+    /// Number of AS hops.
+    pub fn hop_count(&self) -> usize {
+        self.pcb.hop_count()
+    }
+
+    /// Expiry (inherited from the beacon).
+    pub fn expires_at(&self) -> SimTime {
+        self.pcb.expires_at
+    }
+
+    /// True if expired at `now`.
+    pub fn is_expired(&self, now: SimTime) -> bool {
+        self.pcb.is_expired(now)
+    }
+
+    /// Path identity (see [`PathKey`]).
+    pub fn path_key(&self) -> PathKey {
+        self.pcb.path_key()
+    }
+
+    /// All inter-domain links of the segment, as `(near end, far end)`
+    /// pairs in beaconing direction. Fully specified because the segment is
+    /// terminated.
+    pub fn links(&self) -> Vec<(LinkEnd, LinkEnd)> {
+        self.pcb.interior_links()
+    }
+
+    /// The hops in beaconing direction (origin first): `(AS, ingress,
+    /// egress)` — the origin's ingress and the terminal's egress are
+    /// [`IfId::NONE`].
+    pub fn hops_forward(&self) -> Vec<TraversalHop> {
+        self.pcb
+            .entries
+            .iter()
+            .map(|e| (e.ia, e.hop.ingress, e.hop.egress))
+            .collect()
+    }
+
+    /// The hops reversed for up-path traversal (terminal first, ingress and
+    /// egress swapped): "up- and down-path segments are interchangeable,
+    /// simply by reversing the order of ASes" (§2.2).
+    pub fn hops_reversed(&self) -> Vec<TraversalHop> {
+        self.pcb
+            .entries
+            .iter()
+            .rev()
+            .map(|e| (e.ia, e.hop.egress, e.hop.ingress))
+            .collect()
+    }
+
+    /// The AS-level path in beaconing direction.
+    pub fn as_path(&self) -> Vec<IsdAsn> {
+        self.pcb.as_path()
+    }
+
+    /// True if `ia` lies on the segment.
+    pub fn contains_as(&self, ia: IsdAsn) -> bool {
+        self.pcb.contains_as(ia)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_crypto::trc::TrustStore;
+    use scion_types::{Asn, Duration, Isd};
+
+    fn ia(isd: u16, asn: u64) -> IsdAsn {
+        IsdAsn::new(Isd(isd), Asn::from_u64(asn))
+    }
+
+    fn trust() -> TrustStore {
+        TrustStore::bootstrap(
+            vec![(ia(1, 1), true), (ia(1, 2), false), (ia(1, 3), false)].into_iter(),
+            SimTime::ZERO + Duration::from_days(30),
+        )
+    }
+
+    fn terminated(trust: &TrustStore) -> Pcb {
+        Pcb::originate(ia(1, 1), IfId(5), SimTime::ZERO, Duration::from_hours(6), 0, trust)
+            .extend(ia(1, 2), IfId(1), IfId(2), vec![], trust)
+            .extend(ia(1, 3), IfId(7), IfId::NONE, vec![], trust)
+    }
+
+    #[test]
+    fn finalize_terminated_beacon() {
+        let tr = trust();
+        let seg = PathSegment::from_terminated_pcb(SegmentType::Down, terminated(&tr));
+        assert_eq!(seg.origin(), ia(1, 1));
+        assert_eq!(seg.terminal(), ia(1, 3));
+        assert_eq!(seg.hop_count(), 3);
+        assert_eq!(seg.links().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated")]
+    fn refuses_in_flight_beacon() {
+        let tr = trust();
+        let pcb = Pcb::originate(ia(1, 1), IfId(5), SimTime::ZERO, Duration::from_hours(6), 0, &tr);
+        let _ = PathSegment::from_terminated_pcb(SegmentType::Down, pcb);
+    }
+
+    #[test]
+    fn reversal_swaps_direction_and_interfaces() {
+        let tr = trust();
+        let seg = PathSegment::from_terminated_pcb(SegmentType::Down, terminated(&tr));
+        let fwd = seg.hops_forward();
+        let rev = seg.hops_reversed();
+        assert_eq!(fwd.len(), rev.len());
+        // Reversed first hop is the terminal AS with swapped interfaces.
+        assert_eq!(rev[0], (ia(1, 3), IfId::NONE, IfId(7)));
+        assert_eq!(rev[2], (ia(1, 1), IfId(5), IfId::NONE));
+        // Forward and reversed visit the same links.
+        let relink = |hops: &[TraversalHop]| -> Vec<(IsdAsn, IsdAsn)> {
+            hops.windows(2).map(|w| (w[0].0, w[1].0)).collect()
+        };
+        let mut f = relink(&fwd);
+        let r: Vec<_> = relink(&rev).into_iter().map(|(a, b)| (b, a)).rev().collect();
+        f.sort();
+        let mut r = r;
+        r.sort();
+        assert_eq!(f, r);
+    }
+
+    #[test]
+    fn expiry_propagates() {
+        let tr = trust();
+        let seg = PathSegment::from_terminated_pcb(SegmentType::Up, terminated(&tr));
+        assert!(!seg.is_expired(SimTime::ZERO + Duration::from_hours(5)));
+        assert!(seg.is_expired(SimTime::ZERO + Duration::from_hours(6)));
+    }
+}

@@ -1,0 +1,67 @@
+//! Byte-size model for control-plane messages.
+//!
+//! Every overhead number in the evaluation (Fig. 5, Fig. 9, EXPERIMENTS.md)
+//! comes from these formulas. They follow the structure of the deployed
+//! SCION wire format with ECDSA-P384 signatures (per §5.2's assumption),
+//! and are kept in one place so the model is auditable.
+
+use scion_crypto::sizes::ECDSA_P384_SIGNATURE;
+
+use crate::hopfield::HopField;
+
+/// Fixed PCB header: origin ⟨ISD,AS⟩ (8) + initiation (8) + expiry (8) +
+/// segment id (4) + framing/version (4).
+pub const PCB_HEADER: u64 = 8 + 8 + 8 + 4 + 4;
+
+/// One AS entry without peer entries: ⟨ISD,AS⟩ (8) + hop field (12) +
+/// MTU/extension metadata (4) + signature metadata (4, algorithm + key
+/// version) + ECDSA-P384 signature (96).
+pub const AS_ENTRY_BASE: u64 = 8 + HopField::WIRE_SIZE as u64 + 4 + 4 + ECDSA_P384_SIGNATURE as u64;
+
+/// One peer entry: peer ⟨ISD,AS⟩ (8) + peer interface (2) + hop field (12).
+pub const PEER_ENTRY: u64 = 8 + 2 + HopField::WIRE_SIZE as u64;
+
+/// Size of a PCB with `hops` AS entries and `peer_entries` total peer
+/// entries across all hops.
+pub fn pcb_size(hops: usize, peer_entries: usize) -> u64 {
+    PCB_HEADER + hops as u64 * AS_ENTRY_BASE + peer_entries as u64 * PEER_ENTRY
+}
+
+/// A path-segment registration message: the segment (same encoding as the
+/// PCB it came from, minus the last egress) + registration framing.
+pub fn registration_size(hops: usize, peer_entries: usize) -> u64 {
+    pcb_size(hops, peer_entries) + 16
+}
+
+/// A path-segment lookup request: queried ⟨ISD,AS⟩ + flags + framing.
+pub const SEGMENT_REQUEST: u64 = 8 + 2 + 8;
+
+/// An SCMP "external interface down" revocation message: origin
+/// ⟨ISD,AS⟩ (8) + interface id (8) + timestamp (8) + SCMP/quoting
+/// overhead (40).
+pub const SCMP_REVOCATION: u64 = 8 + 8 + 8 + 40;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcb_size_formula() {
+        assert_eq!(pcb_size(1, 0), PCB_HEADER + AS_ENTRY_BASE);
+        assert_eq!(pcb_size(3, 2), PCB_HEADER + 3 * AS_ENTRY_BASE + 2 * PEER_ENTRY);
+    }
+
+    #[test]
+    fn signature_dominates_as_entry() {
+        // Sanity: the per-hop cost is signature-dominated, matching the
+        // paper's observation that SCION baseline overhead lands in
+        // BGPsec's order of magnitude.
+        assert!(AS_ENTRY_BASE as usize > ECDSA_P384_SIGNATURE);
+        assert!((AS_ENTRY_BASE as usize) < 2 * ECDSA_P384_SIGNATURE);
+    }
+
+    #[test]
+    fn registration_wraps_pcb() {
+        assert!(registration_size(2, 0) > pcb_size(2, 0));
+    }
+}

@@ -1,0 +1,259 @@
+//! The event queue and virtual clock.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use scion_topology::{AsIndex, LinkIndex};
+use scion_types::{Duration, SimTime};
+
+/// An event delivered to protocol logic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event<M> {
+    /// A node-local timer fired. `kind` is protocol-defined (e.g. "beaconing
+    /// interval tick" vs "MRAI expiry").
+    Timer { node: AsIndex, kind: u32 },
+    /// A message arrived at `to` over `via` (the link it traversed).
+    Deliver {
+        to: AsIndex,
+        via: LinkIndex,
+        msg: M,
+    },
+}
+
+/// Internal heap entry. Ordering is `(time, seq)`: FIFO among simultaneous
+/// events, which is what makes runs deterministic irrespective of heap
+/// internals.
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The discrete-event engine: a virtual clock plus a deterministic event
+/// queue. Generic over the protocol's message type `M`.
+///
+/// The engine exposes `pop_until` rather than an internal run loop so that
+/// protocol state and the engine can be borrowed independently:
+///
+/// ```ignore
+/// while let Some((now, ev)) = engine.pop_until(end) {
+///     protocol.handle(now, ev, &mut engine);
+/// }
+/// ```
+pub struct Engine<M> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    delivered: u64,
+}
+
+impl<M> Default for Engine<M> {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl<M> Engine<M> {
+    /// Creates an engine with the clock at `t = 0`.
+    pub fn new() -> Engine<M> {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            delivered: 0,
+        }
+    }
+
+    /// Current virtual time (the timestamp of the last popped event, or 0).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far (for progress reporting and tests).
+    pub fn events_processed(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of events still queued.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules a protocol timer at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the virtual past — time travel would silently
+    /// corrupt causality, so it is rejected loudly.
+    pub fn schedule_timer(&mut self, at: SimTime, node: AsIndex, kind: u32) {
+        self.push(at, Event::Timer { node, kind });
+    }
+
+    /// Schedules a timer `after` from now.
+    pub fn schedule_timer_after(&mut self, after: Duration, node: AsIndex, kind: u32) {
+        self.push(self.now + after, Event::Timer { node, kind });
+    }
+
+    /// Sends `msg` to `to` over link `via`, arriving after `latency`.
+    pub fn send(&mut self, latency: Duration, to: AsIndex, via: LinkIndex, msg: M) {
+        self.push(self.now + latency, Event::Deliver { to, via, msg });
+    }
+
+    fn push(&mut self, at: SimTime, event: Event<M>) {
+        assert!(at >= self.now, "cannot schedule into the virtual past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Pops the next event if it occurs strictly before `deadline`,
+    /// advancing the clock to it. Returns `None` when the queue is empty or
+    /// the next event is at/after the deadline (the clock then stays put, so
+    /// a subsequent run segment can continue).
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, Event<M>)> {
+        match self.queue.peek() {
+            Some(Reverse(s)) if s.at < deadline => {
+                let Reverse(s) = self.queue.pop().expect("peeked");
+                self.now = s.at;
+                self.delivered += 1;
+                Some((s.at, s.event))
+            }
+            _ => None,
+        }
+    }
+
+    /// Pops the next event unconditionally.
+    pub fn pop(&mut self) -> Option<(SimTime, Event<M>)> {
+        self.pop_until(SimTime::from_micros(u64::MAX))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_timer(t(30), AsIndex(3), 0);
+        e.schedule_timer(t(10), AsIndex(1), 0);
+        e.schedule_timer(t(20), AsIndex(2), 0);
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop())
+            .map(|(_, ev)| match ev {
+                Event::Timer { node, .. } => node.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut e: Engine<u32> = Engine::new();
+        for i in 0..100u32 {
+            e.schedule_timer(t(5), AsIndex(i), 0);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop())
+            .map(|(_, ev)| match ev {
+                Event::Timer { node, .. } => node.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_until_respects_deadline_and_clock() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_timer(t(10), AsIndex(0), 0);
+        e.schedule_timer(t(50), AsIndex(0), 1);
+        assert!(e.pop_until(t(50)).is_some());
+        assert_eq!(e.now(), t(10));
+        // Next event is exactly at the deadline -> excluded.
+        assert!(e.pop_until(t(50)).is_none());
+        assert_eq!(e.now(), t(10));
+        assert!(e.pop_until(t(51)).is_some());
+        assert_eq!(e.now(), t(50));
+    }
+
+    #[test]
+    fn send_applies_latency_from_now() {
+        let mut e: Engine<&'static str> = Engine::new();
+        e.schedule_timer(t(100), AsIndex(0), 0);
+        let (_, _) = e.pop().unwrap(); // clock -> 100
+        e.send(Duration::from_micros(25), AsIndex(1), LinkIndex(9), "hi");
+        let (at, ev) = e.pop().unwrap();
+        assert_eq!(at, t(125));
+        assert_eq!(
+            ev,
+            Event::Deliver {
+                to: AsIndex(1),
+                via: LinkIndex(9),
+                msg: "hi"
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual past")]
+    fn scheduling_into_past_panics() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_timer(t(100), AsIndex(0), 0);
+        e.pop();
+        e.schedule_timer(t(50), AsIndex(0), 0);
+    }
+
+    #[test]
+    fn counts_processed_and_pending() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_timer(t(1), AsIndex(0), 0);
+        e.schedule_timer(t(2), AsIndex(0), 0);
+        assert_eq!(e.pending(), 2);
+        e.pop();
+        assert_eq!(e.events_processed(), 1);
+        assert_eq!(e.pending(), 1);
+    }
+
+    proptest! {
+        /// Whatever order events are scheduled in, they pop sorted by time,
+        /// and ties preserve the scheduling order.
+        #[test]
+        fn prop_pop_order_is_stable_sort(times in proptest::collection::vec(0u64..1000, 1..200)) {
+            let mut e: Engine<usize> = Engine::new();
+            for (i, &us) in times.iter().enumerate() {
+                e.send(Duration::from_micros(us), AsIndex(0), LinkIndex(0), i);
+            }
+            let mut expected: Vec<(u64, usize)> =
+                times.iter().copied().zip(0..).collect();
+            expected.sort_by_key(|&(us, i)| (us, i));
+            let got: Vec<(u64, usize)> = std::iter::from_fn(|| e.pop())
+                .map(|(at, ev)| match ev {
+                    Event::Deliver { msg, .. } => (at.as_micros(), msg),
+                    _ => unreachable!(),
+                })
+                .collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Parser for the CAIDA `as-rel` serial-1 text format, with an extension for
+//! parallel-link counts.
+//!
+//! The public CAIDA AS-relationship files use lines of the form
+//!
+//! ```text
+//! # comment
+//! <as_a>|<as_b>|<relationship>
+//! ```
+//!
+//! where `relationship` is `-1` for "a is a provider of b" and `0` for
+//! settlement-free peering. The *AS-rel-geo* dataset the paper uses
+//! additionally carries the interconnection locations of each AS pair, from
+//! which the paper infers the **number of parallel links** between
+//! neighbours. That dataset is not redistributable, so we accept an optional
+//! fourth field:
+//!
+//! ```text
+//! <as_a>|<as_b>|<relationship>|<parallel_link_count>
+//! ```
+//!
+//! Absent the fourth field, one link is created per line. This keeps the
+//! format a strict superset of the public one: a real `as-rel` file parses
+//! unchanged, and the geo-derived multiplicity can be pre-joined into the
+//! fourth column by any external tool.
+
+use scion_types::{Asn, Isd, IsdAsn};
+use std::collections::HashMap;
+
+use crate::graph::{AsTopology, Relationship};
+
+/// Errors from parsing an `as-rel` document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Line did not have 3 or 4 `|`-separated fields.
+    BadFieldCount { line: usize },
+    /// A field failed to parse as the expected integer.
+    BadField { line: usize, field: &'static str },
+    /// Relationship value other than `-1` or `0`.
+    BadRelationship { line: usize, value: i64 },
+    /// The same AS pair appeared twice.
+    DuplicatePair { line: usize },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadFieldCount { line } => {
+                write!(f, "line {line}: expected 3 or 4 '|'-separated fields")
+            }
+            ParseError::BadField { line, field } => write!(f, "line {line}: bad {field}"),
+            ParseError::BadRelationship { line, value } => {
+                write!(f, "line {line}: relationship must be -1 or 0, got {value}")
+            }
+            ParseError::DuplicatePair { line } => write!(f, "line {line}: duplicate AS pair"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an `as-rel`(+multiplicity) document into a topology.
+///
+/// All ASes are placed in ISD 1 (wildcard-equivalent) — ISD assignment is a
+/// separate step (see [`crate::isd`]). Comment lines (`#`) and blank lines
+/// are skipped.
+pub fn parse_as_rel(input: &str) -> Result<AsTopology, ParseError> {
+    let mut topo = AsTopology::new();
+    let mut idx_of: HashMap<u64, _> = HashMap::new();
+    let mut seen_pairs = HashMap::new();
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let line_no = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('|').collect();
+        if fields.len() != 3 && fields.len() != 4 {
+            return Err(ParseError::BadFieldCount { line: line_no });
+        }
+        let a: u64 = fields[0].parse().map_err(|_| ParseError::BadField {
+            line: line_no,
+            field: "as_a",
+        })?;
+        let b: u64 = fields[1].parse().map_err(|_| ParseError::BadField {
+            line: line_no,
+            field: "as_b",
+        })?;
+        let rel_raw: i64 = fields[2].parse().map_err(|_| ParseError::BadField {
+            line: line_no,
+            field: "relationship",
+        })?;
+        let rel = match rel_raw {
+            -1 => Relationship::AProviderOfB,
+            0 => Relationship::PeerToPeer,
+            other => {
+                return Err(ParseError::BadRelationship {
+                    line: line_no,
+                    value: other,
+                })
+            }
+        };
+        let parallel: usize = if fields.len() == 4 {
+            fields[3].parse().map_err(|_| ParseError::BadField {
+                line: line_no,
+                field: "parallel_link_count",
+            })?
+        } else {
+            1
+        };
+
+        let key = (a.min(b), a.max(b));
+        if seen_pairs.insert(key, line_no).is_some() {
+            return Err(ParseError::DuplicatePair { line: line_no });
+        }
+
+        let ai = *idx_of
+            .entry(a)
+            .or_insert_with(|| topo.add_as(IsdAsn::new(Isd(1), Asn::from_u64(a))));
+        let bi = *idx_of
+            .entry(b)
+            .or_insert_with(|| topo.add_as(IsdAsn::new(Isd(1), Asn::from_u64(b))));
+        for _ in 0..parallel.max(1) {
+            topo.add_link(ai, bi, rel);
+        }
+    }
+    Ok(topo)
+}
+
+/// Serializes a topology back to the extended `as-rel` format (one line per
+/// AS pair, multiplicity in the fourth column). Inverse of [`parse_as_rel`]
+/// up to line order.
+pub fn to_as_rel(topo: &AsTopology) -> String {
+    use std::fmt::Write as _;
+    let mut pair_count: HashMap<(u64, u64, Relationship), usize> = HashMap::new();
+    for li in topo.link_indices() {
+        let l = topo.link(li);
+        let a = topo.node(l.a).ia.asn.value();
+        let b = topo.node(l.b).ia.asn.value();
+        *pair_count.entry((a, b, l.rel)).or_insert(0) += 1;
+    }
+    let mut rows: Vec<_> = pair_count.into_iter().collect();
+    rows.sort();
+    let mut out = String::from("# as_a|as_b|rel|parallel_links\n");
+    for ((a, b, rel), n) in rows {
+        let rel_num = match rel {
+            Relationship::AProviderOfB => -1,
+            Relationship::PeerToPeer => 0,
+        };
+        writeln!(out, "{a}|{b}|{rel_num}|{n}").expect("writing to String cannot fail");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# inferred relationships
+1|2|-1
+2|3|0
+1|3|-1|3
+";
+
+    #[test]
+    fn parses_sample() {
+        let t = parse_as_rel(SAMPLE).unwrap();
+        assert_eq!(t.num_ases(), 3);
+        // 1 + 1 + 3 parallel
+        assert_eq!(t.num_links(), 5);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn relationship_direction_preserved() {
+        let t = parse_as_rel("10|20|-1\n").unwrap();
+        let a = t
+            .by_address(IsdAsn::new(Isd(1), Asn::from_u64(10)))
+            .unwrap();
+        let b = t
+            .by_address(IsdAsn::new(Isd(1), Asn::from_u64(20)))
+            .unwrap();
+        assert_eq!(t.customers(a), vec![b]);
+        assert_eq!(t.providers(b), vec![a]);
+    }
+
+    #[test]
+    fn rejects_bad_field_count() {
+        assert_eq!(
+            parse_as_rel("1|2\n").unwrap_err(),
+            ParseError::BadFieldCount { line: 1 }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_relationship() {
+        assert_eq!(
+            parse_as_rel("1|2|7\n").unwrap_err(),
+            ParseError::BadRelationship { line: 1, value: 7 }
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_pair_even_reversed() {
+        let doc = "1|2|-1\n2|1|0\n";
+        assert_eq!(
+            parse_as_rel(doc).unwrap_err(),
+            ParseError::DuplicatePair { line: 2 }
+        );
+    }
+
+    #[test]
+    fn rejects_non_numeric_fields() {
+        assert!(matches!(
+            parse_as_rel("x|2|-1\n").unwrap_err(),
+            ParseError::BadField { field: "as_a", .. }
+        ));
+        assert!(matches!(
+            parse_as_rel("1|2|-1|x\n").unwrap_err(),
+            ParseError::BadField {
+                field: "parallel_link_count",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let t = parse_as_rel("# hi\n\n  \n1|2|0\n").unwrap();
+        assert_eq!(t.num_links(), 1);
+    }
+
+    #[test]
+    fn roundtrip_through_serializer() {
+        let t = parse_as_rel(SAMPLE).unwrap();
+        let doc = to_as_rel(&t);
+        let t2 = parse_as_rel(&doc).unwrap();
+        assert_eq!(t2.num_ases(), t.num_ases());
+        assert_eq!(t2.num_links(), t.num_links());
+    }
+}

@@ -1,0 +1,121 @@
+//! Customer-cone computation.
+//!
+//! The *customer cone* of an AS is the set of ASes reachable by following
+//! provider→customer links only (including the AS itself). CAIDA's AS-Rank —
+//! which the paper uses to pick the 11 highest-rank American ASes as the core
+//! of its big intra-ISD topology (§5.1) — ranks ASes by customer-cone size.
+
+use std::collections::VecDeque;
+
+use crate::graph::{AsIndex, AsTopology};
+
+/// Computes the customer cone of `root` (including `root` itself).
+///
+/// Runs a BFS over provider→customer edges. Cycles in the relationship graph
+/// (which inferred datasets occasionally contain) are handled by the visited
+/// set.
+pub fn customer_cone(topo: &AsTopology, root: AsIndex) -> Vec<AsIndex> {
+    let mut visited = vec![false; topo.num_ases()];
+    let mut cone = Vec::new();
+    let mut queue = VecDeque::new();
+    visited[root.as_usize()] = true;
+    queue.push_back(root);
+    while let Some(cur) = queue.pop_front() {
+        cone.push(cur);
+        for cust in topo.customers(cur) {
+            if !visited[cust.as_usize()] {
+                visited[cust.as_usize()] = true;
+                queue.push_back(cust);
+            }
+        }
+    }
+    cone
+}
+
+/// Customer-cone sizes for every AS (the AS-Rank metric), computed with one
+/// BFS per AS. O(V·(V+E)) worst case but cheap in practice on sparse AS
+/// graphs of the sizes used here.
+pub fn cone_sizes(topo: &AsTopology) -> Vec<usize> {
+    topo.as_indices()
+        .map(|idx| customer_cone(topo, idx).len())
+        .collect()
+}
+
+/// The `n` ASes with the largest customer cones, in descending cone-size
+/// order (ties broken by ascending AS index for determinism).
+pub fn top_by_cone(topo: &AsTopology, n: usize) -> Vec<AsIndex> {
+    let sizes = cone_sizes(topo);
+    let mut order: Vec<AsIndex> = topo.as_indices().collect();
+    order.sort_by_key(|idx| (std::cmp::Reverse(sizes[idx.as_usize()]), idx.0));
+    order.truncate(n);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{topology_from_edges, Relationship};
+    use scion_types::{Asn, Isd, IsdAsn};
+
+    fn ia(asn: u64) -> IsdAsn {
+        IsdAsn::new(Isd(1), Asn::from_u64(asn))
+    }
+
+    /// 1 provides to 2 and 3; 2 provides to 4; 3 peers with 4.
+    fn sample() -> AsTopology {
+        topology_from_edges(&[
+            (1, 2, Relationship::AProviderOfB, 1),
+            (1, 3, Relationship::AProviderOfB, 1),
+            (2, 4, Relationship::AProviderOfB, 1),
+            (3, 4, Relationship::PeerToPeer, 1),
+        ])
+    }
+
+    #[test]
+    fn cone_follows_only_customer_edges() {
+        let t = sample();
+        let one = t.by_address(ia(1)).unwrap();
+        let three = t.by_address(ia(3)).unwrap();
+        let cone1 = customer_cone(&t, one);
+        assert_eq!(cone1.len(), 4); // 1,2,3,4
+        // 3 peers with 4, so 4 is NOT in 3's cone.
+        let cone3 = customer_cone(&t, three);
+        assert_eq!(cone3.len(), 1);
+    }
+
+    #[test]
+    fn cone_includes_self() {
+        let t = sample();
+        let four = t.by_address(ia(4)).unwrap();
+        assert_eq!(customer_cone(&t, four), vec![four]);
+    }
+
+    #[test]
+    fn cone_handles_relationship_cycles() {
+        // 1 -> 2 -> 3 -> 1 provider cycle must terminate.
+        let t = topology_from_edges(&[
+            (1, 2, Relationship::AProviderOfB, 1),
+            (2, 3, Relationship::AProviderOfB, 1),
+            (3, 1, Relationship::AProviderOfB, 1),
+        ]);
+        let one = t.by_address(ia(1)).unwrap();
+        assert_eq!(customer_cone(&t, one).len(), 3);
+    }
+
+    #[test]
+    fn top_by_cone_orders_descending() {
+        let t = sample();
+        let top = top_by_cone(&t, 2);
+        assert_eq!(t.node(top[0]).ia, ia(1)); // cone 4
+        assert_eq!(t.node(top[1]).ia, ia(2)); // cone 2
+    }
+
+    #[test]
+    fn cone_sizes_match_individual_cones() {
+        let t = sample();
+        let sizes = cone_sizes(&t);
+        for idx in t.as_indices() {
+            assert_eq!(sizes[idx.as_usize()], customer_cone(&t, idx).len());
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Synthetic Internet-like AS topology generator.
+//!
+//! Stands in for the CAIDA *AS-rel-geo* dataset (see DESIGN.md §2). The
+//! evaluation's behaviour depends on three statistical properties of the
+//! input topology, all of which this generator reproduces:
+//!
+//! 1. **Power-law degree distribution** — grown by preferential attachment:
+//!    each new AS picks its providers with probability proportional to the
+//!    providers' current degree, yielding the heavy-tailed hierarchy real
+//!    AS graphs exhibit.
+//! 2. **Gao–Rexford-consistent relationship labels** — attachment edges are
+//!    provider→customer (new AS buys transit), tier-1 ASes form a
+//!    settlement-free peering clique, and additional peering links connect
+//!    ASes of similar rank. The relationship graph is acyclic by
+//!    construction (providers always predate their customers), so
+//!    valley-free propagation is well defined.
+//! 3. **Parallel inter-AS links** — high-degree AS pairs interconnect at
+//!    several points of presence; the generator draws a multiplicity that
+//!    grows with the smaller endpoint's connectivity, which is what gives
+//!    the diversity algorithm (and the capacity evaluation of Fig. 6b)
+//!    non-trivial link-disjoint options.
+//!
+//! The generator is fully deterministic given its seed.
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use scion_types::{Asn, Isd, IsdAsn};
+
+use crate::graph::{AsIndex, AsTopology, Relationship};
+
+/// Tunables for [`generate_internet`].
+#[derive(Clone, Debug)]
+pub struct GeneratorConfig {
+    /// Total number of ASes (the paper's AS-rel-geo slice has 12 000).
+    pub num_ases: usize,
+    /// Number of tier-1 ASes forming the initial peering clique.
+    pub num_tier1: usize,
+    /// Maximum number of providers a new AS attaches to (drawn uniformly
+    /// from `1..=max_providers`).
+    pub max_providers: usize,
+    /// Number of extra peering links to scatter between similar-rank ASes,
+    /// as a fraction of `num_ases`.
+    pub peering_fraction: f64,
+    /// Probability that an interconnection between two well-connected ASes
+    /// gains each additional parallel link (geometric tail, capped at
+    /// [`GeneratorConfig::max_parallel`]).
+    pub parallel_prob: f64,
+    /// Hard cap on parallel links per AS pair.
+    pub max_parallel: usize,
+    /// RNG seed; equal seeds produce identical topologies.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            num_ases: 12_000,
+            num_tier1: 15,
+            max_providers: 3,
+            peering_fraction: 0.25,
+            parallel_prob: 0.45,
+            max_parallel: 5,
+            seed: 0xC04E_2021,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// A small configuration for tests and quick examples.
+    pub fn small(num_ases: usize, seed: u64) -> GeneratorConfig {
+        GeneratorConfig {
+            num_ases,
+            num_tier1: (num_ases / 20).clamp(3, 15),
+            seed,
+            ..GeneratorConfig::default()
+        }
+    }
+}
+
+/// Generates an Internet-like topology per the module documentation.
+///
+/// ASes are numbered `1..=num_ases`; all start in ISD 1 (ISD assignment is a
+/// separate pass, see [`crate::isd`]). Tier-1 ASes are the first
+/// `num_tier1` indices.
+///
+/// # Panics
+/// Panics if `num_ases < num_tier1` or `num_tier1 < 2`.
+pub fn generate_internet(cfg: &GeneratorConfig) -> AsTopology {
+    assert!(cfg.num_tier1 >= 2, "need at least two tier-1 ASes");
+    assert!(
+        cfg.num_ases >= cfg.num_tier1,
+        "num_ases must cover the tier-1 clique"
+    );
+    let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed);
+    let mut topo = AsTopology::new();
+
+    // Degree tracked per AS for preferential attachment (counting parallel
+    // links: an AS with many parallel interconnects *is* better connected).
+    let mut degree: Vec<usize> = Vec::with_capacity(cfg.num_ases);
+
+    // 1. Tier-1 clique (settlement-free peering, multiple parallel links).
+    for asn in 1..=cfg.num_tier1 as u64 {
+        topo.add_as(IsdAsn::new(Isd(1), Asn::from_u64(asn)));
+        degree.push(0);
+    }
+    for i in 0..cfg.num_tier1 {
+        for j in (i + 1)..cfg.num_tier1 {
+            let n = draw_parallel(&mut rng, cfg, usize::MAX);
+            for _ in 0..n {
+                topo.add_link(AsIndex(i as u32), AsIndex(j as u32), Relationship::PeerToPeer);
+            }
+            degree[i] += n;
+            degree[j] += n;
+        }
+    }
+
+    // 2. Preferential-attachment growth: each new AS buys transit from
+    //    1..=max_providers existing ASes, chosen ∝ degree.
+    for asn in (cfg.num_tier1 as u64 + 1)..=(cfg.num_ases as u64) {
+        let new_idx = topo.add_as(IsdAsn::new(Isd(1), Asn::from_u64(asn)));
+        degree.push(0);
+        let num_existing = new_idx.as_usize();
+        let num_providers = rng.gen_range(1..=cfg.max_providers).min(num_existing);
+
+        let mut providers: Vec<usize> = Vec::with_capacity(num_providers);
+        // Weighted sampling without replacement (+1 smooths zero-degree).
+        let mut weights: Vec<f64> = degree[..num_existing].iter().map(|&d| d as f64 + 1.0).collect();
+        for _ in 0..num_providers {
+            let dist = WeightedIndex::new(&weights).expect("weights are positive");
+            let choice = dist.sample(&mut rng);
+            providers.push(choice);
+            weights[choice] = 0.0_f64.max(f64::MIN_POSITIVE); // effectively exclude
+        }
+
+        for p in providers {
+            let min_deg = degree[p].min(degree[new_idx.as_usize()]);
+            let n = draw_parallel(&mut rng, cfg, min_deg);
+            for _ in 0..n {
+                topo.add_link(AsIndex(p as u32), new_idx, Relationship::AProviderOfB);
+            }
+            degree[p] += n;
+            degree[new_idx.as_usize()] += n;
+        }
+    }
+
+    // 3. Peering between similar-rank ASes: sort by degree, peer ASes whose
+    //    rank positions are close (real-world peering is assortative).
+    let num_peerings = (cfg.peering_fraction * cfg.num_ases as f64).round() as usize;
+    let mut by_degree: Vec<usize> = (0..cfg.num_ases).collect();
+    by_degree.sort_by_key(|&i| std::cmp::Reverse(degree[i]));
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < num_peerings && attempts < num_peerings * 20 {
+        attempts += 1;
+        let pos = rng.gen_range(0..cfg.num_ases);
+        let span = (cfg.num_ases / 10).max(2);
+        let offset = rng.gen_range(1..span);
+        let pos2 = (pos + offset) % cfg.num_ases;
+        let (x, y) = (by_degree[pos], by_degree[pos2]);
+        if x == y || x < cfg.num_tier1 && y < cfg.num_tier1 {
+            continue; // tier-1 clique already fully meshed
+        }
+        let (xi, yi) = (AsIndex(x as u32), AsIndex(y as u32));
+        if !topo.links_between(xi, yi).is_empty() {
+            continue;
+        }
+        let min_deg = degree[x].min(degree[y]);
+        let n = draw_parallel(&mut rng, cfg, min_deg);
+        for _ in 0..n {
+            topo.add_link(xi, yi, Relationship::PeerToPeer);
+        }
+        degree[x] += n;
+        degree[y] += n;
+        added += 1;
+    }
+
+    debug_assert_eq!(topo.check_invariants(), Ok(()));
+    topo
+}
+
+/// Draws a parallel-link multiplicity: always at least 1, with a geometric
+/// tail whose success probability is `parallel_prob`, but only for endpoints
+/// that are already well connected (`min_endpoint_degree >= 4` — stub ASes
+/// realistically have a single interconnect per neighbour).
+fn draw_parallel(rng: &mut impl Rng, cfg: &GeneratorConfig, min_endpoint_degree: usize) -> usize {
+    let mut n = 1;
+    if min_endpoint_degree < 4 {
+        return n;
+    }
+    while n < cfg.max_parallel && rng.gen_bool(cfg.parallel_prob) {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let cfg = GeneratorConfig::small(200, 42);
+        let t1 = generate_internet(&cfg);
+        let t2 = generate_internet(&cfg);
+        assert_eq!(t1.num_ases(), t2.num_ases());
+        assert_eq!(t1.num_links(), t2.num_links());
+        for li in t1.link_indices() {
+            assert_eq!(t1.link_id(li), t2.link_id(li));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let t1 = generate_internet(&GeneratorConfig::small(200, 1));
+        let t2 = generate_internet(&GeneratorConfig::small(200, 2));
+        // Extremely unlikely to coincide exactly.
+        assert_ne!(t1.num_links(), t2.num_links());
+    }
+
+    #[test]
+    fn every_non_tier1_as_has_a_provider() {
+        let cfg = GeneratorConfig::small(300, 7);
+        let t = generate_internet(&cfg);
+        for idx in t.as_indices().skip(cfg.num_tier1) {
+            assert!(
+                !t.providers(idx).is_empty(),
+                "{} has no provider",
+                t.node(idx).ia
+            );
+        }
+    }
+
+    #[test]
+    fn tier1_forms_peering_clique() {
+        let cfg = GeneratorConfig::small(100, 3);
+        let t = generate_internet(&cfg);
+        for i in 0..cfg.num_tier1 {
+            for j in (i + 1)..cfg.num_tier1 {
+                let links = t.links_between(AsIndex(i as u32), AsIndex(j as u32));
+                assert!(!links.is_empty(), "tier1 {i} and {j} not connected");
+                assert!(links.iter().all(|&li| t.link(li).is_peering()));
+            }
+        }
+    }
+
+    #[test]
+    fn relationship_graph_is_acyclic() {
+        // Providers always have a smaller index than their customers by
+        // construction; verify on a sample.
+        let t = generate_internet(&GeneratorConfig::small(300, 9));
+        for li in t.link_indices() {
+            let l = t.link(li);
+            if matches!(l.rel, Relationship::AProviderOfB) {
+                assert!(l.a < l.b, "provider edge goes from older to newer AS");
+            }
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let t = generate_internet(&GeneratorConfig::small(1000, 11));
+        let mut degrees: Vec<usize> = t.as_indices().map(|i| t.node(i).link_degree()).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        // The best-connected AS should dominate the median AS by a large
+        // factor — the signature of preferential attachment.
+        let median = degrees[degrees.len() / 2];
+        assert!(
+            degrees[0] >= median * 8,
+            "max degree {} vs median {median} not heavy-tailed",
+            degrees[0]
+        );
+    }
+
+    #[test]
+    fn parallel_links_exist_between_well_connected_pairs() {
+        let t = generate_internet(&GeneratorConfig::small(1000, 13));
+        let has_parallel = t.as_indices().any(|i| {
+            t.neighbors(i)
+                .iter()
+                .any(|&nb| t.links_between(i, nb).len() > 1)
+        });
+        assert!(has_parallel, "expected some parallel inter-AS links");
+    }
+
+    #[test]
+    fn topology_is_connected() {
+        let t = generate_internet(&GeneratorConfig::small(500, 17));
+        // BFS over all links from AS 0.
+        let mut visited = vec![false; t.num_ases()];
+        let mut queue = std::collections::VecDeque::from([AsIndex(0)]);
+        visited[0] = true;
+        let mut count = 0;
+        while let Some(cur) = queue.pop_front() {
+            count += 1;
+            for (_, nb, _, _) in t.incident(cur) {
+                if !visited[nb.as_usize()] {
+                    visited[nb.as_usize()] = true;
+                    queue.push_back(nb);
+                }
+            }
+        }
+        assert_eq!(count, t.num_ases());
+    }
+}

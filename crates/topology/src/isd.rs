@@ -1,0 +1,339 @@
+//! Isolation-Domain construction and topology pruning, following §5.1.
+//!
+//! Two derived topologies drive the paper's experiments:
+//!
+//! * **Core-beaconing topology** — "the subset of the 2000 highest-degree
+//!   ASes from the topology of 12000 ASes …, by incrementally pruning the
+//!   10000 lowest-degree ASes", organized as 200 ISDs with 10 core ASes
+//!   each. [`prune_to_top_degree`] implements the incremental pruning and
+//!   [`assign_isds`] the grouping; every surviving AS is marked core.
+//! * **Intra-ISD topology** — "pick the 11 highest-rank American ASes (by
+//!   customer cone size) … then add their direct or indirect customers by
+//!   iterating down the Internet hierarchy". [`build_intra_isd_topology`]
+//!   implements exactly this downward closure.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use scion_types::Isd;
+
+use crate::cone::top_by_cone;
+use crate::graph::{AsIndex, AsTopology};
+
+/// Result of grouping a core topology into ISDs.
+#[derive(Clone, Debug)]
+pub struct IsdLayout {
+    /// ISD of each AS, indexed by [`AsIndex`].
+    pub isd_of: Vec<Isd>,
+    /// Number of ISDs created.
+    pub num_isds: usize,
+}
+
+/// Extracts the sub-multigraph induced by the ASes for which `keep` is true.
+///
+/// Returns the new topology plus, for each old index, its new index (or
+/// `None` if pruned). Interface ids are reassigned in the new topology —
+/// identity of links across the mapping is positional, not interface-id
+/// based.
+pub fn induced_subgraph(
+    topo: &AsTopology,
+    keep: &[bool],
+) -> (AsTopology, Vec<Option<AsIndex>>) {
+    assert_eq!(keep.len(), topo.num_ases());
+    let mut out = AsTopology::new();
+    let mut mapping: Vec<Option<AsIndex>> = vec![None; topo.num_ases()];
+    for idx in topo.as_indices() {
+        if keep[idx.as_usize()] {
+            let new_idx = out.add_as(topo.node(idx).ia);
+            out.set_core(new_idx, topo.node(idx).core);
+            mapping[idx.as_usize()] = Some(new_idx);
+        }
+    }
+    for li in topo.link_indices() {
+        let l = topo.link(li);
+        if let (Some(na), Some(nb)) = (mapping[l.a.as_usize()], mapping[l.b.as_usize()]) {
+            out.add_link(na, nb, l.rel);
+        }
+    }
+    (out, mapping)
+}
+
+/// Incrementally prunes the lowest-degree ASes until `n` remain (paper
+/// §5.1). Each removal lowers its neighbours' degrees, so pruning is done
+/// with a lazy-deletion min-heap, exactly reproducing "incrementally pruning
+/// the 10000 lowest-degree ASes". Ties break on ascending AS index for
+/// determinism.
+///
+/// Returns the induced subtopology of the survivors plus the index mapping.
+pub fn prune_to_top_degree(
+    topo: &AsTopology,
+    n: usize,
+) -> (AsTopology, Vec<Option<AsIndex>>) {
+    assert!(n <= topo.num_ases());
+    let mut degree: Vec<usize> = topo
+        .as_indices()
+        .map(|i| topo.node(i).link_degree())
+        .collect();
+    let mut removed = vec![false; topo.num_ases()];
+    let mut remaining = topo.num_ases();
+
+    // Min-heap via Reverse; entries are (degree, index) and may be stale —
+    // stale entries are skipped when popped.
+    let mut heap: BinaryHeap<std::cmp::Reverse<(usize, u32)>> = topo
+        .as_indices()
+        .map(|i| std::cmp::Reverse((degree[i.as_usize()], i.0)))
+        .collect();
+
+    while remaining > n {
+        let std::cmp::Reverse((d, raw)) = heap.pop().expect("heap exhausted before target size");
+        let idx = AsIndex(raw);
+        if removed[idx.as_usize()] || d != degree[idx.as_usize()] {
+            continue; // stale entry
+        }
+        removed[idx.as_usize()] = true;
+        remaining -= 1;
+        for (_, nb, _, _) in topo.incident(idx) {
+            if !removed[nb.as_usize()] {
+                degree[nb.as_usize()] -= 1;
+                heap.push(std::cmp::Reverse((degree[nb.as_usize()], nb.0)));
+            }
+        }
+    }
+
+    let keep: Vec<bool> = removed.iter().map(|&r| !r).collect();
+    induced_subgraph(topo, &keep)
+}
+
+/// Groups the ASes of a (core) topology into ISDs of up to `isd_size`
+/// members and marks every AS as core.
+///
+/// Grouping is locality-aware: repeatedly seed a new ISD at the
+/// highest-degree unassigned AS and grow it by BFS over unassigned
+/// neighbours, so ISDs correspond to well-connected regions rather than
+/// arbitrary slices. ISD numbers start at 1.
+pub fn assign_isds(topo: &mut AsTopology, isd_size: usize) -> IsdLayout {
+    assert!(isd_size >= 1);
+    let n = topo.num_ases();
+    let mut isd_of: Vec<Option<Isd>> = vec![None; n];
+    let mut order: Vec<AsIndex> = topo.as_indices().collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(topo.node(i).link_degree()), i.0));
+
+    let mut next_isd: u16 = 1;
+    for &seed in &order {
+        if isd_of[seed.as_usize()].is_some() {
+            continue;
+        }
+        let isd = Isd(next_isd);
+        next_isd = next_isd.checked_add(1).expect("ISD space exhausted");
+        let mut members = 0usize;
+        let mut queue = VecDeque::from([seed]);
+        isd_of[seed.as_usize()] = Some(isd);
+        while let Some(cur) = queue.pop_front() {
+            members += 1;
+            if members >= isd_size {
+                break;
+            }
+            for (_, nb, _, _) in topo.incident(cur) {
+                if members + queue.len() >= isd_size {
+                    break;
+                }
+                if isd_of[nb.as_usize()].is_none() {
+                    isd_of[nb.as_usize()] = Some(isd);
+                    queue.push_back(nb);
+                }
+            }
+        }
+    }
+
+    let isd_of: Vec<Isd> = isd_of.into_iter().map(|o| o.expect("all assigned")).collect();
+    for idx in 0..n {
+        let i = AsIndex(idx as u32);
+        topo.set_isd(i, isd_of[idx]);
+        topo.set_core(i, true);
+    }
+    IsdLayout {
+        num_isds: (next_isd - 1) as usize,
+        isd_of,
+    }
+}
+
+/// Builds the §5.1 intra-ISD evaluation topology: the `num_cores`
+/// highest-customer-cone ASes plus the downward closure of their customers,
+/// as a single ISD (ISD 1) with exactly those ASes marked core.
+///
+/// Returns the induced topology and the old→new index mapping.
+pub fn build_intra_isd_topology(
+    topo: &AsTopology,
+    num_cores: usize,
+) -> (AsTopology, Vec<Option<AsIndex>>) {
+    let cores = top_by_cone(topo, num_cores);
+    let mut keep = vec![false; topo.num_ases()];
+    let mut is_core = vec![false; topo.num_ases()];
+    let mut queue = VecDeque::new();
+    for &c in &cores {
+        keep[c.as_usize()] = true;
+        is_core[c.as_usize()] = true;
+        queue.push_back(c);
+    }
+    // Downward closure: follow provider→customer edges only.
+    while let Some(cur) = queue.pop_front() {
+        for cust in topo.customers(cur) {
+            if !keep[cust.as_usize()] {
+                keep[cust.as_usize()] = true;
+                queue.push_back(cust);
+            }
+        }
+    }
+    let (mut out, mapping) = induced_subgraph(topo, &keep);
+    for old in topo.as_indices() {
+        if let Some(new) = mapping[old.as_usize()] {
+            out.set_core(new, is_core[old.as_usize()]);
+            out.set_isd(new, Isd(1));
+        }
+    }
+    (out, mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_internet, GeneratorConfig};
+    use crate::graph::{topology_from_edges, Relationship};
+
+    #[test]
+    fn induced_subgraph_keeps_only_internal_links() {
+        let t = topology_from_edges(&[
+            (1, 2, Relationship::AProviderOfB, 1),
+            (2, 3, Relationship::AProviderOfB, 2),
+            (1, 3, Relationship::PeerToPeer, 1),
+        ]);
+        // Keep ASes 1 and 2 only.
+        let keep: Vec<bool> = t
+            .as_indices()
+            .map(|i| t.node(i).ia.asn.value() <= 2)
+            .collect();
+        let (sub, mapping) = induced_subgraph(&t, &keep);
+        assert_eq!(sub.num_ases(), 2);
+        assert_eq!(sub.num_links(), 1); // only the 1-2 link survives
+        assert_eq!(mapping.iter().filter(|m| m.is_some()).count(), 2);
+        sub.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn prune_keeps_highest_degree_ases() {
+        // Star: hub 1 with leaves 2..=5; plus a triangle 2-3, 3-4.
+        let t = topology_from_edges(&[
+            (1, 2, Relationship::AProviderOfB, 1),
+            (1, 3, Relationship::AProviderOfB, 1),
+            (1, 4, Relationship::AProviderOfB, 1),
+            (1, 5, Relationship::AProviderOfB, 1),
+            (2, 3, Relationship::PeerToPeer, 1),
+            (3, 4, Relationship::PeerToPeer, 1),
+        ]);
+        let (sub, _) = prune_to_top_degree(&t, 2);
+        assert_eq!(sub.num_ases(), 2);
+        // Incremental (k-core-style) pruning: leaf 5 goes first, dropping
+        // the hub to degree 3; then 2 (tie with 4, lower index), dropping
+        // the hub to 2 and AS 3 to 2; then the hub itself (lowest index at
+        // degree 2). Survivors: 3 and 4 — NOT the initially highest-degree
+        // hub, which is precisely why the paper prunes incrementally.
+        let asns: Vec<u64> = sub.as_indices().map(|i| sub.node(i).ia.asn.value()).collect();
+        assert!(asns.contains(&3), "survivors {asns:?}");
+        assert!(asns.contains(&4), "survivors {asns:?}");
+    }
+
+    #[test]
+    fn prune_is_incremental_not_one_shot() {
+        // Chain 1-2-3-4-5 plus 1-6. One-shot pruning by initial degree to 3
+        // ASes would keep {2,3,4} (degree 2 each, 1 has degree 2 as well —
+        // tie on index). Incremental pruning removes a leaf first, which
+        // lowers its neighbour's degree, cascading differently than
+        // one-shot. We verify the invariant that exactly n survive and the
+        // result is deterministic.
+        let t = topology_from_edges(&[
+            (1, 2, Relationship::PeerToPeer, 1),
+            (2, 3, Relationship::PeerToPeer, 1),
+            (3, 4, Relationship::PeerToPeer, 1),
+            (4, 5, Relationship::PeerToPeer, 1),
+            (1, 6, Relationship::AProviderOfB, 1),
+        ]);
+        let (a, _) = prune_to_top_degree(&t, 3);
+        let (b, _) = prune_to_top_degree(&t, 3);
+        assert_eq!(a.num_ases(), 3);
+        let asns_a: Vec<u64> = a.as_indices().map(|i| a.node(i).ia.asn.value()).collect();
+        let asns_b: Vec<u64> = b.as_indices().map(|i| b.node(i).ia.asn.value()).collect();
+        assert_eq!(asns_a, asns_b);
+    }
+
+    #[test]
+    fn prune_full_size_is_identity() {
+        let t = generate_internet(&GeneratorConfig::small(100, 5));
+        let (sub, mapping) = prune_to_top_degree(&t, 100);
+        assert_eq!(sub.num_ases(), 100);
+        assert_eq!(sub.num_links(), t.num_links());
+        assert!(mapping.iter().all(|m| m.is_some()));
+    }
+
+    #[test]
+    fn assign_isds_covers_all_and_respects_size() {
+        let mut t = generate_internet(&GeneratorConfig::small(120, 5));
+        let layout = assign_isds(&mut t, 10);
+        assert_eq!(layout.isd_of.len(), 120);
+        assert!(layout.num_isds >= 12, "at least ⌈120/10⌉ ISDs");
+        // Each ISD has at most 10 members.
+        let mut counts = std::collections::HashMap::new();
+        for isd in &layout.isd_of {
+            *counts.entry(isd).or_insert(0usize) += 1;
+        }
+        assert!(counts.values().all(|&c| c <= 10));
+        // Topology addresses updated and all core.
+        for idx in t.as_indices() {
+            assert_eq!(t.node(idx).ia.isd, layout.isd_of[idx.as_usize()]);
+            assert!(t.node(idx).core);
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn intra_isd_topology_downward_closure() {
+        // 1 -> 2 -> 4; 1 -> 3; 5 -> 3 (5 is another provider, NOT in the
+        // closure of 1). Cores = top-1 by cone = AS 1.
+        let t = topology_from_edges(&[
+            (1, 2, Relationship::AProviderOfB, 1),
+            (2, 4, Relationship::AProviderOfB, 1),
+            (1, 3, Relationship::AProviderOfB, 1),
+            (5, 3, Relationship::AProviderOfB, 1),
+        ]);
+        let (sub, _) = build_intra_isd_topology(&t, 1);
+        let asns: std::collections::HashSet<u64> =
+            sub.as_indices().map(|i| sub.node(i).ia.asn.value()).collect();
+        assert_eq!(asns, [1u64, 2, 3, 4].into_iter().collect());
+        // Exactly one core.
+        assert_eq!(sub.core_ases().count(), 1);
+        let core = sub.core_ases().next().unwrap();
+        assert_eq!(sub.node(core).ia.asn.value(), 1);
+    }
+
+    #[test]
+    fn intra_isd_topology_on_generated_internet() {
+        let t = generate_internet(&GeneratorConfig::small(400, 21));
+        let (sub, _) = build_intra_isd_topology(&t, 5);
+        assert_eq!(sub.core_ases().count(), 5);
+        assert!(sub.num_ases() > 5, "closure should pull in customers");
+        // Every non-core AS must be reachable from some core via
+        // provider→customer edges (that is what intra-ISD beaconing needs).
+        let mut reach = vec![false; sub.num_ases()];
+        let mut queue: std::collections::VecDeque<AsIndex> = sub.core_ases().collect();
+        for c in sub.core_ases() {
+            reach[c.as_usize()] = true;
+        }
+        while let Some(cur) = queue.pop_front() {
+            for cust in sub.customers(cur) {
+                if !reach[cust.as_usize()] {
+                    reach[cust.as_usize()] = true;
+                    queue.push_back(cust);
+                }
+            }
+        }
+        assert!(reach.iter().all(|&r| r));
+    }
+}

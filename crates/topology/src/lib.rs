@@ -1,0 +1,36 @@
+//! AS-level Internet topology substrate.
+//!
+//! The paper's evaluation (§5.1) runs on topologies derived from the CAIDA
+//! *AS-rel-geo* dataset: 12 000 ASes, their business relationships, and the
+//! number of parallel links between neighbouring ASes. This crate provides
+//! everything needed to stand in for that dataset:
+//!
+//! * [`graph`] — an AS **multigraph**: nodes are ASes, edges are individual
+//!   inter-domain links (an AS pair may be connected by several parallel
+//!   links, each with its own interface ids on both ends). Link-level
+//!   identity is what the paper's diversity metric is defined over.
+//! * [`caida`] — a parser for the public CAIDA `as-rel` text format (plus a
+//!   documented extension carrying parallel-link counts), so real data can be
+//!   dropped in where licensing permits.
+//! * [`generator`] — a synthetic Internet generator: preferential-attachment
+//!   growth, Gao–Rexford-consistent provider/customer/peer labelling, and a
+//!   degree-driven parallel-link model. This is the in-repo substitute for
+//!   AS-rel-geo (see DESIGN.md §2).
+//! * [`cone`] — customer-cone computation (CAIDA AS-Rank's ranking metric),
+//!   used to select core ASes.
+//! * [`isd`] — Isolation-Domain construction: degree pruning to the top-N
+//!   core (paper: 2000 of 12 000), ISD assignment, and the §5.1 intra-ISD
+//!   topology construction (11 top-cone cores + their downward closure).
+//! * [`scionlab`] — a bundled 21-core-AS topology matching the SCIONLab
+//!   testbed's shape (Appendix B: average core degree ≈ 2).
+
+pub mod caida;
+pub mod cone;
+pub mod generator;
+pub mod graph;
+pub mod isd;
+pub mod scionlab;
+
+pub use generator::{generate_internet, GeneratorConfig};
+pub use graph::{topology_from_edges, AsIndex, AsNode, AsTopology, Link, LinkIndex, Relationship};
+pub use isd::{build_intra_isd_topology, prune_to_top_degree, IsdLayout};

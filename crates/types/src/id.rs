@@ -1,0 +1,393 @@
+//! SCION identifiers: ISD numbers, 48-bit AS numbers, interface ids, and
+//! canonical inter-domain link ids.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+
+/// An Isolation Domain number (paper §2.1).
+///
+/// ISDs group ASes that agree on a trust root configuration. The paper
+/// expects "a few hundred" ISDs globally, so 16 bits is ample (this matches
+/// the SCION wire format).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Isd(pub u16);
+
+impl Isd {
+    /// The wildcard ISD (0), used where the ISD is not yet assigned.
+    pub const WILDCARD: Isd = Isd(0);
+
+    /// Returns true if this is the wildcard ISD.
+    pub fn is_wildcard(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Isd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u16> for Isd {
+    fn from(v: u16) -> Self {
+        Isd(v)
+    }
+}
+
+/// A SCION AS number.
+///
+/// SCION inherits today's 32-bit AS numbers and extends the namespace to 48
+/// bits (paper §2.1). We store it in a `u64` and enforce the 48-bit bound at
+/// construction.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Asn(u64);
+
+impl Asn {
+    /// Maximum representable AS number (2^48 - 1).
+    pub const MAX: u64 = (1 << 48) - 1;
+
+    /// Creates an AS number, validating the 48-bit bound.
+    pub fn new(v: u64) -> Result<Asn> {
+        if v > Self::MAX {
+            return Err(Error::InvalidAsn(v));
+        }
+        Ok(Asn(v))
+    }
+
+    /// Creates an AS number from a value known to be in range.
+    ///
+    /// # Panics
+    /// Panics if `v` exceeds the 48-bit space; use for literals and indices.
+    pub fn from_u64(v: u64) -> Asn {
+        Asn::new(v).expect("ASN out of 48-bit range")
+    }
+
+    /// The raw numeric value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// True if this AS number fits in the legacy 32-bit BGP space.
+    pub fn is_bgp_compatible(self) -> bool {
+        self.0 <= u64::from(u32::MAX)
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // SCION renders large ASNs in colon-separated 16-bit groups;
+        // BGP-compatible ones decimal.
+        if self.is_bgp_compatible() {
+            write!(f, "{}", self.0)
+        } else {
+            write!(
+                f,
+                "{:x}:{:x}:{:x}",
+                (self.0 >> 32) & 0xffff,
+                (self.0 >> 16) & 0xffff,
+                self.0 & 0xffff
+            )
+        }
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(v: u32) -> Self {
+        Asn(u64::from(v))
+    }
+}
+
+/// The `⟨ISD, AS⟩` tuple on which all SCION inter-domain routing operates
+/// (paper §2.1). Local (intra-AS) addresses are deliberately out of scope for
+/// routing and therefore absent here.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct IsdAsn {
+    pub isd: Isd,
+    pub asn: Asn,
+}
+
+impl IsdAsn {
+    /// Creates an `⟨ISD, AS⟩` tuple.
+    pub fn new(isd: Isd, asn: Asn) -> IsdAsn {
+        IsdAsn { isd, asn }
+    }
+}
+
+impl fmt::Display for IsdAsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.isd, self.asn)
+    }
+}
+
+impl FromStr for IsdAsn {
+    type Err = Error;
+
+    /// Parses the `isd-asn` rendering, e.g. `"1-42"`.
+    fn from_str(s: &str) -> Result<IsdAsn> {
+        let (isd, asn) = s
+            .split_once('-')
+            .ok_or_else(|| Error::Parse(format!("missing '-' in ISD-AS '{s}'")))?;
+        let isd: u16 = isd
+            .parse()
+            .map_err(|_| Error::Parse(format!("bad ISD in '{s}'")))?;
+        Ok(IsdAsn::new(Isd(isd), parse_asn(asn, s)?))
+    }
+}
+
+/// Parses an ASN in either decimal (BGP-compatible) or `x:y:z`
+/// colon-separated hex-group (extended 48-bit) notation.
+fn parse_asn(asn: &str, ctx: &str) -> Result<Asn> {
+    if asn.contains(':') {
+        let groups: Vec<&str> = asn.split(':').collect();
+        if groups.len() != 3 {
+            return Err(Error::Parse(format!("bad hex-group ASN in '{ctx}'")));
+        }
+        let mut v: u64 = 0;
+        for g in groups {
+            let g = u64::from_str_radix(g, 16)
+                .map_err(|_| Error::Parse(format!("bad hex group in '{ctx}'")))?;
+            if g > 0xffff {
+                return Err(Error::Parse(format!("hex group overflow in '{ctx}'")));
+            }
+            v = (v << 16) | g;
+        }
+        Asn::new(v)
+    } else {
+        let v: u64 = asn
+            .parse()
+            .map_err(|_| Error::Parse(format!("bad ASN in '{ctx}'")))?;
+        Asn::new(v)
+    }
+}
+
+/// An inter-domain interface identifier, unique per AS (paper §2.2).
+///
+/// A path segment names, for each hop, the interfaces through which the PCB
+/// entered and left the AS; `0` is reserved for "no interface" (the first
+/// ingress / last egress of a segment).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct IfId(pub u16);
+
+impl IfId {
+    /// The "no interface" sentinel used at segment ends.
+    pub const NONE: IfId = IfId(0);
+
+    /// True if this is the "no interface" sentinel.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for IfId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u16> for IfId {
+    fn from(v: u16) -> Self {
+        IfId(v)
+    }
+}
+
+/// One end of an inter-domain link: an AS plus the interface id within it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct LinkEnd {
+    pub ia: IsdAsn,
+    pub ifid: IfId,
+}
+
+impl LinkEnd {
+    pub fn new(ia: IsdAsn, ifid: IfId) -> LinkEnd {
+        LinkEnd { ia, ifid }
+    }
+}
+
+impl fmt::Display for LinkEnd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.ia, self.ifid)
+    }
+}
+
+/// A canonical identifier for one physical inter-domain link.
+///
+/// The paper's diversity metric is *link* disjointness: "we consider
+/// inter-domain links between two interfaces of neighboring ASes" (§4.2).
+/// Because neighbouring ASes may be connected by several parallel links,
+/// identifying a link by the AS pair alone is insufficient — both interface
+/// ids are part of the identity. The constructor canonicalizes end order so
+/// the same physical link hashes identically regardless of traversal
+/// direction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct LinkId {
+    lo: LinkEnd,
+    hi: LinkEnd,
+}
+
+impl LinkId {
+    /// Creates a canonical link id from its two ends (order-insensitive).
+    pub fn new(a: LinkEnd, b: LinkEnd) -> LinkId {
+        if a <= b {
+            LinkId { lo: a, hi: b }
+        } else {
+            LinkId { lo: b, hi: a }
+        }
+    }
+
+    /// The lexicographically smaller end.
+    pub fn lo(&self) -> LinkEnd {
+        self.lo
+    }
+
+    /// The lexicographically larger end.
+    pub fn hi(&self) -> LinkEnd {
+        self.hi
+    }
+
+    /// Given one AS on the link, returns the other end, if this AS is on it.
+    pub fn other_end(&self, ia: IsdAsn) -> Option<LinkEnd> {
+        if self.lo.ia == ia {
+            Some(self.hi)
+        } else if self.hi.ia == ia {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+
+    /// True if `ia` is one of the link's endpoints.
+    pub fn touches(&self, ia: IsdAsn) -> bool {
+        self.lo.ia == ia || self.hi.ia == ia
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}<->{}", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ia(isd: u16, asn: u64) -> IsdAsn {
+        IsdAsn::new(Isd(isd), Asn::from_u64(asn))
+    }
+
+    #[test]
+    fn asn_bounds_enforced() {
+        assert!(Asn::new(Asn::MAX).is_ok());
+        assert!(Asn::new(Asn::MAX + 1).is_err());
+        assert_eq!(Asn::from_u64(7).value(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "48-bit")]
+    fn asn_from_u64_panics_out_of_range() {
+        let _ = Asn::from_u64(1 << 48);
+    }
+
+    #[test]
+    fn asn_display_formats() {
+        assert_eq!(Asn::from_u64(64512).to_string(), "64512");
+        // 0x0001_0000_0000 is beyond the 32-bit space -> grouped hex.
+        assert_eq!(Asn::from_u64(1 << 32).to_string(), "1:0:0");
+    }
+
+    #[test]
+    fn isd_asn_roundtrips_via_display() {
+        let x = ia(3, 424242);
+        let parsed: IsdAsn = x.to_string().parse().unwrap();
+        assert_eq!(parsed, x);
+    }
+
+    #[test]
+    fn isd_asn_parse_rejects_garbage() {
+        assert!("nodash".parse::<IsdAsn>().is_err());
+        assert!("x-1".parse::<IsdAsn>().is_err());
+        assert!("1-x".parse::<IsdAsn>().is_err());
+        assert!(format!("1-{}", Asn::MAX + 1).parse::<IsdAsn>().is_err());
+    }
+
+    #[test]
+    fn link_id_is_direction_independent() {
+        let a = LinkEnd::new(ia(1, 10), IfId(1));
+        let b = LinkEnd::new(ia(1, 20), IfId(7));
+        assert_eq!(LinkId::new(a, b), LinkId::new(b, a));
+    }
+
+    #[test]
+    fn parallel_links_are_distinct() {
+        // Two links between the same AS pair but different interfaces must
+        // not collapse: link-level diversity depends on it (paper §4.2).
+        let l1 = LinkId::new(
+            LinkEnd::new(ia(1, 10), IfId(1)),
+            LinkEnd::new(ia(1, 20), IfId(1)),
+        );
+        let l2 = LinkId::new(
+            LinkEnd::new(ia(1, 10), IfId(2)),
+            LinkEnd::new(ia(1, 20), IfId(2)),
+        );
+        assert_ne!(l1, l2);
+    }
+
+    #[test]
+    fn link_other_end_and_touches() {
+        let a = LinkEnd::new(ia(1, 10), IfId(1));
+        let b = LinkEnd::new(ia(2, 20), IfId(9));
+        let l = LinkId::new(a, b);
+        assert_eq!(l.other_end(ia(1, 10)), Some(b));
+        assert_eq!(l.other_end(ia(2, 20)), Some(a));
+        assert_eq!(l.other_end(ia(3, 30)), None);
+        assert!(l.touches(ia(1, 10)));
+        assert!(!l.touches(ia(3, 30)));
+    }
+
+    #[test]
+    fn ifid_none_sentinel() {
+        assert!(IfId::NONE.is_none());
+        assert!(!IfId(3).is_none());
+    }
+
+    #[test]
+    fn serde_roundtrip_isd_asn() {
+        let x = ia(5, 99);
+        let s = serde_json::to_string(&x).unwrap();
+        let y: IsdAsn = serde_json::from_str(&s).unwrap();
+        assert_eq!(x, y);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_isd_asn_display_parse_roundtrip(isd in 0u16..u16::MAX, asn in 0u64..Asn::MAX) {
+            let x = IsdAsn::new(Isd(isd), Asn::from_u64(asn));
+            prop_assert_eq!(x.to_string().parse::<IsdAsn>().unwrap(), x);
+        }
+
+        #[test]
+        fn prop_link_id_canonical(a1 in 0u64..1000, i1 in 0u16..100, a2 in 0u64..1000, i2 in 0u16..100) {
+            let e1 = LinkEnd::new(ia(1, a1), IfId(i1));
+            let e2 = LinkEnd::new(ia(1, a2), IfId(i2));
+            prop_assert_eq!(LinkId::new(e1, e2), LinkId::new(e2, e1));
+            let l = LinkId::new(e1, e2);
+            prop_assert!(l.lo() <= l.hi());
+        }
+    }
+}

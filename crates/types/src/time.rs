@@ -1,0 +1,260 @@
+//! Virtual time for the discrete-event simulation.
+//!
+//! All control-plane timing in the reproduction — beaconing intervals, PCB
+//! lifetimes, MRAI timers, processing delays — runs on a deterministic
+//! simulated clock, never the wall clock. Resolution is microseconds, which
+//! comfortably covers both the 5 ms BGP processing delay (paper §5.1) and the
+//! six-hour PCB lifetime without overflow concerns (a `u64` of microseconds
+//! spans ~584 000 years).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A span of simulated time, in microseconds.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Duration(u64);
+
+impl Duration {
+    pub const ZERO: Duration = Duration(0);
+
+    pub const fn from_micros(us: u64) -> Duration {
+        Duration(us)
+    }
+
+    pub const fn from_millis(ms: u64) -> Duration {
+        Duration(ms * 1_000)
+    }
+
+    pub const fn from_secs(s: u64) -> Duration {
+        Duration(s * 1_000_000)
+    }
+
+    pub const fn from_mins(m: u64) -> Duration {
+        Duration::from_secs(m * 60)
+    }
+
+    pub const fn from_hours(h: u64) -> Duration {
+        Duration::from_mins(h * 60)
+    }
+
+    pub const fn from_days(d: u64) -> Duration {
+        Duration::from_hours(d * 24)
+    }
+
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction; never underflows.
+    pub fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The ratio `self / other` as a float; returns 0 when `other` is zero
+    /// (used in the Eq. 2/3 score exponents where a zero lifetime would
+    /// otherwise divide by zero — such PCBs are already expired and filtered
+    /// before scoring, so the value is inconsequential but must not panic).
+    pub fn ratio(self, other: Duration) -> f64 {
+        if other.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / other.0 as f64
+        }
+    }
+}
+
+impl fmt::Display for Duration {
+    /// Renders durations in the largest unit that divides them evenly
+    /// (`6h`, `10m`, `15s`, `5ms`, `7us`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let us = self.0;
+        if us == 0 {
+            return write!(f, "0s");
+        }
+        if us % 3_600_000_000 == 0 {
+            write!(f, "{}h", us / 3_600_000_000)
+        } else if us % 60_000_000 == 0 {
+            write!(f, "{}m", us / 60_000_000)
+        } else if us % 1_000_000 == 0 {
+            write!(f, "{}s", us / 1_000_000)
+        } else if us % 1_000 == 0 {
+            write!(f, "{}ms", us / 1_000)
+        } else {
+            write!(f, "{}us", us)
+        }
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.checked_sub(rhs.0).expect("Duration underflow"))
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+/// An instant on the simulated clock (microseconds since simulation start).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    pub const fn from_micros(us: u64) -> SimTime {
+        SimTime(us)
+    }
+
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time elapsed since `earlier`; saturates at zero rather than
+    /// underflowing, so `age` computations are robust to clock-skew-free
+    /// same-tick events.
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Duration until `later` (zero if `later` is in the past).
+    pub fn until(self, later: SimTime) -> Duration {
+        later.since(self)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", Duration(self.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.as_micros())
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn duration_constructors_consistent() {
+        assert_eq!(Duration::from_secs(1), Duration::from_millis(1000));
+        assert_eq!(Duration::from_mins(10), Duration::from_secs(600));
+        assert_eq!(Duration::from_hours(6), Duration::from_mins(360));
+        assert_eq!(Duration::from_days(1), Duration::from_hours(24));
+    }
+
+    #[test]
+    fn duration_display_picks_natural_unit() {
+        assert_eq!(Duration::ZERO.to_string(), "0s");
+        assert_eq!(Duration::from_hours(6).to_string(), "6h");
+        assert_eq!(Duration::from_mins(10).to_string(), "10m");
+        assert_eq!(Duration::from_secs(15).to_string(), "15s");
+        assert_eq!(Duration::from_millis(5).to_string(), "5ms");
+        assert_eq!(Duration::from_micros(7).to_string(), "7us");
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert_eq!(Duration::from_secs(1).ratio(Duration::ZERO), 0.0);
+        assert!((Duration::from_secs(1).ratio(Duration::from_secs(4)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simtime_since_saturates() {
+        let early = SimTime::from_micros(100);
+        let late = SimTime::from_micros(400);
+        assert_eq!(late.since(early), Duration::from_micros(300));
+        assert_eq!(early.since(late), Duration::ZERO);
+        assert_eq!(early.until(late), Duration::from_micros(300));
+    }
+
+    #[test]
+    fn simtime_arithmetic() {
+        let t = SimTime::ZERO + Duration::from_secs(5);
+        assert_eq!(t.as_micros(), 5_000_000);
+        assert_eq!(t - SimTime::ZERO, Duration::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn simtime_sub_panics_on_underflow() {
+        let _ = SimTime::ZERO - SimTime::from_micros(1);
+    }
+
+    #[test]
+    fn six_hour_pcb_lifetime_arithmetic() {
+        // The paper's standard experiment: 6 h lifetime, 10 min interval.
+        let lifetime = Duration::from_hours(6);
+        let interval = Duration::from_mins(10);
+        assert_eq!(lifetime.as_micros() / interval.as_micros(), 36);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_since_until_inverse(a in 0u64..1u64 << 40, b in 0u64..1u64 << 40) {
+            let (ta, tb) = (SimTime::from_micros(a), SimTime::from_micros(b));
+            prop_assert_eq!(ta.until(tb), tb.since(ta));
+            // One of the two directions is always zero.
+            prop_assert!(ta.since(tb).is_zero() || tb.since(ta).is_zero()
+                || a == b);
+        }
+
+        #[test]
+        fn prop_add_then_since(a in 0u64..1u64 << 40, d in 0u64..1u64 << 40) {
+            let t = SimTime::from_micros(a);
+            let dur = Duration::from_micros(d);
+            prop_assert_eq!((t + dur).since(t), dur);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Failure-injection integration tests: link failures, revocation at path
+//! servers, SCMP-driven failover, and beacon-expiry behaviour.
+
+use scion_core::beaconing::paths::known_paths;
+use scion_core::crypto::trc::TrustStore;
+use scion_core::pathserver::ledger::{Component, Ledger, Scope};
+use scion_core::pathserver::revocation::{revoke_segments, segment_uses_link};
+use scion_core::pathserver::server::PathServer;
+use scion_core::prelude::*;
+use scion_core::types::LinkId;
+
+/// One core providing to two dual-homed leaves.
+fn dual_homed_world() -> AsTopology {
+    let mut topo = AsTopology::new();
+    let core = topo.add_as(IsdAsn::new(Isd(1), Asn::from_u64(1)));
+    topo.set_core(core, true);
+    for n in [10u64, 11] {
+        let leaf = topo.add_as(IsdAsn::new(Isd(1), Asn::from_u64(n)));
+        topo.add_link(core, leaf, Relationship::AProviderOfB);
+        topo.add_link(core, leaf, Relationship::AProviderOfB);
+    }
+    topo
+}
+
+fn segments_for(
+    topo: &AsTopology,
+    leaf_ia: IsdAsn,
+    duration: Duration,
+    seed: u64,
+) -> (Vec<PathSegment>, TrustStore) {
+    let now = SimTime::ZERO + duration;
+    let trust = TrustStore::bootstrap(
+        topo.as_indices().map(|i| (topo.node(i).ia, topo.node(i).core)),
+        now + Duration::from_days(1),
+    );
+    let out = run_intra_isd_beaconing(topo, &BeaconingConfig::default(), duration, seed);
+    let leaf = topo.by_address(leaf_ia).unwrap();
+    let srv = out.server(leaf).unwrap();
+    let core_ia = IsdAsn::new(Isd(1), Asn::from_u64(1));
+    let segs = srv
+        .store()
+        .beacons_of(core_ia, now)
+        .into_iter()
+        .map(|b| {
+            let pcb = b
+                .pcb
+                .extend(leaf_ia, b.ingress_if, IfId::NONE, vec![], &trust);
+            PathSegment::from_terminated_pcb(SegmentType::Down, pcb)
+        })
+        .collect();
+    (segs, trust)
+}
+
+#[test]
+fn failover_survives_single_link_failure_on_dual_homed_leaf() {
+    let topo = dual_homed_world();
+    let duration = Duration::from_hours(1);
+    let now = SimTime::ZERO + duration;
+    let leaf_ia = IsdAsn::new(Isd(1), Asn::from_u64(10));
+    let (segs, _) = segments_for(&topo, leaf_ia, duration, 1);
+    assert!(segs.len() >= 2, "dual-homing yields >= 2 down-segments");
+
+    let mut ps = PathServer::new(IsdAsn::new(Isd(1), Asn::from_u64(1)), true);
+    for s in &segs {
+        ps.register_down_segment(s.clone());
+    }
+
+    // Fail the link used by the first segment.
+    let (a, b) = segs[0].links()[0];
+    let failed = LinkId::new(a, b);
+    let mut ledger = Ledger::new();
+    let rev = revoke_segments(&mut ps, failed, 3, &mut ledger, now);
+    assert!(rev.segments_revoked >= 1);
+
+    // Remaining segments avoid the failed link, and at least one survives.
+    let remaining = ps.lookup_down(leaf_ia, now);
+    assert!(!remaining.is_empty(), "dual-homed leaf stays reachable");
+    for s in &remaining {
+        assert!(!segment_uses_link(s, failed));
+    }
+
+    // Accounting matches §4.1: one intra-ISD revocation plus per-flow
+    // global SCMP notifications.
+    assert_eq!(ledger.messages_at(Component::PathRevocation, Scope::IntraIsd), 1);
+    assert_eq!(ledger.messages_at(Component::PathRevocation, Scope::Global), 3);
+}
+
+#[test]
+fn double_failure_disconnects_exactly_at_the_min_cut() {
+    let topo = dual_homed_world();
+    let duration = Duration::from_hours(1);
+    let now = SimTime::ZERO + duration;
+    let leaf_ia = IsdAsn::new(Isd(1), Asn::from_u64(10));
+    let (segs, _) = segments_for(&topo, leaf_ia, duration, 2);
+
+    let mut ps = PathServer::new(IsdAsn::new(Isd(1), Asn::from_u64(1)), true);
+    for s in &segs {
+        ps.register_down_segment(s.clone());
+    }
+    // The leaf's min cut is 2 (its two parallel links). Fail both.
+    let leaf = topo.by_address(leaf_ia).unwrap();
+    let mut ledger = Ledger::new();
+    for li in topo.node(leaf).links.clone() {
+        let failed = topo.link_id(li);
+        revoke_segments(&mut ps, failed, 0, &mut ledger, now);
+    }
+    assert!(
+        ps.lookup_down(leaf_ia, now).is_empty(),
+        "failing the whole min cut must disconnect"
+    );
+    // The other leaf is untouched.
+    let other = IsdAsn::new(Isd(1), Asn::from_u64(11));
+    let (other_segs, _) = segments_for(&topo, other, duration, 2);
+    assert!(!other_segs.is_empty());
+}
+
+#[test]
+fn beacons_expire_without_refresh() {
+    // Run beaconing for half a lifetime, then check that every stored
+    // beacon is gone one lifetime after the run stopped (nothing
+    // refreshes once the simulation ends).
+    let topo = dual_homed_world();
+    let cfg = BeaconingConfig {
+        interval: Duration::from_secs(100),
+        pcb_lifetime: Duration::from_secs(3600),
+        ..BeaconingConfig::default()
+    };
+    let out = run_intra_isd_beaconing(&topo, &cfg, Duration::from_secs(1800), 3);
+    let leaf = topo.by_address(IsdAsn::new(Isd(1), Asn::from_u64(10))).unwrap();
+    let srv = out.server(leaf).unwrap();
+    let core_ia = IsdAsn::new(Isd(1), Asn::from_u64(1));
+
+    let mid = SimTime::ZERO + Duration::from_secs(1800);
+    assert!(!srv.store().beacons_of(core_ia, mid).is_empty());
+    let after = SimTime::ZERO + Duration::from_secs(1800 + 3600);
+    assert!(
+        srv.store().beacons_of(core_ia, after).is_empty(),
+        "all beacons must be expired one lifetime later"
+    );
+}
+
+#[test]
+fn diversity_keeps_connectivity_across_many_lifetimes() {
+    // The connectivity objective (§4.2): even with aggressive resend
+    // suppression, every pair must hold a *valid* path at the end of a
+    // long run spanning several PCB lifetimes.
+    let internet = generate_internet(&GeneratorConfig::small(80, 17));
+    let (mut core, _) = prune_to_top_degree(&internet, 8);
+    scion_core::topology::isd::assign_isds(&mut core, 4);
+    let cfg = BeaconingConfig {
+        interval: Duration::from_secs(100),
+        pcb_lifetime: Duration::from_secs(3600),
+        ..BeaconingConfig::diversity()
+    };
+    let duration = Duration::from_secs(4 * 3600); // 4 lifetimes
+    let out = run_core_beaconing(&core, &cfg, duration, 17);
+    let now = SimTime::ZERO + duration;
+    for origin in core.core_ases() {
+        for holder in core.core_ases() {
+            if origin == holder {
+                continue;
+            }
+            let srv = out.server(holder).unwrap();
+            let paths = known_paths(&core, srv, core.node(origin).ia, now);
+            assert!(
+                !paths.is_empty(),
+                "connectivity lost {} -> {} after 4 lifetimes",
+                core.node(origin).ia,
+                core.node(holder).ia
+            );
+        }
+    }
+}
