@@ -26,7 +26,10 @@ impl FlowNetwork {
     /// edge; parallel links stack capacity naturally by being separate
     /// edges). Duplicate link indices are deduplicated — a link can carry
     /// one unit regardless of how many disseminated paths traverse it.
-    pub fn from_links(topo: &AsTopology, links: impl IntoIterator<Item = LinkIndex>) -> FlowNetwork {
+    pub fn from_links(
+        topo: &AsTopology,
+        links: impl IntoIterator<Item = LinkIndex>,
+    ) -> FlowNetwork {
         let mut net = FlowNetwork {
             arcs: Vec::new(),
             adj: Vec::new(),

@@ -81,12 +81,8 @@ mod tests {
             .link_indices()
             .filter(|&li| {
                 let l = t.link(li);
-                let asn =
-                    |i: AsIndex| t.node(i).ia.asn.value();
-                matches!(
-                    (asn(l.a), asn(l.b)),
-                    (1, 4) | (4, 1) | (4, 3) | (3, 4)
-                )
+                let asn = |i: AsIndex| t.node(i).ia.asn.value();
+                matches!((asn(l.a), asn(l.b)), (1, 4) | (4, 1) | (4, 3) | (3, 4))
             })
             .collect();
         let q = pair_quality(&t, &[bottom], a, c);

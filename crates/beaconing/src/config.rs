@@ -153,7 +153,10 @@ mod tests {
         // But a stale unsent instance (age = half its lifetime) decays
         // below the threshold unless fully diverse.
         let stale_exp = p.alpha * 0.5;
-        assert!(0.8f64.powf(stale_exp) < p.score_threshold, "staleness decay");
+        assert!(
+            0.8f64.powf(stale_exp) < p.score_threshold,
+            "staleness decay"
+        );
         // Just-resent path (remaining ratio ≈ 1): heavily suppressed.
         let resent_exp = (p.beta * 0.97).powf(p.gamma);
         assert!(
@@ -162,9 +165,6 @@ mod tests {
         );
         // Previously-sent instance nearly expired (ratio ≈ 0.05): recovers.
         let expiring_exp = (p.beta * 0.05).powf(p.gamma);
-        assert!(
-            0.9f64.powf(expiring_exp) > 0.8,
-            "connectivity objective"
-        );
+        assert!(0.9f64.powf(expiring_exp) > 0.8, "connectivity objective");
     }
 }

@@ -95,8 +95,7 @@ impl DiversityAlgorithm {
         for (_, egresses) in by_neighbor {
             let neighbor_ia = egresses[0].neighbor_ia;
             for &origin in &origins {
-                let candidates =
-                    self.build_candidates(ctx, store, now, origin, &egresses);
+                let candidates = self.build_candidates(ctx, store, now, origin, &egresses);
                 picks.extend(self.run_pair(ctx, now, (origin, neighbor_ia), candidates));
             }
         }

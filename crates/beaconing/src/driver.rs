@@ -16,11 +16,18 @@
 use scion_crypto::trc::TrustStore;
 use scion_proto::pcb::Pcb;
 use scion_simulator::{Engine, Event, InterfaceTraffic, LatencyModel};
+use scion_telemetry::{ids, phase, Label, Telemetry, TraceEvent};
 use scion_topology::{AsIndex, AsTopology, LinkIndex};
 use scion_types::{Duration, SimTime};
 
 use crate::config::BeaconingConfig;
 use crate::server::{egress_refs, BeaconServer, EgressRef};
+
+/// Timer kind of the per-AS beaconing interval tick.
+const KIND_TICK: u32 = 0;
+/// Timer kind of the telemetry sampler (scheduled only when telemetry is
+/// enabled; fires on `TelemetryConfig::sample_cadence`).
+const KIND_SAMPLE: u32 = 1;
 
 /// Results of a beaconing run.
 pub struct BeaconingOutcome {
@@ -79,6 +86,28 @@ pub fn run_core_beaconing_windowed(
     window: Duration,
     seed: u64,
 ) -> BeaconingOutcome {
+    run_core_beaconing_windowed_telemetry(
+        topo,
+        cfg,
+        warmup,
+        window,
+        seed,
+        &mut Telemetry::disabled(),
+    )
+}
+
+/// Like [`run_core_beaconing_windowed`], recording into `tel`: virtual-time
+/// gauge samples (queue depth, in-flight messages, store occupancy,
+/// per-interface traffic), PCB lifecycle traces, and wall-clock phase
+/// profiles.
+pub fn run_core_beaconing_windowed_telemetry(
+    topo: &AsTopology,
+    cfg: &BeaconingConfig,
+    warmup: Duration,
+    window: Duration,
+    seed: u64,
+    tel: &mut Telemetry,
+) -> BeaconingOutcome {
     let participants: Vec<Option<Participant>> = topo
         .as_indices()
         .map(|idx| {
@@ -102,7 +131,7 @@ pub fn run_core_beaconing_windowed(
             })
         })
         .collect();
-    run(topo, cfg, warmup, window, seed, participants)
+    run(topo, cfg, warmup, window, seed, participants, tel)
 }
 
 /// Runs intra-ISD beaconing: origination at core ASes, propagation along
@@ -124,6 +153,26 @@ pub fn run_intra_isd_beaconing_windowed(
     warmup: Duration,
     window: Duration,
     seed: u64,
+) -> BeaconingOutcome {
+    run_intra_isd_beaconing_windowed_telemetry(
+        topo,
+        cfg,
+        warmup,
+        window,
+        seed,
+        &mut Telemetry::disabled(),
+    )
+}
+
+/// Telemetry-recording variant of [`run_intra_isd_beaconing_windowed`];
+/// see [`run_core_beaconing_windowed_telemetry`].
+pub fn run_intra_isd_beaconing_windowed_telemetry(
+    topo: &AsTopology,
+    cfg: &BeaconingConfig,
+    warmup: Duration,
+    window: Duration,
+    seed: u64,
+    tel: &mut Telemetry,
 ) -> BeaconingOutcome {
     let participants: Vec<Option<Participant>> = topo
         .as_indices()
@@ -155,7 +204,7 @@ pub fn run_intra_isd_beaconing_windowed(
             })
         })
         .collect();
-    run(topo, cfg, warmup, window, seed, participants)
+    run(topo, cfg, warmup, window, seed, participants, tel)
 }
 
 fn run(
@@ -165,6 +214,7 @@ fn run(
     window: Duration,
     seed: u64,
     participants: Vec<Option<Participant>>,
+    tel: &mut Telemetry,
 ) -> BeaconingOutcome {
     let sim_duration = warmup + window;
     let trust = TrustStore::bootstrap(
@@ -194,12 +244,24 @@ fn run(
     for (i, p) in participants.iter().enumerate() {
         if p.is_some() {
             let offset = (i as u64).wrapping_mul(104_729) % interval_us;
-            engine.schedule_timer(SimTime::from_micros(offset), AsIndex(i as u32), 0);
+            engine.schedule_timer(SimTime::from_micros(offset), AsIndex(i as u32), KIND_TICK);
         }
     }
+    // The sampler rides the same deterministic event queue as the protocol
+    // (a reserved timer kind), so samples land at reproducible instants.
+    if tel.is_enabled() {
+        engine.schedule_timer(SimTime::ZERO, AsIndex(0), KIND_SAMPLE);
+    }
 
+    let mut in_flight: u64 = 0;
     while let Some((now, ev)) = engine.pop_until(end) {
         match ev {
+            Event::Timer {
+                kind: KIND_SAMPLE, ..
+            } => {
+                sample_gauges(tel, now, &engine, in_flight, &servers, &traffic);
+                engine.schedule_timer(now + tel.config.sample_cadence, AsIndex(0), KIND_SAMPLE);
+            }
             Event::Timer { node, .. } => {
                 let p = participants[node.as_usize()]
                     .as_ref()
@@ -207,17 +269,21 @@ fn run(
                 let srv = servers[node.as_usize()]
                     .as_mut()
                     .expect("server exists for participant");
-                for prop in srv.run_interval_with_peers(
+                for prop in srv.run_interval_with_peers_telemetry(
                     topo,
                     &trust,
                     now,
                     &p.egress,
                     p.originates,
                     &p.peers,
+                    tel,
                 ) {
                     if now >= record_from {
                         traffic.record_sent(node, prop.egress_if, prop.bytes);
                     }
+                    tel.inc(ids::BEACONS_SENT, Label::As(node.0), 1);
+                    tel.inc(ids::BEACONS_SENT_BYTES, Label::As(node.0), prop.bytes);
+                    in_flight += 1;
                     engine.send(
                         latency.delay(prop.egress_link),
                         prop.to,
@@ -225,15 +291,28 @@ fn run(
                         prop.pcb,
                     );
                 }
-                engine.schedule_timer(now + cfg.interval, node, 0);
+                engine.schedule_timer(now + cfg.interval, node, KIND_TICK);
             }
             Event::Deliver { to, via, msg } => {
+                in_flight = in_flight.saturating_sub(1);
                 if let Some(srv) = servers[to.as_usize()].as_mut() {
                     if now >= record_from {
                         delivered += 1;
                     }
+                    if tel.is_enabled() {
+                        tel.inc(ids::BEACONS_DELIVERED, Label::As(to.0), 1);
+                        let (node, link) = (to.0, via.0);
+                        let origin = msg.origin;
+                        let hops = msg.hop_count() as u32;
+                        tel.trace_event(now, || TraceEvent::PcbDelivered {
+                            node,
+                            origin,
+                            link,
+                            hops,
+                        });
+                    }
                     // Drops (loops, expiry races) are counted by the server.
-                    let _ = srv.handle_beacon(msg, via, topo, &trust, now);
+                    let _ = srv.handle_beacon_telemetry(msg, via, topo, &trust, now, tel);
                 }
             }
         }
@@ -244,6 +323,77 @@ fn run(
         servers,
         sim_duration: window,
         beacons_delivered: delivered,
+    }
+}
+
+/// One sampler firing: snapshots the registered gauges (event-queue depth,
+/// in-flight messages, beacon-store occupancy, per-interface traffic) into
+/// the time-series recorder.
+fn sample_gauges(
+    tel: &mut Telemetry,
+    now: SimTime,
+    engine: &Engine<Pcb>,
+    in_flight: u64,
+    servers: &[Option<BeaconServer>],
+    traffic: &InterfaceTraffic,
+) {
+    // Measured manually (not via an RAII scope) because the scope would
+    // hold `tel.profile` mutably across the `tel.sample` calls below.
+    let started = tel.profile.is_enabled().then(std::time::Instant::now);
+
+    tel.sample(
+        now,
+        ids::ENGINE_QUEUE_DEPTH,
+        Label::Global,
+        engine.pending() as f64,
+    );
+    tel.sample(now, ids::ENGINE_IN_FLIGHT, Label::Global, in_flight as f64);
+    tel.sample(
+        now,
+        ids::ENGINE_EVENTS,
+        Label::Global,
+        engine.events_processed() as f64,
+    );
+    for (i, srv) in servers.iter().enumerate() {
+        if let Some(srv) = srv {
+            tel.sample(
+                now,
+                ids::STORE_OCCUPANCY,
+                Label::As(i as u32),
+                srv.store().len() as f64,
+            );
+        }
+    }
+    let mut last_node = None;
+    for ((n, ifid), c) in traffic.per_interface() {
+        tel.sample(
+            now,
+            ids::IFACE_BYTES,
+            Label::Iface(n.0, ifid.0),
+            c.bytes as f64,
+        );
+        if last_node != Some(n) {
+            tel.sample(
+                now,
+                ids::NODE_BYTES,
+                Label::As(n.0),
+                traffic.node_total(n).bytes as f64,
+            );
+            last_node = Some(n);
+        }
+    }
+    let total = traffic.grand_total();
+    tel.sample(now, ids::TOTAL_BYTES, Label::Global, total.bytes as f64);
+    tel.sample(
+        now,
+        ids::TOTAL_MESSAGES,
+        Label::Global,
+        total.messages as f64,
+    );
+
+    if let Some(start) = started {
+        let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        tel.profile.record_ns(phase::SAMPLING, ns);
     }
 }
 
@@ -385,10 +535,72 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_records_series_traces_and_profiles() {
+        use scion_telemetry::{ids, phase, Telemetry, TelemetryConfig};
+        let topo = ring_of_cores(4);
+        let mut tel = Telemetry::new(TelemetryConfig::default());
+        tel.begin_run("test");
+        let out = run_core_beaconing_windowed_telemetry(
+            &topo,
+            &BeaconingConfig::default(),
+            Duration::ZERO,
+            Duration::from_hours(1),
+            5,
+            &mut tel,
+        );
+        assert!(out.beacons_delivered > 0);
+        assert!(!tel.series.of(ids::ENGINE_QUEUE_DEPTH).is_empty());
+        assert!(!tel.series.of(ids::STORE_OCCUPANCY).is_empty());
+        assert!(!tel.series.of(ids::IFACE_BYTES).is_empty());
+        // The per-AS delivery counters must agree with the driver's total.
+        let delivered: u64 = tel
+            .metrics
+            .counters()
+            .filter(|(id, _, _)| *id == ids::BEACONS_DELIVERED)
+            .map(|(_, _, v)| v)
+            .sum();
+        assert_eq!(delivered, out.beacons_delivered);
+        assert!(tel.traces.emitted() > 0);
+        assert!(tel.profile.stats(phase::SELECTION).is_some());
+        assert!(tel.profile.stats(phase::ORIGINATION).is_some());
+        assert!(tel.profile.stats(phase::SAMPLING).is_some());
+    }
+
+    #[test]
+    fn disabled_telemetry_matches_plain_run() {
+        use scion_telemetry::Telemetry;
+        let topo = ring_of_cores(5);
+        let cfg = BeaconingConfig::default();
+        let plain = run_core_beaconing(&topo, &cfg, Duration::from_hours(1), 9);
+        let mut tel = Telemetry::disabled();
+        let with_tel = run_core_beaconing_windowed_telemetry(
+            &topo,
+            &cfg,
+            Duration::ZERO,
+            Duration::from_hours(1),
+            9,
+            &mut tel,
+        );
+        assert_eq!(plain.total_bytes(), with_tel.total_bytes());
+        assert_eq!(plain.beacons_delivered, with_tel.beacons_delivered);
+        assert!(tel.series.is_empty() && tel.traces.is_empty());
+    }
+
+    #[test]
     fn runs_are_deterministic() {
         let topo = ring_of_cores(5);
-        let a = run_core_beaconing(&topo, &BeaconingConfig::default(), Duration::from_hours(1), 9);
-        let b = run_core_beaconing(&topo, &BeaconingConfig::default(), Duration::from_hours(1), 9);
+        let a = run_core_beaconing(
+            &topo,
+            &BeaconingConfig::default(),
+            Duration::from_hours(1),
+            9,
+        );
+        let b = run_core_beaconing(
+            &topo,
+            &BeaconingConfig::default(),
+            Duration::from_hours(1),
+            9,
+        );
         assert_eq!(a.total_bytes(), b.total_bytes());
         assert_eq!(a.beacons_delivered, b.beacons_delivered);
         assert_eq!(a.traffic.per_interface(), b.traffic.per_interface());
@@ -397,8 +609,18 @@ mod tests {
     #[test]
     fn seed_changes_latency_but_not_discovery() {
         let topo = ring_of_cores(5);
-        let a = run_core_beaconing(&topo, &BeaconingConfig::default(), Duration::from_hours(1), 1);
-        let b = run_core_beaconing(&topo, &BeaconingConfig::default(), Duration::from_hours(1), 2);
+        let a = run_core_beaconing(
+            &topo,
+            &BeaconingConfig::default(),
+            Duration::from_hours(1),
+            1,
+        );
+        let b = run_core_beaconing(
+            &topo,
+            &BeaconingConfig::default(),
+            Duration::from_hours(1),
+            2,
+        );
         // Same topology and config: message *counts* may differ slightly in
         // timing-dependent ways, but both must deliver a comparable amount.
         assert!(a.beacons_delivered > 0 && b.beacons_delivered > 0);

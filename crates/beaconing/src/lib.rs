@@ -35,8 +35,9 @@ pub use baseline::BaselineAlgorithm;
 pub use config::{Algorithm, BeaconingConfig, DiversityParams};
 pub use diversity::DiversityAlgorithm;
 pub use driver::{
-    run_core_beaconing, run_core_beaconing_windowed, run_intra_isd_beaconing,
-    run_intra_isd_beaconing_windowed, BeaconingOutcome,
+    run_core_beaconing, run_core_beaconing_windowed, run_core_beaconing_windowed_telemetry,
+    run_intra_isd_beaconing, run_intra_isd_beaconing_windowed,
+    run_intra_isd_beaconing_windowed_telemetry, BeaconingOutcome,
 };
 pub use server::BeaconServer;
-pub use store::{BeaconStore, StoredBeacon};
+pub use store::{BeaconStore, EvictedBeacon, InsertOutcome, StoredBeacon};

@@ -96,12 +96,7 @@ impl LinkHistory {
 
     /// Records a dissemination: increments every link's counter for `pair`
     /// and schedules the rollback at `expires_at`.
-    pub fn record_dissemination(
-        &mut self,
-        pair: PairKey,
-        links: &[LinkId],
-        expires_at: SimTime,
-    ) {
+    pub fn record_dissemination(&mut self, pair: PairKey, links: &[LinkId], expires_at: SimTime) {
         let table = self.counters.entry(pair).or_default();
         for &link in links {
             *table.entry(link).or_insert(0) += 1;
@@ -251,10 +246,7 @@ mod tests {
     }
 
     fn link(a: u64, ai: u16, b: u64, bi: u16) -> LinkId {
-        LinkId::new(
-            LinkEnd::new(ia(a), IfId(ai)),
-            LinkEnd::new(ia(b), IfId(bi)),
-        )
+        LinkId::new(LinkEnd::new(ia(a), IfId(ai)), LinkEnd::new(ia(b), IfId(bi)))
     }
 
     fn t(secs: u64) -> SimTime {
@@ -349,7 +341,7 @@ mod tests {
         let f = exponent_unsent(&PARAMS, Duration::from_secs(0), Duration::from_hours(6));
         assert_eq!(f, 0.0);
         assert_eq!(final_score(0.2, f), 1.0); // 0.2^0 = 1
-        // Slightly aged: ordering by diversity kicks in.
+                                              // Slightly aged: ordering by diversity kicks in.
         let f = exponent_unsent(&PARAMS, Duration::from_mins(10), Duration::from_hours(6));
         assert!(final_score(0.9, f) > final_score(0.2, f));
     }

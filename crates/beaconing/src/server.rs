@@ -6,6 +6,7 @@
 
 use scion_crypto::trc::TrustStore;
 use scion_proto::pcb::{Pcb, PcbError};
+use scion_telemetry::{ids, phase, Label, Telemetry, TraceEvent};
 use scion_topology::{AsIndex, AsTopology, LinkIndex};
 use scion_types::{Duration, IfId, IsdAsn, SimTime};
 
@@ -132,21 +133,47 @@ impl BeaconServer {
         trust: &TrustStore,
         now: SimTime,
     ) -> Result<bool, DropReason> {
+        self.handle_beacon_telemetry(pcb, via, topo, trust, now, &mut Telemetry::disabled())
+    }
+
+    /// Like [`BeaconServer::handle_beacon`], additionally profiling the
+    /// verification phase, observing delivery histograms, and tracing
+    /// store admissions and evictions.
+    pub fn handle_beacon_telemetry(
+        &mut self,
+        pcb: Pcb,
+        via: LinkIndex,
+        topo: &AsTopology,
+        trust: &TrustStore,
+        now: SimTime,
+        tel: &mut Telemetry,
+    ) -> Result<bool, DropReason> {
+        let node = self.idx.0;
         if pcb.contains_as(self.ia) {
             self.drops += 1;
+            tel.inc(ids::BEACONS_DROPPED, Label::As(node), 1);
             return Err(DropReason::Loop);
         }
         if self.cfg.verify_on_receive {
-            if let Err(e) = pcb.validate(trust, now) {
+            let verdict = {
+                let _g = tel.profile.scope(phase::VERIFICATION);
+                pcb.validate(trust, now)
+            };
+            if let Err(e) = verdict {
                 self.drops += 1;
+                tel.inc(ids::BEACONS_DROPPED, Label::As(node), 1);
                 return Err(DropReason::Invalid(e));
             }
         } else if pcb.is_expired(now) {
             self.drops += 1;
+            tel.inc(ids::BEACONS_DROPPED, Label::As(node), 1);
             return Err(DropReason::Invalid(PcbError::Expired));
         }
         let (_, local_if, _) = topo.link(via).opposite(self.idx);
-        Ok(self.store.insert(
+        let origin = pcb.origin;
+        let hops = pcb.hop_count() as u32;
+        let age_secs = now.since(pcb.initiated_at).as_secs_f64();
+        let outcome = self.store.insert_outcome(
             StoredBeacon {
                 pcb,
                 ingress_link: via,
@@ -154,7 +181,25 @@ impl BeaconServer {
                 received_at: now,
             },
             now,
-        ))
+        );
+        if tel.is_enabled() {
+            tel.observe(ids::PCB_AGE_AT_DELIVERY, Label::Global, age_secs);
+            tel.observe(ids::PCB_HOPS_AT_DELIVERY, Label::Global, hops as f64);
+            if outcome.changed {
+                tel.inc(ids::STORE_INSERTS, Label::As(node), 1);
+                tel.trace_event(now, || TraceEvent::BeaconStored { node, origin, hops });
+            }
+            if let Some(ev) = outcome.evicted {
+                tel.inc(ids::STORE_EVICTIONS, Label::As(node), 1);
+                tel.trace_event(now, || TraceEvent::BeaconEvicted {
+                    node,
+                    origin: ev.origin,
+                    hops: ev.hops as u32,
+                    expired: ev.expired,
+                });
+            }
+        }
+        Ok(outcome.changed)
     }
 
     /// Runs one beaconing interval: purges expired state, runs the
@@ -187,6 +232,31 @@ impl BeaconServer {
         originate: bool,
         peer_links: &[EgressRef],
     ) -> Vec<Propagation> {
+        self.run_interval_with_peers_telemetry(
+            topo,
+            trust,
+            now,
+            egress_links,
+            originate,
+            peer_links,
+            &mut Telemetry::disabled(),
+        )
+    }
+
+    /// Like [`BeaconServer::run_interval_with_peers`], additionally
+    /// profiling the selection and origination phases and tracing every
+    /// origination and propagation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_interval_with_peers_telemetry(
+        &mut self,
+        topo: &AsTopology,
+        trust: &TrustStore,
+        now: SimTime,
+        egress_links: &[EgressRef],
+        originate: bool,
+        peer_links: &[EgressRef],
+        tel: &mut Telemetry,
+    ) -> Vec<Propagation> {
         self.store.purge_expired(now);
         let ctx = SelectionCtx {
             topo,
@@ -196,25 +266,40 @@ impl BeaconServer {
             originate,
             pcb_lifetime: self.cfg.pcb_lifetime,
         };
-        let picks = match &mut self.algorithm {
-            AlgorithmState::Baseline(b) => b.select(&ctx, &self.store, now),
-            AlgorithmState::Diversity(d) => d.select(&ctx, &self.store, now),
+        let picks = {
+            let _g = tel.profile.scope(phase::SELECTION);
+            match &mut self.algorithm {
+                AlgorithmState::Baseline(b) => b.select(&ctx, &self.store, now),
+                AlgorithmState::Diversity(d) => d.select(&ctx, &self.store, now),
+            }
         };
 
+        let node = self.idx.0;
         let mut out = Vec::with_capacity(picks.len());
         for pick in picks {
             let pcb = match pick.source {
                 PickSource::Originate => {
                     let seq = self.seq;
                     self.seq += 1;
-                    Pcb::originate(
-                        self.ia,
-                        pick.egress.local_if,
-                        now,
-                        self.cfg.pcb_lifetime,
+                    let pcb = {
+                        let _g = tel.profile.scope(phase::ORIGINATION);
+                        Pcb::originate(
+                            self.ia,
+                            pick.egress.local_if,
+                            now,
+                            self.cfg.pcb_lifetime,
+                            seq,
+                            trust,
+                        )
+                    };
+                    tel.inc(ids::BEACONS_ORIGINATED, Label::Global, 1);
+                    let egress_if = pick.egress.local_if.0;
+                    tel.trace_event(now, || TraceEvent::PcbOriginated {
+                        node,
+                        egress_if,
                         seq,
-                        trust,
-                    )
+                    });
+                    pcb
                 }
                 PickSource::Stored(b) => {
                     let peers = peer_links
@@ -233,8 +318,19 @@ impl BeaconServer {
                             ),
                         })
                         .collect();
-                    b.pcb
-                        .extend(self.ia, b.ingress_if, pick.egress.local_if, peers, trust)
+                    let pcb =
+                        b.pcb
+                            .extend(self.ia, b.ingress_if, pick.egress.local_if, peers, trust);
+                    let origin = pcb.origin;
+                    let egress_if = pick.egress.local_if.0;
+                    let hops = pcb.hop_count() as u32;
+                    tel.trace_event(now, || TraceEvent::PcbPropagated {
+                        node,
+                        origin,
+                        egress_if,
+                        hops,
+                    });
+                    pcb
                 }
             };
             let bytes = pcb.wire_size();
@@ -292,7 +388,8 @@ mod tests {
 
     fn trust(topo: &AsTopology) -> TrustStore {
         TrustStore::bootstrap(
-            topo.as_indices().map(|i| (topo.node(i).ia, topo.node(i).core)),
+            topo.as_indices()
+                .map(|i| (topo.node(i).ia, topo.node(i).core)),
             SimTime::ZERO + Duration::from_days(365),
         )
     }
@@ -397,10 +494,7 @@ mod tests {
             Ok(true)
         );
         assert_eq!(srv_b.store().beacons_of(ia(1), t(2)).len(), 1);
-        assert_eq!(
-            srv_b.store().beacons_of(ia(1), t(2))[0].ingress_if,
-            b_if
-        );
+        assert_eq!(srv_b.store().beacons_of(ia(1), t(2))[0].ingress_if, b_if);
 
         // A beacon already containing AS 2 loops.
         let looped = pcb.extend(ia(2), b_if, IfId(9), vec![], &tr);

@@ -44,6 +44,27 @@ impl StoredBeacon {
     }
 }
 
+/// A beacon removed by the per-origin storage limit; surfaced so callers
+/// can account for (and trace) evictions without the store knowing about
+/// telemetry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvictedBeacon {
+    pub origin: IsdAsn,
+    pub hops: usize,
+    /// True when the evicted entry was already expired.
+    pub expired: bool,
+}
+
+/// The result of [`BeaconStore::insert_outcome`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// True if the store changed (new path, or fresher instance of a
+    /// known path).
+    pub changed: bool,
+    /// The entry the storage limit pushed out, if any.
+    pub evicted: Option<EvictedBeacon>,
+}
+
 /// Per-origin beacon storage.
 #[derive(Clone, Debug, Default)]
 pub struct BeaconStore {
@@ -66,36 +87,50 @@ impl BeaconStore {
     /// Returns `true` if the store changed (new path, or fresher instance
     /// of a known path). An older instance of a known path is ignored.
     pub fn insert(&mut self, beacon: StoredBeacon, now: SimTime) -> bool {
+        self.insert_outcome(beacon, now).changed
+    }
+
+    /// Like [`BeaconStore::insert`], but also reports which entry the
+    /// storage limit evicted (if any) so callers can trace evictions.
+    pub fn insert_outcome(&mut self, beacon: StoredBeacon, now: SimTime) -> InsertOutcome {
         let origin = beacon.pcb.origin;
         let key = beacon.pcb.path_key();
         let entries = self.by_origin.entry(origin).or_default();
 
-        if let Some(existing) = entries
-            .iter_mut()
-            .find(|e| e.pcb.path_key() == key)
-        {
-            if beacon.pcb.initiated_at > existing.pcb.initiated_at {
+        if let Some(existing) = entries.iter_mut().find(|e| e.pcb.path_key() == key) {
+            let changed = beacon.pcb.initiated_at > existing.pcb.initiated_at;
+            if changed {
                 *existing = beacon;
-                return true;
             }
-            return false;
+            return InsertOutcome {
+                changed,
+                evicted: None,
+            };
         }
 
         entries.push(beacon);
+        let mut evicted = None;
         if let Some(limit) = self.limit {
             if entries.len() > limit {
-                Self::evict(entries, now);
+                evicted = Some(Self::evict(entries, now));
             }
         }
-        true
+        InsertOutcome {
+            changed: true,
+            evicted,
+        }
     }
 
     /// Evicts one entry: an expired one if any, otherwise the worst
     /// (longest path, then earliest expiry, then oldest receipt).
-    fn evict(entries: &mut Vec<StoredBeacon>, now: SimTime) {
+    fn evict(entries: &mut Vec<StoredBeacon>, now: SimTime) -> EvictedBeacon {
         if let Some(pos) = entries.iter().position(|e| e.pcb.is_expired(now)) {
-            entries.remove(pos);
-            return;
+            let gone = entries.remove(pos);
+            return EvictedBeacon {
+                origin: gone.pcb.origin,
+                hops: gone.pcb.hop_count(),
+                expired: true,
+            };
         }
         let worst = entries
             .iter()
@@ -110,7 +145,12 @@ impl BeaconStore {
             })
             .map(|(i, _)| i)
             .expect("non-empty");
-        entries.remove(worst);
+        let gone = entries.remove(worst);
+        EvictedBeacon {
+            origin: gone.pcb.origin,
+            hops: gone.pcb.hop_count(),
+            expired: false,
+        }
     }
 
     /// Drops all expired beacons (run at the start of each interval).
@@ -221,6 +261,26 @@ mod tests {
             .collect();
         assert_eq!(s.len(), 2);
         assert!(lens.contains(&2) && lens.contains(&3), "lens {lens:?}");
+    }
+
+    #[test]
+    fn insert_outcome_reports_eviction() {
+        let tr = trust();
+        let mut s = BeaconStore::new(Some(2));
+        assert_eq!(
+            s.insert_outcome(beacon(&tr, 1, t(0), &[3]), t(0)),
+            InsertOutcome {
+                changed: true,
+                evicted: None
+            }
+        );
+        s.insert(beacon(&tr, 2, t(0), &[3, 4, 5]), t(0)); // 4 hops
+        let out = s.insert_outcome(beacon(&tr, 3, t(0), &[3, 4]), t(0));
+        assert!(out.changed);
+        let ev = out.evicted.expect("limit of 2 must evict");
+        assert_eq!(ev.origin, ia(1));
+        assert_eq!(ev.hops, 4, "longest live path goes first");
+        assert!(!ev.expired);
     }
 
     #[test]

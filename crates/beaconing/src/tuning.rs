@@ -63,8 +63,7 @@ pub fn evaluate(
             let paths = known_paths(topo, srv, topo.node(origin).ia, now);
             if !paths.is_empty() {
                 covered += 1;
-                let links: std::collections::HashSet<_> =
-                    paths.iter().flatten().copied().collect();
+                let links: std::collections::HashSet<_> = paths.iter().flatten().copied().collect();
                 distinct_total += links.len();
             }
         }

@@ -6,7 +6,9 @@ use scion_core::experiments::run_fig5;
 use scion_core::prelude::ExperimentScale;
 
 fn bench(c: &mut Criterion) {
-    c.bench_function("fig5_bench", |b| b.iter(|| run_fig5(ExperimentScale::Bench)));
+    c.bench_function("fig5_bench", |b| {
+        b.iter(|| run_fig5(ExperimentScale::Bench))
+    });
 }
 
 criterion_group! {

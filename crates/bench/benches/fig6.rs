@@ -6,7 +6,9 @@ use scion_core::experiments::run_fig6;
 use scion_core::prelude::ExperimentScale;
 
 fn bench(c: &mut Criterion) {
-    c.bench_function("fig6_bench", |b| b.iter(|| run_fig6(ExperimentScale::Bench)));
+    c.bench_function("fig6_bench", |b| {
+        b.iter(|| run_fig6(ExperimentScale::Bench))
+    });
 }
 
 criterion_group! {

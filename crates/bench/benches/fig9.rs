@@ -6,7 +6,9 @@ use scion_core::experiments::run_fig9;
 use scion_core::prelude::ExperimentScale;
 
 fn bench(c: &mut Criterion) {
-    c.bench_function("fig9_scionlab", |b| b.iter(|| run_fig9(ExperimentScale::Bench)));
+    c.bench_function("fig9_scionlab", |b| {
+        b.iter(|| run_fig9(ExperimentScale::Bench))
+    });
 }
 
 criterion_group! {

@@ -19,7 +19,8 @@ fn bench_topology() -> AsTopology {
 
 fn trust_for(topo: &AsTopology) -> TrustStore {
     TrustStore::bootstrap(
-        topo.as_indices().map(|i| (topo.node(i).ia, topo.node(i).core)),
+        topo.as_indices()
+            .map(|i| (topo.node(i).ia, topo.node(i).core)),
         SimTime::ZERO + Duration::from_days(365),
     )
 }
@@ -33,17 +34,34 @@ fn bench_pcb(c: &mut Criterion) {
 
     c.bench_function("pcb_originate_extend_3hops", |b| {
         b.iter(|| {
-            let pcb = Pcb::originate(origin, IfId(1), SimTime::ZERO, Duration::from_hours(6), 0, &trust);
+            let pcb = Pcb::originate(
+                origin,
+                IfId(1),
+                SimTime::ZERO,
+                Duration::from_hours(6),
+                0,
+                &trust,
+            );
             let pcb = pcb.extend(mid, IfId(1), IfId(2), vec![], &trust);
             pcb.extend(leaf, IfId(1), IfId(2), vec![], &trust)
         })
     });
 
-    let pcb = Pcb::originate(origin, IfId(1), SimTime::ZERO, Duration::from_hours(6), 0, &trust)
-        .extend(mid, IfId(1), IfId(2), vec![], &trust)
-        .extend(leaf, IfId(1), IfId(2), vec![], &trust);
+    let pcb = Pcb::originate(
+        origin,
+        IfId(1),
+        SimTime::ZERO,
+        Duration::from_hours(6),
+        0,
+        &trust,
+    )
+    .extend(mid, IfId(1), IfId(2), vec![], &trust)
+    .extend(leaf, IfId(1), IfId(2), vec![], &trust);
     c.bench_function("pcb_validate_3hops", |b| {
-        b.iter(|| pcb.validate(&trust, SimTime::ZERO + Duration::from_secs(1)).unwrap())
+        b.iter(|| {
+            pcb.validate(&trust, SimTime::ZERO + Duration::from_secs(1))
+                .unwrap()
+        })
     });
 }
 
@@ -91,7 +109,11 @@ fn bench_selection_interval(c: &mut Criterion) {
     });
     c.bench_function("interval_diversity", |b| {
         b.iter_batched(
-            || fill(BeaconingConfig::with_algorithm(Algorithm::Diversity(DiversityParams::default()))),
+            || {
+                fill(BeaconingConfig::with_algorithm(Algorithm::Diversity(
+                    DiversityParams::default(),
+                )))
+            },
             |mut srv| srv.run_interval(&topo, &trust, now, &egress, true),
             BatchSize::SmallInput,
         )

@@ -3,17 +3,20 @@
 //! (baseline and diversity-based), and SCION intra-ISD beaconing.
 //!
 //! ```text
-//! cargo run --release -p scion-bench --bin fig5 [--scale tiny|small|paper]
+//! cargo run --release -p scion-bench --bin fig5 \
+//!     [--scale tiny|small|paper] [--telemetry DIR]
 //! ```
 
-use scion_bench::{parse_scale, write_json};
-use scion_core::experiments::run_fig5;
+use scion_bench::{parse_args, write_json, write_telemetry};
+use scion_core::experiments::run_fig5_telemetry;
 use scion_core::report::{human_bytes, json_line, sci, Table};
 
 fn main() {
-    let scale = parse_scale();
+    let args = parse_args();
+    let scale = args.scale;
     eprintln!("running Figure 5 pipeline at {scale:?} scale (BGP/BGPsec month + SCION beaconing)…");
-    let result = run_fig5(scale);
+    let mut tel = args.telemetry_handle();
+    let result = run_fig5_telemetry(scale, &mut tel);
 
     println!("Figure 5: monthly control-plane overhead relative to BGP (per monitor)");
     let mut table = Table::new(&[
@@ -54,10 +57,19 @@ fn main() {
     println!("Network-wide monthly totals:");
     println!("  BGP             {}", human_bytes(result.totals.bgp));
     println!("  BGPsec          {}", human_bytes(result.totals.bgpsec));
-    println!("  core baseline   {}", human_bytes(result.totals.core_baseline));
-    println!("  core diversity  {}", human_bytes(result.totals.core_diversity));
+    println!(
+        "  core baseline   {}",
+        human_bytes(result.totals.core_baseline)
+    );
+    println!(
+        "  core diversity  {}",
+        human_bytes(result.totals.core_diversity)
+    );
     println!("  intra-ISD       {}", human_bytes(result.totals.intra_isd));
 
     let path = write_json("fig5", &json_line(&result));
     eprintln!("JSON written to {}", path.display());
+    if let Some(dir) = &args.telemetry {
+        write_telemetry(&tel, dir);
+    }
 }

@@ -2,19 +2,28 @@
 //! measured scope and frequency per SCION control-plane component.
 //!
 //! ```text
-//! cargo run --release -p scion-bench --bin table1 [--scale tiny|small|paper]
+//! cargo run --release -p scion-bench --bin table1 \
+//!     [--scale tiny|small|paper] [--telemetry DIR]
 //! ```
 
-use scion_bench::{parse_scale, write_json};
-use scion_core::experiments::run_table1;
+use scion_bench::{parse_args, write_json, write_telemetry};
+use scion_core::experiments::run_table1_telemetry;
 use scion_core::report::{human_bytes, json_line, Table};
 
 fn main() {
-    let scale = parse_scale();
+    let args = parse_args();
+    let scale = args.scale;
     eprintln!("running Table 1 scenario at {scale:?} scale…");
-    let result = run_table1(scale);
+    let mut tel = args.telemetry_handle();
+    let result = run_table1_telemetry(scale, &mut tel);
 
-    let mut table = Table::new(&["SCION Control Plane Component", "Scope", "Frequency", "Messages", "Bytes"]);
+    let mut table = Table::new(&[
+        "SCION Control Plane Component",
+        "Scope",
+        "Frequency",
+        "Messages",
+        "Bytes",
+    ]);
     for row in &result.rows {
         table.row(&[
             row.component.clone(),
@@ -33,4 +42,7 @@ fn main() {
 
     let path = write_json("table1", &json_line(&result));
     eprintln!("JSON written to {}", path.display());
+    if let Some(dir) = &args.telemetry {
+        write_telemetry(&tel, dir);
+    }
 }

@@ -33,9 +33,19 @@ fn main() {
     };
     let results = grid_search(&core, &base, params.sim_duration, params.seed);
 
-    println!("Grid search results (best first, top 15 of {}):", results.len());
+    println!(
+        "Grid search results (best first, top 15 of {}):",
+        results.len()
+    );
     let mut table = Table::new(&[
-        "alpha", "beta", "gamma", "threshold", "bytes", "coverage", "links/pair", "objective",
+        "alpha",
+        "beta",
+        "gamma",
+        "threshold",
+        "bytes",
+        "coverage",
+        "links/pair",
+        "objective",
     ]);
     for r in results.iter().take(15) {
         table.row(&[

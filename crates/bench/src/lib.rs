@@ -3,19 +3,43 @@
 //! Every binary accepts `--scale tiny|small|paper` (default `small`),
 //! prints a human-readable table to stdout, and writes a JSON record to
 //! `results/<name>.json` so EXPERIMENTS.md numbers can be regenerated and
-//! diffed.
+//! diffed. Binaries wired for telemetry additionally accept
+//! `--telemetry <dir>` and dump the JSONL files plus a `summary.txt`
+//! there (see README.md, "Telemetry & profiling").
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-use scion_core::prelude::ExperimentScale;
+use scion_core::prelude::{ExperimentScale, Telemetry, TelemetryConfig};
+use scion_core::report::telemetry_summary;
+
+/// Parsed common CLI arguments of a harness binary.
+pub struct BenchArgs {
+    pub scale: ExperimentScale,
+    /// Output directory of a telemetry dump, when `--telemetry DIR` was
+    /// given.
+    pub telemetry: Option<PathBuf>,
+}
+
+impl BenchArgs {
+    /// A telemetry handle matching the CLI: recording when `--telemetry`
+    /// was given, the inert no-op handle otherwise.
+    pub fn telemetry_handle(&self) -> Telemetry {
+        if self.telemetry.is_some() {
+            Telemetry::new(TelemetryConfig::default())
+        } else {
+            Telemetry::disabled()
+        }
+    }
+}
 
 /// Parses the common CLI arguments of a harness binary.
 ///
 /// Exits with a usage message on unknown arguments, so typos never
 /// silently run at the wrong scale.
-pub fn parse_scale() -> ExperimentScale {
+pub fn parse_args() -> BenchArgs {
     let mut args = std::env::args().skip(1);
     let mut scale = ExperimentScale::Small;
+    let mut telemetry = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
@@ -27,8 +51,18 @@ pub fn parse_scale() -> ExperimentScale {
             }
             "--full" => scale = ExperimentScale::Paper,
             "--tiny" => scale = ExperimentScale::Tiny,
+            "--telemetry" => {
+                let v = args.next().unwrap_or_default();
+                if v.is_empty() {
+                    eprintln!("--telemetry requires an output directory");
+                    std::process::exit(2);
+                }
+                telemetry = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => {
-                eprintln!("usage: <bin> [--scale tiny|small|paper] [--tiny] [--full]");
+                eprintln!(
+                    "usage: <bin> [--scale tiny|small|paper] [--tiny] [--full] [--telemetry DIR]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -37,7 +71,22 @@ pub fn parse_scale() -> ExperimentScale {
             }
         }
     }
-    scale
+    BenchArgs { scale, telemetry }
+}
+
+/// Parses the common CLI arguments, keeping only the scale (binaries not
+/// yet wired for telemetry).
+pub fn parse_scale() -> ExperimentScale {
+    parse_args().scale
+}
+
+/// Dumps a telemetry handle as JSONL files plus a rendered `summary.txt`
+/// under `dir`.
+pub fn write_telemetry(tel: &Telemetry, dir: &Path) {
+    tel.export_jsonl(dir).expect("write telemetry dump");
+    std::fs::write(dir.join("summary.txt"), telemetry_summary(tel))
+        .expect("write telemetry summary");
+    eprintln!("telemetry dump written to {}", dir.display());
 }
 
 /// Writes an experiment's JSON record under `results/`.
@@ -52,6 +101,28 @@ pub fn write_json(name: &str, json: &str) -> PathBuf {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn write_telemetry_dumps_jsonl_and_summary() {
+        use scion_core::telemetry::{ids, Label};
+        let tmp = std::env::temp_dir().join(format!("scion-bench-tel-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&tmp);
+        let mut tel = Telemetry::new(TelemetryConfig::default());
+        tel.inc(ids::BEACONS_SENT, Label::As(0), 4);
+        write_telemetry(&tel, &tmp);
+        for name in [
+            "metrics.jsonl",
+            "series.jsonl",
+            "trace.jsonl",
+            "profile.jsonl",
+            "summary.txt",
+        ] {
+            assert!(tmp.join(name).exists(), "{name} missing");
+        }
+        let summary = std::fs::read_to_string(tmp.join("summary.txt")).unwrap();
+        assert!(summary.contains(ids::BEACONS_SENT), "{summary}");
+        std::fs::remove_dir_all(&tmp).ok();
+    }
 
     #[test]
     fn write_json_creates_file() {

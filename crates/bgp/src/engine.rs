@@ -170,8 +170,7 @@ fn desired_advertisement(
     if path.contains(&to) {
         return None; // guaranteed loop-discard at the receiver; skip
     }
-    if policy == PolicyMode::GaoRexford
-        && !export_allowed(topo, me, state.best_class(topo, me), to)
+    if policy == PolicyMode::GaoRexford && !export_allowed(topo, me, state.best_class(topo, me), to)
     {
         return None;
     }
@@ -181,12 +180,38 @@ fn desired_advertisement(
     Some(out)
 }
 
-/// Runs the dynamics for one origin. See module docs.
-pub fn simulate_origin(
+/// Like [`simulate_origin`], additionally profiling the convergence run
+/// and accumulating the network-wide announce/withdraw counters.
+///
+/// The monthly workload fans origins out over a rayon pool, so telemetry
+/// cannot thread `&mut` through the inner loop; instrumentation happens at
+/// this per-origin aggregation level instead.
+pub fn simulate_origin_telemetry(
     topo: &AsTopology,
     origin: AsIndex,
     cfg: &OriginSimConfig,
+    tel: &mut scion_telemetry::Telemetry,
 ) -> OriginOutcome {
+    use scion_telemetry::{ids, phase, Label};
+    let out = {
+        let _g = tel.profile.scope(phase::BGP_CONVERGENCE);
+        simulate_origin(topo, origin, cfg)
+    };
+    tel.inc(
+        ids::BGP_ANNOUNCES,
+        Label::Global,
+        out.announces_received.iter().sum(),
+    );
+    tel.inc(
+        ids::BGP_WITHDRAWS,
+        Label::Global,
+        out.withdraws_received.iter().sum(),
+    );
+    out
+}
+
+/// Runs the dynamics for one origin. See module docs.
+pub fn simulate_origin(topo: &AsTopology, origin: AsIndex, cfg: &OriginSimConfig) -> OriginOutcome {
     let n = topo.num_ases();
     let latency = LatencyModel::default_for(topo, cfg.seed);
 
@@ -246,8 +271,7 @@ pub fn simulate_origin(
         eff_now: SimTime,
     ) {
         for &(nb, link) in &sessions[me.as_usize()] {
-            let desired =
-                desired_advertisement(topo, me, &states[me.as_usize()], nb, cfg.policy);
+            let desired = desired_advertisement(topo, me, &states[me.as_usize()], nb, cfg.policy);
             let state = &mut states[me.as_usize()];
             let already = state.adv_out.get(&nb).cloned().unwrap_or(None);
             if desired == already {
@@ -281,20 +305,47 @@ pub fn simulate_origin(
             Event::Timer { node, kind } => match kind {
                 TIMER_WITHDRAW => {
                     states[node.as_usize()].originating = false;
-                    flush(topo, &sessions, &mut states, &mut engine, &latency, cfg, node, now);
+                    flush(
+                        topo,
+                        &sessions,
+                        &mut states,
+                        &mut engine,
+                        &latency,
+                        cfg,
+                        node,
+                        now,
+                    );
                 }
                 TIMER_REANNOUNCE | TIMER_MRAI_BASE => {
                     if kind == TIMER_REANNOUNCE {
                         states[node.as_usize()].originating = true;
                     }
-                    flush(topo, &sessions, &mut states, &mut engine, &latency, cfg, node, now);
+                    flush(
+                        topo,
+                        &sessions,
+                        &mut states,
+                        &mut engine,
+                        &latency,
+                        cfg,
+                        node,
+                        now,
+                    );
                 }
                 k => {
                     // Per-neighbor MRAI expiry.
                     let nb = AsIndex(k - TIMER_MRAI_BASE - 1);
                     if states[node.as_usize()].pending.get(&nb).copied() == Some(true) {
                         states[node.as_usize()].pending.insert(nb, false);
-                        flush(topo, &sessions, &mut states, &mut engine, &latency, cfg, node, now);
+                        flush(
+                            topo,
+                            &sessions,
+                            &mut states,
+                            &mut engine,
+                            &latency,
+                            cfg,
+                            node,
+                            now,
+                        );
                     }
                 }
             },
@@ -331,7 +382,16 @@ pub fn simulate_origin(
                     }
                 }
                 if states[to.as_usize()].recompute_best(topo, to, cfg.policy) {
-                    flush(topo, &sessions, &mut states, &mut engine, &latency, cfg, to, eff_now);
+                    flush(
+                        topo,
+                        &sessions,
+                        &mut states,
+                        &mut engine,
+                        &latency,
+                        cfg,
+                        to,
+                        eff_now,
+                    );
                 }
             }
         }
@@ -414,8 +474,7 @@ mod tests {
             (3, 6, Relationship::AProviderOfB, 1),
             (6, 5, Relationship::AProviderOfB, 1), // long customer chain
             (4, 5, Relationship::AProviderOfB, 1), // short peer path
-        ])
-        ;
+        ]);
         let five = topo.by_address(ia(5)).unwrap();
         let out = simulate_origin(&topo, five, &OriginSimConfig::default());
         let two = topo.by_address(ia(2)).unwrap();
@@ -443,10 +502,7 @@ mod tests {
         assert!(total(&with_churn) > total(&no_churn));
         assert!(with_churn.withdraws_received.iter().sum::<u64>() > 0);
         // Initial-phase counters exclude churn traffic.
-        assert_eq!(
-            with_churn.initial_announces,
-            no_churn.initial_announces
-        );
+        assert_eq!(with_churn.initial_announces, no_churn.initial_announces);
         // After the final re-announce everything re-converges.
         for idx in topo.as_indices() {
             assert!(with_churn.best_paths[idx.as_usize()].is_some());
@@ -461,6 +517,24 @@ mod tests {
         // Announcements that would loop back are suppressed at the sender,
         // so the origin sees no announce for its own prefix.
         assert_eq!(out.announces_received[four.as_usize()], 0);
+    }
+
+    #[test]
+    fn telemetry_wrapper_matches_plain_run() {
+        use scion_telemetry::{ids, phase, Label, Telemetry, TelemetryConfig};
+        let topo = diamond();
+        let four = topo.by_address(ia(4)).unwrap();
+        let plain = simulate_origin(&topo, four, &OriginSimConfig::default());
+        let mut tel = Telemetry::new(TelemetryConfig::default());
+        let instrumented =
+            simulate_origin_telemetry(&topo, four, &OriginSimConfig::default(), &mut tel);
+        assert_eq!(plain.announces_received, instrumented.announces_received);
+        assert_eq!(plain.withdraws_received, instrumented.withdraws_received);
+        assert_eq!(
+            tel.metrics.counter(ids::BGP_ANNOUNCES, Label::Global),
+            plain.announces_received.iter().sum::<u64>()
+        );
+        assert!(tel.profile.stats(phase::BGP_CONVERGENCE).is_some());
     }
 
     #[test]

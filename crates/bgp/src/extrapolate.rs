@@ -70,10 +70,7 @@ pub fn synthesize_outer_population(
                 extra_hops: 1,
                 // Outer ASes are stubs: modest prefix counts, drawn from
                 // the same model keyed far outside the inner index range.
-                prefixes: prefixes
-                    .prefixes_of(inner, proxy)
-                    .min(8)
-                    .max(1),
+                prefixes: prefixes.prefixes_of(inner, proxy).min(8).max(1),
             }
         })
         .collect()
@@ -169,8 +166,7 @@ mod tests {
 
         let extra = extrapolate_bgpsec(&t, &outer, &ann, &plen, 30);
         // Receiver 0: 30 days * 3 prefixes * (fixed + per_hop * (1 + 2)).
-        let expected =
-            30 * 3 * (sizes::bgpsec_announce_size(0) + sizes::BGPSEC_PER_HOP * 3);
+        let expected = 30 * 3 * (sizes::bgpsec_announce_size(0) + sizes::BGPSEC_PER_HOP * 3);
         assert_eq!(extra[0], expected);
         assert_eq!(extra[1], 0);
         assert_eq!(extra[2], 0);

@@ -127,8 +127,7 @@ pub fn monthly_overhead(topo: &AsTopology, cfg: &MonthlyConfig) -> MonthlyOverhe
                 // signed update per prefix, no aggregation.
                 bgpsec[v] = cfg.days
                     * prefixes
-                    * (a_init * sizes::bgpsec_announce_size(0)
-                        + sizes::BGPSEC_PER_HOP * plen_init);
+                    * (a_init * sizes::bgpsec_announce_size(0) + sizes::BGPSEC_PER_HOP * plen_init);
 
                 // Extrapolated stubs behind this origin: same update
                 // counts, paths longer by their extra hops (§5.2).

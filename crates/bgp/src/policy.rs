@@ -148,7 +148,10 @@ mod tests {
             &c(RouteClass::Peer, 2, 5)
         ));
         // Irreflexive.
-        assert!(!prefer(&c(RouteClass::Peer, 2, 1), &c(RouteClass::Peer, 2, 1)));
+        assert!(!prefer(
+            &c(RouteClass::Peer, 2, 1),
+            &c(RouteClass::Peer, 2, 1)
+        ));
     }
 
     #[test]

@@ -63,7 +63,8 @@ pub const BGPSEC_PER_HOP: u64 = 6 + (SKI as u64) + 2 + (ECDSA_P384_SIGNATURE as 
 /// next hop 4 + reserved 1 + one NLRI 4) + BGPsec_PATH attribute header
 /// (4) + Secure_Path length (2) + Signature_Block length (2) + algorithm
 /// suite id (1).
-const BGPSEC_FIXED: u64 = BGP_HEADER + UPDATE_FIXED + ATTR_ORIGIN + (4 + 3 + 1 + 4 + 1 + 4) + 4 + 2 + 2 + 1;
+const BGPSEC_FIXED: u64 =
+    BGP_HEADER + UPDATE_FIXED + ATTR_ORIGIN + (4 + 3 + 1 + 4 + 1 + 4) + 4 + 2 + 2 + 1;
 
 /// Size of a BGPsec update for **one** prefix over `path_len` hops.
 /// BGPsec cannot aggregate NLRI (each prefix is signed separately), so a

@@ -46,7 +46,10 @@ fn variants() -> Vec<(String, DiversityParams)> {
     let d = DiversityParams::default();
     vec![
         ("default".into(), d),
-        ("no-age (alpha=0)".into(), DiversityParams { alpha: 0.0, ..d }),
+        (
+            "no-age (alpha=0)".into(),
+            DiversityParams { alpha: 0.0, ..d },
+        ),
         (
             "no-history (max_gm=1e9)".into(),
             DiversityParams {

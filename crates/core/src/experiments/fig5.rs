@@ -17,9 +17,13 @@
 use serde::Serialize;
 
 use scion_analysis::{Cdf, Summary};
-use scion_beaconing::{run_core_beaconing_windowed, run_intra_isd_beaconing_windowed, BeaconingOutcome};
+use scion_beaconing::{
+    run_core_beaconing_windowed_telemetry, run_intra_isd_beaconing_windowed_telemetry,
+    BeaconingOutcome,
+};
 use scion_bgp::monthly::pick_monitors;
 use scion_bgp::{monthly_overhead, MonthlyConfig};
+use scion_telemetry::{phase, Telemetry};
 use scion_topology::{AsIndex, AsTopology};
 use scion_types::Duration;
 
@@ -80,17 +84,30 @@ pub fn received_bytes(topo: &AsTopology, outcome: &BeaconingOutcome, idx: AsInde
 
 /// Runs the Figure 5 pipeline at the given scale.
 pub fn run_fig5(scale: ExperimentScale) -> Fig5Result {
+    run_fig5_telemetry(scale, &mut Telemetry::disabled())
+}
+
+/// Like [`run_fig5`], recording telemetry for each of the four runs under
+/// distinct run labels (`bgp_month`, `core_baseline`, `core_diversity`,
+/// `intra_isd`).
+pub fn run_fig5_telemetry(scale: ExperimentScale, tel: &mut Telemetry) -> Fig5Result {
     let params = scale.params();
     let world = World::build(params);
 
     // --- BGP + BGPsec: one month of dynamics on the full topology. ---
-    let monthly = monthly_overhead(
-        &world.internet,
-        &MonthlyConfig {
-            bgpsec_extrapolate_to: params.bgpsec_extrapolate_to,
-            ..MonthlyConfig::default()
-        },
-    );
+    // The monthly workload fans out over rayon internally, so only the
+    // aggregate wall-clock phase is profiled here.
+    tel.begin_run("bgp_month");
+    let monthly = {
+        let _g = tel.profile.scope(phase::BGP_MONTH);
+        monthly_overhead(
+            &world.internet,
+            &MonthlyConfig {
+                bgpsec_extrapolate_to: params.bgpsec_extrapolate_to,
+                ..MonthlyConfig::default()
+            },
+        )
+    };
 
     // --- SCION core beaconing: baseline and diversity. ---
     let base_cfg = params.beaconing_config(scion_beaconing::Algorithm::Baseline);
@@ -98,28 +115,34 @@ pub fn run_fig5(scale: ExperimentScale) -> Fig5Result {
         scion_beaconing::DiversityParams::default(),
     ));
     let warmup = params.pcb_lifetime;
-    let core_base = run_core_beaconing_windowed(
+    tel.begin_run("core_baseline");
+    let core_base = run_core_beaconing_windowed_telemetry(
         &world.core,
         &base_cfg,
         warmup,
         params.sim_duration,
         params.seed,
+        tel,
     );
-    let core_div = run_core_beaconing_windowed(
+    tel.begin_run("core_diversity");
+    let core_div = run_core_beaconing_windowed_telemetry(
         &world.core,
         &div_cfg,
         warmup,
         params.sim_duration,
         params.seed,
+        tel,
     );
 
     // --- SCION intra-ISD beaconing (baseline only, as in §5.1). ---
-    let intra = run_intra_isd_beaconing_windowed(
+    tel.begin_run("intra_isd");
+    let intra = run_intra_isd_beaconing_windowed_telemetry(
         &world.intra,
         &base_cfg,
         warmup,
         params.sim_duration,
         params.seed,
+        tel,
     );
 
     // Extrapolate the beaconing window to one month.
@@ -163,7 +186,10 @@ pub fn run_fig5(scale: ExperimentScale) -> Fig5Result {
 fn summarize(rows: &[MonitorRow]) -> Vec<SeriesSummary> {
     let series: [(&str, Box<dyn Fn(&MonitorRow) -> Option<f64>>); 4] = [
         ("BGPsec / BGP", Box::new(|r| Some(r.bgpsec_rel))),
-        ("SCION core baseline / BGP", Box::new(|r| r.core_baseline_rel)),
+        (
+            "SCION core baseline / BGP",
+            Box::new(|r| r.core_baseline_rel),
+        ),
         (
             "SCION core diversity / BGP",
             Box::new(|r| r.core_diversity_rel),
@@ -190,6 +216,7 @@ fn summarize(rows: &[MonitorRow]) -> Vec<SeriesSummary> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use scion_beaconing::run_core_beaconing_windowed;
 
     #[test]
     fn fig5_tiny_reproduces_the_ordering() {
@@ -207,6 +234,19 @@ mod tests {
         assert!(r.totals.bgpsec > r.totals.bgp);
         // All four series have data.
         assert_eq!(r.summaries.len(), 4);
+    }
+
+    #[test]
+    fn fig5_telemetry_labels_all_runs() {
+        use scion_telemetry::TelemetryConfig;
+        let mut tel = Telemetry::new(TelemetryConfig::default());
+        let _ = run_fig5_telemetry(ExperimentScale::Tiny, &mut tel);
+        let runs: std::collections::HashSet<&str> =
+            tel.series.samples().iter().map(|s| s.run).collect();
+        assert!(runs.contains("core_baseline"), "runs: {runs:?}");
+        assert!(runs.contains("core_diversity"));
+        assert!(runs.contains("intra_isd"));
+        assert!(tel.profile.stats(phase::BGP_MONTH).is_some());
     }
 
     #[test]

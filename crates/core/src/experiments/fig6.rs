@@ -149,8 +149,7 @@ pub fn run_quality_on(
         for &i in idxs {
             let (_, holder) = pairs[i];
             if let Some(links) = bgp_multipath_links(core, holder, &best[holder.as_usize()]) {
-                bgp_values[i] =
-                    pair_quality(core, &[links], origin, holder).value;
+                bgp_values[i] = pair_quality(core, &[links], origin, holder).value;
             }
         }
     }
@@ -175,12 +174,7 @@ pub fn run_quality_on(
     Fig6Result {
         pairs: pairs
             .iter()
-            .map(|&(o, h)| {
-                (
-                    core.node(o).ia.asn.value(),
-                    core.node(h).ia.asn.value(),
-                )
-            })
+            .map(|&(o, h)| (core.node(o).ia.asn.value(), core.node(h).ia.asn.value()))
             .collect(),
         series,
         optimum,
@@ -234,7 +228,10 @@ mod tests {
         );
         assert!(div_inf >= div60 - 1e-9);
         // Diversity with ample storage approaches the optimum.
-        assert!(div_inf > 0.7, "diversity(inf) too far from optimum: {div_inf}");
+        assert!(
+            div_inf > 0.7,
+            "diversity(inf) too far from optimum: {div_inf}"
+        );
     }
 
     #[test]

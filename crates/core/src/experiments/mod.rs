@@ -20,8 +20,8 @@ pub mod table1;
 pub mod world;
 
 pub use ablation::run_ablation;
-pub use fig5::run_fig5;
+pub use fig5::{run_fig5, run_fig5_telemetry};
 pub use fig6::run_fig6;
 pub use scionlab::{run_fig78, run_fig9};
-pub use table1::run_table1;
+pub use table1::{run_table1, run_table1_telemetry};
 pub use world::World;

@@ -89,10 +89,7 @@ pub fn run_fig9(scale: ExperimentScale) -> Fig9Result {
     // Interfaces that never sent are part of the distribution too: count
     // every core interface.
     let active: usize = bps.len();
-    let total_core_interfaces: usize = topo
-        .core_links()
-        .len()
-        * 2;
+    let total_core_interfaces: usize = topo.core_links().len() * 2;
     for _ in active..total_core_interfaces {
         bps.push(0.0);
     }

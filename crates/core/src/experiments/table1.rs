@@ -19,7 +19,10 @@
 
 use serde::Serialize;
 
-use scion_beaconing::{run_core_beaconing, run_intra_isd_beaconing};
+use scion_beaconing::{
+    run_core_beaconing_windowed_telemetry, run_intra_isd_beaconing_windowed_telemetry,
+};
+use scion_crypto::trc::TrustStore;
 use scion_pathserver::ledger::{Component, Ledger, Scope};
 use scion_pathserver::revocation::revoke_segments;
 use scion_pathserver::server::{LookupResult, PathServer};
@@ -27,7 +30,7 @@ use scion_pathserver::workload::ZipfDestinations;
 use scion_proto::pcb::Pcb;
 use scion_proto::segment::{PathSegment, SegmentType};
 use scion_proto::wire;
-use scion_crypto::trc::TrustStore;
+use scion_telemetry::Telemetry;
 use scion_types::{Duration, IfId, IsdAsn, SimTime};
 
 use crate::experiments::world::World;
@@ -53,6 +56,13 @@ pub struct Table1Result {
 
 /// Runs the Table 1 scenario at the given scale.
 pub fn run_table1(scale: ExperimentScale) -> Table1Result {
+    run_table1_telemetry(scale, &mut Telemetry::disabled())
+}
+
+/// Like [`run_table1`], recording telemetry: the two beaconing runs under
+/// their own run labels plus path-server registration/lookup counters and
+/// segment-registration traces.
+pub fn run_table1_telemetry(scale: ExperimentScale, tel: &mut Telemetry) -> Table1Result {
     let params = scale.params();
     let world = World::build(params);
     let duration = params.sim_duration;
@@ -60,15 +70,42 @@ pub fn run_table1(scale: ExperimentScale) -> Table1Result {
 
     // --- Beaconing components, accounted from real runs. ---
     let cfg = params.beaconing_config(scion_beaconing::Algorithm::Baseline);
-    let core_out = run_core_beaconing(&world.core, &cfg, duration, params.seed);
+    tel.begin_run("table1_core");
+    let core_out = run_core_beaconing_windowed_telemetry(
+        &world.core,
+        &cfg,
+        Duration::ZERO,
+        duration,
+        params.seed,
+        tel,
+    );
     for ((as_idx, ifid), counter) in core_out.traffic.per_interface() {
         // Scope: a core link between ASes of different ISDs is global.
         let scope = core_link_scope(&world.core, as_idx, ifid);
-        record_bulk(&mut ledger, Component::CoreBeaconing, scope, counter.messages, counter.bytes);
+        record_bulk(
+            &mut ledger,
+            Component::CoreBeaconing,
+            scope,
+            counter.messages,
+            counter.bytes,
+        );
     }
-    record_periodic_events(&mut ledger, Component::CoreBeaconing, cfg.interval, duration);
+    record_periodic_events(
+        &mut ledger,
+        Component::CoreBeaconing,
+        cfg.interval,
+        duration,
+    );
 
-    let intra_out = run_intra_isd_beaconing(&world.intra, &cfg, duration, params.seed);
+    tel.begin_run("table1_intra");
+    let intra_out = run_intra_isd_beaconing_windowed_telemetry(
+        &world.intra,
+        &cfg,
+        Duration::ZERO,
+        duration,
+        params.seed,
+        tel,
+    );
     let intra_total = intra_out.traffic.grand_total();
     record_bulk(
         &mut ledger,
@@ -77,11 +114,17 @@ pub fn run_table1(scale: ExperimentScale) -> Table1Result {
         intra_total.messages,
         intra_total.bytes,
     );
-    record_periodic_events(&mut ledger, Component::IntraIsdBeaconing, cfg.interval, duration);
+    record_periodic_events(
+        &mut ledger,
+        Component::IntraIsdBeaconing,
+        cfg.interval,
+        duration,
+    );
 
     // --- Path servers: one core PS per ISD core (we use the intra-ISD
     //     world's first core as the ISD's designated core PS) plus local
     //     servers at leaves. ---
+    tel.begin_run("table1_pathserver");
     let trust = TrustStore::bootstrap(
         world
             .intra
@@ -114,7 +157,7 @@ pub fn run_table1(scale: ExperimentScale) -> Table1Result {
         for &leaf in &leaves {
             let seg = synth_down_segment(&trust, core_ia, leaf, at);
             let bytes = wire::registration_size(seg.hop_count(), 0) * 5;
-            core_ps.register_down_segment(seg);
+            core_ps.register_down_segment_telemetry(seg, at, tel);
             ledger.record(Component::PathRegistration, Scope::IntraIsd, bytes);
         }
     }
@@ -129,14 +172,22 @@ pub fn run_table1(scale: ExperimentScale) -> Table1Result {
         let at = SimTime::ZERO + lookup_interval * i;
         let dst = zipf.sample();
         // Endpoint → local PS: intra-AS, every lookup.
-        ledger.record(Component::EndpointPathLookup, Scope::IntraAs, wire::SEGMENT_REQUEST);
+        ledger.record(
+            Component::EndpointPathLookup,
+            Scope::IntraAs,
+            wire::SEGMENT_REQUEST,
+        );
         ledger.record_event(Component::EndpointPathLookup, at);
-        match local_ps.lookup_cached(dst, at) {
+        match local_ps.lookup_cached_telemetry(dst, at, tel) {
             LookupResult::Hit(_) => {}
             LookupResult::Miss => {
                 // Local PS → core PS of own ISD: core-segment lookup
                 // (intra-ISD)…
-                ledger.record(Component::CoreSegmentLookup, Scope::IntraIsd, wire::SEGMENT_REQUEST);
+                ledger.record(
+                    Component::CoreSegmentLookup,
+                    Scope::IntraIsd,
+                    wire::SEGMENT_REQUEST,
+                );
                 ledger.record_event(Component::CoreSegmentLookup, at);
                 // …then core PS → origin ISD's core PS: down-segment
                 // lookup (global).
@@ -185,7 +236,10 @@ pub fn run_table1(scale: ExperimentScale) -> Table1Result {
         .into_iter()
         .map(|r| Table1Row {
             component: r.component.label().to_string(),
-            scope: r.scope.map(|s| s.label().to_string()).unwrap_or_else(|| "-".into()),
+            scope: r
+                .scope
+                .map(|s| s.label().to_string())
+                .unwrap_or_else(|| "-".into()),
             frequency: r
                 .frequency
                 .map(|f| f.label().to_string())
@@ -203,7 +257,11 @@ pub fn run_table1(scale: ExperimentScale) -> Table1Result {
 
 /// Scope of one core-beaconing interface: global when the link crosses
 /// ISDs.
-fn core_link_scope(core: &scion_topology::AsTopology, as_idx: scion_topology::AsIndex, ifid: IfId) -> Scope {
+fn core_link_scope(
+    core: &scion_topology::AsTopology,
+    as_idx: scion_topology::AsIndex,
+    ifid: IfId,
+) -> Scope {
     if let Some(li) = core.link_by_interface(as_idx, ifid) {
         let l = core.link(li);
         if core.node(l.a).ia.isd == core.node(l.b).ia.isd {
@@ -222,7 +280,12 @@ fn record_bulk(ledger: &mut Ledger, c: Component, scope: Scope, messages: u64, b
     }
 }
 
-fn record_periodic_events(ledger: &mut Ledger, c: Component, interval: Duration, duration: Duration) {
+fn record_periodic_events(
+    ledger: &mut Ledger,
+    c: Component,
+    interval: Duration,
+    duration: Duration,
+) {
     let n = duration.as_micros() / interval.as_micros();
     for i in 0..n {
         ledger.record_event(c, SimTime::ZERO + interval * i);
@@ -231,12 +294,7 @@ fn record_periodic_events(ledger: &mut Ledger, c: Component, interval: Duration,
 
 /// Synthesizes a 2-hop down-segment core→leaf (interface ids derived from
 /// the leaf's AS number so revocation targets are reproducible).
-fn synth_down_segment(
-    trust: &TrustStore,
-    core: IsdAsn,
-    leaf: IsdAsn,
-    at: SimTime,
-) -> PathSegment {
+fn synth_down_segment(trust: &TrustStore, core: IsdAsn, leaf: IsdAsn, at: SimTime) -> PathSegment {
     let egress = IfId((leaf.asn.value() % 60_000) as u16 + 1);
     let pcb = Pcb::originate(core, egress, at, Duration::from_hours(6), 0, trust).extend(
         leaf,
@@ -251,6 +309,22 @@ fn synth_down_segment(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn table1_telemetry_counts_pathserver_activity() {
+        use scion_telemetry::{ids, Label, TelemetryConfig};
+        let mut tel = Telemetry::new(TelemetryConfig::default());
+        let r = run_table1_telemetry(ExperimentScale::Tiny, &mut tel);
+        assert!(!r.rows.is_empty());
+        let regs = tel.metrics.counter(ids::PS_REGISTRATIONS, Label::Global);
+        let lookups = tel.metrics.counter(ids::PS_LOOKUPS, Label::Global);
+        let hits = tel.metrics.counter(ids::PS_CACHE_HITS, Label::Global);
+        assert!(regs > 0);
+        assert!(lookups > 0);
+        assert!(hits <= lookups);
+        // The cached-hit telemetry must agree with the server's own rate.
+        assert!((hits as f64 / lookups as f64 - r.lookup_cache_hit_rate).abs() < 1e-9);
+    }
 
     #[test]
     fn table1_tiny_matches_paper_shape() {
@@ -277,7 +351,11 @@ mod tests {
         assert_eq!(row("Core-Path Segment Lookup").frequency, "Seconds");
         assert_eq!(row("Path Revocation").frequency, "Seconds");
         // Caching works (the §4.1 amortization).
-        assert!(r.lookup_cache_hit_rate > 0.3, "hit rate {}", r.lookup_cache_hit_rate);
+        assert!(
+            r.lookup_cache_hit_rate > 0.3,
+            "hit rate {}",
+            r.lookup_cache_hit_rate
+        );
         // Beaconing dominates the byte budget — the motivation for §4.2.
         let beaconing = row("Core Beaconing").bytes + row("Intra-ISD Beaconing").bytes;
         let rest: u64 = r

@@ -80,11 +80,8 @@ mod tests {
             }
         }
         // Several ISDs exist in the core view.
-        let isds: std::collections::HashSet<_> = w
-            .core
-            .as_indices()
-            .map(|i| w.core.node(i).ia.isd)
-            .collect();
+        let isds: std::collections::HashSet<_> =
+            w.core.as_indices().map(|i| w.core.node(i).ia.isd).collect();
         assert!(isds.len() >= 2);
     }
 }

@@ -44,6 +44,7 @@ pub use scion_endhost as endhost;
 pub use scion_pathserver as pathserver;
 pub use scion_proto as proto;
 pub use scion_simulator as simulator;
+pub use scion_telemetry as telemetry;
 pub use scion_topology as topology;
 pub use scion_types as types;
 
@@ -51,14 +52,14 @@ pub use scion_types as types;
 pub mod prelude {
     pub use scion_analysis::{max_flow, Cdf, Summary};
     pub use scion_beaconing::{
-        run_core_beaconing, run_intra_isd_beaconing, Algorithm, BeaconingConfig,
-        BeaconingOutcome, DiversityParams,
+        run_core_beaconing, run_intra_isd_beaconing, Algorithm, BeaconingConfig, BeaconingOutcome,
+        DiversityParams,
     };
     pub use scion_bgp::{monthly_overhead, MonthlyConfig};
     pub use scion_proto::{combine_paths, EndToEndPath, PathSegment, Pcb, SegmentType};
+    pub use scion_telemetry::{Telemetry, TelemetryConfig};
     pub use scion_topology::{
-        generate_internet, prune_to_top_degree, AsIndex, AsTopology, GeneratorConfig,
-        Relationship,
+        generate_internet, prune_to_top_degree, AsIndex, AsTopology, GeneratorConfig, Relationship,
     };
     pub use scion_types::{Asn, Duration, IfId, Isd, IsdAsn, SimTime};
 

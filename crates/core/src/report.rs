@@ -4,6 +4,7 @@
 
 use std::fmt::Write as _;
 
+use scion_telemetry::{Label, Telemetry};
 use serde::Serialize;
 
 /// A simple fixed-width table printer.
@@ -79,6 +80,152 @@ pub fn json_line<T: Serialize>(record: &T) -> String {
     serde_json::to_string(record).expect("experiment records are serializable")
 }
 
+fn label_cell(label: Label) -> String {
+    match label {
+        Label::Global => "global".to_string(),
+        Label::As(i) => format!("as:{i}"),
+        Label::Iface(i, f) => format!("if:{i}/{f}"),
+        Label::Link(l) => format!("link:{l}"),
+    }
+}
+
+/// Renders a human-readable summary of a telemetry dump: counters,
+/// gauges, histogram quantiles, trace volume, and the wall-clock phase
+/// profile. Per-interface/per-AS counter and gauge instances are
+/// aggregated per metric id to keep the tables readable at scale; the
+/// full-resolution data lives in the JSONL export.
+pub fn telemetry_summary(tel: &Telemetry) -> String {
+    let mut out = String::new();
+
+    // -- Counters, aggregated per metric id. --
+    let mut by_id: Vec<(&'static str, u64, usize)> = Vec::new();
+    for (id, _label, v) in tel.metrics.counters() {
+        match by_id.last_mut() {
+            Some((last, sum, n)) if *last == id => {
+                *sum += v;
+                *n += 1;
+            }
+            _ => by_id.push((id, v, 1)),
+        }
+    }
+    if !by_id.is_empty() {
+        let mut t = Table::new(&["counter", "total", "instances"]);
+        for (id, sum, n) in &by_id {
+            t.row(&[id.to_string(), sum.to_string(), n.to_string()]);
+        }
+        out.push_str("== Counters ==\n");
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+
+    // -- Final gauge values: global instances verbatim, labelled
+    //    instances summarised as count + sum. --
+    let mut gauge_rows: Vec<[String; 2]> = Vec::new();
+    let mut agg: Option<(&'static str, f64, usize)> = None;
+    let flush = |agg: &mut Option<(&'static str, f64, usize)>, rows: &mut Vec<[String; 2]>| {
+        if let Some((id, sum, n)) = agg.take() {
+            rows.push([format!("{id} ({n} instances)"), format!("sum {sum:.1}")]);
+        }
+    };
+    for (id, label, v) in tel.metrics.gauges() {
+        if label == Label::Global {
+            flush(&mut agg, &mut gauge_rows);
+            gauge_rows.push([id.to_string(), format!("{v:.1}")]);
+        } else {
+            match &mut agg {
+                Some((last, sum, n)) if *last == id => {
+                    *sum += v;
+                    *n += 1;
+                }
+                _ => {
+                    flush(&mut agg, &mut gauge_rows);
+                    agg = Some((id, v, 1));
+                }
+            }
+        }
+    }
+    flush(&mut agg, &mut gauge_rows);
+    if !gauge_rows.is_empty() {
+        let mut t = Table::new(&["gauge (final)", "value"]);
+        for r in &gauge_rows {
+            t.row(&[r[0].clone(), r[1].clone()]);
+        }
+        out.push_str("== Gauges ==\n");
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+
+    // -- Histograms: count/mean plus cumulative-walk quantiles. --
+    let hists: Vec<_> = tel.metrics.histograms().collect();
+    if !hists.is_empty() {
+        let mut t = Table::new(&[
+            "histogram",
+            "label",
+            "count",
+            "mean",
+            "p50",
+            "p90",
+            "p99",
+            "max",
+        ]);
+        let q = |h: &scion_telemetry::Histogram, p: f64| {
+            h.quantile(p)
+                .map_or_else(|| "-".into(), |v| format!("{v:.3}"))
+        };
+        for (id, label, h) in hists {
+            t.row(&[
+                id.to_string(),
+                label_cell(label),
+                h.count().to_string(),
+                format!("{:.3}", h.mean()),
+                q(h, 0.5),
+                q(h, 0.9),
+                q(h, 0.99),
+                h.max().map_or_else(|| "-".into(), |v| format!("{v:.3}")),
+            ]);
+        }
+        out.push_str("== Histograms ==\n");
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+
+    // -- Trace and series volume. --
+    if tel.traces.emitted() > 0 || !tel.series.is_empty() {
+        let mut t = Table::new(&["stream", "records"]);
+        t.row(&["series samples".into(), tel.series.len().to_string()]);
+        t.row(&["trace emitted".into(), tel.traces.emitted().to_string()]);
+        t.row(&[
+            "trace dropped (ring)".into(),
+            tel.traces.dropped().to_string(),
+        ]);
+        out.push_str("== Streams ==\n");
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+
+    // -- Wall-clock phase profile. --
+    if !tel.profile.is_empty() {
+        let ms = |ns: u64| format!("{:.3}", ns as f64 / 1e6);
+        let mut t = Table::new(&["phase", "calls", "total ms", "mean ms", "max ms"]);
+        for (name, s) in tel.profile.phases() {
+            t.row(&[
+                name.to_string(),
+                s.calls.to_string(),
+                ms(s.total_ns),
+                ms(s.mean_ns()),
+                ms(s.max_ns),
+            ]);
+        }
+        out.push_str("== Wall-clock profile ==\n");
+        out.push_str(&t.render());
+    }
+
+    if out.is_empty() {
+        out.push_str("(telemetry disabled: nothing recorded)\n");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +256,48 @@ mod tests {
         assert_eq!(human_bytes(1_500), "1.50 KB");
         assert_eq!(human_bytes(2_000_000), "2.00 MB");
         assert_eq!(human_bytes(3_200_000_000), "3.20 GB");
+    }
+
+    #[test]
+    fn telemetry_summary_covers_every_section() {
+        use scion_telemetry::{phase, TelemetryConfig, TraceEvent};
+        use scion_types::SimTime;
+
+        let mut tel = Telemetry::new(TelemetryConfig::default());
+        tel.inc("beaconing.sent_messages", Label::As(0), 5);
+        tel.inc("beaconing.sent_messages", Label::As(1), 7);
+        tel.sample(SimTime::ZERO, "engine.queue_depth", Label::Global, 3.0);
+        tel.sample(
+            SimTime::ZERO,
+            "traffic.iface_bytes",
+            Label::Iface(0, 1),
+            9.0,
+        );
+        tel.observe("beaconing.pcb_hops_at_delivery", Label::Global, 2.0);
+        tel.trace_event(SimTime::ZERO, || TraceEvent::PcbOriginated {
+            node: 0,
+            egress_if: 1,
+            seq: 0,
+        });
+        tel.profile.record_ns(phase::ORIGINATION, 1_000_000);
+
+        let s = telemetry_summary(&tel);
+        assert!(s.contains("== Counters =="), "{s}");
+        // The two per-AS instances aggregate into one row.
+        assert!(s.contains("beaconing.sent_messages"), "{s}");
+        assert!(s.contains("12"), "{s}");
+        assert!(s.contains("== Gauges =="), "{s}");
+        assert!(s.contains("engine.queue_depth"), "{s}");
+        assert!(s.contains("== Histograms =="), "{s}");
+        assert!(s.contains("== Streams =="), "{s}");
+        assert!(s.contains("== Wall-clock profile =="), "{s}");
+        assert!(s.contains("beaconing.origination"), "{s}");
+    }
+
+    #[test]
+    fn telemetry_summary_of_disabled_handle_is_a_stub() {
+        let tel = Telemetry::disabled();
+        assert!(telemetry_summary(&tel).contains("nothing recorded"));
     }
 
     #[test]

@@ -145,14 +145,24 @@ mod tests {
     fn sign_verify_roundtrip() {
         let kp = KeyPair::from_seed(7);
         let sig = kp.sign(SignDomain::PcbAsEntry, b"segment data");
-        assert!(verify(kp.public(), SignDomain::PcbAsEntry, b"segment data", &sig));
+        assert!(verify(
+            kp.public(),
+            SignDomain::PcbAsEntry,
+            b"segment data",
+            &sig
+        ));
     }
 
     #[test]
     fn tampered_payload_fails() {
         let kp = KeyPair::from_seed(7);
         let sig = kp.sign(SignDomain::PcbAsEntry, b"segment data");
-        assert!(!verify(kp.public(), SignDomain::PcbAsEntry, b"segment datA", &sig));
+        assert!(!verify(
+            kp.public(),
+            SignDomain::PcbAsEntry,
+            b"segment datA",
+            &sig
+        ));
     }
 
     #[test]
@@ -172,8 +182,14 @@ mod tests {
 
     #[test]
     fn keypair_derivation_deterministic() {
-        assert_eq!(KeyPair::from_seed(1).public(), KeyPair::from_seed(1).public());
-        assert_ne!(KeyPair::from_seed(1).public(), KeyPair::from_seed(2).public());
+        assert_eq!(
+            KeyPair::from_seed(1).public(),
+            KeyPair::from_seed(1).public()
+        );
+        assert_ne!(
+            KeyPair::from_seed(1).public(),
+            KeyPair::from_seed(2).public()
+        );
     }
 
     #[test]

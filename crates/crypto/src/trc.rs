@@ -252,10 +252,7 @@ mod tests {
             (ia(2, 1), true),
             (ia(2, 20), false),
         ];
-        TrustStore::bootstrap(
-            ases.into_iter(),
-            SimTime::ZERO + Duration::from_hours(24),
-        )
+        TrustStore::bootstrap(ases.into_iter(), SimTime::ZERO + Duration::from_hours(24))
     }
 
     #[test]
@@ -305,7 +302,13 @@ mod tests {
             .sign(SignDomain::PcbAsEntry, b"pcb");
         // Claiming the signature came from AS 2-20 must fail.
         assert_eq!(
-            s.verify_chain(ia(2, 20), SignDomain::PcbAsEntry, b"pcb", &sig, SimTime::ZERO),
+            s.verify_chain(
+                ia(2, 20),
+                SignDomain::PcbAsEntry,
+                b"pcb",
+                &sig,
+                SimTime::ZERO
+            ),
             Err(VerifyError::BadSignature)
         );
     }
@@ -318,7 +321,13 @@ mod tests {
             .unwrap()
             .sign(SignDomain::PcbAsEntry, b"pcb");
         assert_eq!(
-            s.verify_chain(ia(1, 99), SignDomain::PcbAsEntry, b"pcb", &sig, SimTime::ZERO),
+            s.verify_chain(
+                ia(1, 99),
+                SignDomain::PcbAsEntry,
+                b"pcb",
+                &sig,
+                SimTime::ZERO
+            ),
             Err(VerifyError::UnknownAs(ia(1, 99)))
         );
     }

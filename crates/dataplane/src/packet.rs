@@ -28,7 +28,10 @@ impl ForwardingPath {
             .hops
             .iter()
             .map(|&(ia, ingress, egress)| {
-                (ia, HopField::new(ingress, egress, expiry, forwarding_key(ia)))
+                (
+                    ia,
+                    HopField::new(ingress, egress, expiry, forwarding_key(ia)),
+                )
             })
             .collect();
         ForwardingPath { hops, current: 0 }

@@ -140,9 +140,15 @@ mod tests {
             Ok(ForwardAction::Egress(IfId(4)))
         );
         // Destination AS.
-        assert_eq!(forward(&mut p, ia(3), IfId(5), t(1)), Ok(ForwardAction::Deliver));
+        assert_eq!(
+            forward(&mut p, ia(3), IfId(5), t(1)),
+            Ok(ForwardAction::Deliver)
+        );
         // Nothing left.
-        assert_eq!(forward(&mut p, ia(3), IfId(5), t(1)), Err(ForwardError::PathExhausted));
+        assert_eq!(
+            forward(&mut p, ia(3), IfId(5), t(1)),
+            Err(ForwardError::PathExhausted)
+        );
     }
 
     #[test]
@@ -150,13 +156,19 @@ mod tests {
         let mut p = packet();
         // Attacker rewrites the egress interface to divert the packet.
         p.path.hops[0].1.egress = IfId(9);
-        assert_eq!(forward(&mut p, ia(1), IfId::NONE, t(1)), Err(ForwardError::BadMac));
+        assert_eq!(
+            forward(&mut p, ia(1), IfId::NONE, t(1)),
+            Err(ForwardError::BadMac)
+        );
     }
 
     #[test]
     fn expired_authorization_is_dropped() {
         let mut p = packet();
-        assert_eq!(forward(&mut p, ia(1), IfId::NONE, t(100)), Err(ForwardError::Expired));
+        assert_eq!(
+            forward(&mut p, ia(1), IfId::NONE, t(100)),
+            Err(ForwardError::Expired)
+        );
     }
 
     #[test]

@@ -23,9 +23,7 @@ impl Ipv4Prefix {
         }
         let mask = Self::mask_of(len);
         if network & !mask != 0 {
-            return Err(format!(
-                "network {network:#010x}/{len} has host bits set"
-            ));
+            return Err(format!("network {network:#010x}/{len} has host bits set"));
         }
         Ok(Ipv4Prefix { network, len })
     }
@@ -82,9 +80,7 @@ impl AsMap {
     /// Registers a mapping; replaces an existing identical prefix.
     pub fn insert(&mut self, prefix: Ipv4Prefix, ia: IsdAsn) {
         self.entries.retain(|&(p, _)| p != prefix);
-        let pos = self
-            .entries
-            .partition_point(|&(p, _)| p.len >= prefix.len);
+        let pos = self.entries.partition_point(|&(p, _)| p.len >= prefix.len);
         self.entries.insert(pos, (prefix, ia));
     }
 

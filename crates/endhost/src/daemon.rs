@@ -198,8 +198,18 @@ mod tests {
     fn segments(tr: &TrustStore) -> SegmentSet {
         SegmentSet {
             up: vec![
-                seg(tr, SegmentType::Up, &[(ia(1, 1), 0, 1), (ia(1, 5), 1, 0)], 6),
-                seg(tr, SegmentType::Up, &[(ia(1, 1), 0, 2), (ia(1, 5), 2, 0)], 6),
+                seg(
+                    tr,
+                    SegmentType::Up,
+                    &[(ia(1, 1), 0, 1), (ia(1, 5), 1, 0)],
+                    6,
+                ),
+                seg(
+                    tr,
+                    SegmentType::Up,
+                    &[(ia(1, 1), 0, 2), (ia(1, 5), 2, 0)],
+                    6,
+                ),
             ],
             core: vec![seg(
                 tr,
@@ -267,10 +277,7 @@ mod tests {
         let second = d.best_path(ia(2, 5)).expect("disjoint alternative exists");
         assert_ne!(first.links(), second.links());
         // The new path avoids the failed link end.
-        assert!(second
-            .links()
-            .iter()
-            .all(|&(a, b)| a != near && b != near));
+        assert!(second.links().iter().all(|&(a, b)| a != near && b != near));
     }
 
     #[test]

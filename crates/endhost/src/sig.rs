@@ -180,7 +180,10 @@ mod tests {
         let segments = SegmentSet {
             up: vec![seg(SegmentType::Up, &[(ia(1, 1), 0, 1), (ia(1, 5), 1, 0)])],
             core: vec![],
-            down: vec![seg(SegmentType::Down, &[(ia(1, 1), 0, 2), (ia(1, 6), 1, 0)])],
+            down: vec![seg(
+                SegmentType::Down,
+                &[(ia(1, 1), 0, 2), (ia(1, 6), 1, 0)],
+            )],
         };
         let mut daemon = ScionDaemon::new();
         assert!(daemon.resolve(ia(1, 6), &segments, SimTime::ZERO) > 0);
@@ -194,7 +197,11 @@ mod tests {
     fn encapsulation_builds_scion_packet() {
         let mut sig = ready_sig();
         let pkt = sig
-            .encapsulate(addr("192.0.2.7"), 100, SimTime::ZERO + Duration::from_hours(1))
+            .encapsulate(
+                addr("192.0.2.7"),
+                100,
+                SimTime::ZERO + Duration::from_hours(1),
+            )
             .unwrap();
         assert_eq!(pkt.source, ia(1, 5));
         assert_eq!(pkt.destination, ia(1, 6));

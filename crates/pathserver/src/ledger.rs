@@ -192,9 +192,7 @@ impl Ledger {
             return None;
         }
         let span = last.since(first);
-        Some(Duration::from_micros(
-            span.as_micros() / (s.events - 1),
-        ))
+        Some(Duration::from_micros(span.as_micros() / (s.events - 1)))
     }
 
     /// Produces the measured Table 1.

@@ -88,8 +88,15 @@ mod tests {
     }
 
     fn down_seg(tr: &TrustStore, mid_egress: u16, leaf: u64) -> PathSegment {
-        let pcb = Pcb::originate(ia(1), IfId(mid_egress), SimTime::ZERO, Duration::from_hours(6), 0, tr)
-            .extend(ia(leaf), IfId(1), IfId::NONE, vec![], tr);
+        let pcb = Pcb::originate(
+            ia(1),
+            IfId(mid_egress),
+            SimTime::ZERO,
+            Duration::from_hours(6),
+            0,
+            tr,
+        )
+        .extend(ia(leaf), IfId(1), IfId::NONE, vec![], tr);
         PathSegment::from_terminated_pcb(SegmentType::Down, pcb)
     }
 

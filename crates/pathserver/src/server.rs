@@ -13,7 +13,17 @@
 use std::collections::HashMap;
 
 use scion_proto::segment::{PathSegment, SegmentType};
+use scion_telemetry::{ids, Label, Telemetry, TraceEvent};
 use scion_types::{Isd, IsdAsn, SimTime};
+
+/// Stable wire names of the segment types for trace records.
+fn seg_type_name(ty: SegmentType) -> &'static str {
+    match ty {
+        SegmentType::Up => "up",
+        SegmentType::Down => "down",
+        SegmentType::Core => "core",
+    }
+}
 
 /// Outcome of a lookup against one server.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -81,6 +91,30 @@ impl PathServer {
             .entry(seg.terminal())
             .or_default()
             .push(seg);
+    }
+
+    /// Like [`PathServer::register_down_segment`], additionally counting
+    /// the registration and emitting a [`TraceEvent::SegmentRegistered`].
+    pub fn register_down_segment_telemetry(
+        &mut self,
+        seg: PathSegment,
+        now: SimTime,
+        tel: &mut Telemetry,
+    ) {
+        if tel.is_enabled() {
+            tel.inc(ids::PS_REGISTRATIONS, Label::Global, 1);
+            let server = self.ia;
+            let terminal = seg.terminal();
+            let seg_type = seg_type_name(seg.seg_type);
+            let hops = seg.hop_count() as u32;
+            tel.trace_event(now, || TraceEvent::SegmentRegistered {
+                server,
+                terminal,
+                seg_type,
+                hops,
+            });
+        }
+        self.register_down_segment(seg);
     }
 
     /// Registers a core-segment (core servers only).
@@ -153,8 +187,11 @@ impl PathServer {
     /// [`PathServer::cache_insert`]).
     pub fn lookup_cached(&mut self, dst: IsdAsn, now: SimTime) -> LookupResult {
         if let Some((segs, _)) = self.cache.get(&dst) {
-            let live: Vec<PathSegment> =
-                segs.iter().filter(|s| !s.is_expired(now)).cloned().collect();
+            let live: Vec<PathSegment> = segs
+                .iter()
+                .filter(|s| !s.is_expired(now))
+                .cloned()
+                .collect();
             if !live.is_empty() {
                 self.cache_hits += 1;
                 return LookupResult::Hit(live);
@@ -163,6 +200,22 @@ impl PathServer {
         }
         self.cache_misses += 1;
         LookupResult::Miss
+    }
+
+    /// Like [`PathServer::lookup_cached`], additionally maintaining the
+    /// global lookup/hit counters.
+    pub fn lookup_cached_telemetry(
+        &mut self,
+        dst: IsdAsn,
+        now: SimTime,
+        tel: &mut Telemetry,
+    ) -> LookupResult {
+        let result = self.lookup_cached(dst, now);
+        tel.inc(ids::PS_LOOKUPS, Label::Global, 1);
+        if matches!(result, LookupResult::Hit(_)) {
+            tel.inc(ids::PS_CACHE_HITS, Label::Global, 1);
+        }
+        result
     }
 
     /// Inserts an upstream answer into the cache.
@@ -197,7 +250,13 @@ mod tests {
         TrustStore::bootstrap(ases.into_iter(), SimTime::ZERO + Duration::from_days(30))
     }
 
-    fn seg(tr: &TrustStore, ty: SegmentType, from: IsdAsn, to: IsdAsn, lifetime_h: u64) -> PathSegment {
+    fn seg(
+        tr: &TrustStore,
+        ty: SegmentType,
+        from: IsdAsn,
+        to: IsdAsn,
+        lifetime_h: u64,
+    ) -> PathSegment {
         let pcb = Pcb::originate(
             from,
             IfId(1),
@@ -244,7 +303,10 @@ mod tests {
     fn cache_hit_miss_accounting() {
         let tr = trust();
         let mut local = PathServer::new(ia(1, 3), false);
-        assert_eq!(local.lookup_cached(ia(2, 4), SimTime::ZERO), LookupResult::Miss);
+        assert_eq!(
+            local.lookup_cached(ia(2, 4), SimTime::ZERO),
+            LookupResult::Miss
+        );
         local.cache_insert(
             ia(2, 4),
             vec![seg(&tr, SegmentType::Down, ia(2, 1), ia(2, 4), 6)],
@@ -261,6 +323,27 @@ mod tests {
             LookupResult::Miss
         );
         assert_eq!(local.cache_misses, 2);
+    }
+
+    #[test]
+    fn telemetry_counts_registrations_and_lookups() {
+        use scion_telemetry::{ids, Label, Telemetry, TelemetryConfig};
+        let tr = trust();
+        let mut tel = Telemetry::new(TelemetryConfig::default());
+        let mut ps = PathServer::new(ia(1, 1), true);
+        ps.register_down_segment_telemetry(
+            seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 3), 6),
+            SimTime::ZERO,
+            &mut tel,
+        );
+        assert_eq!(ps.down_destinations(), 1);
+        let mut local = PathServer::new(ia(1, 3), false);
+        let miss = local.lookup_cached_telemetry(ia(1, 4), SimTime::ZERO, &mut tel);
+        assert_eq!(miss, LookupResult::Miss);
+        assert_eq!(tel.metrics.counter(ids::PS_REGISTRATIONS, Label::Global), 1);
+        assert_eq!(tel.metrics.counter(ids::PS_LOOKUPS, Label::Global), 1);
+        assert_eq!(tel.metrics.counter(ids::PS_CACHE_HITS, Label::Global), 0);
+        assert_eq!(tel.traces.len(), 1);
     }
 
     #[test]

@@ -72,12 +72,7 @@ impl EndToEndPath {
     pub fn links(&self) -> Vec<(LinkEnd, LinkEnd)> {
         self.hops
             .windows(2)
-            .map(|w| {
-                (
-                    LinkEnd::new(w[0].0, w[0].2),
-                    LinkEnd::new(w[1].0, w[1].1),
-                )
-            })
+            .map(|w| (LinkEnd::new(w[0].0, w[0].2), LinkEnd::new(w[1].0, w[1].1)))
             .collect()
     }
 
@@ -207,10 +202,7 @@ pub fn combine_paths(
 ///
 /// Picks the crossover closest to the leaves (the latest common AS in the
 /// up traversal), which yields the shortest shortcut.
-pub fn shortcut_path(
-    up: &PathSegment,
-    down: &PathSegment,
-) -> Result<EndToEndPath, CombineError> {
+pub fn shortcut_path(up: &PathSegment, down: &PathSegment) -> Result<EndToEndPath, CombineError> {
     if up.seg_type == SegmentType::Core || down.seg_type == SegmentType::Core {
         return Err(CombineError::WrongSegmentType);
     }
@@ -246,10 +238,7 @@ pub fn shortcut_path(
 /// `d` on the down segment connected by a peering link that **both**
 /// segments advertise (§2.3). The path ascends to `u`, crosses the peering
 /// link, and descends from `d`.
-pub fn peering_path(
-    up: &PathSegment,
-    down: &PathSegment,
-) -> Result<EndToEndPath, CombineError> {
+pub fn peering_path(up: &PathSegment, down: &PathSegment) -> Result<EndToEndPath, CombineError> {
     if up.seg_type == SegmentType::Core || down.seg_type == SegmentType::Core {
         return Err(CombineError::WrongSegmentType);
     }
@@ -348,15 +337,20 @@ mod tests {
         // Up seg (beacon dir): core 1-1 -> leaf 1-5.
         let up = seg(&tr, SegmentType::Up, &[(ia(1, 1), 0, 1), (ia(1, 5), 1, 0)]);
         // Core seg: 1-1 -> 2-1.
-        let core = seg(&tr, SegmentType::Core, &[(ia(1, 1), 0, 2), (ia(2, 1), 1, 0)]);
+        let core = seg(
+            &tr,
+            SegmentType::Core,
+            &[(ia(1, 1), 0, 2), (ia(2, 1), 1, 0)],
+        );
         // Down seg: core 2-1 -> leaf 2-5.
-        let down = seg(&tr, SegmentType::Down, &[(ia(2, 1), 0, 2), (ia(2, 5), 1, 0)]);
+        let down = seg(
+            &tr,
+            SegmentType::Down,
+            &[(ia(2, 1), 0, 2), (ia(2, 5), 1, 0)],
+        );
 
         let path = combine_paths(Some(&up), Some(&core), Some(&down)).unwrap();
-        assert_eq!(
-            path.as_path(),
-            vec![ia(1, 5), ia(1, 1), ia(2, 1), ia(2, 5)]
-        );
+        assert_eq!(path.as_path(), vec![ia(1, 5), ia(1, 1), ia(2, 1), ia(2, 5)]);
         assert_eq!(path.source(), ia(1, 5));
         assert_eq!(path.destination(), ia(2, 5));
         path.check().unwrap();
@@ -372,13 +366,18 @@ mod tests {
         let tr = trust();
         let up = seg(&tr, SegmentType::Up, &[(ia(2, 1), 0, 1), (ia(2, 5), 1, 0)]);
         // Core seg originated at 1-1, but source side is 2-1: must reverse.
-        let core = seg(&tr, SegmentType::Core, &[(ia(1, 1), 0, 2), (ia(2, 1), 1, 0)]);
-        let down = seg(&tr, SegmentType::Down, &[(ia(1, 1), 0, 3), (ia(1, 5), 1, 0)]);
-        let path = combine_paths(Some(&up), Some(&core), Some(&down)).unwrap();
-        assert_eq!(
-            path.as_path(),
-            vec![ia(2, 5), ia(2, 1), ia(1, 1), ia(1, 5)]
+        let core = seg(
+            &tr,
+            SegmentType::Core,
+            &[(ia(1, 1), 0, 2), (ia(2, 1), 1, 0)],
         );
+        let down = seg(
+            &tr,
+            SegmentType::Down,
+            &[(ia(1, 1), 0, 3), (ia(1, 5), 1, 0)],
+        );
+        let path = combine_paths(Some(&up), Some(&core), Some(&down)).unwrap();
+        assert_eq!(path.as_path(), vec![ia(2, 5), ia(2, 1), ia(1, 1), ia(1, 5)]);
     }
 
     #[test]
@@ -393,7 +392,11 @@ mod tests {
     fn same_core_up_down_join() {
         let tr = trust();
         let up = seg(&tr, SegmentType::Up, &[(ia(1, 1), 0, 1), (ia(1, 5), 1, 0)]);
-        let down = seg(&tr, SegmentType::Down, &[(ia(1, 1), 0, 2), (ia(1, 6), 1, 0)]);
+        let down = seg(
+            &tr,
+            SegmentType::Down,
+            &[(ia(1, 1), 0, 2), (ia(1, 6), 1, 0)],
+        );
         let path = combine_paths(Some(&up), None, Some(&down)).unwrap();
         assert_eq!(path.as_path(), vec![ia(1, 5), ia(1, 1), ia(1, 6)]);
     }
@@ -402,7 +405,11 @@ mod tests {
     fn disconnected_segments_rejected() {
         let tr = trust();
         let up = seg(&tr, SegmentType::Up, &[(ia(1, 1), 0, 1), (ia(1, 5), 1, 0)]);
-        let down = seg(&tr, SegmentType::Down, &[(ia(1, 2), 0, 2), (ia(1, 6), 1, 0)]);
+        let down = seg(
+            &tr,
+            SegmentType::Down,
+            &[(ia(1, 2), 0, 2), (ia(1, 6), 1, 0)],
+        );
         assert_eq!(
             combine_paths(Some(&up), None, Some(&down)),
             Err(CombineError::Disconnected)
@@ -412,7 +419,11 @@ mod tests {
     #[test]
     fn wrong_role_rejected() {
         let tr = trust();
-        let core = seg(&tr, SegmentType::Core, &[(ia(1, 1), 0, 1), (ia(1, 2), 1, 0)]);
+        let core = seg(
+            &tr,
+            SegmentType::Core,
+            &[(ia(1, 1), 0, 1), (ia(1, 2), 1, 0)],
+        );
         assert_eq!(
             combine_paths(Some(&core), None, None),
             Err(CombineError::WrongSegmentType)
@@ -451,7 +462,11 @@ mod tests {
     fn shortcut_requires_common_as() {
         let tr = trust();
         let up = seg(&tr, SegmentType::Up, &[(ia(1, 1), 0, 1), (ia(1, 5), 1, 0)]);
-        let down = seg(&tr, SegmentType::Down, &[(ia(1, 1), 0, 2), (ia(1, 6), 1, 0)]);
+        let down = seg(
+            &tr,
+            SegmentType::Down,
+            &[(ia(1, 1), 0, 2), (ia(1, 6), 1, 0)],
+        );
         // Only common AS is the core origin -> not a shortcut.
         assert_eq!(shortcut_path(&up, &down), Err(CombineError::NoCommonAs));
     }
@@ -495,10 +510,13 @@ mod tests {
         let path = peering_path(&up, &down).unwrap();
         assert_eq!(path.as_path(), vec![ia(1, 5), ia(1, 6)]);
         // Crosses the peering link 1-5#9 <-> 1-6#8.
-        assert_eq!(path.links(), vec![(
-            LinkEnd::new(ia(1, 5), IfId(9)),
-            LinkEnd::new(ia(1, 6), IfId(8)),
-        )]);
+        assert_eq!(
+            path.links(),
+            vec![(
+                LinkEnd::new(ia(1, 5), IfId(9)),
+                LinkEnd::new(ia(1, 6), IfId(8)),
+            )]
+        );
 
         // A down segment *without* the reciprocal peer entry must fail.
         let down_pcb2 = Pcb::originate(ia(1, 2), IfId(1), t0, lifetime, 0, &tr).extend(

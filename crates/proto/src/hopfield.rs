@@ -92,7 +92,10 @@ mod tests {
         let hf = HopField::new(IfId(1), IfId(2), t(100), 0xabc);
         let mut altered = hf;
         altered.egress = IfId(3);
-        assert!(!altered.verify(0xabc), "interface alteration must be caught");
+        assert!(
+            !altered.verify(0xabc),
+            "interface alteration must be caught"
+        );
         let mut altered = hf;
         altered.expiry = t(200);
         assert!(!altered.verify(0xabc), "expiry alteration must be caught");

@@ -450,7 +450,10 @@ mod tests {
         let pcb = Pcb::originate(ia(1, 1), IfId(5), t(0), Duration::from_hours(6), 0, &tr);
         let pcb = pcb.extend(ia(1, 2), IfId(1), IfId(2), vec![], &tr);
         let pcb = pcb.extend(ia(1, 1), IfId(6), IfId(7), vec![], &tr);
-        assert_eq!(pcb.validate(&tr, t(10)), Err(PcbError::LoopDetected(ia(1, 1))));
+        assert_eq!(
+            pcb.validate(&tr, t(10)),
+            Err(PcbError::LoopDetected(ia(1, 1)))
+        );
     }
 
     #[test]
@@ -458,8 +461,13 @@ mod tests {
         let tr = trust();
         // Same path, two beacon instances initiated at different times.
         let mk = |at: SimTime| {
-            Pcb::originate(ia(1, 1), IfId(5), at, Duration::from_hours(6), 0, &tr)
-                .extend(ia(1, 2), IfId(1), IfId(2), vec![], &tr)
+            Pcb::originate(ia(1, 1), IfId(5), at, Duration::from_hours(6), 0, &tr).extend(
+                ia(1, 2),
+                IfId(1),
+                IfId(2),
+                vec![],
+                &tr,
+            )
         };
         let a = mk(t(0));
         let b = mk(t(600));
@@ -572,6 +580,9 @@ mod tests {
         assert_eq!(ext.validate(&tr, t(1)), Ok(()));
         // Dropping the peer entry invalidates the signature.
         ext.entries[1].peers.clear();
-        assert!(matches!(ext.validate(&tr, t(1)), Err(PcbError::Chain(1, _))));
+        assert!(matches!(
+            ext.validate(&tr, t(1)),
+            Err(PcbError::Chain(1, _))
+        ));
     }
 }

@@ -150,9 +150,16 @@ mod tests {
     }
 
     fn terminated(trust: &TrustStore) -> Pcb {
-        Pcb::originate(ia(1, 1), IfId(5), SimTime::ZERO, Duration::from_hours(6), 0, trust)
-            .extend(ia(1, 2), IfId(1), IfId(2), vec![], trust)
-            .extend(ia(1, 3), IfId(7), IfId::NONE, vec![], trust)
+        Pcb::originate(
+            ia(1, 1),
+            IfId(5),
+            SimTime::ZERO,
+            Duration::from_hours(6),
+            0,
+            trust,
+        )
+        .extend(ia(1, 2), IfId(1), IfId(2), vec![], trust)
+        .extend(ia(1, 3), IfId(7), IfId::NONE, vec![], trust)
     }
 
     #[test]
@@ -169,7 +176,14 @@ mod tests {
     #[should_panic(expected = "terminated")]
     fn refuses_in_flight_beacon() {
         let tr = trust();
-        let pcb = Pcb::originate(ia(1, 1), IfId(5), SimTime::ZERO, Duration::from_hours(6), 0, &tr);
+        let pcb = Pcb::originate(
+            ia(1, 1),
+            IfId(5),
+            SimTime::ZERO,
+            Duration::from_hours(6),
+            0,
+            &tr,
+        );
         let _ = PathSegment::from_terminated_pcb(SegmentType::Down, pcb);
     }
 
@@ -188,7 +202,11 @@ mod tests {
             hops.windows(2).map(|w| (w[0].0, w[1].0)).collect()
         };
         let mut f = relink(&fwd);
-        let r: Vec<_> = relink(&rev).into_iter().map(|(a, b)| (b, a)).rev().collect();
+        let r: Vec<_> = relink(&rev)
+            .into_iter()
+            .map(|(a, b)| (b, a))
+            .rev()
+            .collect();
         f.sort();
         let mut r = r;
         r.sort();

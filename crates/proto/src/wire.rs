@@ -48,7 +48,10 @@ mod tests {
     #[test]
     fn pcb_size_formula() {
         assert_eq!(pcb_size(1, 0), PCB_HEADER + AS_ENTRY_BASE);
-        assert_eq!(pcb_size(3, 2), PCB_HEADER + 3 * AS_ENTRY_BASE + 2 * PEER_ENTRY);
+        assert_eq!(
+            pcb_size(3, 2),
+            PCB_HEADER + 3 * AS_ENTRY_BASE + 2 * PEER_ENTRY
+        );
     }
 
     #[test]

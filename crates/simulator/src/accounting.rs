@@ -46,6 +46,7 @@ impl Counter {
 #[derive(Clone, Debug, Default)]
 pub struct InterfaceTraffic {
     counters: HashMap<(AsIndex, IfId), Counter>,
+    node_totals: HashMap<AsIndex, Counter>,
 }
 
 impl InterfaceTraffic {
@@ -56,22 +57,22 @@ impl InterfaceTraffic {
     /// Records a message of `bytes` sent by `node` out of `ifid`.
     pub fn record_sent(&mut self, node: AsIndex, ifid: IfId, bytes: u64) {
         self.counters.entry((node, ifid)).or_default().record(bytes);
+        self.node_totals.entry(node).or_default().record(bytes);
     }
 
     /// The counter for one interface (zero if nothing was ever sent).
     pub fn interface(&self, node: AsIndex, ifid: IfId) -> Counter {
-        self.counters.get(&(node, ifid)).copied().unwrap_or_default()
+        self.counters
+            .get(&(node, ifid))
+            .copied()
+            .unwrap_or_default()
     }
 
-    /// Total traffic sent by one AS over all its interfaces.
+    /// Total traffic sent by one AS over all its interfaces. O(1): the
+    /// aggregate is maintained in `record_sent` rather than recomputed by
+    /// scanning every interface counter.
     pub fn node_total(&self, node: AsIndex) -> Counter {
-        let mut total = Counter::default();
-        for (&(n, _), &c) in &self.counters {
-            if n == node {
-                total.merge(c);
-            }
-        }
-        total
+        self.node_totals.get(&node).copied().unwrap_or_default()
     }
 
     /// Grand total across the whole network.
@@ -106,11 +107,23 @@ mod tests {
         let mut c = Counter::default();
         c.record(100);
         c.record(50);
-        assert_eq!(c, Counter { messages: 2, bytes: 150 });
+        assert_eq!(
+            c,
+            Counter {
+                messages: 2,
+                bytes: 150
+            }
+        );
         let mut d = Counter::default();
         d.record(10);
         d.merge(c);
-        assert_eq!(d, Counter { messages: 3, bytes: 160 });
+        assert_eq!(
+            d,
+            Counter {
+                messages: 3,
+                bytes: 160
+            }
+        );
     }
 
     #[test]
@@ -134,6 +147,25 @@ mod tests {
         assert_eq!(t.node_total(AsIndex(1)).bytes, 230);
         assert_eq!(t.grand_total().bytes, 237);
         assert_eq!(t.active_interfaces(), 3);
+    }
+
+    #[test]
+    fn node_total_matches_interface_sum() {
+        let mut t = InterfaceTraffic::new();
+        for i in 0..10u16 {
+            for rep in 0..3u64 {
+                t.record_sent(AsIndex(4), IfId(i), 100 + rep);
+            }
+        }
+        t.record_sent(AsIndex(5), IfId(0), 1);
+        let mut summed = Counter::default();
+        for ((n, i), _) in t.per_interface() {
+            if n == AsIndex(4) {
+                summed.merge(t.interface(n, i));
+            }
+        }
+        assert_eq!(t.node_total(AsIndex(4)), summed);
+        assert_eq!(t.node_total(AsIndex(6)), Counter::default());
     }
 
     #[test]

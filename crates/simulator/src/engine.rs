@@ -13,11 +13,7 @@ pub enum Event<M> {
     /// interval tick" vs "MRAI expiry").
     Timer { node: AsIndex, kind: u32 },
     /// A message arrived at `to` over `via` (the link it traversed).
-    Deliver {
-        to: AsIndex,
-        via: LinkIndex,
-        msg: M,
-    },
+    Deliver { to: AsIndex, via: LinkIndex, msg: M },
 }
 
 /// Internal heap entry. Ordering is `(time, seq)`: FIFO among simultaneous
@@ -139,8 +135,15 @@ impl<M> Engine<M> {
     }
 
     /// Pops the next event unconditionally.
+    ///
+    /// Implemented directly rather than as `pop_until(u64::MAX)`: the
+    /// deadline is exclusive, so delegating would silently drop an event
+    /// scheduled at exactly `u64::MAX` microseconds.
     pub fn pop(&mut self) -> Option<(SimTime, Event<M>)> {
-        self.pop_until(SimTime::from_micros(u64::MAX))
+        let Reverse(s) = self.queue.pop()?;
+        self.now = s.at;
+        self.delivered += 1;
+        Some((s.at, s.event))
     }
 }
 
@@ -222,6 +225,25 @@ mod tests {
         e.schedule_timer(t(100), AsIndex(0), 0);
         e.pop();
         e.schedule_timer(t(50), AsIndex(0), 0);
+    }
+
+    #[test]
+    fn pop_returns_event_at_maximum_representable_time() {
+        // Regression: `pop` used to delegate to `pop_until(u64::MAX)`, whose
+        // exclusive deadline dropped an event at exactly u64::MAX µs.
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_timer(t(u64::MAX), AsIndex(7), 0);
+        let (at, ev) = e.pop().expect("event at u64::MAX must pop");
+        assert_eq!(at, t(u64::MAX));
+        assert_eq!(
+            ev,
+            Event::Timer {
+                node: AsIndex(7),
+                kind: 0
+            }
+        );
+        assert_eq!(e.now(), t(u64::MAX));
+        assert!(e.pop().is_none());
     }
 
     #[test]

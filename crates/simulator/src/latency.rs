@@ -75,12 +75,7 @@ mod tests {
     #[test]
     fn delays_within_bounds() {
         let t = generate_internet(&GeneratorConfig::small(100, 1));
-        let m = LatencyModel::uniform(
-            &t,
-            1,
-            Duration::from_millis(5),
-            Duration::from_millis(10),
-        );
+        let m = LatencyModel::uniform(&t, 1, Duration::from_millis(5), Duration::from_millis(10));
         for li in t.link_indices() {
             let d = m.delay(li);
             assert!(d >= Duration::from_millis(5) && d <= Duration::from_millis(10));

@@ -1,0 +1,253 @@
+//! JSONL export of a telemetry dump.
+//!
+//! A dump directory holds four files:
+//!
+//! * `metrics.jsonl` — final counter/gauge/histogram values, one JSON
+//!   object per line, in deterministic `(kind, id, label)` order;
+//! * `series.jsonl` — the virtual-time samples, in recording order;
+//! * `trace.jsonl` — the retained trace records, oldest first;
+//! * `profile.jsonl` — the per-phase wall-clock profile. This file is the
+//!   only nondeterministic one; same-seed runs produce byte-identical
+//!   `metrics`/`series`/`trace` files (asserted by
+//!   `tests/telemetry_determinism.rs`).
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+use serde::Serialize;
+
+use crate::metrics::{Histogram, Label};
+use crate::profile::PhaseStats;
+use crate::Telemetry;
+
+#[derive(Serialize)]
+struct CounterRow<'a> {
+    kind: &'static str,
+    id: &'a str,
+    label: Label,
+    value: u64,
+}
+
+#[derive(Serialize)]
+struct GaugeRow<'a> {
+    kind: &'static str,
+    id: &'a str,
+    label: Label,
+    value: f64,
+}
+
+#[derive(Serialize)]
+struct HistogramRow<'a> {
+    kind: &'static str,
+    id: &'a str,
+    label: Label,
+    count: u64,
+    sum: f64,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    min: Option<f64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    max: Option<f64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    p50: Option<f64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    p90: Option<f64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    p99: Option<f64>,
+    bounds: &'a [f64],
+    bucket_counts: &'a [u64],
+}
+
+impl<'a> HistogramRow<'a> {
+    fn new(id: &'a str, label: Label, h: &'a Histogram) -> HistogramRow<'a> {
+        HistogramRow {
+            kind: "histogram",
+            id,
+            label,
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+            p50: h.quantile(0.5),
+            p90: h.quantile(0.9),
+            p99: h.quantile(0.99),
+            bounds: h.bounds(),
+            bucket_counts: h.bucket_counts(),
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct ProfileRow<'a> {
+    phase: &'a str,
+    calls: u64,
+    total_ns: u64,
+    mean_ns: u64,
+    max_ns: u64,
+}
+
+fn write_line<T: Serialize>(out: &mut impl Write, row: &T) -> io::Result<()> {
+    let json = serde_json::to_string(row).expect("telemetry rows are serializable");
+    out.write_all(json.as_bytes())?;
+    out.write_all(b"\n")
+}
+
+impl Telemetry {
+    /// Writes the four JSONL files of this dump into `dir` (created if
+    /// needed). Existing files are overwritten.
+    pub fn export_jsonl(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+
+        let mut metrics = io::BufWriter::new(fs::File::create(dir.join("metrics.jsonl"))?);
+        for (id, label, value) in self.metrics.counters() {
+            write_line(
+                &mut metrics,
+                &CounterRow {
+                    kind: "counter",
+                    id,
+                    label,
+                    value,
+                },
+            )?;
+        }
+        // The sink's own accounting rides along as synthetic counters so
+        // a dump is self-describing about ring-buffer truncation.
+        write_line(
+            &mut metrics,
+            &CounterRow {
+                kind: "counter",
+                id: "trace.records_emitted",
+                label: Label::Global,
+                value: self.traces.emitted(),
+            },
+        )?;
+        write_line(
+            &mut metrics,
+            &CounterRow {
+                kind: "counter",
+                id: "trace.records_dropped",
+                label: Label::Global,
+                value: self.traces.dropped(),
+            },
+        )?;
+        for (id, label, value) in self.metrics.gauges() {
+            write_line(
+                &mut metrics,
+                &GaugeRow {
+                    kind: "gauge",
+                    id,
+                    label,
+                    value,
+                },
+            )?;
+        }
+        for (id, label, h) in self.metrics.histograms() {
+            write_line(&mut metrics, &HistogramRow::new(id, label, h))?;
+        }
+        metrics.flush()?;
+
+        let mut series = io::BufWriter::new(fs::File::create(dir.join("series.jsonl"))?);
+        for sample in self.series.samples() {
+            write_line(&mut series, sample)?;
+        }
+        series.flush()?;
+
+        let mut trace = io::BufWriter::new(fs::File::create(dir.join("trace.jsonl"))?);
+        for record in self.traces.records() {
+            write_line(&mut trace, record)?;
+        }
+        trace.flush()?;
+
+        let mut profile = io::BufWriter::new(fs::File::create(dir.join("profile.jsonl"))?);
+        for (phase, stats) in self.profile.phases() {
+            let PhaseStats {
+                calls,
+                total_ns,
+                max_ns,
+            } = stats;
+            write_line(
+                &mut profile,
+                &ProfileRow {
+                    phase,
+                    calls,
+                    total_ns,
+                    mean_ns: stats.mean_ns(),
+                    max_ns,
+                },
+            )?;
+        }
+        profile.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+    use crate::TelemetryConfig;
+    use scion_types::SimTime;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("scion-telemetry-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn export_writes_parseable_jsonl() {
+        let mut tel = Telemetry::new(TelemetryConfig::default());
+        tel.inc("x.count", Label::Global, 3);
+        tel.sample(SimTime::from_micros(5), "x.gauge", Label::As(1), 2.0);
+        tel.observe("x.hist", Label::Global, 1.5);
+        tel.trace_event(SimTime::from_micros(9), || TraceEvent::PcbOriginated {
+            node: 0,
+            egress_if: 1,
+            seq: 0,
+        });
+        tel.profile.record_ns("phase.x", 1234);
+
+        let dir = tmp_dir("export");
+        tel.export_jsonl(&dir).unwrap();
+        for name in [
+            "metrics.jsonl",
+            "series.jsonl",
+            "trace.jsonl",
+            "profile.jsonl",
+        ] {
+            let content = fs::read_to_string(dir.join(name)).unwrap();
+            assert!(!content.is_empty(), "{name} empty");
+            for line in content.lines() {
+                let v: serde_json::Value = serde_json::from_str(line).unwrap();
+                assert!(v.is_object(), "{name}: {line}");
+            }
+        }
+        let metrics = fs::read_to_string(dir.join("metrics.jsonl")).unwrap();
+        assert!(metrics.contains("\"x.count\""));
+        assert!(metrics.contains("trace.records_emitted"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn same_content_exports_identical_bytes() {
+        let build = || {
+            let mut tel = Telemetry::new(TelemetryConfig::default());
+            tel.inc("b", Label::As(2), 1);
+            tel.inc("a", Label::Global, 7);
+            tel.sample(SimTime::from_micros(1), "g", Label::Global, 0.5);
+            tel
+        };
+        let (da, db) = (tmp_dir("det-a"), tmp_dir("det-b"));
+        build().export_jsonl(&da).unwrap();
+        build().export_jsonl(&db).unwrap();
+        for name in ["metrics.jsonl", "series.jsonl", "trace.jsonl"] {
+            assert_eq!(
+                fs::read(da.join(name)).unwrap(),
+                fs::read(db.join(name)).unwrap(),
+                "{name} differs"
+            );
+        }
+        fs::remove_dir_all(&da).ok();
+        fs::remove_dir_all(&db).ok();
+    }
+}

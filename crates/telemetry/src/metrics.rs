@@ -1,0 +1,352 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms, keyed by a static metric id plus a [`Label`].
+//!
+//! Every map in here is a `BTreeMap` keyed by `(&'static str, Label)`, so
+//! iteration — and therefore every export — is in a deterministic order
+//! independent of insertion history. Two runs with the same seed produce
+//! byte-identical metric dumps; the determinism test in
+//! `tests/telemetry_determinism.rs` relies on exactly this.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+/// The label dimension of a metric instance.
+///
+/// Labels are raw dense indices (`AsIndex.0`, `LinkIndex.0`, `IfId.0`)
+/// rather than the topology types themselves so the telemetry crate sits
+/// below every other crate in the dependency graph.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Serialize)]
+pub enum Label {
+    /// A network-wide metric.
+    Global,
+    /// Per-AS, by dense AS index.
+    As(u32),
+    /// Per-interface: `(AS index, interface id)`.
+    Iface(u32, u16),
+    /// Per-link, by dense link index.
+    Link(u32),
+}
+
+/// A fixed-bucket histogram with cumulative-walk quantile estimation.
+///
+/// `bounds` are inclusive upper bucket boundaries in ascending order; one
+/// implicit overflow bucket catches everything above the last bound. A
+/// value exactly on a boundary lands in that boundary's bucket.
+#[derive(Clone, Debug, Serialize)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Default histogram buckets: 1-2.5-5 decades from 0.001 to 100 000,
+/// suiting both sub-second latencies (in seconds) and hop counts.
+pub const DEFAULT_BUCKETS: [f64; 25] = [
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0, 25_000.0, 50_000.0, 100_000.0,
+];
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new(&DEFAULT_BUCKETS)
+    }
+}
+
+impl Histogram {
+    /// Creates a histogram with the given inclusive upper bounds (must be
+    /// ascending; an overflow bucket is added automatically).
+    pub fn new(bounds: &[f64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds ascending");
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        let bucket = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[bucket] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest observation (`None` before the first observation).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` before the first observation).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The upper bounds (without the implicit overflow bucket).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (the last entry is the overflow bucket).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by cumulative walk:
+    /// returns the upper bound of the bucket containing the target rank
+    /// (clamped to the observed max for the overflow bucket, and to the
+    /// observed min from below). Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based, at least 1.
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                let est = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                };
+                // The estimate can never lie outside the observed range.
+                return Some(est.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+/// The registry: all counters, gauges, and histograms of one run.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<(&'static str, Label), u64>,
+    gauges: BTreeMap<(&'static str, Label), f64>,
+    histograms: BTreeMap<(&'static str, Label), Histogram>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to a counter, creating it at zero on first use.
+    pub fn inc_counter(&mut self, id: &'static str, label: Label, delta: u64) {
+        *self.counters.entry((id, label)).or_insert(0) += delta;
+    }
+
+    /// Sets a gauge to `value`.
+    pub fn set_gauge(&mut self, id: &'static str, label: Label, value: f64) {
+        self.gauges.insert((id, label), value);
+    }
+
+    /// Records an observation into a histogram with [`DEFAULT_BUCKETS`].
+    pub fn observe(&mut self, id: &'static str, label: Label, value: f64) {
+        self.histograms
+            .entry((id, label))
+            .or_default()
+            .observe(value);
+    }
+
+    /// Records an observation into a histogram with custom buckets (the
+    /// buckets apply only on first creation of the instance).
+    pub fn observe_with_buckets(
+        &mut self,
+        id: &'static str,
+        label: Label,
+        bounds: &[f64],
+        value: f64,
+    ) {
+        self.histograms
+            .entry((id, label))
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// Current counter value (0 if never incremented).
+    pub fn counter(&self, id: &'static str, label: Label) -> u64 {
+        self.counters.get(&(id, label)).copied().unwrap_or(0)
+    }
+
+    /// Current gauge value.
+    pub fn gauge(&self, id: &'static str, label: Label) -> Option<f64> {
+        self.gauges.get(&(id, label)).copied()
+    }
+
+    /// The histogram instance for `(id, label)`, if any.
+    pub fn histogram(&self, id: &'static str, label: Label) -> Option<&Histogram> {
+        self.histograms.get(&(id, label))
+    }
+
+    /// All counters in deterministic `(id, label)` order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, Label, u64)> + '_ {
+        self.counters.iter().map(|(&(id, l), &v)| (id, l, v))
+    }
+
+    /// All gauges in deterministic `(id, label)` order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, Label, f64)> + '_ {
+        self.gauges.iter().map(|(&(id, l), &v)| (id, l, v))
+    }
+
+    /// All histograms in deterministic `(id, label)` order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, Label, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&(id, l), h)| (id, l, h))
+    }
+
+    /// True when nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut m = MetricsRegistry::new();
+        m.inc_counter("x", Label::Global, 2);
+        m.inc_counter("x", Label::Global, 3);
+        m.inc_counter("x", Label::As(1), 1);
+        assert_eq!(m.counter("x", Label::Global), 5);
+        assert_eq!(m.counter("x", Label::As(1)), 1);
+        assert_eq!(m.counter("y", Label::Global), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut m = MetricsRegistry::new();
+        m.set_gauge("depth", Label::Global, 3.0);
+        m.set_gauge("depth", Label::Global, 7.0);
+        assert_eq!(m.gauge("depth", Label::Global), Some(7.0));
+        assert_eq!(m.gauge("other", Label::Global), None);
+    }
+
+    #[test]
+    fn iteration_order_is_deterministic() {
+        // Insert in two different orders; iteration must agree.
+        let mut a = MetricsRegistry::new();
+        a.inc_counter("b", Label::As(2), 1);
+        a.inc_counter("a", Label::Global, 1);
+        a.inc_counter("b", Label::As(1), 1);
+        let mut b = MetricsRegistry::new();
+        b.inc_counter("b", Label::As(1), 1);
+        b.inc_counter("b", Label::As(2), 1);
+        b.inc_counter("a", Label::Global, 1);
+        let ka: Vec<_> = a.counters().map(|(id, l, _)| (id, l)).collect();
+        let kb: Vec<_> = b.counters().map(|(id, l, _)| (id, l)).collect();
+        assert_eq!(ka, kb);
+        assert_eq!(ka[0].0, "a");
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        h.observe(0.5); // bucket 0 (<= 1.0)
+        h.observe(1.0); // bucket 0 (exactly on the boundary)
+        h.observe(1.5); // bucket 1
+        h.observe(2.0); // bucket 1 (exactly on the boundary)
+        h.observe(4.0); // bucket 2
+        h.observe(9.0); // overflow bucket
+        assert_eq!(h.bucket_counts(), &[2, 2, 1, 1]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(9.0));
+        assert!((h.sum() - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_walk_cumulative_counts() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0, 8.0]);
+        // 10 observations in bucket 0, 10 in bucket 2.
+        for _ in 0..10 {
+            h.observe(0.5);
+        }
+        for _ in 0..10 {
+            h.observe(3.0);
+        }
+        assert_eq!(h.quantile(0.25), Some(1.0)); // rank 5 -> bucket 0 bound
+                                                 // Rank 15 -> bucket 2 bound (4.0), clamped to the observed max.
+        assert_eq!(h.quantile(0.75), Some(3.0));
+        // p100 never exceeds the observed max.
+        assert_eq!(h.quantile(1.0), Some(3.0));
+        // p0 never undershoots the observed min... it returns a bucket
+        // bound clamped to [min, max].
+        assert_eq!(h.quantile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn histogram_overflow_quantile_reports_observed_max() {
+        let mut h = Histogram::new(&[1.0]);
+        h.observe(100.0);
+        h.observe(200.0);
+        assert_eq!(h.quantile(0.99), Some(200.0));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn label_ordering_is_total_and_stable() {
+        let mut labels = vec![
+            Label::Link(0),
+            Label::Iface(1, 2),
+            Label::As(9),
+            Label::Global,
+            Label::As(1),
+        ];
+        labels.sort();
+        assert_eq!(
+            labels,
+            vec![
+                Label::Global,
+                Label::As(1),
+                Label::As(9),
+                Label::Iface(1, 2),
+                Label::Link(0),
+            ]
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Wall-clock profiling scopes.
+//!
+//! Unlike everything else in this crate, the profiler measures *real* time
+//! (`std::time::Instant`): its purpose is finding the hot phases of the
+//! simulator itself — origination, propagation scoring, verification, path
+//! combination — so later PRs can optimize them against a recorded
+//! baseline. Profile numbers are therefore intentionally excluded from the
+//! determinism guarantee and exported to their own file.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use serde::Serialize;
+
+/// Phase name constants, so call sites and reports agree on spelling.
+pub mod phase {
+    pub const ORIGINATION: &str = "beaconing.origination";
+    pub const SELECTION: &str = "beaconing.selection_scoring";
+    pub const VERIFICATION: &str = "beaconing.verification";
+    pub const COMBINATION: &str = "proto.path_combination";
+    pub const BGP_CONVERGENCE: &str = "bgp.origin_convergence";
+    pub const BGP_MONTH: &str = "bgp.monthly_workload";
+    pub const SAMPLING: &str = "telemetry.sampling";
+}
+
+/// Accumulated wall-clock statistics of one phase.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct PhaseStats {
+    /// Number of completed scopes.
+    pub calls: u64,
+    /// Total wall-clock time, nanoseconds.
+    pub total_ns: u64,
+    /// Longest single scope, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl PhaseStats {
+    /// Mean scope duration in nanoseconds (0 when no calls).
+    pub fn mean_ns(&self) -> u64 {
+        if self.calls == 0 {
+            0
+        } else {
+            self.total_ns / self.calls
+        }
+    }
+}
+
+/// Aggregates wall-clock spans per named phase.
+#[derive(Clone, Debug, Default)]
+pub struct Profiler {
+    enabled: bool,
+    phases: BTreeMap<&'static str, PhaseStats>,
+}
+
+impl Profiler {
+    /// A profiler that records nothing; `scope` costs one branch.
+    pub fn disabled() -> Profiler {
+        Profiler {
+            enabled: false,
+            phases: BTreeMap::new(),
+        }
+    }
+
+    /// A recording profiler.
+    pub fn enabled() -> Profiler {
+        Profiler {
+            enabled: true,
+            phases: BTreeMap::new(),
+        }
+    }
+
+    /// True when spans are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens an RAII span: the elapsed wall-clock time is recorded under
+    /// `phase` when the returned guard drops.
+    #[inline]
+    pub fn scope(&mut self, phase: &'static str) -> ProfileScope<'_> {
+        let start = if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        ProfileScope {
+            profiler: self,
+            phase,
+            start,
+        }
+    }
+
+    /// Records an already-measured span.
+    pub fn record_ns(&mut self, phase: &'static str, ns: u64) {
+        let stats = self.phases.entry(phase).or_default();
+        stats.calls += 1;
+        stats.total_ns += ns;
+        stats.max_ns = stats.max_ns.max(ns);
+    }
+
+    /// The stats of one phase, if it ever ran.
+    pub fn stats(&self, phase: &str) -> Option<PhaseStats> {
+        self.phases.get(phase).copied()
+    }
+
+    /// All phases in deterministic name order.
+    pub fn phases(&self) -> impl Iterator<Item = (&'static str, PhaseStats)> + '_ {
+        self.phases.iter().map(|(&p, &s)| (p, s))
+    }
+
+    /// True when no span was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+}
+
+/// RAII guard of one wall-clock span; records on drop.
+pub struct ProfileScope<'a> {
+    profiler: &'a mut Profiler,
+    phase: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for ProfileScope<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            self.profiler.record_ns(self.phase, ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_accumulate_calls_and_time() {
+        let mut p = Profiler::enabled();
+        for _ in 0..3 {
+            let _g = p.scope(phase::VERIFICATION);
+            std::hint::black_box(42);
+        }
+        let s = p.stats(phase::VERIFICATION).unwrap();
+        assert_eq!(s.calls, 3);
+        assert!(s.max_ns <= s.total_ns);
+        assert!(s.mean_ns() <= s.max_ns);
+    }
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let mut p = Profiler::disabled();
+        {
+            let _g = p.scope(phase::ORIGINATION);
+        }
+        assert!(p.is_empty());
+        assert!(p.stats(phase::ORIGINATION).is_none());
+    }
+
+    #[test]
+    fn record_ns_tracks_max() {
+        let mut p = Profiler::enabled();
+        p.record_ns("x", 10);
+        p.record_ns("x", 30);
+        p.record_ns("x", 20);
+        let s = p.stats("x").unwrap();
+        assert_eq!((s.calls, s.total_ns, s.max_ns), (3, 60, 30));
+        assert_eq!(s.mean_ns(), 20);
+    }
+
+    #[test]
+    fn phases_iterate_in_name_order() {
+        let mut p = Profiler::enabled();
+        p.record_ns("z", 1);
+        p.record_ns("a", 1);
+        p.record_ns("m", 1);
+        let names: Vec<_> = p.phases().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "m", "z"]);
+    }
+}

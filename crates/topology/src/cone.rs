@@ -78,7 +78,7 @@ mod tests {
         let three = t.by_address(ia(3)).unwrap();
         let cone1 = customer_cone(&t, one);
         assert_eq!(cone1.len(), 4); // 1,2,3,4
-        // 3 peers with 4, so 4 is NOT in 3's cone.
+                                    // 3 peers with 4, so 4 is NOT in 3's cone.
         let cone3 = customer_cone(&t, three);
         assert_eq!(cone3.len(), 1);
     }

@@ -110,7 +110,11 @@ pub fn generate_internet(cfg: &GeneratorConfig) -> AsTopology {
         for j in (i + 1)..cfg.num_tier1 {
             let n = draw_parallel(&mut rng, cfg, usize::MAX);
             for _ in 0..n {
-                topo.add_link(AsIndex(i as u32), AsIndex(j as u32), Relationship::PeerToPeer);
+                topo.add_link(
+                    AsIndex(i as u32),
+                    AsIndex(j as u32),
+                    Relationship::PeerToPeer,
+                );
             }
             degree[i] += n;
             degree[j] += n;
@@ -127,7 +131,10 @@ pub fn generate_internet(cfg: &GeneratorConfig) -> AsTopology {
 
         let mut providers: Vec<usize> = Vec::with_capacity(num_providers);
         // Weighted sampling without replacement (+1 smooths zero-degree).
-        let mut weights: Vec<f64> = degree[..num_existing].iter().map(|&d| d as f64 + 1.0).collect();
+        let mut weights: Vec<f64> = degree[..num_existing]
+            .iter()
+            .map(|&d| d as f64 + 1.0)
+            .collect();
         for _ in 0..num_providers {
             let dist = WeightedIndex::new(&weights).expect("weights are positive");
             let choice = dist.sample(&mut rng);

@@ -34,10 +34,7 @@ pub struct IsdLayout {
 /// `None` if pruned). Interface ids are reassigned in the new topology —
 /// identity of links across the mapping is positional, not interface-id
 /// based.
-pub fn induced_subgraph(
-    topo: &AsTopology,
-    keep: &[bool],
-) -> (AsTopology, Vec<Option<AsIndex>>) {
+pub fn induced_subgraph(topo: &AsTopology, keep: &[bool]) -> (AsTopology, Vec<Option<AsIndex>>) {
     assert_eq!(keep.len(), topo.num_ases());
     let mut out = AsTopology::new();
     let mut mapping: Vec<Option<AsIndex>> = vec![None; topo.num_ases()];
@@ -64,10 +61,7 @@ pub fn induced_subgraph(
 /// determinism.
 ///
 /// Returns the induced subtopology of the survivors plus the index mapping.
-pub fn prune_to_top_degree(
-    topo: &AsTopology,
-    n: usize,
-) -> (AsTopology, Vec<Option<AsIndex>>) {
+pub fn prune_to_top_degree(topo: &AsTopology, n: usize) -> (AsTopology, Vec<Option<AsIndex>>) {
     assert!(n <= topo.num_ases());
     let mut degree: Vec<usize> = topo
         .as_indices()
@@ -144,7 +138,10 @@ pub fn assign_isds(topo: &mut AsTopology, isd_size: usize) -> IsdLayout {
         }
     }
 
-    let isd_of: Vec<Isd> = isd_of.into_iter().map(|o| o.expect("all assigned")).collect();
+    let isd_of: Vec<Isd> = isd_of
+        .into_iter()
+        .map(|o| o.expect("all assigned"))
+        .collect();
     for idx in 0..n {
         let i = AsIndex(idx as u32);
         topo.set_isd(i, isd_of[idx]);
@@ -236,7 +233,10 @@ mod tests {
         // the hub to 2 and AS 3 to 2; then the hub itself (lowest index at
         // degree 2). Survivors: 3 and 4 — NOT the initially highest-degree
         // hub, which is precisely why the paper prunes incrementally.
-        let asns: Vec<u64> = sub.as_indices().map(|i| sub.node(i).ia.asn.value()).collect();
+        let asns: Vec<u64> = sub
+            .as_indices()
+            .map(|i| sub.node(i).ia.asn.value())
+            .collect();
         assert!(asns.contains(&3), "survivors {asns:?}");
         assert!(asns.contains(&4), "survivors {asns:?}");
     }
@@ -304,8 +304,10 @@ mod tests {
             (5, 3, Relationship::AProviderOfB, 1),
         ]);
         let (sub, _) = build_intra_isd_topology(&t, 1);
-        let asns: std::collections::HashSet<u64> =
-            sub.as_indices().map(|i| sub.node(i).ia.asn.value()).collect();
+        let asns: std::collections::HashSet<u64> = sub
+            .as_indices()
+            .map(|i| sub.node(i).ia.asn.value())
+            .collect();
         assert_eq!(asns, [1u64, 2, 3, 4].into_iter().collect());
         // Exactly one core.
         assert_eq!(sub.core_ases().count(), 1);

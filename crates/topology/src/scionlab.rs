@@ -134,13 +134,10 @@ mod tests {
     #[test]
     fn has_a_parallel_core_link() {
         let t = scionlab_topology();
-        let has = t
-            .core_links()
-            .iter()
-            .any(|&li| {
-                let l = t.link(li);
-                t.links_between(l.a, l.b).len() > 1
-            });
+        let has = t.core_links().iter().any(|&li| {
+            let l = t.link(li);
+            t.links_between(l.a, l.b).len() > 1
+        });
         assert!(has);
     }
 

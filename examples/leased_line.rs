@@ -57,7 +57,8 @@ fn main() {
     // --- Each site terminates its freshest beacons into up/down segments
     //     and registers the down-segments at the ISP's core path server.
     let trust = TrustStore::bootstrap(
-        topo.as_indices().map(|i| (topo.node(i).ia, topo.node(i).core)),
+        topo.as_indices()
+            .map(|i| (topo.node(i).ia, topo.node(i).core)),
         now + Duration::from_days(1),
     );
     let mut core_ps = PathServer::new(topo.node(isp).ia, true);
@@ -75,7 +76,10 @@ fn main() {
             );
             let down = PathSegment::from_terminated_pcb(SegmentType::Down, terminated.clone());
             core_ps.register_down_segment(down);
-            ups.push(PathSegment::from_terminated_pcb(SegmentType::Up, terminated));
+            ups.push(PathSegment::from_terminated_pcb(
+                SegmentType::Up,
+                terminated,
+            ));
         }
         up_segments.push(ups);
     }
@@ -128,6 +132,9 @@ fn main() {
     println!(
         "{} fails over to: {:?} — no convergence wait, the alternate segment was already cached",
         topo.node(branch0).ia,
-        path.as_path().iter().map(|ia| ia.to_string()).collect::<Vec<_>>()
+        path.as_path()
+            .iter()
+            .map(|ia| ia.to_string())
+            .collect::<Vec<_>>()
     );
 }

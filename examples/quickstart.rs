@@ -48,7 +48,9 @@ fn main() {
     let now = SimTime::ZERO + Duration::from_hours(6);
     let holder = core.as_indices().last().expect("non-empty");
     let origin = core.as_indices().next().expect("non-empty");
-    let srv = outcome.server(holder).expect("core AS runs a beacon server");
+    let srv = outcome
+        .server(holder)
+        .expect("core AS runs a beacon server");
     let paths = known_paths(&core, srv, core.node(origin).ia, now);
     println!(
         "{} knows {} link-level paths toward {}:",
@@ -57,7 +59,10 @@ fn main() {
         core.node(origin).ia
     );
     for (i, path) in paths.iter().take(5).enumerate() {
-        let hops: Vec<String> = path.iter().map(|&li| core.link_id(li).to_string()).collect();
+        let hops: Vec<String> = path
+            .iter()
+            .map(|&li| core.link_id(li).to_string())
+            .collect();
         println!("  path {i}: {}", hops.join("  ->  "));
     }
 

@@ -39,7 +39,8 @@ fn main() {
     let now = SimTime::ZERO + duration;
     let out = run_intra_isd_beaconing(&topo, &BeaconingConfig::default(), duration, 5);
     let trust = TrustStore::bootstrap(
-        topo.as_indices().map(|i| (topo.node(i).ia, topo.node(i).core)),
+        topo.as_indices()
+            .map(|i| (topo.node(i).ia, topo.node(i).core)),
         now + Duration::from_days(1),
     );
 
@@ -51,13 +52,9 @@ fn main() {
             .beacons_of(topo.node(core).ia, now)
             .into_iter()
             .map(|b| {
-                let pcb = b.pcb.extend(
-                    topo.node(leaf).ia,
-                    b.ingress_if,
-                    IfId::NONE,
-                    vec![],
-                    &trust,
-                );
+                let pcb =
+                    b.pcb
+                        .extend(topo.node(leaf).ia, b.ingress_if, IfId::NONE, vec![], &trust);
                 scion_core::proto::segment::PathSegment::from_terminated_pcb(ty, pcb)
             })
             .collect()
@@ -99,7 +96,10 @@ fn main() {
     let mut pkt2 = sig.encapsulate(dst_ip, 1200, expiry).unwrap();
     match deliver(&topo, &mut pkt2, &failed, now) {
         Err(DeliveryError::LinkDown(scmp)) => {
-            println!("border router at {} sends SCMP ExternalInterfaceDown", scmp.origin());
+            println!(
+                "border router at {} sends SCMP ExternalInterfaceDown",
+                scmp.origin()
+            );
             sig.daemon.handle_scmp(&scmp, now);
         }
         other => panic!("expected LinkDown, got {other:?}"),
@@ -107,7 +107,10 @@ fn main() {
 
     // --- Packet 3: the daemon already switched paths.
     let mut pkt3 = sig.encapsulate(dst_ip, 1200, expiry).unwrap();
-    assert_ne!(pkt3.path.hops[0].1.egress, first_egress, "disjoint path chosen");
+    assert_ne!(
+        pkt3.path.hops[0].1.egress, first_egress,
+        "disjoint path chosen"
+    );
     let hops = deliver(&topo, &mut pkt3, &failed, now).unwrap();
     println!(
         "packet 3 fails over instantly: delivered over {hops} links via interface {} \

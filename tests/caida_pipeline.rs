@@ -83,11 +83,7 @@ fn intra_isd_construction_from_caida_data() {
         2,
     );
     let now = SimTime::ZERO + Duration::from_hours(1);
-    let core_ia = intra
-        .core_ases()
-        .map(|i| intra.node(i).ia)
-        .next()
-        .unwrap();
+    let core_ia = intra.core_ases().map(|i| intra.node(i).ia).next().unwrap();
     for idx in intra.as_indices() {
         if intra.node(idx).core {
             continue;

@@ -45,7 +45,8 @@ fn build_stack() -> Stack {
     let now = SimTime::ZERO + duration;
     let out = run_intra_isd_beaconing(&topo, &BeaconingConfig::default(), duration, 11);
     let trust = TrustStore::bootstrap(
-        topo.as_indices().map(|i| (topo.node(i).ia, topo.node(i).core)),
+        topo.as_indices()
+            .map(|i| (topo.node(i).ia, topo.node(i).core)),
         now + Duration::from_days(1),
     );
     let terminate = |leaf_ia: IsdAsn, ty| -> Vec<PathSegment> {
@@ -78,7 +79,9 @@ fn build_stack() -> Stack {
                         }
                     })
                     .collect();
-                let pcb = b.pcb.extend(leaf_ia, b.ingress_if, IfId::NONE, peers, &trust);
+                let pcb = b
+                    .pcb
+                    .extend(leaf_ia, b.ingress_if, IfId::NONE, peers, &trust);
                 scion_core::proto::segment::PathSegment::from_terminated_pcb(ty, pcb)
             })
             .collect()
@@ -101,10 +104,17 @@ fn daemon_resolves_core_and_peering_paths_from_real_beacons() {
     let mut daemon = ScionDaemon::new();
     let n = daemon.resolve(ia(11), &stack.segments, stack.now);
     // 2 ups x 2 downs through the core + the peering shortcut.
-    assert!(n >= 5, "expected core paths plus the peering shortcut, got {n}");
+    assert!(
+        n >= 5,
+        "expected core paths plus the peering shortcut, got {n}"
+    );
     // The best (shortest) path is the 2-hop peering shortcut.
     let best = daemon.best_path(ia(11)).unwrap();
-    assert_eq!(best.as_path(), vec![ia(10), ia(11)], "peering shortcut wins");
+    assert_eq!(
+        best.as_path(),
+        vec![ia(10), ia(11)],
+        "peering shortcut wins"
+    );
     // Core paths exist as well.
     assert!(daemon
         .cached_paths(ia(11))

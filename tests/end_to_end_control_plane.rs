@@ -33,7 +33,8 @@ fn two_isd_world() -> AsTopology {
 
 fn trust_for(topo: &AsTopology, horizon: SimTime) -> TrustStore {
     TrustStore::bootstrap(
-        topo.as_indices().map(|i| (topo.node(i).ia, topo.node(i).core)),
+        topo.as_indices()
+            .map(|i| (topo.node(i).ia, topo.node(i).core)),
         horizon,
     )
 }
@@ -51,13 +52,10 @@ fn terminate_segments(
         .beacons_of(origin, now)
         .into_iter()
         .map(|stored| {
-            let pcb = stored.pcb.extend(
-                srv.isd_asn(),
-                stored.ingress_if,
-                IfId::NONE,
-                vec![],
-                trust,
-            );
+            let pcb =
+                stored
+                    .pcb
+                    .extend(srv.isd_asn(), stored.ingress_if, IfId::NONE, vec![], trust);
             scion_core::proto::segment::PathSegment::from_terminated_pcb(seg_type, pcb)
         })
         .collect()
@@ -156,8 +154,7 @@ fn full_stack_cross_isd_path_construction() {
         p.check().unwrap();
     }
     // Distinct combinations use distinct link sequences (multi-path!).
-    let distinct: std::collections::HashSet<Vec<_>> =
-        paths.iter().map(|p| p.links()).collect();
+    let distinct: std::collections::HashSet<Vec<_>> = paths.iter().map(|p| p.links()).collect();
     assert!(
         distinct.len() >= 4,
         "dual-homing x parallel core links should give >= 4 distinct paths, got {}",
@@ -173,13 +170,17 @@ fn beacons_surviving_the_full_stack_validate_cryptographically() {
     let trust = trust_for(&topo, now + Duration::from_days(1));
 
     let out = run_core_beaconing(&topo, &BeaconingConfig::default(), duration, 2);
-    let core1 = topo.by_address(IsdAsn::new(Isd(1), Asn::from_u64(1))).unwrap();
+    let core1 = topo
+        .by_address(IsdAsn::new(Isd(1), Asn::from_u64(1)))
+        .unwrap();
     let srv = out.server(core1).unwrap();
     let origin = IsdAsn::new(Isd(2), Asn::from_u64(1));
     let beacons = srv.store().beacons_of(origin, now);
     assert!(!beacons.is_empty());
     for b in beacons {
-        b.pcb.validate(&trust, now).expect("stored beacon validates");
+        b.pcb
+            .validate(&trust, now)
+            .expect("stored beacon validates");
         assert_eq!(b.pcb.origin, origin);
     }
 }
@@ -194,7 +195,9 @@ fn intra_isd_beacons_stay_within_their_isd() {
     // A leaf in ISD 2 must know its own core but never ISD 1's core
     // (intra-ISD beaconing is isolated per ISD — paper §5.1 calls
     // simulations of multiple connected ISDs "superfluous" because of it).
-    let leaf2 = topo.by_address(IsdAsn::new(Isd(2), Asn::from_u64(10))).unwrap();
+    let leaf2 = topo
+        .by_address(IsdAsn::new(Isd(2), Asn::from_u64(10)))
+        .unwrap();
     let srv = out.server(leaf2).unwrap();
     assert!(!srv
         .store()

@@ -30,7 +30,8 @@ fn segments_for(
 ) -> (Vec<PathSegment>, TrustStore) {
     let now = SimTime::ZERO + duration;
     let trust = TrustStore::bootstrap(
-        topo.as_indices().map(|i| (topo.node(i).ia, topo.node(i).core)),
+        topo.as_indices()
+            .map(|i| (topo.node(i).ia, topo.node(i).core)),
         now + Duration::from_days(1),
     );
     let out = run_intra_isd_beaconing(topo, &BeaconingConfig::default(), duration, seed);
@@ -81,8 +82,14 @@ fn failover_survives_single_link_failure_on_dual_homed_leaf() {
 
     // Accounting matches §4.1: one intra-ISD revocation plus per-flow
     // global SCMP notifications.
-    assert_eq!(ledger.messages_at(Component::PathRevocation, Scope::IntraIsd), 1);
-    assert_eq!(ledger.messages_at(Component::PathRevocation, Scope::Global), 3);
+    assert_eq!(
+        ledger.messages_at(Component::PathRevocation, Scope::IntraIsd),
+        1
+    );
+    assert_eq!(
+        ledger.messages_at(Component::PathRevocation, Scope::Global),
+        3
+    );
 }
 
 #[test]
@@ -126,7 +133,9 @@ fn beacons_expire_without_refresh() {
         ..BeaconingConfig::default()
     };
     let out = run_intra_isd_beaconing(&topo, &cfg, Duration::from_secs(1800), 3);
-    let leaf = topo.by_address(IsdAsn::new(Isd(1), Asn::from_u64(10))).unwrap();
+    let leaf = topo
+        .by_address(IsdAsn::new(Isd(1), Asn::from_u64(10)))
+        .unwrap();
     let srv = out.server(leaf).unwrap();
     let core_ia = IsdAsn::new(Isd(1), Asn::from_u64(1));
 

@@ -124,10 +124,7 @@ fn baseline_and_diversity_both_reach_full_coverage() {
                 }
                 let srv = out.server(holder).unwrap();
                 assert!(
-                    !srv
-                        .store()
-                        .beacons_of(core.node(origin).ia, now)
-                        .is_empty(),
+                    !srv.store().beacons_of(core.node(origin).ia, now).is_empty(),
                     "{:?}: no live path {} -> {}",
                     cfg.algorithm,
                     core.node(origin).ia,
