@@ -15,12 +15,16 @@
 
 use scion_crypto::trc::TrustStore;
 use scion_proto::pcb::Pcb;
-use scion_simulator::{Engine, Event, InterfaceTraffic, LatencyModel};
+use scion_simulator::{
+    Engine, Event, FaultSchedule, InterfaceTraffic, LatencyModel, LinkFault, LinkState,
+};
 use scion_telemetry::{ids, phase, Label, Telemetry, TraceEvent};
 use scion_topology::{AsIndex, AsTopology, LinkIndex};
 use scion_types::{Duration, SimTime};
+use serde::Serialize;
 
 use crate::config::BeaconingConfig;
+use crate::paths::known_paths;
 use crate::server::{egress_refs, BeaconServer, EgressRef};
 
 /// Timer kind of the per-AS beaconing interval tick.
@@ -28,6 +32,67 @@ const KIND_TICK: u32 = 0;
 /// Timer kind of the telemetry sampler (scheduled only when telemetry is
 /// enabled; fires on `TelemetryConfig::sample_cadence`).
 const KIND_SAMPLE: u32 = 1;
+/// Timer kind of a fault-schedule firing (chaos runs only).
+const KIND_FAULT: u32 = 2;
+/// Timer kind of the reachability probe (chaos runs only).
+const KIND_PROBE: u32 = 3;
+
+/// Fault-injection configuration for a chaos-aware beaconing run: the
+/// fault trace to replay and the AS pairs whose reachability to probe.
+pub struct ChaosConfig<'a> {
+    /// Virtual-time fault trace, applied as the run crosses each event time.
+    pub schedule: &'a FaultSchedule,
+    /// `(origin, holder)` pairs probed for liveness: a pair is *live* when
+    /// the holder's beacon store contains at least one unexpired path from
+    /// the origin whose links are all currently usable.
+    pub probe_pairs: &'a [(AsIndex, AsIndex)],
+    /// Virtual-time cadence of the reachability probe.
+    pub probe_cadence: Duration,
+}
+
+/// One reachability probe sample.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ReachProbe {
+    /// Probe instant.
+    pub t: SimTime,
+    /// Probed pairs with at least one live path.
+    pub live_pairs: u64,
+    /// Total probed pairs.
+    pub total_pairs: u64,
+}
+
+impl ReachProbe {
+    /// Live fraction in `[0, 1]` (1.0 for an empty probe set).
+    pub fn fraction(&self) -> f64 {
+        if self.total_pairs == 0 {
+            1.0
+        } else {
+            self.live_pairs as f64 / self.total_pairs as f64
+        }
+    }
+}
+
+/// What happened on the fault plane during a chaos-aware run.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct ChaosReport {
+    /// Reachability probe samples, in time order.
+    pub probes: Vec<ReachProbe>,
+    /// Deliveries dropped because their link was already down at arrival.
+    pub drops_on_down_link: u64,
+    /// In-flight messages cancelled when their link failed mid-flight.
+    pub cancelled_in_flight: u64,
+    /// State-changing fault events applied.
+    pub fault_events_applied: u64,
+    /// Sends suppressed because the egress link was down at send time.
+    pub sends_suppressed: u64,
+}
+
+impl ChaosReport {
+    /// The probe curve as `(time, live fraction)` points.
+    pub fn fraction_curve(&self) -> Vec<(SimTime, f64)> {
+        self.probes.iter().map(|p| (p.t, p.fraction())).collect()
+    }
+}
 
 /// Results of a beaconing run.
 pub struct BeaconingOutcome {
@@ -108,8 +173,49 @@ pub fn run_core_beaconing_windowed_telemetry(
     seed: u64,
     tel: &mut Telemetry,
 ) -> BeaconingOutcome {
-    let participants: Vec<Option<Participant>> = topo
-        .as_indices()
+    run(
+        topo,
+        cfg,
+        warmup,
+        window,
+        seed,
+        core_participants(topo),
+        None,
+        tel,
+    )
+    .0
+}
+
+/// Chaos-aware core beaconing: like
+/// [`run_core_beaconing_windowed_telemetry`], but replays
+/// `chaos.schedule` against the run — sends on downed links are
+/// suppressed, in-flight messages on a link that fails are cancelled,
+/// deliveries over downed links are dropped and counted — and probes
+/// `chaos.probe_pairs` for live-path reachability on
+/// `chaos.probe_cadence`.
+pub fn run_core_beaconing_chaos(
+    topo: &AsTopology,
+    cfg: &BeaconingConfig,
+    warmup: Duration,
+    window: Duration,
+    seed: u64,
+    chaos: &ChaosConfig<'_>,
+    tel: &mut Telemetry,
+) -> (BeaconingOutcome, ChaosReport) {
+    run(
+        topo,
+        cfg,
+        warmup,
+        window,
+        seed,
+        core_participants(topo),
+        Some(chaos),
+        tel,
+    )
+}
+
+fn core_participants(topo: &AsTopology) -> Vec<Option<Participant>> {
+    topo.as_indices()
         .map(|idx| {
             if !topo.node(idx).core {
                 return None;
@@ -130,8 +236,7 @@ pub fn run_core_beaconing_windowed_telemetry(
                 peers: Vec::new(),
             })
         })
-        .collect();
-    run(topo, cfg, warmup, window, seed, participants, tel)
+        .collect()
 }
 
 /// Runs intra-ISD beaconing: origination at core ASes, propagation along
@@ -174,8 +279,43 @@ pub fn run_intra_isd_beaconing_windowed_telemetry(
     seed: u64,
     tel: &mut Telemetry,
 ) -> BeaconingOutcome {
-    let participants: Vec<Option<Participant>> = topo
-        .as_indices()
+    run(
+        topo,
+        cfg,
+        warmup,
+        window,
+        seed,
+        intra_participants(topo),
+        None,
+        tel,
+    )
+    .0
+}
+
+/// Chaos-aware intra-ISD beaconing; see [`run_core_beaconing_chaos`].
+pub fn run_intra_isd_beaconing_chaos(
+    topo: &AsTopology,
+    cfg: &BeaconingConfig,
+    warmup: Duration,
+    window: Duration,
+    seed: u64,
+    chaos: &ChaosConfig<'_>,
+    tel: &mut Telemetry,
+) -> (BeaconingOutcome, ChaosReport) {
+    run(
+        topo,
+        cfg,
+        warmup,
+        window,
+        seed,
+        intra_participants(topo),
+        Some(chaos),
+        tel,
+    )
+}
+
+fn intra_participants(topo: &AsTopology) -> Vec<Option<Participant>> {
+    topo.as_indices()
         .map(|idx| {
             let customer_links: Vec<LinkIndex> = topo
                 .node(idx)
@@ -203,10 +343,10 @@ pub fn run_intra_isd_beaconing_windowed_telemetry(
                 peers: egress_refs(topo, idx, &peering_links),
             })
         })
-        .collect();
-    run(topo, cfg, warmup, window, seed, participants, tel)
+        .collect()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run(
     topo: &AsTopology,
     cfg: &BeaconingConfig,
@@ -214,8 +354,9 @@ fn run(
     window: Duration,
     seed: u64,
     participants: Vec<Option<Participant>>,
+    chaos: Option<&ChaosConfig<'_>>,
     tel: &mut Telemetry,
-) -> BeaconingOutcome {
+) -> (BeaconingOutcome, ChaosReport) {
     let sim_duration = warmup + window;
     let trust = TrustStore::bootstrap(
         topo.as_indices()
@@ -253,6 +394,22 @@ fn run(
         engine.schedule_timer(SimTime::ZERO, AsIndex(0), KIND_SAMPLE);
     }
 
+    // Fault plane: one overlay, fault timers at each distinct event time,
+    // probe timer on its own cadence. All on the same deterministic queue.
+    let mut link_state = chaos.map(|_| LinkState::new(topo));
+    let mut fault_cursor = 0usize;
+    let mut report = ChaosReport::default();
+    if let Some(chaos) = chaos {
+        for t in chaos.schedule.fire_times() {
+            if t < end {
+                engine.schedule_timer(t, AsIndex(0), KIND_FAULT);
+            }
+        }
+        if !chaos.probe_cadence.is_zero() {
+            engine.schedule_timer(SimTime::ZERO + chaos.probe_cadence, AsIndex(0), KIND_PROBE);
+        }
+    }
+
     let mut in_flight: u64 = 0;
     while let Some((now, ev)) = engine.pop_until(end) {
         match ev {
@@ -261,6 +418,58 @@ fn run(
             } => {
                 sample_gauges(tel, now, &engine, in_flight, &servers, &traffic);
                 engine.schedule_timer(now + tel.config.sample_cadence, AsIndex(0), KIND_SAMPLE);
+            }
+            Event::Timer {
+                kind: KIND_FAULT, ..
+            } => {
+                let chaos = chaos.expect("fault timer only in chaos runs");
+                let ls = link_state.as_mut().expect("chaos implies link state");
+                let events = chaos.schedule.events();
+                while fault_cursor < events.len() && events[fault_cursor].0 <= now {
+                    let (_, fault) = events[fault_cursor];
+                    fault_cursor += 1;
+                    if ls.apply(&fault) {
+                        report.fault_events_applied += 1;
+                        tel.inc(ids::CHAOS_FAULT_EVENTS, Label::Global, 1);
+                        match fault {
+                            LinkFault::LinkDown(li) => {
+                                tel.trace_event(now, || TraceEvent::LinkDown { link: li.0 });
+                            }
+                            LinkFault::LinkUp(li) => {
+                                tel.trace_event(now, || TraceEvent::LinkUp { link: li.0 });
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                // Messages already on the wire of a now-dead link are lost.
+                let cancelled = engine.cancel_deliveries(|_, via, _| !ls.link_usable(via));
+                if cancelled > 0 {
+                    in_flight = in_flight.saturating_sub(cancelled);
+                    report.cancelled_in_flight += cancelled;
+                    tel.inc(ids::CHAOS_INFLIGHT_CANCELLED, Label::Global, cancelled);
+                }
+                tel.sample(
+                    now,
+                    ids::CHAOS_LINKS_DOWN,
+                    Label::Global,
+                    ls.links_down() as f64,
+                );
+            }
+            Event::Timer {
+                kind: KIND_PROBE, ..
+            } => {
+                let chaos = chaos.expect("probe timer only in chaos runs");
+                let ls = link_state.as_ref().expect("chaos implies link state");
+                let probe = probe_reachability(topo, &servers, ls, chaos.probe_pairs, now);
+                tel.sample(
+                    now,
+                    ids::CHAOS_LIVE_PAIR_FRACTION,
+                    Label::Global,
+                    probe.fraction(),
+                );
+                report.probes.push(probe);
+                engine.schedule_timer(now + chaos.probe_cadence, AsIndex(0), KIND_PROBE);
             }
             Event::Timer { node, .. } => {
                 let p = participants[node.as_usize()]
@@ -278,23 +487,43 @@ fn run(
                     &p.peers,
                     tel,
                 ) {
+                    // A downed egress link swallows the send: the beacon
+                    // server believes it sent (its score state advances),
+                    // but nothing enters the wire — matching a real border
+                    // router blackholing toward a dead interface.
+                    if let Some(ls) = &link_state {
+                        if !ls.link_usable(prop.egress_link) {
+                            report.sends_suppressed += 1;
+                            tel.inc(ids::CHAOS_DELIVERIES_DROPPED, Label::Global, 1);
+                            continue;
+                        }
+                    }
                     if now >= record_from {
                         traffic.record_sent(node, prop.egress_if, prop.bytes);
                     }
                     tel.inc(ids::BEACONS_SENT, Label::As(node.0), 1);
                     tel.inc(ids::BEACONS_SENT_BYTES, Label::As(node.0), prop.bytes);
                     in_flight += 1;
-                    engine.send(
-                        latency.delay(prop.egress_link),
-                        prop.to,
-                        prop.egress_link,
-                        prop.pcb,
-                    );
+                    let base_delay = latency.delay(prop.egress_link);
+                    let delay = match &link_state {
+                        Some(ls) => ls.degraded_delay(prop.egress_link, base_delay),
+                        None => base_delay,
+                    };
+                    engine.send(delay, prop.to, prop.egress_link, prop.pcb);
                 }
                 engine.schedule_timer(now + cfg.interval, node, KIND_TICK);
             }
             Event::Deliver { to, via, msg } => {
                 in_flight = in_flight.saturating_sub(1);
+                // Belt and braces: a delivery can race a fault timer at the
+                // same instant (FIFO order); drop it if the link is down.
+                if let Some(ls) = &link_state {
+                    if !ls.link_usable(via) {
+                        report.drops_on_down_link += 1;
+                        tel.inc(ids::CHAOS_DELIVERIES_DROPPED, Label::Global, 1);
+                        continue;
+                    }
+                }
                 if let Some(srv) = servers[to.as_usize()].as_mut() {
                     if now >= record_from {
                         delivered += 1;
@@ -318,11 +547,40 @@ fn run(
         }
     }
 
-    BeaconingOutcome {
-        traffic,
-        servers,
-        sim_duration: window,
-        beacons_delivered: delivered,
+    (
+        BeaconingOutcome {
+            traffic,
+            servers,
+            sim_duration: window,
+            beacons_delivered: delivered,
+        },
+        report,
+    )
+}
+
+/// One reachability probe: a pair is live when the holder knows at least
+/// one unexpired path from the origin whose links are all usable.
+fn probe_reachability(
+    topo: &AsTopology,
+    servers: &[Option<BeaconServer>],
+    ls: &LinkState,
+    pairs: &[(AsIndex, AsIndex)],
+    now: SimTime,
+) -> ReachProbe {
+    let live = pairs
+        .iter()
+        .filter(|&&(origin, holder)| {
+            servers[holder.as_usize()].as_ref().is_some_and(|srv| {
+                known_paths(topo, srv, topo.node(origin).ia, now)
+                    .iter()
+                    .any(|path| path.iter().all(|&li| ls.link_usable(li)))
+            })
+        })
+        .count() as u64;
+    ReachProbe {
+        t: now,
+        live_pairs: live,
+        total_pairs: pairs.len() as u64,
     }
 }
 
@@ -584,6 +842,136 @@ mod tests {
         assert_eq!(plain.total_bytes(), with_tel.total_bytes());
         assert_eq!(plain.beacons_delivered, with_tel.beacons_delivered);
         assert!(tel.series.is_empty() && tel.traces.is_empty());
+    }
+
+    #[test]
+    fn chaos_run_drops_probe_fraction_and_recovers() {
+        use scion_simulator::{FaultSchedule, LinkFault};
+        // Line of three cores 1-2-3: downing the 1-2 link cuts every pair
+        // involving AS1 until the link comes back and beaconing re-delivers.
+        let mut topo = topology_from_edges(&[
+            (1, 2, Relationship::PeerToPeer, 1),
+            (2, 3, Relationship::PeerToPeer, 1),
+        ]);
+        for idx in topo.as_indices().collect::<Vec<_>>() {
+            topo.set_core(idx, true);
+        }
+        let cut = topo.links_between(
+            topo.by_address(ia(1)).unwrap(),
+            topo.by_address(ia(2)).unwrap(),
+        )[0];
+        let cfg = BeaconingConfig {
+            interval: Duration::from_secs(100),
+            ..BeaconingConfig::default()
+        };
+        let down_at = SimTime::ZERO + Duration::from_secs(2000);
+        let up_at = SimTime::ZERO + Duration::from_secs(4000);
+        let schedule = FaultSchedule::from_events(vec![
+            (down_at, LinkFault::LinkDown(cut)),
+            (up_at, LinkFault::LinkUp(cut)),
+        ]);
+        let one = topo.by_address(ia(1)).unwrap();
+        let three = topo.by_address(ia(3)).unwrap();
+        let pairs = vec![(one, three), (three, one)];
+        let chaos = ChaosConfig {
+            schedule: &schedule,
+            probe_pairs: &pairs,
+            probe_cadence: Duration::from_secs(100),
+        };
+        let (out, report) = run_core_beaconing_chaos(
+            &topo,
+            &cfg,
+            Duration::ZERO,
+            Duration::from_secs(8000),
+            1,
+            &chaos,
+            &mut Telemetry::disabled(),
+        );
+        assert!(out.beacons_delivered > 0);
+        assert!(!report.probes.is_empty());
+        let frac_at = |t: SimTime| {
+            report
+                .probes
+                .iter()
+                .filter(|p| p.t <= t)
+                .next_back()
+                .map(|p| p.fraction())
+                .unwrap()
+        };
+        // Converged before the cut, dead during it, recovered at the end.
+        // (A probe exactly at `down_at` runs after the fault timer — FIFO —
+        // so the pre-fault check stops one microsecond earlier.)
+        assert_eq!(
+            frac_at(SimTime::from_micros(down_at.as_micros() - 1)),
+            1.0,
+            "pre-fault reachability"
+        );
+        assert_eq!(
+            frac_at(SimTime::from_micros(up_at.as_micros() - 1)),
+            0.0,
+            "the 1-2 cut severs both probed pairs"
+        );
+        assert_eq!(
+            report.probes.last().unwrap().fraction(),
+            1.0,
+            "reachability recovers after LinkUp"
+        );
+        assert_eq!(report.fault_events_applied, 2);
+        assert!(
+            report.sends_suppressed > 0,
+            "ticks during the outage must suppress sends on the dead link"
+        );
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        use scion_simulator::{FaultSchedule, LinkFault};
+        let topo = ring_of_cores(6);
+        let schedule = FaultSchedule::from_events(vec![
+            (
+                SimTime::ZERO + Duration::from_secs(1000),
+                LinkFault::LinkDown(LinkIndex(0)),
+            ),
+            (
+                SimTime::ZERO + Duration::from_secs(3000),
+                LinkFault::LinkUp(LinkIndex(0)),
+            ),
+        ]);
+        let pairs: Vec<(AsIndex, AsIndex)> =
+            vec![(AsIndex(0), AsIndex(3)), (AsIndex(2), AsIndex(5))];
+        let go = || {
+            let chaos = ChaosConfig {
+                schedule: &schedule,
+                probe_pairs: &pairs,
+                probe_cadence: Duration::from_secs(200),
+            };
+            run_core_beaconing_chaos(
+                &topo,
+                &BeaconingConfig::default(),
+                Duration::ZERO,
+                Duration::from_secs(6000),
+                9,
+                &chaos,
+                &mut Telemetry::disabled(),
+            )
+        };
+        let (a_out, a_rep) = go();
+        let (b_out, b_rep) = go();
+        assert_eq!(a_out.total_bytes(), b_out.total_bytes());
+        assert_eq!(a_out.beacons_delivered, b_out.beacons_delivered);
+        let a_curve: Vec<(u64, u64)> = a_rep
+            .probes
+            .iter()
+            .map(|p| (p.t.as_micros(), p.live_pairs))
+            .collect();
+        let b_curve: Vec<(u64, u64)> = b_rep
+            .probes
+            .iter()
+            .map(|p| (p.t.as_micros(), p.live_pairs))
+            .collect();
+        assert_eq!(a_curve, b_curve);
+        assert_eq!(a_rep.cancelled_in_flight, b_rep.cancelled_in_flight);
+        assert_eq!(a_rep.sends_suppressed, b_rep.sends_suppressed);
     }
 
     #[test]

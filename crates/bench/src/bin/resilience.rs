@@ -1,0 +1,80 @@
+//! Resilience-under-churn experiment: replays one seeded fault trace
+//! against diversity beaconing, baseline beaconing, and BGP, and reports
+//! live-path fractions, reconvergence times, and control-plane overhead.
+//!
+//! ```text
+//! cargo run --release -p scion-bench --bin resilience -- \
+//!     [--scale tiny|small|paper] [--seed N] [--telemetry DIR]
+//! ```
+
+use scion_bench::{parse_args, write_json, write_telemetry};
+use scion_core::experiments::run_resilience_telemetry;
+use scion_core::report::{human_bytes, json_line, Table};
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "running resilience-under-churn at {:?} scale (2 beaconing runs + BGP + revocations)…",
+        args.scale
+    );
+    let mut tel = args.telemetry_handle();
+    let result = run_resilience_telemetry(args.scale, args.seed, &mut tel);
+
+    println!(
+        "Resilience under churn: seed {}, {} fault events ({} downs), {} probed AS pairs",
+        result.seed,
+        result.fault_events,
+        result.link_downs,
+        result.pairs.len()
+    );
+    let mut table = Table::new(&[
+        "series",
+        "mean live",
+        "min live",
+        "reconverge",
+        "unrecovered",
+        "messages",
+        "bytes",
+    ]);
+    for s in &result.series {
+        table.row(&[
+            s.name.clone(),
+            format!("{:.3}", s.mean_fraction),
+            format!("{:.3}", s.min_fraction),
+            match s.mean_reconvergence_us {
+                Some(us) => format!("{}s", us / 1_000_000),
+                None => "—".to_string(),
+            },
+            format!("{}", s.unrecovered),
+            format!("{}", s.messages),
+            human_bytes(s.bytes),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("live-pair fraction over time (t_s:fraction):");
+    for s in &result.series {
+        let step = (s.curve.len() / 10).max(1);
+        let pts: Vec<String> = s
+            .curve
+            .iter()
+            .step_by(step)
+            .map(|&(t, f)| format!("{}:{f:.2}", t / 1_000_000))
+            .collect();
+        println!("  {:<12} {}", s.name, pts.join("  "));
+    }
+
+    println!(
+        "revocation leg: {} downs replayed, {} segments revoked, {} intra-ISD + {} global messages",
+        result.revocation.downs_replayed,
+        result.revocation.segments_revoked,
+        result.revocation.intra_isd_messages,
+        result.revocation.global_scmp_messages
+    );
+
+    let path = write_json("resilience", &json_line(&result));
+    eprintln!("JSON written to {}", path.display());
+    if let Some(dir) = &args.telemetry {
+        write_telemetry(&tel, dir);
+    }
+}

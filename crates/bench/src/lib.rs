@@ -18,6 +18,9 @@ pub struct BenchArgs {
     /// Output directory of a telemetry dump, when `--telemetry DIR` was
     /// given.
     pub telemetry: Option<PathBuf>,
+    /// Master-seed override, when `--seed N` was given. Binaries that
+    /// ignore it run at the scale's built-in seed.
+    pub seed: Option<u64>,
 }
 
 impl BenchArgs {
@@ -40,6 +43,7 @@ pub fn parse_args() -> BenchArgs {
     let mut args = std::env::args().skip(1);
     let mut scale = ExperimentScale::Small;
     let mut telemetry = None;
+    let mut seed = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
@@ -59,9 +63,17 @@ pub fn parse_args() -> BenchArgs {
                 }
                 telemetry = Some(PathBuf::from(v));
             }
+            "--seed" => {
+                let v = args.next().unwrap_or_default();
+                seed = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--seed requires an unsigned integer, got '{v}'");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: <bin> [--scale tiny|small|paper] [--tiny] [--full] [--telemetry DIR]"
+                    "usage: <bin> [--scale tiny|small|paper] [--tiny] [--full] \
+                     [--seed N] [--telemetry DIR]"
                 );
                 std::process::exit(0);
             }
@@ -71,7 +83,11 @@ pub fn parse_args() -> BenchArgs {
             }
         }
     }
-    BenchArgs { scale, telemetry }
+    BenchArgs {
+        scale,
+        telemetry,
+        seed,
+    }
 }
 
 /// Parses the common CLI arguments, keeping only the scale (binaries not

@@ -15,9 +15,10 @@
 
 use std::collections::HashMap;
 
-use scion_simulator::{Engine, Event, LatencyModel};
+use scion_simulator::{Engine, Event, FaultSchedule, LatencyModel, LinkState};
 use scion_topology::{AsIndex, AsTopology, LinkIndex};
 use scion_types::{Duration, SimTime};
+use serde::Serialize;
 
 use crate::policy::{export_allowed, prefer, Candidate, PolicyMode, RouteClass};
 
@@ -83,6 +84,50 @@ type BgpMsg = Option<Vec<AsIndex>>;
 const TIMER_MRAI_BASE: u32 = 0; // + neighbor index
 const TIMER_WITHDRAW: u32 = u32::MAX;
 const TIMER_REANNOUNCE: u32 = u32::MAX - 1;
+/// A fault-schedule firing (chaos runs only).
+const TIMER_FAULT: u32 = u32::MAX - 2;
+/// A reachability probe (chaos runs only).
+const TIMER_PROBE: u32 = u32::MAX - 3;
+
+/// Fault-injection configuration for a chaos-aware per-origin BGP run.
+///
+/// The same `FaultSchedule` driven through the beaconing side (see
+/// `scion-beaconing`'s chaos driver) can be replayed here, so both control
+/// planes experience an identical fault trace.
+pub struct BgpChaosConfig<'a> {
+    /// Virtual-time fault trace.
+    pub schedule: &'a FaultSchedule,
+    /// Cadence of the reachability probe.
+    pub probe_cadence: Duration,
+    /// Horizon up to which probes are scheduled. BGP runs until its event
+    /// queue drains (it has no fixed end), so probes need an explicit one.
+    pub run_until: SimTime,
+}
+
+/// One reachability probe: per-AS, can the AS currently reach the origin
+/// (it has a best route, or it is the origin itself while announced)?
+#[derive(Clone, Debug, Serialize)]
+pub struct BgpProbe {
+    /// Probe instant.
+    pub t: SimTime,
+    /// Indexed by `AsIndex`.
+    pub reachable: Vec<bool>,
+}
+
+/// Fault-plane accounting of a chaos-aware BGP run.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct BgpChaosReport {
+    /// Probe samples in time order.
+    pub probes: Vec<BgpProbe>,
+    /// State-changing fault events applied.
+    pub fault_events_applied: u64,
+    /// In-flight updates cancelled when their link failed mid-flight.
+    pub cancelled_in_flight: u64,
+    /// Updates dropped at delivery because the link was down.
+    pub drops_on_down_link: u64,
+    /// BGP sessions torn down (or re-established) by faults.
+    pub sessions_reset: u64,
+}
 
 struct SpeakerState {
     /// Paths learned per neighbor.
@@ -212,17 +257,45 @@ pub fn simulate_origin_telemetry(
 
 /// Runs the dynamics for one origin. See module docs.
 pub fn simulate_origin(topo: &AsTopology, origin: AsIndex, cfg: &OriginSimConfig) -> OriginOutcome {
+    simulate_origin_inner(topo, origin, cfg, None).0
+}
+
+/// Chaos-aware variant of [`simulate_origin`]: replays `chaos.schedule`
+/// against the run. A session is up while **any** of its parallel links is
+/// usable; when the last one fails, both speakers tear the session down
+/// (hold-timer expiry: learned routes are flushed, withdrawals propagate),
+/// and when a link returns, the session re-establishes and both sides
+/// re-advertise. Reachability toward the origin is probed on
+/// `chaos.probe_cadence` up to `chaos.run_until`.
+pub fn simulate_origin_chaos(
+    topo: &AsTopology,
+    origin: AsIndex,
+    cfg: &OriginSimConfig,
+    chaos: &BgpChaosConfig<'_>,
+) -> (OriginOutcome, BgpChaosReport) {
+    simulate_origin_inner(topo, origin, cfg, Some(chaos))
+}
+
+fn simulate_origin_inner(
+    topo: &AsTopology,
+    origin: AsIndex,
+    cfg: &OriginSimConfig,
+    chaos: Option<&BgpChaosConfig<'_>>,
+) -> (OriginOutcome, BgpChaosReport) {
     let n = topo.num_ases();
     let latency = LatencyModel::default_for(topo, cfg.seed);
 
-    // One session (and one representative link) per neighbor pair.
-    let sessions: Vec<Vec<(AsIndex, LinkIndex)>> = topo
+    // One session per neighbor pair, carrying *all* parallel links between
+    // the pair (ascending LinkIndex — the documented stable order).
+    // Messages ride the first usable link; the session survives as long as
+    // one link does.
+    let sessions: Vec<Vec<(AsIndex, Vec<LinkIndex>)>> = topo
         .as_indices()
         .map(|idx| {
-            let mut nb: Vec<(AsIndex, LinkIndex)> = topo
+            let mut nb: Vec<(AsIndex, Vec<LinkIndex>)> = topo
                 .neighbors(idx)
                 .into_iter()
-                .map(|o| (o, topo.links_between(idx, o)[0]))
+                .map(|o| (o, topo.links_between(idx, o)))
                 .collect();
             nb.sort_by_key(|&(o, _)| o);
             nb
@@ -258,19 +331,49 @@ pub fn simulate_origin(topo: &AsTopology, origin: AsIndex, cfg: &OriginSimConfig
     states[origin.as_usize()].originating = true;
     engine.schedule_timer(SimTime::ZERO, origin, TIMER_MRAI_BASE); // kick-off
 
+    // Fault plane. Fault and probe timers are scheduled upfront (BGP has
+    // no fixed end: the run terminates when the queue drains, so
+    // self-rescheduling timers would never let it).
+    let mut link_state = chaos.map(|_| LinkState::new(topo));
+    let mut fault_cursor = 0usize;
+    let mut report = BgpChaosReport::default();
+    // Session liveness, mirroring `sessions` (all sessions start up).
+    let mut session_up: Vec<Vec<bool>> = sessions.iter().map(|s| vec![true; s.len()]).collect();
+    if let Some(chaos) = chaos {
+        for t in chaos.schedule.fire_times() {
+            if t <= chaos.run_until {
+                engine.schedule_timer(t, origin, TIMER_FAULT);
+            }
+        }
+        if !chaos.probe_cadence.is_zero() {
+            let mut t = SimTime::ZERO + chaos.probe_cadence;
+            while t <= chaos.run_until {
+                engine.schedule_timer(t, origin, TIMER_PROBE);
+                t = t + chaos.probe_cadence;
+            }
+        }
+    }
+
     // Sends updates (respecting MRAI) from `me` to every neighbor whose
-    // desired advertisement changed.
+    // desired advertisement changed. Dead sessions are skipped; messages
+    // ride the first usable parallel link.
+    #[allow(clippy::too_many_arguments)]
     fn flush(
         topo: &AsTopology,
-        sessions: &[Vec<(AsIndex, LinkIndex)>],
+        sessions: &[Vec<(AsIndex, Vec<LinkIndex>)>],
         states: &mut [SpeakerState],
         engine: &mut Engine<BgpMsg>,
         latency: &LatencyModel,
         cfg: &OriginSimConfig,
+        ls: Option<&LinkState>,
         me: AsIndex,
         eff_now: SimTime,
     ) {
-        for &(nb, link) in &sessions[me.as_usize()] {
+        for (nb, links) in &sessions[me.as_usize()] {
+            let nb = *nb;
+            let Some(link) = first_usable_link(links, ls) else {
+                continue; // session down: nothing can be sent
+            };
             let desired = desired_advertisement(topo, me, &states[me.as_usize()], nb, cfg.policy);
             let state = &mut states[me.as_usize()];
             let already = state.adv_out.get(&nb).cloned().unwrap_or(None);
@@ -290,7 +393,12 @@ pub fn simulate_origin(topo: &AsTopology, origin: AsIndex, cfg: &OriginSimConfig
                 state.last_sent.insert(nb, Some(eff_now));
                 state.pending.insert(nb, false);
                 let extra = eff_now.since(engine.now());
-                engine.send(latency.delay(link) + extra, nb, link, desired);
+                let base_delay = latency.delay(link);
+                let delay = match ls {
+                    Some(ls) => ls.degraded_delay(link, base_delay),
+                    None => base_delay,
+                };
+                engine.send(delay + extra, nb, link, desired);
             } else if !state.pending.get(&nb).copied().unwrap_or(false) {
                 state.pending.insert(nb, true);
                 let fire_at = state.last_sent[&nb].expect("mrai implies sent") + cfg.mrai;
@@ -312,6 +420,7 @@ pub fn simulate_origin(topo: &AsTopology, origin: AsIndex, cfg: &OriginSimConfig
                         &mut engine,
                         &latency,
                         cfg,
+                        link_state.as_ref(),
                         node,
                         now,
                     );
@@ -327,9 +436,66 @@ pub fn simulate_origin(topo: &AsTopology, origin: AsIndex, cfg: &OriginSimConfig
                         &mut engine,
                         &latency,
                         cfg,
+                        link_state.as_ref(),
                         node,
                         now,
                     );
+                }
+                TIMER_FAULT => {
+                    let chaos = chaos.expect("fault timer only in chaos runs");
+                    let ls = link_state.as_mut().expect("chaos implies link state");
+                    let events = chaos.schedule.events();
+                    while fault_cursor < events.len() && events[fault_cursor].0 <= now {
+                        let (_, fault) = events[fault_cursor];
+                        fault_cursor += 1;
+                        if ls.apply(&fault) {
+                            report.fault_events_applied += 1;
+                        }
+                    }
+                    // Updates on the wire of a now-dead link are lost.
+                    report.cancelled_in_flight +=
+                        engine.cancel_deliveries(|_, via, _| !ls.link_usable(via));
+                    // Re-evaluate session liveness; torn-down sessions flush
+                    // learned routes on both sides (hold-timer expiry),
+                    // re-established ones re-advertise from scratch.
+                    let transitions = session_transitions(topo, &sessions, ls, &mut session_up);
+                    for &(a, b, up) in &transitions {
+                        report.sessions_reset += 1;
+                        for (me, other) in [(a, b), (b, a)] {
+                            let st = &mut states[me.as_usize()];
+                            if !up {
+                                st.adj_rib_in.remove(&other);
+                            }
+                            // Fresh session state either way: nothing is
+                            // advertised over it, MRAI history is gone.
+                            st.adv_out.remove(&other);
+                            st.last_sent.remove(&other);
+                            st.pending.remove(&other);
+                        }
+                        for me in [a, b] {
+                            states[me.as_usize()].recompute_best(topo, me, cfg.policy);
+                            flush(
+                                topo,
+                                &sessions,
+                                &mut states,
+                                &mut engine,
+                                &latency,
+                                cfg,
+                                Some(ls),
+                                me,
+                                now,
+                            );
+                        }
+                    }
+                }
+                TIMER_PROBE => {
+                    let reachable: Vec<bool> = (0..n)
+                        .map(|i| {
+                            let s = &states[i];
+                            s.originating || s.best.is_some()
+                        })
+                        .collect();
+                    report.probes.push(BgpProbe { t: now, reachable });
                 }
                 k => {
                     // Per-neighbor MRAI expiry.
@@ -343,6 +509,7 @@ pub fn simulate_origin(topo: &AsTopology, origin: AsIndex, cfg: &OriginSimConfig
                             &mut engine,
                             &latency,
                             cfg,
+                            link_state.as_ref(),
                             node,
                             now,
                         );
@@ -350,6 +517,14 @@ pub fn simulate_origin(topo: &AsTopology, origin: AsIndex, cfg: &OriginSimConfig
                 }
             },
             Event::Deliver { to, via, msg } => {
+                // A fault at this exact instant ran first (FIFO): drop the
+                // update if its link just died.
+                if let Some(ls) = &link_state {
+                    if !ls.link_usable(via) {
+                        report.drops_on_down_link += 1;
+                        continue;
+                    }
+                }
                 let (from, _, _) = topo.link(via).opposite(to);
                 // Serialize the 5 ms processing through the speaker.
                 let state = &mut states[to.as_usize()];
@@ -389,6 +564,7 @@ pub fn simulate_origin(topo: &AsTopology, origin: AsIndex, cfg: &OriginSimConfig
                         &mut engine,
                         &latency,
                         cfg,
+                        link_state.as_ref(),
                         to,
                         eff_now,
                     );
@@ -404,6 +580,44 @@ pub fn simulate_origin(topo: &AsTopology, origin: AsIndex, cfg: &OriginSimConfig
         } else {
             s.best.as_ref().map(|(_, p)| p.clone())
         };
+    }
+    (out, report)
+}
+
+/// The first usable link of a session (its message carrier), or the first
+/// link when no fault plane is active.
+fn first_usable_link(links: &[LinkIndex], ls: Option<&LinkState>) -> Option<LinkIndex> {
+    match ls {
+        None => links.first().copied(),
+        Some(ls) => links.iter().copied().find(|&li| ls.link_usable(li)),
+    }
+}
+
+/// Diffs session liveness against `session_up`, updating it in place.
+/// Returns the transitioned unordered pairs as `(a, b, now_up)` with
+/// `a < b`, in deterministic (a, b) order.
+fn session_transitions(
+    topo: &AsTopology,
+    sessions: &[Vec<(AsIndex, Vec<LinkIndex>)>],
+    ls: &LinkState,
+    session_up: &mut [Vec<bool>],
+) -> Vec<(AsIndex, AsIndex, bool)> {
+    let mut out = Vec::new();
+    for a in topo.as_indices() {
+        for (i, (nb, links)) in sessions[a.as_usize()].iter().enumerate() {
+            if a >= *nb {
+                continue;
+            }
+            let up = first_usable_link(links, Some(ls)).is_some();
+            if up != session_up[a.as_usize()][i] {
+                session_up[a.as_usize()][i] = up;
+                // Mirror into the neighbor's entry for consistency.
+                if let Some(j) = sessions[nb.as_usize()].iter().position(|(o, _)| *o == a) {
+                    session_up[nb.as_usize()][j] = up;
+                }
+                out.push((a, *nb, up));
+            }
+        }
     }
     out
 }
@@ -546,5 +760,149 @@ mod tests {
         assert_eq!(a.announces_received, b.announces_received);
         assert_eq!(a.withdraws_received, b.withdraws_received);
         assert_eq!(a.best_paths, b.best_paths);
+    }
+
+    use scion_simulator::{FaultSchedule, LinkFault};
+
+    fn no_churn() -> OriginSimConfig {
+        OriginSimConfig {
+            churn_resets: 0,
+            ..OriginSimConfig::default()
+        }
+    }
+
+    fn probe_at(report: &BgpChaosReport, t: SimTime) -> &BgpProbe {
+        report
+            .probes
+            .iter()
+            .rev()
+            .find(|p| p.t <= t)
+            .expect("probe before t")
+    }
+
+    #[test]
+    fn chaos_session_teardown_withdraws_and_recovers() {
+        // Chain: 3 originates; 1 reaches it through 2. Cutting 1-2 tears
+        // the session down (withdraw at 1); restoring it re-converges.
+        let topo = topology_from_edges(&[
+            (1, 2, Relationship::AProviderOfB, 1),
+            (2, 3, Relationship::AProviderOfB, 1),
+        ]);
+        let one = topo.by_address(ia(1)).unwrap();
+        let two = topo.by_address(ia(2)).unwrap();
+        let three = topo.by_address(ia(3)).unwrap();
+        let cut = topo.links_between(one, two)[0];
+        let down_at = SimTime::ZERO + Duration::from_secs(100);
+        let up_at = SimTime::ZERO + Duration::from_secs(200);
+        let schedule = FaultSchedule::from_events(vec![
+            (down_at, LinkFault::LinkDown(cut)),
+            (up_at, LinkFault::LinkUp(cut)),
+        ]);
+        let chaos = BgpChaosConfig {
+            schedule: &schedule,
+            probe_cadence: Duration::from_secs(10),
+            run_until: SimTime::ZERO + Duration::from_secs(400),
+        };
+        let (out, report) = simulate_origin_chaos(&topo, three, &no_churn(), &chaos);
+
+        let pre = probe_at(&report, SimTime::ZERO + Duration::from_secs(90));
+        assert!(pre.reachable.iter().all(|&r| r), "converged before fault");
+        let during = probe_at(&report, SimTime::ZERO + Duration::from_secs(190));
+        assert!(!during.reachable[one.as_usize()], "1 cut off");
+        assert!(during.reachable[two.as_usize()], "2 unaffected");
+        let after = report.probes.last().unwrap();
+        assert!(after.reachable.iter().all(|&r| r), "re-converged");
+
+        assert_eq!(report.fault_events_applied, 2);
+        assert_eq!(report.sessions_reset, 2, "one teardown + one re-establish");
+        assert!(out.best_paths[one.as_usize()].is_some(), "final route back");
+    }
+
+    #[test]
+    fn chaos_parallel_link_failover_keeps_session_up() {
+        // Two parallel links between 1 and 2: losing one never tears the
+        // session down, so reachability holds throughout.
+        let topo = topology_from_edges(&[(1, 2, Relationship::AProviderOfB, 2)]);
+        let one = topo.by_address(ia(1)).unwrap();
+        let two = topo.by_address(ia(2)).unwrap();
+        let links = topo.links_between(one, two);
+        assert_eq!(links.len(), 2);
+        let schedule = FaultSchedule::from_events(vec![(
+            SimTime::ZERO + Duration::from_secs(50),
+            LinkFault::LinkDown(links[0]),
+        )]);
+        let chaos = BgpChaosConfig {
+            schedule: &schedule,
+            probe_cadence: Duration::from_secs(10),
+            run_until: SimTime::ZERO + Duration::from_secs(200),
+        };
+        let (out, report) = simulate_origin_chaos(&topo, two, &no_churn(), &chaos);
+        assert_eq!(report.sessions_reset, 0);
+        assert!(report.probes.iter().all(|p| p.reachable.iter().all(|&r| r)));
+        assert!(out.best_paths[one.as_usize()].is_some());
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let topo = diamond();
+        let four = topo.by_address(ia(4)).unwrap();
+        let two = topo.by_address(ia(2)).unwrap();
+        let cut = topo.links_between(two, four)[0];
+        let schedule = FaultSchedule::from_events(vec![
+            (
+                SimTime::ZERO + Duration::from_secs(60),
+                LinkFault::LinkDown(cut),
+            ),
+            (
+                SimTime::ZERO + Duration::from_secs(120),
+                LinkFault::LinkUp(cut),
+            ),
+        ]);
+        let chaos = BgpChaosConfig {
+            schedule: &schedule,
+            probe_cadence: Duration::from_secs(5),
+            run_until: SimTime::ZERO + Duration::from_secs(300),
+        };
+        let (out_a, rep_a) = simulate_origin_chaos(&topo, four, &no_churn(), &chaos);
+        let (out_b, rep_b) = simulate_origin_chaos(&topo, four, &no_churn(), &chaos);
+        assert_eq!(out_a.announces_received, out_b.announces_received);
+        assert_eq!(out_a.withdraws_received, out_b.withdraws_received);
+        assert_eq!(out_a.best_paths, out_b.best_paths);
+        assert_eq!(rep_a.fault_events_applied, rep_b.fault_events_applied);
+        assert_eq!(rep_a.sessions_reset, rep_b.sessions_reset);
+        assert_eq!(rep_a.cancelled_in_flight, rep_b.cancelled_in_flight);
+        assert_eq!(rep_a.drops_on_down_link, rep_b.drops_on_down_link);
+        let samples = |r: &BgpChaosReport| -> Vec<(SimTime, Vec<bool>)> {
+            r.probes
+                .iter()
+                .map(|p| (p.t, p.reachable.clone()))
+                .collect()
+        };
+        assert_eq!(samples(&rep_a), samples(&rep_b));
+    }
+
+    #[test]
+    fn chaos_diamond_survives_single_cut() {
+        // 1 reaches 4 via 2 or 3: cutting 2-4 must leave everyone with a
+        // route once re-converged on the alternate branch.
+        let topo = diamond();
+        let four = topo.by_address(ia(4)).unwrap();
+        let two = topo.by_address(ia(2)).unwrap();
+        let cut = topo.links_between(two, four)[0];
+        let schedule = FaultSchedule::from_events(vec![(
+            SimTime::ZERO + Duration::from_secs(60),
+            LinkFault::LinkDown(cut),
+        )]);
+        let chaos = BgpChaosConfig {
+            schedule: &schedule,
+            probe_cadence: Duration::from_secs(10),
+            run_until: SimTime::ZERO + Duration::from_secs(300),
+        };
+        let (out, report) = simulate_origin_chaos(&topo, four, &no_churn(), &chaos);
+        let last = report.probes.last().unwrap();
+        assert!(last.reachable.iter().all(|&r| r), "alternate path found");
+        // 2's converged route avoids the dead link: it goes via 1 -> 3.
+        let p = out.best_paths[two.as_usize()].as_ref().unwrap();
+        assert_eq!(p.len(), 3, "2 -> 1 -> 3 -> 4, not the direct cut link");
     }
 }

@@ -32,7 +32,10 @@ pub mod policy;
 pub mod sizes;
 pub mod workload;
 
-pub use engine::{simulate_origin, simulate_origin_telemetry, OriginOutcome, OriginSimConfig};
+pub use engine::{
+    simulate_origin, simulate_origin_chaos, simulate_origin_telemetry, BgpChaosConfig,
+    BgpChaosReport, BgpProbe, OriginOutcome, OriginSimConfig,
+};
 pub use extrapolate::{extrapolate_bgpsec, synthesize_outer_population, OuterAs};
 pub use monthly::{monthly_overhead, MonthlyConfig, MonthlyOverhead};
 pub use multipath::{best_paths_for_origin, best_paths_with_policy, bgp_multipath_links};

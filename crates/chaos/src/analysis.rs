@@ -1,0 +1,117 @@
+//! Resilience-curve analysis: reconvergence times and liveness summaries
+//! over the probe curves produced by the chaos-aware drivers.
+
+use scion_types::{Duration, SimTime};
+
+/// Tolerance when comparing liveness fractions (they are ratios of small
+/// integer counts, so anything below this is numerical noise).
+const EPS: f64 = 1e-9;
+
+/// Time-to-reconverge per failure event.
+///
+/// For each down instant, the baseline is the liveness fraction of the
+/// last probe *before* the failure (1.0 when the failure precedes every
+/// probe). The reconvergence time is the delay until the first probe at or
+/// after the failure whose fraction is back at the baseline; `None` means
+/// the curve never recovered within the probed window.
+///
+/// `probes` must be time-sorted (as the drivers produce them).
+pub fn reconvergence_times(probes: &[(SimTime, f64)], downs: &[SimTime]) -> Vec<Option<Duration>> {
+    downs
+        .iter()
+        .map(|&d| {
+            let baseline = probes
+                .iter()
+                .rev()
+                .find(|&&(t, _)| t < d)
+                .map(|&(_, f)| f)
+                .unwrap_or(1.0);
+            probes
+                .iter()
+                .find(|&&(t, f)| t >= d && f >= baseline - EPS)
+                .map(|&(t, _)| t.since(d))
+        })
+        .collect()
+}
+
+/// Mean of the recovered events, or `None` when nothing recovered.
+pub fn mean_reconvergence(times: &[Option<Duration>]) -> Option<Duration> {
+    let recovered: Vec<Duration> = times.iter().flatten().copied().collect();
+    if recovered.is_empty() {
+        return None;
+    }
+    let sum: u64 = recovered.iter().map(|d| d.as_micros()).sum();
+    Some(Duration::from_micros(sum / recovered.len() as u64))
+}
+
+/// Unweighted mean of the probe fractions (the probes are equally spaced,
+/// so this equals the time average of the step curve).
+pub fn mean_fraction(probes: &[(SimTime, f64)]) -> f64 {
+    if probes.is_empty() {
+        return 1.0;
+    }
+    probes.iter().map(|&(_, f)| f).sum::<f64>() / probes.len() as f64
+}
+
+/// The worst point of the curve.
+pub fn min_fraction(probes: &[(SimTime, f64)]) -> f64 {
+    probes.iter().map(|&(_, f)| f).fold(1.0, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_secs(s)
+    }
+
+    #[test]
+    fn reconvergence_measures_dip_and_recovery() {
+        let probes = vec![
+            (t(10), 1.0),
+            (t(20), 1.0),
+            (t(30), 0.5), // fault at 25 dents the curve
+            (t(40), 0.5),
+            (t(50), 1.0), // recovered
+        ];
+        let times = reconvergence_times(&probes, &[t(25)]);
+        assert_eq!(times, vec![Some(Duration::from_secs(25))]);
+        assert_eq!(mean_reconvergence(&times), Some(Duration::from_secs(25)));
+        assert_eq!(min_fraction(&probes), 0.5);
+        assert!((mean_fraction(&probes) - 0.8).abs() < EPS);
+    }
+
+    #[test]
+    fn unrecovered_failure_reports_none() {
+        let probes = vec![(t(10), 1.0), (t(30), 0.5), (t(50), 0.5)];
+        let times = reconvergence_times(&probes, &[t(20)]);
+        assert_eq!(times, vec![None]);
+        assert_eq!(mean_reconvergence(&times), None);
+    }
+
+    #[test]
+    fn baseline_is_prefault_level_not_unity() {
+        // The curve sits at 0.5 before the fault; returning to 0.5 counts
+        // as reconverged even though 1.0 is never reached.
+        let probes = vec![(t(10), 0.5), (t(30), 0.0), (t(40), 0.5)];
+        let times = reconvergence_times(&probes, &[t(20)]);
+        assert_eq!(times, vec![Some(Duration::from_secs(20))]);
+    }
+
+    #[test]
+    fn multiple_downs_measured_independently() {
+        let probes = vec![
+            (t(10), 1.0),
+            (t(20), 0.5),
+            (t(30), 1.0),
+            (t(40), 0.5),
+            (t(60), 1.0),
+        ];
+        let times = reconvergence_times(&probes, &[t(15), t(35)]);
+        assert_eq!(
+            times,
+            vec![Some(Duration::from_secs(15)), Some(Duration::from_secs(25))]
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Seeded stochastic link churn: an MTBF/MTTR renewal process per link.
+//!
+//! The SCIONLab deployment study observed that inter-domain *availability*
+//! churns far faster than the link set itself: paths appear and disappear
+//! on the order of minutes while topology changes take hours. This module
+//! models that as independent alternating renewal processes — each link
+//! alternates exponentially-distributed up periods (mean MTBF) and down
+//! periods (mean MTTR), with core links an order of magnitude more stable
+//! than leaf access links.
+//!
+//! Determinism: each link draws from its own `ChaCha12Rng` seeded from
+//! `(run seed, LinkIndex)`, so the generated [`FaultSchedule`] is
+//! byte-identical across runs and independent of iteration order.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use scion_simulator::{FaultSchedule, LinkFault};
+use scion_topology::{AsTopology, LinkIndex};
+use scion_types::{Duration, SimTime};
+
+/// Mean time between failures / to repair for one link class.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkClassParams {
+    /// Mean length of an up period.
+    pub mtbf: Duration,
+    /// Mean length of a down period.
+    pub mttr: Duration,
+}
+
+/// The two-class churn model: core↔core links vs. everything touching a
+/// leaf AS.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnModel {
+    /// Links with two core endpoints.
+    pub core: LinkClassParams,
+    /// Links with at least one non-core endpoint.
+    pub leaf: LinkClassParams,
+}
+
+impl ChurnModel {
+    /// A model scaled to a simulation window: over `sim_duration`, a core
+    /// link fails about once every other run while a leaf link fails about
+    /// once per run, and repairs are an order of magnitude faster than the
+    /// window. This keeps tiny smoke runs and multi-hour runs equally
+    /// eventful without retuning.
+    pub fn scaled(sim_duration: Duration) -> ChurnModel {
+        let us = sim_duration.as_micros();
+        ChurnModel {
+            core: LinkClassParams {
+                mtbf: Duration::from_micros(us.saturating_mul(2)),
+                mttr: Duration::from_micros((us / 8).max(1)),
+            },
+            leaf: LinkClassParams {
+                mtbf: sim_duration,
+                mttr: Duration::from_micros((us / 10).max(1)),
+            },
+        }
+    }
+
+    /// Parameters for `li` under this model.
+    pub fn params_for(&self, topo: &AsTopology, li: LinkIndex) -> LinkClassParams {
+        let l = topo.link(li);
+        if topo.node(l.a).core && topo.node(l.b).core {
+            self.core
+        } else {
+            self.leaf
+        }
+    }
+
+    /// Generates the fault trace for every link over `[0, duration)`.
+    pub fn generate(&self, topo: &AsTopology, duration: Duration, seed: u64) -> FaultSchedule {
+        let horizon = duration.as_micros();
+        let mut events = Vec::new();
+        for li in topo.link_indices() {
+            let params = self.params_for(topo, li);
+            let mut rng = ChaCha12Rng::seed_from_u64(mix(seed, li.0));
+            let mut t = sample_exp(&mut rng, params.mtbf);
+            while t < horizon {
+                events.push((SimTime::from_micros(t), LinkFault::LinkDown(li)));
+                let repair = t.saturating_add(sample_exp(&mut rng, params.mttr));
+                if repair >= horizon {
+                    break; // stays down past the end of the run
+                }
+                events.push((SimTime::from_micros(repair), LinkFault::LinkUp(li)));
+                t = repair.saturating_add(sample_exp(&mut rng, params.mtbf));
+            }
+        }
+        FaultSchedule::from_events(events)
+    }
+}
+
+/// Splitmix64-style mix of the run seed and a link index, so adjacent
+/// links get uncorrelated streams.
+fn mix(seed: u64, link: u32) -> u64 {
+    let mut z = seed ^ (link as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One exponential draw with the given mean, in whole microseconds
+/// (at least 1 so time always advances).
+fn sample_exp(rng: &mut ChaCha12Rng, mean: Duration) -> u64 {
+    let u: f64 = rng.gen(); // [0, 1)
+    let x = -(1.0 - u).ln() * mean.as_micros() as f64;
+    (x as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_topology::{topology_from_edges, Relationship};
+
+    fn world() -> AsTopology {
+        let mut topo = topology_from_edges(&[
+            (1, 2, Relationship::PeerToPeer, 1),
+            (1, 3, Relationship::AProviderOfB, 1),
+        ]);
+        for (n, core) in [(0u32, true), (1, true), (2, false)] {
+            topo.set_core(scion_topology::AsIndex(n), core);
+        }
+        topo
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_sorted() {
+        let topo = world();
+        let model = ChurnModel::scaled(Duration::from_hours(2));
+        let a = model.generate(&topo, Duration::from_hours(2), 7);
+        let b = model.generate(&topo, Duration::from_hours(2), 7);
+        assert_eq!(a, b);
+        let times: Vec<_> = a.events().iter().map(|&(t, _)| t).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let topo = world();
+        let model = ChurnModel::scaled(Duration::from_hours(2));
+        let a = model.generate(&topo, Duration::from_hours(2), 7);
+        let b = model.generate(&topo, Duration::from_hours(2), 8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn downs_and_ups_alternate_per_link() {
+        let topo = world();
+        let model = ChurnModel::scaled(Duration::from_hours(4));
+        let sched = model.generate(&topo, Duration::from_hours(4), 3);
+        assert!(!sched.is_empty(), "a multi-hour window churns");
+        for li in topo.link_indices() {
+            let mut expect_down = true;
+            for (_, f) in sched.events() {
+                match f {
+                    LinkFault::LinkDown(l) if *l == li => {
+                        assert!(expect_down, "two downs in a row on {li:?}");
+                        expect_down = false;
+                    }
+                    LinkFault::LinkUp(l) if *l == li => {
+                        assert!(!expect_down, "up before down on {li:?}");
+                        expect_down = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn core_links_fail_less_often_than_leaf_links() {
+        // One core link and one leaf link; over many seeds the leaf link
+        // must accumulate at least as many failures.
+        let topo = world();
+        let model = ChurnModel::scaled(Duration::from_hours(1));
+        let (mut core_downs, mut leaf_downs) = (0usize, 0usize);
+        for seed in 0..50 {
+            let sched = model.generate(&topo, Duration::from_hours(1), seed);
+            for (_, f) in sched.events() {
+                if let LinkFault::LinkDown(li) = f {
+                    let l = topo.link(*li);
+                    if topo.node(l.a).core && topo.node(l.b).core {
+                        core_downs += 1;
+                    } else {
+                        leaf_downs += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            leaf_downs > core_downs,
+            "leaf {leaf_downs} vs core {core_downs}"
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! The path-server reaction to a fault: revocation of affected segments
+//! (§4.1 "Path Revocations") driven from a [`LinkFault`].
+//!
+//! The simulator's fault plane names links by dense [`LinkIndex`]; the
+//! path-server layer names them by wire-level [`LinkId`]. This module
+//! bridges the two, delegating the accounting to
+//! [`scion_pathserver::revocation`] semantics and emitting
+//! [`TraceEvent::PathInvalidated`] per invalidated destination.
+
+use scion_pathserver::ledger::{Component, Ledger, Scope};
+use scion_pathserver::revocation::segment_uses_link;
+use scion_pathserver::server::PathServer;
+use scion_proto::wire;
+use scion_simulator::LinkFault;
+use scion_telemetry::{ids, Label, Telemetry, TraceEvent};
+use scion_topology::{AsTopology, LinkIndex};
+use scion_types::SimTime;
+
+/// Accounting of one fault's revocation reaction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultRevocation {
+    /// Segments dropped from the path server.
+    pub segments_revoked: usize,
+    /// SCMP notifications issued to endpoints with active flows.
+    pub scmp_notifications: u64,
+}
+
+/// Reacts to `fault` at a core path server: a `LinkDown` revokes every
+/// stored segment crossing that link; an `AsDown` does so for every link
+/// incident to the AS. Up/degrade events are no-ops (recovery is handled
+/// by re-beaconing and re-registration, not by the revocation machinery).
+///
+/// Per failed link with at least one affected segment, the ledger records
+/// one intra-ISD revocation message plus `active_flows_per_link` global
+/// SCMP notifications — the same accounting as
+/// [`scion_pathserver::revocation::revoke_segments`].
+pub fn revoke_for_fault(
+    ps: &mut PathServer,
+    topo: &AsTopology,
+    fault: &LinkFault,
+    active_flows_per_link: u64,
+    ledger: &mut Ledger,
+    now: SimTime,
+    tel: &mut Telemetry,
+) -> FaultRevocation {
+    let mut total = FaultRevocation::default();
+    let links: Vec<LinkIndex> = match *fault {
+        LinkFault::LinkDown(li) => vec![li],
+        LinkFault::AsDown(a) => topo.node(a).links.clone(),
+        _ => return total,
+    };
+    for li in links {
+        let r = revoke_link(ps, topo, li, active_flows_per_link, ledger, now, tel);
+        total.segments_revoked += r.segments_revoked;
+        total.scmp_notifications += r.scmp_notifications;
+    }
+    total
+}
+
+fn revoke_link(
+    ps: &mut PathServer,
+    topo: &AsTopology,
+    li: LinkIndex,
+    active_flows: u64,
+    ledger: &mut Ledger,
+    now: SimTime,
+    tel: &mut Telemetry,
+) -> FaultRevocation {
+    let failed = topo.link_id(li);
+    let mut terminals = Vec::new();
+    let segments_revoked = ps.deregister_where(|s| {
+        let hit = segment_uses_link(s, failed);
+        if hit {
+            terminals.push(s.terminal());
+        }
+        hit
+    });
+    if segments_revoked == 0 {
+        // Nothing registered crossed the link: the observing AS has
+        // nothing to revoke, so no message goes out.
+        return FaultRevocation::default();
+    }
+
+    // One intra-ISD revocation message to the core PS, plus per-flow
+    // global SCMP notifications (mirrors revocation::revoke_segments).
+    ledger.record(
+        Component::PathRevocation,
+        Scope::IntraIsd,
+        wire::SCMP_REVOCATION,
+    );
+    ledger.record_event(Component::PathRevocation, now);
+    for _ in 0..active_flows {
+        ledger.record(
+            Component::PathRevocation,
+            Scope::Global,
+            wire::SCMP_REVOCATION,
+        );
+    }
+
+    let node = topo
+        .by_address(ps.isd_asn())
+        .map(|i| i.0)
+        .unwrap_or(u32::MAX);
+    tel.inc(
+        ids::CHAOS_PATHS_INVALIDATED,
+        Label::Global,
+        segments_revoked as u64,
+    );
+    for origin in terminals {
+        tel.trace_event(now, || TraceEvent::PathInvalidated {
+            node,
+            origin,
+            link: li.0,
+        });
+    }
+    FaultRevocation {
+        segments_revoked,
+        scmp_notifications: active_flows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{dual_homed_world, register_down_segments, segments_for};
+    use scion_types::{Asn, Duration, Isd, IsdAsn};
+
+    #[test]
+    fn link_down_revokes_crossing_segments_and_traces() {
+        let topo = dual_homed_world();
+        let duration = Duration::from_hours(1);
+        let now = SimTime::ZERO + duration;
+        let leaf_ia = IsdAsn::new(Isd(1), Asn::from_u64(10));
+        let (segs, _) = segments_for(&topo, leaf_ia, duration, 1);
+        let mut ps = PathServer::new(IsdAsn::new(Isd(1), Asn::from_u64(1)), true);
+        register_down_segments(&mut ps, &segs);
+
+        let leaf = topo.by_address(leaf_ia).unwrap();
+        let li = topo.node(leaf).links[0];
+        let mut ledger = Ledger::new();
+        let mut tel = Telemetry::new(scion_telemetry::TelemetryConfig::default());
+        let r = revoke_for_fault(
+            &mut ps,
+            &topo,
+            &LinkFault::LinkDown(li),
+            3,
+            &mut ledger,
+            now,
+            &mut tel,
+        );
+        assert!(r.segments_revoked >= 1);
+        assert_eq!(r.scmp_notifications, 3);
+        assert_eq!(
+            ledger.messages_at(Component::PathRevocation, Scope::IntraIsd),
+            1
+        );
+        assert_eq!(
+            ledger.messages_at(Component::PathRevocation, Scope::Global),
+            3
+        );
+        assert_eq!(
+            tel.metrics
+                .counter(ids::CHAOS_PATHS_INVALIDATED, Label::Global),
+            r.segments_revoked as u64
+        );
+        assert_eq!(tel.traces.len(), r.segments_revoked);
+        // The other leaf's segments survive.
+        let other = IsdAsn::new(Isd(1), Asn::from_u64(11));
+        let (other_segs, _) = segments_for(&topo, other, duration, 1);
+        let mut ps2 = PathServer::new(IsdAsn::new(Isd(1), Asn::from_u64(1)), true);
+        register_down_segments(&mut ps2, &other_segs);
+        let r2 = revoke_for_fault(
+            &mut ps2,
+            &topo,
+            &LinkFault::LinkDown(li),
+            0,
+            &mut ledger,
+            now,
+            &mut tel,
+        );
+        assert_eq!(r2.segments_revoked, 0, "unrelated leaf untouched");
+    }
+
+    #[test]
+    fn as_down_revokes_across_all_incident_links() {
+        let topo = dual_homed_world();
+        let duration = Duration::from_hours(1);
+        let now = SimTime::ZERO + duration;
+        let leaf_ia = IsdAsn::new(Isd(1), Asn::from_u64(10));
+        let (segs, _) = segments_for(&topo, leaf_ia, duration, 2);
+        let mut ps = PathServer::new(IsdAsn::new(Isd(1), Asn::from_u64(1)), true);
+        register_down_segments(&mut ps, &segs);
+
+        let leaf = topo.by_address(leaf_ia).unwrap();
+        let mut ledger = Ledger::new();
+        let mut tel = Telemetry::disabled();
+        let r = revoke_for_fault(
+            &mut ps,
+            &topo,
+            &LinkFault::AsDown(leaf),
+            0,
+            &mut ledger,
+            now,
+            &mut tel,
+        );
+        assert_eq!(r.segments_revoked, segs.len(), "whole min cut gone");
+        assert!(ps.lookup_down(leaf_ia, now).is_empty());
+    }
+
+    #[test]
+    fn recovery_events_are_no_ops() {
+        let topo = dual_homed_world();
+        let mut ps = PathServer::new(IsdAsn::new(Isd(1), Asn::from_u64(1)), true);
+        let mut ledger = Ledger::new();
+        let mut tel = Telemetry::disabled();
+        let r = revoke_for_fault(
+            &mut ps,
+            &topo,
+            &LinkFault::LinkUp(LinkIndex(0)),
+            5,
+            &mut ledger,
+            SimTime::ZERO,
+            &mut tel,
+        );
+        assert_eq!(r, FaultRevocation::default());
+        assert_eq!(
+            ledger.messages_at(Component::PathRevocation, Scope::IntraIsd),
+            0
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Explicit fault scripts: a builder over [`FaultSchedule`] for the
+//! experiment patterns that recur in tests and docs — a single outage
+//! window, an AS blackout, a latency brown-out, an interface flap burst.
+
+use scion_simulator::{FaultSchedule, LinkFault};
+use scion_topology::{AsIndex, LinkIndex};
+use scion_types::{Duration, SimTime};
+
+/// Builder of an explicit fault script.
+///
+/// ```
+/// use scion_chaos::Script;
+/// use scion_topology::LinkIndex;
+/// use scion_types::{Duration, SimTime};
+///
+/// let t = |s| SimTime::ZERO + Duration::from_secs(s);
+/// let sched = Script::new()
+///     .link_outage(LinkIndex(0), t(100), t(200))
+///     .flap_burst(LinkIndex(1), t(300), 3, Duration::from_secs(10))
+///     .build();
+/// assert_eq!(sched.down_times().len(), 4);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Script {
+    sched: FaultSchedule,
+}
+
+impl Script {
+    pub fn new() -> Script {
+        Script::default()
+    }
+
+    /// Takes `li` down over `[from, until)`.
+    pub fn link_outage(mut self, li: LinkIndex, from: SimTime, until: SimTime) -> Script {
+        self.sched.push(from, LinkFault::LinkDown(li));
+        self.sched.push(until, LinkFault::LinkUp(li));
+        self
+    }
+
+    /// Takes the whole AS down over `[from, until)` (every incident link
+    /// becomes unusable).
+    pub fn as_outage(mut self, a: AsIndex, from: SimTime, until: SimTime) -> Script {
+        self.sched.push(from, LinkFault::AsDown(a));
+        self.sched.push(until, LinkFault::AsUp(a));
+        self
+    }
+
+    /// Multiplies `li`'s propagation delay by `factor_pct`/100 over
+    /// `[from, until)`.
+    pub fn degrade(
+        mut self,
+        li: LinkIndex,
+        factor_pct: u32,
+        from: SimTime,
+        until: SimTime,
+    ) -> Script {
+        self.sched.push(
+            from,
+            LinkFault::Degrade {
+                link: li,
+                factor_pct,
+            },
+        );
+        self.sched.push(until, LinkFault::Restore(li));
+        self
+    }
+
+    /// An interface flap burst: `flaps` down/up cycles starting at
+    /// `start`, one cycle per `period` (down for the first half of each
+    /// period).
+    pub fn flap_burst(
+        mut self,
+        li: LinkIndex,
+        start: SimTime,
+        flaps: u32,
+        period: Duration,
+    ) -> Script {
+        let half = Duration::from_micros((period.as_micros() / 2).max(1));
+        for k in 0..flaps as u64 {
+            let down = start + period * k;
+            self.sched.push(down, LinkFault::LinkDown(li));
+            self.sched.push(down + half, LinkFault::LinkUp(li));
+        }
+        self
+    }
+
+    /// A raw event, for anything the shorthands don't cover.
+    pub fn event(mut self, at: SimTime, fault: LinkFault) -> Script {
+        self.sched.push(at, fault);
+        self
+    }
+
+    /// The finished, time-sorted schedule.
+    pub fn build(self) -> FaultSchedule {
+        self.sched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_secs(s)
+    }
+
+    #[test]
+    fn outage_windows_sort_by_time() {
+        let sched = Script::new()
+            .link_outage(LinkIndex(1), t(200), t(300))
+            .link_outage(LinkIndex(0), t(50), t(400))
+            .build();
+        let times: Vec<_> = sched.events().iter().map(|&(at, _)| at).collect();
+        assert_eq!(times, vec![t(50), t(200), t(300), t(400)]);
+    }
+
+    #[test]
+    fn flap_burst_alternates() {
+        let sched = Script::new()
+            .flap_burst(LinkIndex(2), t(100), 3, Duration::from_secs(10))
+            .build();
+        assert_eq!(sched.len(), 6);
+        assert_eq!(sched.down_times(), vec![t(100), t(110), t(120)]);
+        // Each up fires half a period after its down.
+        assert_eq!(sched.events()[1].0, t(100) + Duration::from_secs(5));
+    }
+
+    #[test]
+    fn as_outage_and_degrade_emit_paired_events() {
+        let sched = Script::new()
+            .as_outage(AsIndex(3), t(10), t(20))
+            .degrade(LinkIndex(0), 300, t(15), t(25))
+            .build();
+        assert_eq!(sched.len(), 4);
+        assert!(matches!(sched.events()[0].1, LinkFault::AsDown(AsIndex(3))));
+        assert!(matches!(sched.events()[3].1, LinkFault::Restore(_)));
+    }
+}

@@ -38,6 +38,7 @@ pub mod scale;
 pub use scion_analysis as analysis;
 pub use scion_beaconing as beaconing;
 pub use scion_bgp as bgp;
+pub use scion_chaos as chaos;
 pub use scion_crypto as crypto;
 pub use scion_dataplane as dataplane;
 pub use scion_endhost as endhost;

@@ -134,6 +134,35 @@ impl<M> Engine<M> {
         }
     }
 
+    /// Removes queued `Deliver` events matching `drop`, returning how many
+    /// were cancelled. Timers are never touched.
+    ///
+    /// This is the in-flight drop path for link failures: a message already
+    /// "on the wire" when its link goes down must not arrive. The heap is
+    /// drained and rebuilt; since the retained set is independent of drain
+    /// order and entries keep their `(at, seq)` keys, determinism is
+    /// preserved exactly.
+    pub fn cancel_deliveries(
+        &mut self,
+        mut drop: impl FnMut(AsIndex, LinkIndex, &M) -> bool,
+    ) -> u64 {
+        let mut kept = Vec::with_capacity(self.queue.len());
+        let mut cancelled = 0u64;
+        for Reverse(s) in self.queue.drain() {
+            let matches = match &s.event {
+                Event::Deliver { to, via, msg } => drop(*to, *via, msg),
+                Event::Timer { .. } => false,
+            };
+            if matches {
+                cancelled += 1;
+            } else {
+                kept.push(Reverse(s));
+            }
+        }
+        self.queue = BinaryHeap::from(kept);
+        cancelled
+    }
+
     /// Pops the next event unconditionally.
     ///
     /// Implemented directly rather than as `pop_until(u64::MAX)`: the
@@ -244,6 +273,55 @@ mod tests {
         );
         assert_eq!(e.now(), t(u64::MAX));
         assert!(e.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_deliveries_drops_in_flight_messages_deterministically() {
+        // Regression for the mid-flight failure case: messages already sent
+        // over a link that then fails must be dropped, not delivered, and
+        // the surviving events must keep their exact order.
+        let mut e: Engine<&'static str> = Engine::new();
+        e.send(Duration::from_micros(10), AsIndex(1), LinkIndex(0), "dead");
+        e.send(Duration::from_micros(10), AsIndex(1), LinkIndex(1), "live");
+        e.send(Duration::from_micros(20), AsIndex(2), LinkIndex(0), "dead2");
+        e.schedule_timer(t(15), AsIndex(0), 3);
+
+        let cancelled = e.cancel_deliveries(|_, via, _| via == LinkIndex(0));
+        assert_eq!(cancelled, 2);
+        assert_eq!(e.pending(), 2);
+
+        let (at1, ev1) = e.pop().unwrap();
+        assert_eq!(at1, t(10));
+        assert_eq!(
+            ev1,
+            Event::Deliver {
+                to: AsIndex(1),
+                via: LinkIndex(1),
+                msg: "live"
+            }
+        );
+        let (at2, ev2) = e.pop().unwrap();
+        assert_eq!(at2, t(15));
+        assert!(matches!(ev2, Event::Timer { kind: 3, .. }));
+        assert!(e.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_deliveries_preserves_fifo_among_survivors() {
+        let mut e: Engine<usize> = Engine::new();
+        for i in 0..50usize {
+            let via = LinkIndex((i % 2) as u32);
+            e.send(Duration::from_micros(7), AsIndex(0), via, i);
+        }
+        e.cancel_deliveries(|_, via, _| via == LinkIndex(1));
+        let got: Vec<usize> = std::iter::from_fn(|| e.pop())
+            .map(|(_, ev)| match ev {
+                Event::Deliver { msg, .. } => msg,
+                _ => unreachable!(),
+            })
+            .collect();
+        let expected: Vec<usize> = (0..50).filter(|i| i % 2 == 0).collect();
+        assert_eq!(got, expected, "survivors keep scheduling (FIFO) order");
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! The fault plane: virtual-time fault events and the link-state overlay.
+//!
+//! The topology multigraph ([`scion_topology::AsTopology`]) stays immutable
+//! for the lifetime of a run; dynamics are expressed as an *overlay*: a
+//! [`FaultSchedule`] of virtual-time [`LinkFault`] events applied to a
+//! [`LinkState`], which the protocol drivers consult before sending on (or
+//! delivering over) a link. This mirrors how real deployments behave —
+//! the inter-domain link set changes on the order of hours, while link
+//! *availability* churns on the order of minutes (the SCIONLab measurement
+//! study reports frequent path-set changes in the live network).
+//!
+//! Faults name links by their dense [`LinkIndex`], which is stable across
+//! runs for a given topology construction order (see
+//! `AsTopology::links_between`), so schedules written against one run
+//! replay bit-identically on the next.
+
+use scion_topology::{AsIndex, AsTopology, LinkIndex};
+use scion_types::{Duration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One fault-plane event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkFault {
+    /// The link goes dark: no deliveries until a matching [`LinkFault::LinkUp`].
+    LinkDown(LinkIndex),
+    /// The link recovers.
+    LinkUp(LinkIndex),
+    /// The whole AS goes dark: every incident link becomes unusable.
+    AsDown(AsIndex),
+    /// The AS recovers.
+    AsUp(AsIndex),
+    /// Latency degradation: the link's propagation delay is multiplied by
+    /// `factor_pct`/100 (e.g. 300 = 3× slower) until [`LinkFault::Restore`].
+    Degrade { link: LinkIndex, factor_pct: u32 },
+    /// Clears a latency degradation.
+    Restore(LinkIndex),
+}
+
+impl LinkFault {
+    /// The link this fault names, if it is link-scoped.
+    pub fn link(&self) -> Option<LinkIndex> {
+        match *self {
+            LinkFault::LinkDown(li) | LinkFault::LinkUp(li) | LinkFault::Restore(li) => Some(li),
+            LinkFault::Degrade { link, .. } => Some(link),
+            LinkFault::AsDown(_) | LinkFault::AsUp(_) => None,
+        }
+    }
+}
+
+/// A deterministic, time-sorted script of fault events.
+///
+/// Events at equal times keep their insertion order (stable), so a
+/// schedule replays identically however it was assembled.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    events: Vec<(SimTime, LinkFault)>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule.
+    pub fn new() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// Builds a schedule from events in any order (stable-sorted by time).
+    pub fn from_events(mut events: Vec<(SimTime, LinkFault)>) -> FaultSchedule {
+        events.sort_by_key(|&(t, _)| t);
+        FaultSchedule { events }
+    }
+
+    /// Inserts an event, keeping the schedule sorted; an event at an
+    /// already-present time goes after the existing ones (stable).
+    pub fn push(&mut self, at: SimTime, fault: LinkFault) {
+        let pos = self.events.partition_point(|&(t, _)| t <= at);
+        self.events.insert(pos, (at, fault));
+    }
+
+    /// Appends another schedule's events (re-sorting stably).
+    pub fn merge(&mut self, other: &FaultSchedule) {
+        self.events.extend(other.events.iter().copied());
+        self.events.sort_by_key(|&(t, _)| t);
+    }
+
+    /// The events, sorted by time.
+    pub fn events(&self) -> &[(SimTime, LinkFault)] {
+        &self.events
+    }
+
+    /// Distinct firing times, ascending (for scheduling driver timers).
+    pub fn fire_times(&self) -> Vec<SimTime> {
+        let mut out: Vec<SimTime> = self.events.iter().map(|&(t, _)| t).collect();
+        out.dedup();
+        out
+    }
+
+    /// Times of the `LinkDown`/`AsDown` events, ascending (the instants a
+    /// reconvergence measurement anchors on).
+    pub fn down_times(&self) -> Vec<SimTime> {
+        self.events
+            .iter()
+            .filter(|(_, f)| matches!(f, LinkFault::LinkDown(_) | LinkFault::AsDown(_)))
+            .map(|&(t, _)| t)
+            .collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// The mutable availability overlay over an immutable topology.
+///
+/// A link is *usable* iff the link itself is up **and** both endpoint ASes
+/// are up. Degradations multiply the propagation delay without affecting
+/// usability.
+#[derive(Clone, Debug)]
+pub struct LinkState {
+    /// Endpoints per link (captured once; the topology stays immutable).
+    ends: Vec<(AsIndex, AsIndex)>,
+    link_up: Vec<bool>,
+    as_up: Vec<bool>,
+    /// Latency multiplier per link, percent (100 = nominal).
+    degrade_pct: Vec<u32>,
+    /// Up→down transitions per link (for accounting and flap analysis).
+    link_downs: Vec<u64>,
+    /// Total state-changing events applied.
+    transitions: u64,
+}
+
+impl LinkState {
+    /// Everything-up state for `topo`.
+    pub fn new(topo: &AsTopology) -> LinkState {
+        LinkState {
+            ends: topo
+                .link_indices()
+                .map(|li| {
+                    let l = topo.link(li);
+                    (l.a, l.b)
+                })
+                .collect(),
+            link_up: vec![true; topo.num_links()],
+            as_up: vec![true; topo.num_ases()],
+            degrade_pct: vec![100; topo.num_links()],
+            link_downs: vec![0; topo.num_links()],
+            transitions: 0,
+        }
+    }
+
+    /// Applies one fault event. Returns `true` if any state changed (a
+    /// `LinkDown` on an already-down link is a no-op, etc.).
+    pub fn apply(&mut self, fault: &LinkFault) -> bool {
+        let changed = match *fault {
+            LinkFault::LinkDown(li) => {
+                let was = std::mem::replace(&mut self.link_up[li.as_usize()], false);
+                if was {
+                    self.link_downs[li.as_usize()] += 1;
+                }
+                was
+            }
+            LinkFault::LinkUp(li) => !std::mem::replace(&mut self.link_up[li.as_usize()], true),
+            LinkFault::AsDown(a) => std::mem::replace(&mut self.as_up[a.as_usize()], false),
+            LinkFault::AsUp(a) => !std::mem::replace(&mut self.as_up[a.as_usize()], true),
+            LinkFault::Degrade { link, factor_pct } => {
+                let prev =
+                    std::mem::replace(&mut self.degrade_pct[link.as_usize()], factor_pct.max(1));
+                prev != factor_pct.max(1)
+            }
+            LinkFault::Restore(li) => {
+                std::mem::replace(&mut self.degrade_pct[li.as_usize()], 100) != 100
+            }
+        };
+        if changed {
+            self.transitions += 1;
+        }
+        changed
+    }
+
+    /// True when messages can traverse `li` right now.
+    #[inline]
+    pub fn link_usable(&self, li: LinkIndex) -> bool {
+        let (a, b) = self.ends[li.as_usize()];
+        self.link_up[li.as_usize()] && self.as_up[a.as_usize()] && self.as_up[b.as_usize()]
+    }
+
+    /// True when the AS itself is up.
+    #[inline]
+    pub fn as_usable(&self, a: AsIndex) -> bool {
+        self.as_up[a.as_usize()]
+    }
+
+    /// The propagation delay of `li` under the current degradation.
+    #[inline]
+    pub fn degraded_delay(&self, li: LinkIndex, base: Duration) -> Duration {
+        let pct = self.degrade_pct[li.as_usize()];
+        if pct == 100 {
+            base
+        } else {
+            Duration::from_micros(base.as_micros().saturating_mul(pct as u64) / 100)
+        }
+    }
+
+    /// Number of links currently unusable (down themselves or via an AS
+    /// outage).
+    pub fn links_down(&self) -> usize {
+        (0..self.ends.len())
+            .filter(|&i| !self.link_usable(LinkIndex(i as u32)))
+            .count()
+    }
+
+    /// Up→down transitions recorded for `li`.
+    pub fn downs_of(&self, li: LinkIndex) -> u64 {
+        self.link_downs[li.as_usize()]
+    }
+
+    /// Total state-changing fault events applied so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_topology::{topology_from_edges, Relationship};
+
+    fn two_links() -> AsTopology {
+        topology_from_edges(&[(1, 2, Relationship::PeerToPeer, 2)])
+    }
+
+    #[test]
+    fn schedule_is_time_sorted_and_stable() {
+        let mut s = FaultSchedule::new();
+        let t = |us| SimTime::from_micros(us);
+        s.push(t(50), LinkFault::LinkUp(LinkIndex(0)));
+        s.push(t(10), LinkFault::LinkDown(LinkIndex(0)));
+        s.push(t(50), LinkFault::LinkDown(LinkIndex(1)));
+        s.push(t(10), LinkFault::AsDown(AsIndex(3)));
+        let evs = s.events();
+        assert_eq!(evs[0], (t(10), LinkFault::LinkDown(LinkIndex(0))));
+        assert_eq!(evs[1], (t(10), LinkFault::AsDown(AsIndex(3))));
+        assert_eq!(evs[2], (t(50), LinkFault::LinkUp(LinkIndex(0))));
+        assert_eq!(evs[3], (t(50), LinkFault::LinkDown(LinkIndex(1))));
+        assert_eq!(s.fire_times(), vec![t(10), t(50)]);
+        assert_eq!(s.down_times(), vec![t(10), t(10), t(50)]);
+    }
+
+    #[test]
+    fn from_events_sorts() {
+        let t = |us| SimTime::from_micros(us);
+        let s = FaultSchedule::from_events(vec![
+            (t(9), LinkFault::LinkDown(LinkIndex(1))),
+            (t(3), LinkFault::LinkDown(LinkIndex(0))),
+        ]);
+        assert_eq!(s.events()[0].0, t(3));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn link_state_tracks_usability_and_transitions() {
+        let topo = two_links();
+        let mut ls = LinkState::new(&topo);
+        let l0 = LinkIndex(0);
+        assert!(ls.link_usable(l0));
+
+        assert!(ls.apply(&LinkFault::LinkDown(l0)));
+        assert!(!ls.link_usable(l0));
+        assert!(ls.link_usable(LinkIndex(1)), "parallel link unaffected");
+        // Idempotent: downing a down link changes nothing.
+        assert!(!ls.apply(&LinkFault::LinkDown(l0)));
+        assert_eq!(ls.downs_of(l0), 1);
+
+        assert!(ls.apply(&LinkFault::LinkUp(l0)));
+        assert!(ls.link_usable(l0));
+        assert_eq!(ls.transitions(), 2);
+    }
+
+    #[test]
+    fn as_outage_kills_every_incident_link() {
+        let topo = two_links();
+        let mut ls = LinkState::new(&topo);
+        let a = AsIndex(0);
+        assert!(ls.apply(&LinkFault::AsDown(a)));
+        assert!(!ls.link_usable(LinkIndex(0)));
+        assert!(!ls.link_usable(LinkIndex(1)));
+        assert_eq!(ls.links_down(), 2);
+        // Link-level state survives the outage: links come back with the AS.
+        assert!(ls.apply(&LinkFault::AsUp(a)));
+        assert!(ls.link_usable(LinkIndex(0)));
+    }
+
+    #[test]
+    fn degradation_scales_delay_without_affecting_usability() {
+        let topo = two_links();
+        let mut ls = LinkState::new(&topo);
+        let l0 = LinkIndex(0);
+        let base = Duration::from_millis(10);
+        assert_eq!(ls.degraded_delay(l0, base), base);
+        ls.apply(&LinkFault::Degrade {
+            link: l0,
+            factor_pct: 350,
+        });
+        assert!(ls.link_usable(l0));
+        assert_eq!(ls.degraded_delay(l0, base), Duration::from_millis(35));
+        ls.apply(&LinkFault::Restore(l0));
+        assert_eq!(ls.degraded_delay(l0, base), base);
+    }
+}

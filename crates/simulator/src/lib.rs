@@ -29,8 +29,10 @@
 
 pub mod accounting;
 pub mod engine;
+pub mod fault;
 pub mod latency;
 
 pub use accounting::{Counter, InterfaceTraffic};
 pub use engine::{Engine, Event};
+pub use fault::{FaultSchedule, LinkFault, LinkState};
 pub use latency::LatencyModel;

@@ -85,6 +85,20 @@ pub mod ids {
     pub const PS_LOOKUPS: &str = "pathserver.lookups";
     /// Counter: lookups answered from the cache.
     pub const PS_CACHE_HITS: &str = "pathserver.cache_hits";
+    /// Counter: fault events applied to the link-state overlay
+    /// (state-changing ones only; duplicate downs don't count).
+    pub const CHAOS_FAULT_EVENTS: &str = "chaos.fault_events";
+    /// Gauge: links currently unusable (down or endpoint-AS down).
+    pub const CHAOS_LINKS_DOWN: &str = "chaos.links_down";
+    /// Counter: in-flight messages cancelled because their link failed
+    /// mid-flight.
+    pub const CHAOS_INFLIGHT_CANCELLED: &str = "chaos.in_flight_cancelled";
+    /// Counter: sends/deliveries dropped because the link was already down.
+    pub const CHAOS_DELIVERIES_DROPPED: &str = "chaos.deliveries_dropped";
+    /// Gauge: fraction of probed AS pairs with >= 1 live path, in [0, 1].
+    pub const CHAOS_LIVE_PAIR_FRACTION: &str = "chaos.live_pair_fraction";
+    /// Counter: path-server segment invalidations triggered by faults.
+    pub const CHAOS_PATHS_INVALIDATED: &str = "chaos.paths_invalidated";
 }
 
 /// Configuration of a telemetry handle.

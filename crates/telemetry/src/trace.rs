@@ -54,6 +54,16 @@ pub enum TraceEvent {
         seg_type: &'static str,
         hops: u32,
     },
+    /// A link became unusable (fault injection).
+    LinkDown { link: u32 },
+    /// A link recovered (fault injection).
+    LinkUp { link: u32 },
+    /// A path server invalidated stored segments after a link failure.
+    PathInvalidated {
+        node: u32,
+        origin: IsdAsn,
+        link: u32,
+    },
 }
 
 /// A trace record: the event plus its virtual timestamp and run label.

@@ -37,6 +37,14 @@ impl fmt::Display for AsIndex {
 }
 
 /// Dense index of a link within an [`AsTopology`].
+///
+/// **Ordering guarantee.** Link indices are assigned in [`AsTopology::add_link`]
+/// call order and never renumbered, so for a deterministic construction
+/// procedure (generators are seeded; manual builders are sequential) the
+/// numbering is identical across runs. Fault schedules (see
+/// `scion-simulator`'s fault module) rely on this to name links
+/// reproducibly: a script that downs `LinkIndex(17)` downs the same
+/// physical link in every run.
 #[derive(
     Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
 )]
@@ -283,7 +291,11 @@ impl AsTopology {
     }
 
     /// Links incident to `idx`, as `(link index, neighbor, local ifid,
-    /// remote ifid)` tuples.
+    /// remote ifid)` tuples, in ascending [`LinkIndex`] (= creation) order.
+    ///
+    /// The order is stable because adjacency lists are append-only and
+    /// `add_link` hands out indices monotonically; `check_invariants`
+    /// asserts it.
     pub fn incident(
         &self,
         idx: AsIndex,
@@ -340,7 +352,13 @@ impl AsTopology {
         seen
     }
 
-    /// All links (parallel ones individually) between `a` and `b`.
+    /// All links (parallel ones individually) between `a` and `b`, in
+    /// ascending [`LinkIndex`] (= creation) order.
+    ///
+    /// Parallel links therefore enumerate identically across runs of the
+    /// same construction procedure — fault schedule scripts may index into
+    /// this list (e.g. "down the second parallel link") and replay
+    /// deterministically.
     pub fn links_between(&self, a: AsIndex, b: AsIndex) -> Vec<LinkIndex> {
         self.node(a)
             .links
@@ -375,7 +393,9 @@ impl AsTopology {
     /// Checks structural invariants; used by tests and debug assertions.
     ///
     /// Invariants: interface ids are per-AS unique; every link is listed in
-    /// both endpoints' adjacency; the address index is consistent.
+    /// both endpoints' adjacency; adjacency lists are strictly ascending in
+    /// [`LinkIndex`] (the ordering guarantee fault schedules depend on); the
+    /// address index is consistent.
     pub fn check_invariants(&self) -> Result<(), String> {
         for idx in self.as_indices() {
             let mut seen_if = std::collections::HashSet::new();
@@ -386,6 +406,10 @@ impl AsTopology {
                 if local_if.is_none() {
                     return Err(format!("sentinel ifid used on a real link at {idx}"));
                 }
+            }
+            let adj = &self.node(idx).links;
+            if adj.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("adjacency of {idx} not strictly ascending"));
             }
         }
         for (i, l) in self.links.iter().enumerate() {
@@ -551,6 +575,38 @@ mod tests {
         let new_ia = IsdAsn::new(Isd(7), Asn::from_u64(10));
         assert_eq!(t.by_address(new_ia), Some(a));
         assert_eq!(t.node(a).ia, new_ia);
+    }
+
+    #[test]
+    fn link_index_ordering_is_stable_and_ascending() {
+        // Fault schedules name links by LinkIndex, so parallel-link
+        // enumeration must be creation-ordered and identical across runs.
+        let build = || {
+            let mut t = AsTopology::new();
+            let a = t.add_as(ia(10));
+            let b = t.add_as(ia(20));
+            let c = t.add_as(ia(30));
+            let l0 = t.add_link(a, b, Relationship::PeerToPeer);
+            let l1 = t.add_link(a, c, Relationship::AProviderOfB);
+            let l2 = t.add_link(a, b, Relationship::PeerToPeer);
+            let l3 = t.add_link(a, b, Relationship::PeerToPeer);
+            (t, a, b, vec![l0, l1, l2, l3])
+        };
+        let (t, a, b, ls) = build();
+        // Indices are assigned in add_link call order.
+        assert_eq!(
+            ls,
+            vec![LinkIndex(0), LinkIndex(1), LinkIndex(2), LinkIndex(3)]
+        );
+        // Parallel links come back ascending, skipping the a-c link.
+        assert_eq!(t.links_between(a, b), vec![ls[0], ls[2], ls[3]]);
+        // incident() is ascending too, and check_invariants asserts it.
+        let inc: Vec<LinkIndex> = t.incident(a).map(|(li, _, _, _)| li).collect();
+        assert_eq!(inc, ls);
+        t.check_invariants().unwrap();
+        // A second identical construction enumerates identically.
+        let (t2, a2, b2, _) = build();
+        assert_eq!(t.links_between(a, b), t2.links_between(a2, b2));
     }
 
     #[test]

@@ -1,56 +1,21 @@
 //! Failure-injection integration tests: link failures, revocation at path
-//! servers, SCMP-driven failover, and beacon-expiry behaviour.
+//! servers, SCMP-driven failover, beacon-expiry behaviour, and scripted
+//! chaos runs through the beaconing driver.
+//!
+//! The dual-homed fixture world and its beaconing → segment plumbing live
+//! in `scion_chaos::testkit`, shared with the chaos crate's unit tests and
+//! the resilience experiment.
 
+use scion_core::beaconing::driver::run_intra_isd_beaconing_chaos;
 use scion_core::beaconing::paths::known_paths;
-use scion_core::crypto::trc::TrustStore;
+use scion_core::beaconing::ChaosConfig;
+use scion_core::chaos::testkit::{dual_homed_world, register_down_segments, segments_for};
+use scion_core::chaos::Script;
 use scion_core::pathserver::ledger::{Component, Ledger, Scope};
 use scion_core::pathserver::revocation::{revoke_segments, segment_uses_link};
 use scion_core::pathserver::server::PathServer;
 use scion_core::prelude::*;
 use scion_core::types::LinkId;
-
-/// One core providing to two dual-homed leaves.
-fn dual_homed_world() -> AsTopology {
-    let mut topo = AsTopology::new();
-    let core = topo.add_as(IsdAsn::new(Isd(1), Asn::from_u64(1)));
-    topo.set_core(core, true);
-    for n in [10u64, 11] {
-        let leaf = topo.add_as(IsdAsn::new(Isd(1), Asn::from_u64(n)));
-        topo.add_link(core, leaf, Relationship::AProviderOfB);
-        topo.add_link(core, leaf, Relationship::AProviderOfB);
-    }
-    topo
-}
-
-fn segments_for(
-    topo: &AsTopology,
-    leaf_ia: IsdAsn,
-    duration: Duration,
-    seed: u64,
-) -> (Vec<PathSegment>, TrustStore) {
-    let now = SimTime::ZERO + duration;
-    let trust = TrustStore::bootstrap(
-        topo.as_indices()
-            .map(|i| (topo.node(i).ia, topo.node(i).core)),
-        now + Duration::from_days(1),
-    );
-    let out = run_intra_isd_beaconing(topo, &BeaconingConfig::default(), duration, seed);
-    let leaf = topo.by_address(leaf_ia).unwrap();
-    let srv = out.server(leaf).unwrap();
-    let core_ia = IsdAsn::new(Isd(1), Asn::from_u64(1));
-    let segs = srv
-        .store()
-        .beacons_of(core_ia, now)
-        .into_iter()
-        .map(|b| {
-            let pcb = b
-                .pcb
-                .extend(leaf_ia, b.ingress_if, IfId::NONE, vec![], &trust);
-            PathSegment::from_terminated_pcb(SegmentType::Down, pcb)
-        })
-        .collect();
-    (segs, trust)
-}
 
 #[test]
 fn failover_survives_single_link_failure_on_dual_homed_leaf() {
@@ -62,9 +27,7 @@ fn failover_survives_single_link_failure_on_dual_homed_leaf() {
     assert!(segs.len() >= 2, "dual-homing yields >= 2 down-segments");
 
     let mut ps = PathServer::new(IsdAsn::new(Isd(1), Asn::from_u64(1)), true);
-    for s in &segs {
-        ps.register_down_segment(s.clone());
-    }
+    register_down_segments(&mut ps, &segs);
 
     // Fail the link used by the first segment.
     let (a, b) = segs[0].links()[0];
@@ -101,9 +64,7 @@ fn double_failure_disconnects_exactly_at_the_min_cut() {
     let (segs, _) = segments_for(&topo, leaf_ia, duration, 2);
 
     let mut ps = PathServer::new(IsdAsn::new(Isd(1), Asn::from_u64(1)), true);
-    for s in &segs {
-        ps.register_down_segment(s.clone());
-    }
+    register_down_segments(&mut ps, &segs);
     // The leaf's min cut is 2 (its two parallel links). Fail both.
     let leaf = topo.by_address(leaf_ia).unwrap();
     let mut ledger = Ledger::new();
@@ -145,6 +106,76 @@ fn beacons_expire_without_refresh() {
     assert!(
         srv.store().beacons_of(core_ia, after).is_empty(),
         "all beacons must be expired one lifetime later"
+    );
+}
+
+#[test]
+fn scripted_outage_respects_the_dual_homed_min_cut() {
+    // End-to-end chaos run: a scripted outage of ONE of the leaf's two
+    // parallel links must not dent reachability (failover to the sibling
+    // link), while an overlapping outage of BOTH — the min cut — must.
+    let topo = dual_homed_world();
+    let core = topo
+        .by_address(IsdAsn::new(Isd(1), Asn::from_u64(1)))
+        .unwrap();
+    let leaf = topo
+        .by_address(IsdAsn::new(Isd(1), Asn::from_u64(10)))
+        .unwrap();
+    let links = topo.links_between(core, leaf);
+    assert_eq!(links.len(), 2);
+    let t = |s: u64| SimTime::ZERO + Duration::from_secs(s);
+
+    let pairs = vec![(core, leaf)];
+    let cfg = BeaconingConfig {
+        interval: Duration::from_secs(100),
+        ..BeaconingConfig::default()
+    };
+    let run = |script: scion_core::chaos::Script| {
+        let schedule = script.build();
+        let chaos = ChaosConfig {
+            schedule: &schedule,
+            probe_pairs: &pairs,
+            probe_cadence: Duration::from_secs(100),
+        };
+        let (_, report) = run_intra_isd_beaconing_chaos(
+            &topo,
+            &cfg,
+            Duration::ZERO,
+            Duration::from_secs(6000),
+            1,
+            &chaos,
+            &mut scion_core::telemetry::Telemetry::disabled(),
+        );
+        report
+    };
+
+    // Single-link outage: the sibling link keeps the pair live throughout.
+    let single = run(Script::new().link_outage(links[0], t(2000), t(4000)));
+    assert_eq!(single.fault_events_applied, 2);
+    assert!(
+        single
+            .probes
+            .iter()
+            .filter(|p| p.t >= t(1000))
+            .all(|p| p.fraction() == 1.0),
+        "dual-homing must mask a single-link outage"
+    );
+
+    // Min-cut outage: both links down in an overlapping window.
+    let both = run(Script::new()
+        .link_outage(links[0], t(2000), t(4000))
+        .link_outage(links[1], t(2500), t(3500)));
+    let during = both
+        .probes
+        .iter()
+        .filter(|p| p.t > t(2500) && p.t < t(3500))
+        .map(|p| p.fraction())
+        .fold(1.0, f64::min);
+    assert_eq!(during, 0.0, "failing the whole min cut must disconnect");
+    assert_eq!(
+        both.probes.last().unwrap().fraction(),
+        1.0,
+        "reachability recovers after both links return"
     );
 }
 

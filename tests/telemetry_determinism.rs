@@ -10,7 +10,8 @@
 use std::fs;
 use std::path::PathBuf;
 
-use scion_core::beaconing::run_core_beaconing_windowed_telemetry;
+use scion_core::beaconing::{run_core_beaconing_chaos, run_core_beaconing_windowed_telemetry};
+use scion_core::chaos::{ChaosConfig, ChurnModel};
 use scion_core::prelude::*;
 use scion_core::topology::isd::assign_isds;
 
@@ -42,6 +43,53 @@ fn dump_one_run(tag: &str) -> PathBuf {
     dir
 }
 
+fn dump_one_churned_run(tag: &str) -> PathBuf {
+    let topo = generate_internet(&GeneratorConfig::small(60, 42));
+    let (mut core, _) = prune_to_top_degree(&topo, 12);
+    assign_isds(&mut core, 4);
+
+    let window = Duration::from_hours(1);
+    let schedule = ChurnModel::scaled(window).generate(&core, window, 7);
+    assert!(!schedule.is_empty(), "an hour of churn produces events");
+    let pairs: Vec<(AsIndex, AsIndex)> = {
+        let cores: Vec<AsIndex> = core.core_ases().collect();
+        cores
+            .iter()
+            .flat_map(|&o| cores.iter().map(move |&h| (o, h)))
+            .filter(|&(o, h)| o != h)
+            .take(20)
+            .collect()
+    };
+    let chaos = ChaosConfig {
+        schedule: &schedule,
+        probe_pairs: &pairs,
+        probe_cadence: Duration::from_mins(5),
+    };
+
+    let mut tel = Telemetry::new(TelemetryConfig::default());
+    tel.begin_run("churned");
+    let (out, report) = run_core_beaconing_chaos(
+        &core,
+        &BeaconingConfig::diversity(),
+        Duration::ZERO,
+        window,
+        7,
+        &chaos,
+        &mut tel,
+    );
+    assert!(out.total_bytes() > 0);
+    assert!(!report.probes.is_empty(), "probes never fired");
+    assert!(report.fault_events_applied > 0, "churn never applied");
+
+    let dir = std::env::temp_dir().join(format!(
+        "scion-telemetry-churn-determinism-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    tel.export_jsonl(&dir).expect("export telemetry");
+    dir
+}
+
 #[test]
 fn same_seed_runs_export_identical_dumps() {
     let a = dump_one_run("a");
@@ -56,6 +104,23 @@ fn same_seed_runs_export_identical_dumps() {
     // byte-equality guarantee (it records real elapsed time).
     assert!(a.join("profile.jsonl").exists());
     assert!(b.join("profile.jsonl").exists());
+    fs::remove_dir_all(&a).ok();
+    fs::remove_dir_all(&b).ok();
+}
+
+#[test]
+fn same_seed_churned_runs_export_identical_dumps() {
+    // The chaos layer (seeded churn schedule, fault timers, in-flight
+    // cancellation, reachability probes) must preserve the byte-identity
+    // guarantee end to end.
+    let a = dump_one_churned_run("a");
+    let b = dump_one_churned_run("b");
+    for name in ["metrics.jsonl", "series.jsonl", "trace.jsonl"] {
+        let fa = fs::read(a.join(name)).unwrap();
+        let fb = fs::read(b.join(name)).unwrap();
+        assert!(!fa.is_empty(), "{name} is empty");
+        assert_eq!(fa, fb, "{name} differs between same-seed churned runs");
+    }
     fs::remove_dir_all(&a).ok();
     fs::remove_dir_all(&b).ok();
 }
