@@ -15,12 +15,15 @@
 
 use scion_crypto::trc::TrustStore;
 use scion_proto::pcb::Pcb;
+use scion_proto::wire;
+use scion_reliable::{DedupReceiver, MsgId, ReliableConfig, ReliableSender, TimeoutAction};
 use scion_simulator::{
-    Engine, Event, FaultSchedule, InterfaceTraffic, LatencyModel, LinkFault, LinkState,
+    Engine, Event, FaultSchedule, InterfaceTraffic, LatencyModel, LinkFault, LinkState, LossModel,
+    Transmission,
 };
 use scion_telemetry::{ids, phase, Label, Telemetry, TraceEvent};
 use scion_topology::{AsIndex, AsTopology, LinkIndex};
-use scion_types::{Duration, SimTime};
+use scion_types::{Duration, IfId, SimTime};
 use serde::Serialize;
 
 use crate::config::BeaconingConfig;
@@ -36,6 +39,10 @@ const KIND_SAMPLE: u32 = 1;
 const KIND_FAULT: u32 = 2;
 /// Timer kind of the reachability probe (chaos runs only).
 const KIND_PROBE: u32 = 3;
+/// Timer kind of the reliable-channel retransmit wake-up (lossy runs with
+/// reliability only). Spurious firings are harmless: the channel returns
+/// no actions when nothing is due.
+const KIND_RETX: u32 = 4;
 
 /// Fault-injection configuration for a chaos-aware beaconing run: the
 /// fault trace to replay and the AS pairs whose reachability to probe.
@@ -92,6 +99,91 @@ impl ChaosReport {
     pub fn fraction_curve(&self) -> Vec<(SimTime, f64)> {
         self.probes.iter().map(|p| (p.t, p.fraction())).collect()
     }
+}
+
+/// Stochastic-loss configuration for a lossy beaconing run.
+///
+/// Composes with the fault plane ([`ChaosConfig`]): faults make a link
+/// unusable outright, the loss model drops individual messages on usable
+/// links. With `reliable` set, every beacon send goes through the
+/// reliable channel — acked by the receiver, retransmitted on timeout,
+/// duplicates suppressed before application delivery.
+#[derive(Clone, Copy, Debug)]
+pub struct LossyConfig {
+    /// Per-message loss probability, uniform across links.
+    pub loss: f64,
+    /// Upper bound of the uniform per-message latency jitter.
+    pub jitter_max: Duration,
+    /// Retransmit tuning; `None` runs the no-retry control (fire and
+    /// forget — what the seed's drivers always did).
+    pub reliable: Option<ReliableConfig>,
+}
+
+impl LossyConfig {
+    /// The no-retry control arm at the given loss rate.
+    pub fn unreliable(loss: f64) -> LossyConfig {
+        LossyConfig {
+            loss,
+            jitter_max: Duration::from_millis(10),
+            reliable: None,
+        }
+    }
+
+    /// Reliable delivery with default retransmit tuning at the given loss
+    /// rate.
+    pub fn reliable(loss: f64) -> LossyConfig {
+        LossyConfig {
+            reliable: Some(ReliableConfig::default()),
+            ..LossyConfig::unreliable(loss)
+        }
+    }
+}
+
+/// What happened on the loss plane (and the reliable channel, when
+/// enabled) during a lossy run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct LossReport {
+    /// Physical transmission attempts that drew a loss coin (data + acks;
+    /// excludes sends suppressed by a downed link).
+    pub transmissions: u64,
+    /// Transmissions the loss model dropped on the wire.
+    pub messages_lost: u64,
+    /// Retransmissions issued by the reliable channel.
+    pub retransmits: u64,
+    /// Retransmit deadlines that fired with the message still unacked.
+    pub timeouts: u64,
+    /// Messages abandoned after `max_attempts`.
+    pub give_ups: u64,
+    /// Acks put on the wire by receivers.
+    pub acks_sent: u64,
+    /// Acks that reached the sender and settled a pending message.
+    pub acks_received: u64,
+    /// Redundant deliveries suppressed before the beacon server saw them.
+    pub duplicates_suppressed: u64,
+    /// Wire bytes spent on acks (already included in the outcome's
+    /// traffic totals; broken out here for overhead accounting).
+    pub ack_bytes: u64,
+    /// Messages still awaiting an ack when the run ended.
+    pub unacked_at_end: u64,
+}
+
+/// What the reliable channel needs to replay a beacon send, beyond the
+/// `(to, via)` the channel itself tracks.
+#[derive(Clone)]
+struct ReliablePayload {
+    from: AsIndex,
+    egress_if: IfId,
+    bytes: u64,
+    pcb: Pcb,
+}
+
+/// A message on the wire of a lossy/reliable run. Plain runs only ever
+/// carry `Pcb { id: None, .. }`, which behaves exactly like the seed's
+/// bare-`Pcb` engine.
+#[derive(Clone, Debug)]
+enum BeaconMsg {
+    Pcb { id: Option<MsgId>, pcb: Pcb },
+    Ack { id: MsgId },
 }
 
 /// Results of a beaconing run.
@@ -181,6 +273,7 @@ pub fn run_core_beaconing_windowed_telemetry(
         seed,
         core_participants(topo),
         None,
+        None,
         tel,
     )
     .0
@@ -202,7 +295,7 @@ pub fn run_core_beaconing_chaos(
     chaos: &ChaosConfig<'_>,
     tel: &mut Telemetry,
 ) -> (BeaconingOutcome, ChaosReport) {
-    run(
+    let (out, chaos_rep, _) = run(
         topo,
         cfg,
         warmup,
@@ -210,6 +303,41 @@ pub fn run_core_beaconing_chaos(
         seed,
         core_participants(topo),
         Some(chaos),
+        None,
+        tel,
+    );
+    (out, chaos_rep)
+}
+
+/// Lossy core beaconing: like [`run_core_beaconing_windowed_telemetry`],
+/// but every transmission is subject to `lossy`'s per-message loss
+/// probability and latency jitter, and — when `lossy.reliable` is set —
+/// rides the reliable channel (ack, timeout, exponential-backoff
+/// retransmit, duplicate suppression). An optional fault plane composes
+/// on top: `chaos` faults make links unusable outright while the loss
+/// model drops individual messages on usable links; passing a chaos
+/// config with an empty schedule is the idiomatic way to get reachability
+/// probes on a loss-only run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_core_beaconing_lossy(
+    topo: &AsTopology,
+    cfg: &BeaconingConfig,
+    warmup: Duration,
+    window: Duration,
+    seed: u64,
+    lossy: &LossyConfig,
+    chaos: Option<&ChaosConfig<'_>>,
+    tel: &mut Telemetry,
+) -> (BeaconingOutcome, ChaosReport, LossReport) {
+    run(
+        topo,
+        cfg,
+        warmup,
+        window,
+        seed,
+        core_participants(topo),
+        chaos,
+        Some(lossy),
         tel,
     )
 }
@@ -287,6 +415,7 @@ pub fn run_intra_isd_beaconing_windowed_telemetry(
         seed,
         intra_participants(topo),
         None,
+        None,
         tel,
     )
     .0
@@ -302,7 +431,7 @@ pub fn run_intra_isd_beaconing_chaos(
     chaos: &ChaosConfig<'_>,
     tel: &mut Telemetry,
 ) -> (BeaconingOutcome, ChaosReport) {
-    run(
+    let (out, chaos_rep, _) = run(
         topo,
         cfg,
         warmup,
@@ -310,6 +439,33 @@ pub fn run_intra_isd_beaconing_chaos(
         seed,
         intra_participants(topo),
         Some(chaos),
+        None,
+        tel,
+    );
+    (out, chaos_rep)
+}
+
+/// Lossy intra-ISD beaconing; see [`run_core_beaconing_lossy`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_intra_isd_beaconing_lossy(
+    topo: &AsTopology,
+    cfg: &BeaconingConfig,
+    warmup: Duration,
+    window: Duration,
+    seed: u64,
+    lossy: &LossyConfig,
+    chaos: Option<&ChaosConfig<'_>>,
+    tel: &mut Telemetry,
+) -> (BeaconingOutcome, ChaosReport, LossReport) {
+    run(
+        topo,
+        cfg,
+        warmup,
+        window,
+        seed,
+        intra_participants(topo),
+        chaos,
+        Some(lossy),
         tel,
     )
 }
@@ -346,6 +502,87 @@ fn intra_participants(topo: &AsTopology) -> Vec<Option<Participant>> {
         .collect()
 }
 
+/// One physical transmission attempt: suppressed by a downed egress link,
+/// dropped by the loss model, or scheduled as an engine delivery with
+/// (possibly degraded and jittered) latency. Returns `true` when the
+/// message entered the wire and its bytes were spent — including messages
+/// the loss model then drops — and `false` when the egress link swallowed
+/// the send before it cost anything.
+#[allow(clippy::too_many_arguments)]
+fn transmit(
+    now: SimTime,
+    record_from: SimTime,
+    from: AsIndex,
+    to: AsIndex,
+    via: LinkIndex,
+    egress_if: IfId,
+    bytes: u64,
+    msg: BeaconMsg,
+    count_as_beacon: bool,
+    engine: &mut Engine<BeaconMsg>,
+    latency: &LatencyModel,
+    link_state: Option<&LinkState>,
+    loss: Option<&mut LossModel>,
+    traffic: &mut InterfaceTraffic,
+    tel: &mut Telemetry,
+    report: &mut ChaosReport,
+    in_flight: &mut u64,
+) -> bool {
+    // A downed egress link swallows the send: the sender believes it sent,
+    // but nothing enters the wire — matching a real border router
+    // blackholing toward a dead interface. (Under the reliable channel the
+    // message stays pending and is retried once the link is back.)
+    if let Some(ls) = link_state {
+        if !ls.link_usable(via) {
+            report.sends_suppressed += 1;
+            tel.inc(ids::CHAOS_DELIVERIES_DROPPED, Label::Global, 1);
+            return false;
+        }
+    }
+    if now >= record_from {
+        traffic.record_sent(from, egress_if, bytes);
+    }
+    if count_as_beacon {
+        tel.inc(ids::BEACONS_SENT, Label::As(from.0), 1);
+        tel.inc(ids::BEACONS_SENT_BYTES, Label::As(from.0), bytes);
+    }
+    let base_delay = latency.delay(via);
+    let mut delay = match link_state {
+        Some(ls) => ls.degraded_delay(via, base_delay),
+        None => base_delay,
+    };
+    if let Some(loss) = loss {
+        match loss.transmit(via) {
+            // Lost messages still cost their wire bytes (the sender paid
+            // for the transmission), they just never arrive.
+            Transmission::Lost => {
+                tel.inc(ids::LOSS_MESSAGES_DROPPED, Label::Global, 1);
+                return true;
+            }
+            Transmission::Delivered { jitter } => delay = delay + jitter,
+        }
+    }
+    *in_flight += 1;
+    engine.send(delay, to, via, msg);
+    true
+}
+
+/// (Re-)arms the retransmit wake-up timer at the channel's earliest
+/// deadline. Keeps at most one *earliest* timer armed; later stale timers
+/// fire spuriously and find nothing due.
+fn arm_retx(
+    engine: &mut Engine<BeaconMsg>,
+    rel: &ReliableSender<ReliablePayload>,
+    wakeup: &mut Option<SimTime>,
+) {
+    if let Some(dl) = rel.next_deadline() {
+        if wakeup.map_or(true, |w| dl < w) {
+            engine.schedule_timer(dl, AsIndex(0), KIND_RETX);
+            *wakeup = Some(dl);
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run(
     topo: &AsTopology,
@@ -355,8 +592,9 @@ fn run(
     seed: u64,
     participants: Vec<Option<Participant>>,
     chaos: Option<&ChaosConfig<'_>>,
+    lossy: Option<&LossyConfig>,
     tel: &mut Telemetry,
-) -> (BeaconingOutcome, ChaosReport) {
+) -> (BeaconingOutcome, ChaosReport, LossReport) {
     let sim_duration = warmup + window;
     let trust = TrustStore::bootstrap(
         topo.as_indices()
@@ -376,9 +614,24 @@ fn run(
         })
         .collect();
 
-    let mut engine: Engine<Pcb> = Engine::new();
+    let mut engine: Engine<BeaconMsg> = Engine::new();
     let mut traffic = InterfaceTraffic::new();
     let mut delivered = 0u64;
+
+    // Loss plane: a seeded stochastic overlay on every physical
+    // transmission, plus (optionally) the reliable channel. One global
+    // sender models the per-AS channels with a shared monotonic id space —
+    // ids stay unique network-wide, and the event order (hence the draw
+    // and id order) is deterministic.
+    let mut loss = lossy.map(|lc| LossModel::uniform(topo, lc.loss, lc.jitter_max, seed));
+    let mut rel: Option<ReliableSender<ReliablePayload>> =
+        lossy.and_then(|lc| lc.reliable).map(|mut rc| {
+            rc.seed ^= seed;
+            ReliableSender::new(rc)
+        });
+    let mut dedup = rel.is_some().then(|| DedupReceiver::new(topo.num_ases()));
+    let mut next_retx_wakeup: Option<SimTime> = None;
+    let mut loss_report = LossReport::default();
 
     // Stagger initial interval ticks deterministically across the interval.
     let interval_us = cfg.interval.as_micros();
@@ -471,6 +724,52 @@ fn run(
                 report.probes.push(probe);
                 engine.schedule_timer(now + chaos.probe_cadence, AsIndex(0), KIND_PROBE);
             }
+            Event::Timer {
+                kind: KIND_RETX, ..
+            } => {
+                next_retx_wakeup = None;
+                if let Some(r) = rel.as_mut() {
+                    for action in r.due_actions(now) {
+                        tel.inc(ids::RELIABLE_TIMEOUTS, Label::Global, 1);
+                        match action {
+                            TimeoutAction::Retransmit {
+                                id,
+                                to,
+                                via,
+                                payload,
+                            } => {
+                                tel.inc(ids::RELIABLE_RETRANSMITS, Label::As(payload.from.0), 1);
+                                transmit(
+                                    now,
+                                    record_from,
+                                    payload.from,
+                                    to,
+                                    via,
+                                    payload.egress_if,
+                                    payload.bytes,
+                                    BeaconMsg::Pcb {
+                                        id: Some(id),
+                                        pcb: payload.pcb,
+                                    },
+                                    false,
+                                    &mut engine,
+                                    &latency,
+                                    link_state.as_ref(),
+                                    loss.as_mut(),
+                                    &mut traffic,
+                                    tel,
+                                    &mut report,
+                                    &mut in_flight,
+                                );
+                            }
+                            TimeoutAction::GiveUp { .. } => {
+                                tel.inc(ids::RELIABLE_GIVE_UPS, Label::Global, 1);
+                            }
+                        }
+                    }
+                    arm_retx(&mut engine, r, &mut next_retx_wakeup);
+                }
+            }
             Event::Timer { node, .. } => {
                 let p = participants[node.as_usize()]
                     .as_ref()
@@ -487,29 +786,45 @@ fn run(
                     &p.peers,
                     tel,
                 ) {
-                    // A downed egress link swallows the send: the beacon
-                    // server believes it sent (its score state advances),
-                    // but nothing enters the wire — matching a real border
-                    // router blackholing toward a dead interface.
-                    if let Some(ls) = &link_state {
-                        if !ls.link_usable(prop.egress_link) {
-                            report.sends_suppressed += 1;
-                            tel.inc(ids::CHAOS_DELIVERIES_DROPPED, Label::Global, 1);
-                            continue;
-                        }
-                    }
-                    if now >= record_from {
-                        traffic.record_sent(node, prop.egress_if, prop.bytes);
-                    }
-                    tel.inc(ids::BEACONS_SENT, Label::As(node.0), 1);
-                    tel.inc(ids::BEACONS_SENT_BYTES, Label::As(node.0), prop.bytes);
-                    in_flight += 1;
-                    let base_delay = latency.delay(prop.egress_link);
-                    let delay = match &link_state {
-                        Some(ls) => ls.degraded_delay(prop.egress_link, base_delay),
-                        None => base_delay,
-                    };
-                    engine.send(delay, prop.to, prop.egress_link, prop.pcb);
+                    // Under the reliable channel every beacon send is
+                    // registered *before* the physical attempt, so a send
+                    // suppressed by a downed link or dropped by the loss
+                    // model is recovered by the retransmit machinery.
+                    let id = rel.as_mut().map(|r| {
+                        r.register(
+                            now,
+                            prop.to,
+                            prop.egress_link,
+                            ReliablePayload {
+                                from: node,
+                                egress_if: prop.egress_if,
+                                bytes: prop.bytes,
+                                pcb: prop.pcb.clone(),
+                            },
+                        )
+                    });
+                    transmit(
+                        now,
+                        record_from,
+                        node,
+                        prop.to,
+                        prop.egress_link,
+                        prop.egress_if,
+                        prop.bytes,
+                        BeaconMsg::Pcb { id, pcb: prop.pcb },
+                        true,
+                        &mut engine,
+                        &latency,
+                        link_state.as_ref(),
+                        loss.as_mut(),
+                        &mut traffic,
+                        tel,
+                        &mut report,
+                        &mut in_flight,
+                    );
+                }
+                if let Some(r) = &rel {
+                    arm_retx(&mut engine, r, &mut next_retx_wakeup);
                 }
                 engine.schedule_timer(now + cfg.interval, node, KIND_TICK);
             }
@@ -524,6 +839,51 @@ fn run(
                         continue;
                     }
                 }
+                let (id, pcb) = match msg {
+                    BeaconMsg::Ack { id } => {
+                        if let Some(r) = rel.as_mut() {
+                            if r.on_ack(id) {
+                                tel.inc(ids::RELIABLE_ACKS, Label::Global, 1);
+                            }
+                        }
+                        continue;
+                    }
+                    BeaconMsg::Pcb { id, pcb } => (id, pcb),
+                };
+                if let Some(id) = id {
+                    // Ack every copy over the reverse direction of the
+                    // same link — the sender must stop retransmitting even
+                    // when the delivery below turns out to be a duplicate.
+                    let (back, local_if, _) = topo.link(via).opposite(to);
+                    if transmit(
+                        now,
+                        record_from,
+                        to,
+                        back,
+                        via,
+                        local_if,
+                        wire::RELIABLE_ACK,
+                        BeaconMsg::Ack { id },
+                        false,
+                        &mut engine,
+                        &latency,
+                        link_state.as_ref(),
+                        loss.as_mut(),
+                        &mut traffic,
+                        tel,
+                        &mut report,
+                        &mut in_flight,
+                    ) {
+                        loss_report.acks_sent += 1;
+                        loss_report.ack_bytes += wire::RELIABLE_ACK;
+                    }
+                    if let Some(d) = dedup.as_mut() {
+                        if !d.accept(to.as_usize(), id) {
+                            tel.inc(ids::RELIABLE_DUPLICATES, Label::Global, 1);
+                            continue;
+                        }
+                    }
+                }
                 if let Some(srv) = servers[to.as_usize()].as_mut() {
                     if now >= record_from {
                         delivered += 1;
@@ -531,8 +891,8 @@ fn run(
                     if tel.is_enabled() {
                         tel.inc(ids::BEACONS_DELIVERED, Label::As(to.0), 1);
                         let (node, link) = (to.0, via.0);
-                        let origin = msg.origin;
-                        let hops = msg.hop_count() as u32;
+                        let origin = pcb.origin;
+                        let hops = pcb.hop_count() as u32;
                         tel.trace_event(now, || TraceEvent::PcbDelivered {
                             node,
                             origin,
@@ -541,10 +901,26 @@ fn run(
                         });
                     }
                     // Drops (loops, expiry races) are counted by the server.
-                    let _ = srv.handle_beacon_telemetry(msg, via, topo, &trust, now, tel);
+                    let _ = srv.handle_beacon_telemetry(pcb, via, topo, &trust, now, tel);
                 }
             }
         }
+    }
+
+    if let Some(l) = &loss {
+        loss_report.transmissions = l.transmissions();
+        loss_report.messages_lost = l.losses();
+    }
+    if let Some(r) = &rel {
+        let s = r.stats();
+        loss_report.retransmits = s.retransmits;
+        loss_report.timeouts = s.timeouts;
+        loss_report.give_ups = s.give_ups;
+        loss_report.acks_received = s.acked;
+        loss_report.unacked_at_end = r.pending_len() as u64;
+    }
+    if let Some(d) = &dedup {
+        loss_report.duplicates_suppressed = d.duplicates();
     }
 
     (
@@ -555,6 +931,7 @@ fn run(
             beacons_delivered: delivered,
         },
         report,
+        loss_report,
     )
 }
 
@@ -590,7 +967,7 @@ fn probe_reachability(
 fn sample_gauges(
     tel: &mut Telemetry,
     now: SimTime,
-    engine: &Engine<Pcb>,
+    engine: &Engine<BeaconMsg>,
     in_flight: u64,
     servers: &[Option<BeaconServer>],
     traffic: &InterfaceTraffic,
@@ -972,6 +1349,155 @@ mod tests {
         assert_eq!(a_curve, b_curve);
         assert_eq!(a_rep.cancelled_in_flight, b_rep.cancelled_in_flight);
         assert_eq!(a_rep.sends_suppressed, b_rep.sends_suppressed);
+    }
+
+    #[test]
+    fn lossless_lossy_run_matches_plain_run() {
+        // The loss plane at probability 0 with zero jitter must be a
+        // behavioural no-op: same traffic, same deliveries as the seed's
+        // plain driver.
+        let topo = ring_of_cores(5);
+        let cfg = BeaconingConfig::default();
+        let plain = run_core_beaconing(&topo, &cfg, Duration::from_hours(1), 9);
+        let lossless = LossyConfig {
+            loss: 0.0,
+            jitter_max: Duration::ZERO,
+            reliable: None,
+        };
+        let (out, _, rep) = run_core_beaconing_lossy(
+            &topo,
+            &cfg,
+            Duration::ZERO,
+            Duration::from_hours(1),
+            9,
+            &lossless,
+            None,
+            &mut Telemetry::disabled(),
+        );
+        assert_eq!(plain.total_bytes(), out.total_bytes());
+        assert_eq!(plain.beacons_delivered, out.beacons_delivered);
+        assert_eq!(rep.messages_lost, 0);
+        assert!(rep.transmissions > 0, "every send draws a loss coin");
+        assert_eq!(rep.retransmits, 0);
+        assert_eq!(rep.acks_sent, 0);
+    }
+
+    #[test]
+    fn reliable_channel_is_quiet_without_loss() {
+        // At zero loss the reliable channel costs acks but never times out:
+        // the worst-case RTT (2 × 80 ms + jitter) is far below the 500 ms
+        // base timeout.
+        let topo = ring_of_cores(5);
+        let (out, _, rep) = run_core_beaconing_lossy(
+            &topo,
+            &BeaconingConfig::default(),
+            Duration::ZERO,
+            Duration::from_hours(1),
+            9,
+            &LossyConfig::reliable(0.0),
+            None,
+            &mut Telemetry::disabled(),
+        );
+        assert!(out.beacons_delivered > 0);
+        assert_eq!(rep.messages_lost, 0);
+        assert_eq!(rep.retransmits, 0);
+        assert_eq!(rep.give_ups, 0);
+        assert_eq!(rep.duplicates_suppressed, 0);
+        assert!(rep.acks_sent > 0);
+        // Acks still in flight when the run ends never settle, so received
+        // can trail sent — but only by the tail of the run.
+        assert!(rep.acks_received > 0 && rep.acks_received <= rep.acks_sent);
+        assert!(rep.ack_bytes >= rep.acks_sent);
+    }
+
+    #[test]
+    fn reliable_channel_recovers_diversity_beacons_under_loss() {
+        // The diversity algorithm inhibits redundant resends, so a lost
+        // beacon stays lost without a transport-level retry — the no-retry
+        // control visibly degrades while the reliable channel recovers to
+        // (near-)full reachability.
+        let topo = ring_of_cores(6);
+        let cfg = BeaconingConfig {
+            interval: Duration::from_secs(100),
+            ..BeaconingConfig::diversity()
+        };
+        let pairs: Vec<(AsIndex, AsIndex)> = topo
+            .as_indices()
+            .flat_map(|a| {
+                topo.as_indices()
+                    .filter(move |&b| b != a)
+                    .map(move |b| (a, b))
+            })
+            .collect();
+        let schedule = FaultSchedule::from_events(vec![]);
+        let go = |lossy: &LossyConfig| {
+            let chaos = ChaosConfig {
+                schedule: &schedule,
+                probe_pairs: &pairs,
+                probe_cadence: Duration::from_secs(200),
+            };
+            run_core_beaconing_lossy(
+                &topo,
+                &cfg,
+                Duration::ZERO,
+                Duration::from_secs(4000),
+                11,
+                lossy,
+                Some(&chaos),
+                &mut Telemetry::disabled(),
+            )
+        };
+
+        let (_, rel_chaos, rel_rep) = go(&LossyConfig::reliable(0.2));
+        let rel_frac = rel_chaos.probes.last().unwrap().fraction();
+        assert!(
+            rel_frac >= 0.95,
+            "reliable arm at 20% loss should stay near-converged, got {rel_frac}"
+        );
+        assert!(rel_rep.messages_lost > 0, "20% loss must drop something");
+        assert!(rel_rep.retransmits > 0, "drops must trigger retransmits");
+        assert!(rel_rep.acks_received > 0);
+        assert!(
+            rel_rep.duplicates_suppressed > 0,
+            "lost acks must produce suppressed duplicate deliveries"
+        );
+
+        let (_, ctl_chaos, ctl_rep) = go(&LossyConfig::unreliable(0.5));
+        let ctl_frac = ctl_chaos.probes.last().unwrap().fraction();
+        assert!(
+            ctl_frac < 0.9,
+            "no-retry control at 50% loss must visibly degrade, got {ctl_frac}"
+        );
+        assert_eq!(ctl_rep.retransmits, 0);
+        assert_eq!(ctl_rep.acks_sent, 0);
+        assert!(ctl_rep.messages_lost > 0);
+    }
+
+    #[test]
+    fn lossy_runs_are_deterministic() {
+        let topo = ring_of_cores(6);
+        let cfg = BeaconingConfig::diversity();
+        let go = |seed: u64| {
+            run_core_beaconing_lossy(
+                &topo,
+                &cfg,
+                Duration::ZERO,
+                Duration::from_secs(4000),
+                seed,
+                &LossyConfig::reliable(0.1),
+                None,
+                &mut Telemetry::disabled(),
+            )
+        };
+        let (a_out, _, a_rep) = go(5);
+        let (b_out, _, b_rep) = go(5);
+        assert_eq!(a_out.total_bytes(), b_out.total_bytes());
+        assert_eq!(a_out.beacons_delivered, b_out.beacons_delivered);
+        assert_eq!(a_out.traffic.per_interface(), b_out.traffic.per_interface());
+        assert_eq!(a_rep, b_rep);
+        // A different seed decorrelates the loss pattern.
+        let (_, _, c_rep) = go(6);
+        assert_ne!(a_rep, c_rep);
     }
 
     #[test]

@@ -35,10 +35,11 @@ pub use baseline::BaselineAlgorithm;
 pub use config::{Algorithm, BeaconingConfig, DiversityParams};
 pub use diversity::DiversityAlgorithm;
 pub use driver::{
-    run_core_beaconing, run_core_beaconing_chaos, run_core_beaconing_windowed,
-    run_core_beaconing_windowed_telemetry, run_intra_isd_beaconing, run_intra_isd_beaconing_chaos,
-    run_intra_isd_beaconing_windowed, run_intra_isd_beaconing_windowed_telemetry, BeaconingOutcome,
-    ChaosConfig, ChaosReport, ReachProbe,
+    run_core_beaconing, run_core_beaconing_chaos, run_core_beaconing_lossy,
+    run_core_beaconing_windowed, run_core_beaconing_windowed_telemetry, run_intra_isd_beaconing,
+    run_intra_isd_beaconing_chaos, run_intra_isd_beaconing_lossy, run_intra_isd_beaconing_windowed,
+    run_intra_isd_beaconing_windowed_telemetry, BeaconingOutcome, ChaosConfig, ChaosReport,
+    LossReport, LossyConfig, ReachProbe,
 };
 pub use server::BeaconServer;
 pub use store::{BeaconStore, EvictedBeacon, InsertOutcome, StoredBeacon};

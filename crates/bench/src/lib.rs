@@ -21,6 +21,9 @@ pub struct BenchArgs {
     /// Master-seed override, when `--seed N` was given. Binaries that
     /// ignore it run at the scale's built-in seed.
     pub seed: Option<u64>,
+    /// Loss-rate sweep override, when `--loss a,b,…` was given. Only the
+    /// `lossy` binary consumes it; others ignore it.
+    pub loss: Option<Vec<f64>>,
 }
 
 impl BenchArgs {
@@ -44,6 +47,7 @@ pub fn parse_args() -> BenchArgs {
     let mut scale = ExperimentScale::Small;
     let mut telemetry = None;
     let mut seed = None;
+    let mut loss = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
@@ -70,10 +74,26 @@ pub fn parse_args() -> BenchArgs {
                     std::process::exit(2);
                 }));
             }
+            "--loss" => {
+                let v = args.next().unwrap_or_default();
+                let rates: Result<Vec<f64>, _> =
+                    v.split(',').map(|s| s.trim().parse::<f64>()).collect();
+                match rates {
+                    Ok(r) if !r.is_empty() && r.iter().all(|p| (0.0..=1.0).contains(p)) => {
+                        loss = Some(r);
+                    }
+                    _ => {
+                        eprintln!(
+                            "--loss requires comma-separated probabilities in [0,1], got '{v}'"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: <bin> [--scale tiny|small|paper] [--tiny] [--full] \
-                     [--seed N] [--telemetry DIR]"
+                     [--seed N] [--telemetry DIR] [--loss a,b,…]"
                 );
                 std::process::exit(0);
             }
@@ -87,6 +107,7 @@ pub fn parse_args() -> BenchArgs {
         scale,
         telemetry,
         seed,
+        loss,
     }
 }
 

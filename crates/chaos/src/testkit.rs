@@ -62,10 +62,11 @@ pub fn segments_for(
     (segs, trust)
 }
 
-/// Registers every down-segment at `ps` (a core path server).
+/// Registers every down-segment at `ps` (a core path server), as of the
+/// epoch — testkit segments are freshly minted, so nothing is GC-eligible.
 pub fn register_down_segments(ps: &mut PathServer, segs: &[PathSegment]) {
     for s in segs {
-        ps.register_down_segment(s.clone());
+        ps.register_down_segment(s.clone(), SimTime::ZERO);
     }
 }
 

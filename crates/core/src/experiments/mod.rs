@@ -8,6 +8,7 @@
 //! | [`scionlab`] | Appendix B, Figures 7/8/9 — the SCIONLab-scale versions plus per-interface beaconing bandwidth |
 //! | [`ablation`] | Ablation of the diversity algorithm's design choices (ours; DESIGN.md §6) |
 //! | [`resilience`] | Resilience under link churn — diversity vs baseline vs BGP on one fault trace (ours; §4.2 motivation) |
+//! | [`lossy`] | Robustness under stochastic message loss — reliable channel vs no-retry control across a loss-rate sweep, plus the path-server degradation leg (ours; §4.2 motivation) |
 //!
 //! Every runner takes an [`crate::scale::ExperimentScale`] and returns a
 //! serializable result struct; the harness binaries in `scion-bench` print
@@ -16,6 +17,7 @@
 pub mod ablation;
 pub mod fig5;
 pub mod fig6;
+pub mod lossy;
 pub mod resilience;
 pub mod scionlab;
 pub mod table1;
@@ -24,6 +26,10 @@ pub mod world;
 pub use ablation::run_ablation;
 pub use fig5::{run_fig5, run_fig5_telemetry};
 pub use fig6::run_fig6;
+pub use lossy::{
+    run_lossy, run_lossy_telemetry, run_lossy_with_rates, DegradationStats, LossArm, LossPoint,
+    LossyResult, LOSS_RATES,
+};
 pub use resilience::{run_resilience, run_resilience_telemetry, ResilienceResult};
 pub use scionlab::{run_fig78, run_fig9};
 pub use table1::{run_table1, run_table1_telemetry};

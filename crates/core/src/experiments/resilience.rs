@@ -305,7 +305,10 @@ fn run_revocation_leg(
             let pcb = b
                 .pcb
                 .extend(leaf_ia, b.ingress_if, IfId::NONE, vec![], &trust);
-            ps.register_down_segment(PathSegment::from_terminated_pcb(SegmentType::Down, pcb));
+            ps.register_down_segment(
+                PathSegment::from_terminated_pcb(SegmentType::Down, pcb),
+                now,
+            );
         }
     }
 

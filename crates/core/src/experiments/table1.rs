@@ -225,10 +225,11 @@ pub fn run_table1_telemetry(scale: ExperimentScale, tel: &mut Telemetry) -> Tabl
         revoke_segments(&mut core_ps, link, 5, &mut ledger, at);
     }
 
-    let hit_rate = if local_ps.cache_hits + local_ps.cache_misses == 0 {
+    let cache = local_ps.cache_stats();
+    let hit_rate = if cache.hits + cache.misses == 0 {
         0.0
     } else {
-        local_ps.cache_hits as f64 / (local_ps.cache_hits + local_ps.cache_misses) as f64
+        cache.hits as f64 / (cache.hits + cache.misses) as f64
     };
 
     let rows = ledger

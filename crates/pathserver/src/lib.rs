@@ -18,14 +18,20 @@
 //!   lookups (§4.1 cites the Zipf distribution of Internet traffic);
 //! * [`revocation`] — path revocation on link failure: intra-ISD
 //!   revocation at the core path server plus SCMP notifications to
-//!   affected endpoints (§4.1 "Path Revocations").
+//!   affected endpoints (§4.1 "Path Revocations");
+//! * [`resolver`] — lookup timeout and bounded retry with graceful
+//!   degradation: exhausted lookups serve recently-expired cached
+//!   segments flagged degraded, and negative-cache the destination to
+//!   stop retry storms.
 
 pub mod ledger;
+pub mod resolver;
 pub mod revocation;
 pub mod server;
 pub mod workload;
 
 pub use ledger::{Component, Ledger, Scope};
+pub use resolver::{Resolution, Resolver, ResolverConfig, ResolverStats, RetryAction};
 pub use revocation::{revoke_segments, Revocation};
-pub use server::{LookupResult, PathServer};
+pub use server::{CacheStats, LookupResult, PathServer};
 pub use workload::ZipfDestinations;

@@ -1,0 +1,335 @@
+//! Lookup resolution with timeout, bounded retry, and graceful
+//! degradation.
+//!
+//! A local path server's upstream fetch crosses lossy inter-domain links,
+//! so the lookup itself needs transport robustness: each in-flight query
+//! carries a deadline, a timed-out query is retried with exponential
+//! backoff up to a bounded attempt budget, and an exhausted query degrades
+//! instead of failing hard — recently-expired cached segments are served
+//! flagged [`Resolution::Degraded`], and the destination enters the
+//! negative cache so follow-up lookups do not relaunch the retry storm.
+//!
+//! Like `scion_reliable`'s sender, the resolver is engine-agnostic: the
+//! driver owns the wire (sending the query, delivering the response) and a
+//! wake-up timer at [`Resolver::next_deadline`]; the resolver owns the
+//! retry/degrade decisions. All state is ordered (`BTreeMap`/`BTreeSet`),
+//! so a run's decision sequence is deterministic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use scion_proto::segment::PathSegment;
+use scion_types::{Duration, IsdAsn, SimTime};
+
+use crate::server::PathServer;
+
+/// Tuning of the lookup retry state machine.
+#[derive(Clone, Copy, Debug)]
+pub struct ResolverConfig {
+    /// Deadline of the first attempt.
+    pub base_timeout: Duration,
+    /// Backoff multiplier per attempt, in percent (200 = doubling).
+    pub backoff_pct: u32,
+    /// Total attempts (including the first) before degrading.
+    pub max_attempts: u32,
+    /// How long past expiry cached segments still qualify for degraded
+    /// serving.
+    pub stale_grace: Duration,
+    /// Negative-cache verdict lifetime after an exhausted lookup.
+    pub negative_ttl: Duration,
+}
+
+impl Default for ResolverConfig {
+    fn default() -> Self {
+        // A lookup round-trip crosses at most a handful of inter-domain
+        // links (≤ 2 × 80 ms each way); 1 s covers it with margin. Three
+        // attempts keep worst-case resolution under ~7 s, after which
+        // serving hour-stale paths beats serving nothing (paths live for
+        // hours, §4.1).
+        ResolverConfig {
+            base_timeout: Duration::from_secs(1),
+            backoff_pct: 200,
+            max_attempts: 3,
+            stale_grace: PathServer::STALE_GRACE,
+            negative_ttl: Duration::from_mins(5),
+        }
+    }
+}
+
+impl ResolverConfig {
+    /// The deadline offset armed after attempt `attempt` (1-based).
+    pub fn timeout_for(&self, attempt: u32) -> Duration {
+        let mut us = self.base_timeout.as_micros();
+        for _ in 1..attempt {
+            us = us
+                .saturating_mul(self.backoff_pct as u64)
+                .checked_div(100)
+                .unwrap_or(us);
+        }
+        Duration::from_micros(us)
+    }
+}
+
+/// What the driver must do when a lookup deadline fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetryAction {
+    /// Re-send the query upstream; the next deadline is already armed.
+    Retry { id: u64, dst: IsdAsn, attempt: u32 },
+    /// Attempt budget exhausted: resolve via
+    /// [`Resolver::degrade`] and stop querying.
+    Exhausted { id: u64, dst: IsdAsn },
+}
+
+/// Terminal outcome of one lookup.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Resolution {
+    /// A live upstream (or cached) answer.
+    Fresh(Vec<PathSegment>),
+    /// Upstream unreachable; recently-expired cached segments served
+    /// best-effort. Consumers must treat these paths as unverified.
+    Degraded(Vec<PathSegment>),
+    /// Upstream unreachable and nothing recent enough cached; the
+    /// destination is negative-cached.
+    Unreachable,
+}
+
+/// Lifetime counters of one resolver.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct ResolverStats {
+    /// Queries launched (first attempts).
+    pub started: u64,
+    /// Timed-out attempts that were retried.
+    pub retries: u64,
+    /// Queries settled by an upstream response.
+    pub resolved: u64,
+    /// Queries that exhausted their attempt budget.
+    pub exhausted: u64,
+}
+
+struct InFlight {
+    dst: IsdAsn,
+    attempts: u32,
+    deadline: SimTime,
+}
+
+/// The retry state machine over one driver's in-flight lookups.
+pub struct Resolver {
+    cfg: ResolverConfig,
+    next_id: u64,
+    pending: BTreeMap<u64, InFlight>,
+    due: BTreeSet<(SimTime, u64)>,
+    stats: ResolverStats,
+}
+
+impl Resolver {
+    pub fn new(cfg: ResolverConfig) -> Resolver {
+        Resolver {
+            cfg,
+            next_id: 0,
+            pending: BTreeMap::new(),
+            due: BTreeSet::new(),
+            stats: ResolverStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ResolverConfig {
+        &self.cfg
+    }
+
+    /// Starts a lookup for `dst`, arming its first deadline. The caller
+    /// performs the actual upstream send.
+    pub fn begin(&mut self, now: SimTime, dst: IsdAsn) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let deadline = now + self.cfg.timeout_for(1);
+        self.pending.insert(
+            id,
+            InFlight {
+                dst,
+                attempts: 1,
+                deadline,
+            },
+        );
+        self.due.insert((deadline, id));
+        self.stats.started += 1;
+        id
+    }
+
+    /// Settles a lookup whose upstream response arrived. Returns the
+    /// destination, or `None` for a late response to a finished lookup.
+    pub fn on_response(&mut self, id: u64) -> Option<IsdAsn> {
+        let p = self.pending.remove(&id)?;
+        self.due.remove(&(p.deadline, id));
+        self.stats.resolved += 1;
+        Some(p.dst)
+    }
+
+    /// Pops every deadline at or before `now` in deterministic
+    /// `(deadline, id)` order, re-arming retries and dropping exhausted
+    /// lookups.
+    pub fn due_actions(&mut self, now: SimTime) -> Vec<RetryAction> {
+        let mut out = Vec::new();
+        loop {
+            let Some(&(deadline, id)) = self.due.iter().next() else {
+                break;
+            };
+            if deadline > now {
+                break;
+            }
+            self.due.remove(&(deadline, id));
+            let p = self.pending.get_mut(&id).expect("due implies pending");
+            if p.attempts >= self.cfg.max_attempts {
+                let p = self.pending.remove(&id).expect("present");
+                self.stats.exhausted += 1;
+                out.push(RetryAction::Exhausted { id, dst: p.dst });
+            } else {
+                p.attempts += 1;
+                p.deadline = now + self.cfg.timeout_for(p.attempts);
+                self.due.insert((p.deadline, id));
+                self.stats.retries += 1;
+                out.push(RetryAction::Retry {
+                    id,
+                    dst: p.dst,
+                    attempt: p.attempts,
+                });
+            }
+        }
+        out
+    }
+
+    /// The earliest armed deadline, for the driver's wake-up timer.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.due.iter().next().map(|&(t, _)| t)
+    }
+
+    /// Lookups still awaiting a response.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ResolverStats {
+        self.stats
+    }
+
+    /// Resolves an exhausted lookup against the local server: serve
+    /// recently-expired cached segments flagged degraded when possible,
+    /// otherwise negative-cache the destination.
+    pub fn degrade(&self, server: &mut PathServer, dst: IsdAsn, now: SimTime) -> Resolution {
+        match server.lookup_stale(dst, now, self.cfg.stale_grace) {
+            Some(segs) => Resolution::Degraded(segs),
+            None => {
+                server.note_unreachable(dst, now, self.cfg.negative_ttl);
+                Resolution::Unreachable
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_types::{Asn, Isd};
+
+    fn dst(asn: u64) -> IsdAsn {
+        IsdAsn::new(Isd(1), Asn::from_u64(asn))
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn cfg() -> ResolverConfig {
+        ResolverConfig {
+            base_timeout: Duration::from_micros(100),
+            backoff_pct: 200,
+            max_attempts: 3,
+            ..ResolverConfig::default()
+        }
+    }
+
+    #[test]
+    fn response_settles_and_late_responses_are_ignored() {
+        let mut r = Resolver::new(cfg());
+        let id = r.begin(t(0), dst(4));
+        assert_eq!(r.on_response(id), Some(dst(4)));
+        assert_eq!(r.on_response(id), None);
+        assert_eq!(r.pending_len(), 0);
+        assert!(r.due_actions(t(10_000)).is_empty());
+        assert_eq!(r.stats().resolved, 1);
+    }
+
+    #[test]
+    fn retries_back_off_then_exhaust() {
+        let mut r = Resolver::new(cfg());
+        let id = r.begin(t(0), dst(4));
+        // Deadlines: 100, then +200, then the third timeout exhausts.
+        assert_eq!(r.next_deadline(), Some(t(100)));
+        assert_eq!(
+            r.due_actions(t(100)),
+            vec![RetryAction::Retry {
+                id,
+                dst: dst(4),
+                attempt: 2
+            }]
+        );
+        assert_eq!(r.next_deadline(), Some(t(300)));
+        assert_eq!(
+            r.due_actions(t(300)),
+            vec![RetryAction::Retry {
+                id,
+                dst: dst(4),
+                attempt: 3
+            }]
+        );
+        assert_eq!(
+            r.due_actions(t(700)),
+            vec![RetryAction::Exhausted { id, dst: dst(4) }]
+        );
+        assert_eq!(r.pending_len(), 0);
+        assert_eq!(r.stats().retries, 2);
+        assert_eq!(r.stats().exhausted, 1);
+    }
+
+    #[test]
+    fn degrade_serves_stale_then_negative_caches() {
+        use scion_crypto::trc::TrustStore;
+        use scion_proto::pcb::Pcb;
+        use scion_proto::segment::SegmentType;
+        use scion_types::IfId;
+
+        let tr = TrustStore::bootstrap(
+            [(dst(1), true), (dst(3), false), (dst(4), false)].into_iter(),
+            SimTime::ZERO + Duration::from_days(30),
+        );
+        let seg = {
+            let pcb = Pcb::originate(
+                dst(1),
+                IfId(1),
+                SimTime::ZERO,
+                Duration::from_hours(6),
+                0,
+                &tr,
+            )
+            .extend(dst(4), IfId(1), IfId::NONE, vec![], &tr);
+            PathSegment::from_terminated_pcb(SegmentType::Down, pcb)
+        };
+        let mut server = PathServer::new(dst(3), false);
+        server.cache_insert(dst(4), vec![seg], SimTime::ZERO);
+        let r = Resolver::new(ResolverConfig::default());
+
+        // 30 minutes past expiry: degraded serving.
+        let now = SimTime::ZERO + Duration::from_hours(6) + Duration::from_mins(30);
+        match r.degrade(&mut server, dst(4), now) {
+            Resolution::Degraded(segs) => assert_eq!(segs.len(), 1),
+            other => panic!("expected degraded serve, got {other:?}"),
+        }
+        assert!(!server.negative_cached(dst(4), now));
+
+        // A destination with nothing cached goes straight to the
+        // negative cache.
+        assert_eq!(r.degrade(&mut server, dst(5), now), Resolution::Unreachable);
+        assert!(server.negative_cached(dst(5), now + Duration::from_mins(1)));
+        assert!(!server.negative_cached(dst(5), now + Duration::from_hours(1)));
+    }
+}

@@ -104,8 +104,8 @@ mod tests {
     fn revocation_drops_only_affected_segments() {
         let tr = trust();
         let mut ps = PathServer::new(ia(1), true);
-        ps.register_down_segment(down_seg(&tr, 7, 3)); // via link 1#7 <-> 3#1
-        ps.register_down_segment(down_seg(&tr, 8, 4)); // via link 1#8 <-> 4#1
+        ps.register_down_segment(down_seg(&tr, 7, 3), SimTime::ZERO); // via link 1#7 <-> 3#1
+        ps.register_down_segment(down_seg(&tr, 8, 4), SimTime::ZERO); // via link 1#8 <-> 4#1
         let failed = LinkId::new(LinkEnd::new(ia(1), IfId(7)), LinkEnd::new(ia(3), IfId(1)));
 
         let mut ledger = Ledger::new();

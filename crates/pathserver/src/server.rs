@@ -14,7 +14,8 @@ use std::collections::HashMap;
 
 use scion_proto::segment::{PathSegment, SegmentType};
 use scion_telemetry::{ids, Label, Telemetry, TraceEvent};
-use scion_types::{Isd, IsdAsn, SimTime};
+use scion_types::{Duration, Isd, IsdAsn, SimTime};
+use serde::Serialize;
 
 /// Stable wire names of the segment types for trace records.
 fn seg_type_name(ty: SegmentType) -> &'static str {
@@ -34,6 +35,22 @@ pub enum LookupResult {
     Miss,
 }
 
+/// Lifetime counters of one server's cache and degradation machinery.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct CacheStats {
+    /// Lookups answered from a live cached entry.
+    pub hits: u64,
+    /// Lookups with no live cached answer.
+    pub misses: u64,
+    /// Lookups answered with recently-expired segments after upstream
+    /// retries exhausted (graceful degradation).
+    pub degraded_serves: u64,
+    /// Lookups short-circuited by the negative cache.
+    pub negative_hits: u64,
+    /// Expired authoritative segments garbage-collected at registration.
+    pub segments_purged: u64,
+}
+
 /// A path server. The same type serves both roles:
 /// core servers hold the authoritative registrations, non-core (local)
 /// servers hold their AS's own up-segments plus a TTL cache of remote
@@ -48,14 +65,23 @@ pub struct PathServer {
     core_segments: HashMap<IsdAsn, Vec<PathSegment>>,
     /// Up-segments of the local AS (local servers).
     up_segments: Vec<PathSegment>,
-    /// Response cache: destination → (segments, inserted-at).
+    /// Response cache: destination → (segments, inserted-at). Entries are
+    /// kept for [`PathServer::STALE_GRACE`] past expiry so exhausted
+    /// upstream lookups can degrade onto them.
     cache: HashMap<IsdAsn, (Vec<PathSegment>, SimTime)>,
-    /// Cache statistics.
-    pub cache_hits: u64,
-    pub cache_misses: u64,
+    /// Negative cache: destination → verdict-expiry. A destination whose
+    /// upstream lookup recently gave up is answered locally until the
+    /// verdict lapses, stopping retry storms against a dead origin.
+    negative: HashMap<IsdAsn, SimTime>,
+    /// Cache and degradation statistics.
+    stats: CacheStats,
 }
 
 impl PathServer {
+    /// How long past expiry a cached segment remains eligible for
+    /// degraded serving (and is retained in the cache).
+    pub const STALE_GRACE: Duration = Duration::from_hours(1);
+
     pub fn new(ia: IsdAsn, core: bool) -> PathServer {
         PathServer {
             ia,
@@ -64,8 +90,8 @@ impl PathServer {
             core_segments: HashMap::new(),
             up_segments: Vec::new(),
             cache: HashMap::new(),
-            cache_hits: 0,
-            cache_misses: 0,
+            negative: HashMap::new(),
+            stats: CacheStats::default(),
         }
     }
 
@@ -80,17 +106,21 @@ impl PathServer {
     }
 
     /// Registers a down-segment (a leaf AS registering its reachability
-    /// with its ISD core; core servers only).
+    /// with its ISD core; core servers only). Expired segments of the same
+    /// destination are garbage-collected first — each periodic
+    /// re-registration replaces its predecessors once they lapse, so the
+    /// authoritative store stays bounded over arbitrarily long runs.
     ///
     /// # Panics
     /// Panics on a non-core server or a wrong-type segment.
-    pub fn register_down_segment(&mut self, seg: PathSegment) {
+    pub fn register_down_segment(&mut self, seg: PathSegment, now: SimTime) {
         assert!(self.core, "down-segments register at core path servers");
         assert_eq!(seg.seg_type, SegmentType::Down);
-        self.down_segments
-            .entry(seg.terminal())
-            .or_default()
-            .push(seg);
+        let entry = self.down_segments.entry(seg.terminal()).or_default();
+        let before = entry.len();
+        entry.retain(|s| !s.is_expired(now));
+        self.stats.segments_purged += (before - entry.len()) as u64;
+        entry.push(seg);
     }
 
     /// Like [`PathServer::register_down_segment`], additionally counting
@@ -114,17 +144,25 @@ impl PathServer {
                 hops,
             });
         }
-        self.register_down_segment(seg);
+        let purged_before = self.stats.segments_purged;
+        self.register_down_segment(seg, now);
+        let purged = self.stats.segments_purged - purged_before;
+        if purged > 0 {
+            tel.inc(ids::PS_SEGMENTS_PURGED, Label::Global, purged);
+        }
     }
 
-    /// Registers a core-segment (core servers only).
-    pub fn register_core_segment(&mut self, seg: PathSegment) {
+    /// Registers a core-segment (core servers only), garbage-collecting
+    /// the destination's expired segments like
+    /// [`PathServer::register_down_segment`].
+    pub fn register_core_segment(&mut self, seg: PathSegment, now: SimTime) {
         assert!(self.core, "core-segments register at core path servers");
         assert_eq!(seg.seg_type, SegmentType::Core);
-        self.core_segments
-            .entry(seg.terminal())
-            .or_default()
-            .push(seg);
+        let entry = self.core_segments.entry(seg.terminal()).or_default();
+        let before = entry.len();
+        entry.retain(|s| !s.is_expired(now));
+        self.stats.segments_purged += (before - entry.len()) as u64;
+        entry.push(seg);
     }
 
     /// Stores a local up-segment (local servers).
@@ -185,25 +223,34 @@ impl PathServer {
     /// Cached lookup at a local server: hit if a live cached answer
     /// exists, miss otherwise (caller fetches upstream and calls
     /// [`PathServer::cache_insert`]).
+    ///
+    /// An entry whose segments all lapsed is *kept* for
+    /// [`PathServer::STALE_GRACE`] past expiry — [`PathServer::lookup_stale`]
+    /// degrades onto it when the upstream fetch exhausts its retries —
+    /// and evicted once every segment is long-dead.
     pub fn lookup_cached(&mut self, dst: IsdAsn, now: SimTime) -> LookupResult {
-        if let Some((segs, _)) = self.cache.get(&dst) {
+        if let Some((segs, _)) = self.cache.get_mut(&dst) {
             let live: Vec<PathSegment> = segs
                 .iter()
                 .filter(|s| !s.is_expired(now))
                 .cloned()
                 .collect();
             if !live.is_empty() {
-                self.cache_hits += 1;
+                self.stats.hits += 1;
                 return LookupResult::Hit(live);
             }
-            self.cache.remove(&dst);
+            let horizon = stale_horizon(now, Self::STALE_GRACE);
+            segs.retain(|s| !s.is_expired(horizon));
+            if segs.is_empty() {
+                self.cache.remove(&dst);
+            }
         }
-        self.cache_misses += 1;
+        self.stats.misses += 1;
         LookupResult::Miss
     }
 
     /// Like [`PathServer::lookup_cached`], additionally maintaining the
-    /// global lookup/hit counters.
+    /// global lookup/hit/miss counters.
     pub fn lookup_cached_telemetry(
         &mut self,
         dst: IsdAsn,
@@ -214,12 +261,82 @@ impl PathServer {
         tel.inc(ids::PS_LOOKUPS, Label::Global, 1);
         if matches!(result, LookupResult::Hit(_)) {
             tel.inc(ids::PS_CACHE_HITS, Label::Global, 1);
+        } else {
+            tel.inc(ids::PS_CACHE_MISSES, Label::Global, 1);
         }
         result
     }
 
-    /// Inserts an upstream answer into the cache.
+    /// Graceful degradation: serves `dst`'s recently-expired cached
+    /// segments — expired no earlier than `grace` before `now` — for a
+    /// caller whose upstream retries exhausted. Returns `None` when
+    /// nothing recent enough is cached; the caller should then fall back
+    /// to [`PathServer::note_unreachable`]. Served segments are stale by
+    /// construction: the caller must surface them flagged as degraded.
+    pub fn lookup_stale(
+        &mut self,
+        dst: IsdAsn,
+        now: SimTime,
+        grace: Duration,
+    ) -> Option<Vec<PathSegment>> {
+        let horizon = stale_horizon(now, grace);
+        let stale: Vec<PathSegment> = self
+            .cache
+            .get(&dst)?
+            .0
+            .iter()
+            .filter(|s| !s.is_expired(horizon))
+            .cloned()
+            .collect();
+        if stale.is_empty() {
+            return None;
+        }
+        self.stats.degraded_serves += 1;
+        Some(stale)
+    }
+
+    /// Telemetry-recording variant of [`PathServer::lookup_stale`].
+    pub fn lookup_stale_telemetry(
+        &mut self,
+        dst: IsdAsn,
+        now: SimTime,
+        grace: Duration,
+        tel: &mut Telemetry,
+    ) -> Option<Vec<PathSegment>> {
+        let result = self.lookup_stale(dst, now, grace);
+        if result.is_some() {
+            tel.inc(ids::PS_DEGRADED_SERVES, Label::Global, 1);
+        }
+        result
+    }
+
+    /// Records that `dst`'s upstream lookup gave up at `now`: until the
+    /// verdict lapses after `ttl`, [`PathServer::negative_cached`] answers
+    /// locally instead of launching another retry storm.
+    pub fn note_unreachable(&mut self, dst: IsdAsn, now: SimTime, ttl: Duration) {
+        self.negative.insert(dst, now + ttl);
+    }
+
+    /// True when `dst` is under a live negative-cache verdict (counted as
+    /// a negative hit). Lapsed verdicts are evicted on probe.
+    pub fn negative_cached(&mut self, dst: IsdAsn, now: SimTime) -> bool {
+        match self.negative.get(&dst) {
+            Some(&until) if now < until => {
+                self.stats.negative_hits += 1;
+                true
+            }
+            Some(_) => {
+                self.negative.remove(&dst);
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts an upstream answer into the cache and clears any negative
+    /// verdict (a successful fetch proves the destination reachable).
     pub fn cache_insert(&mut self, dst: IsdAsn, segs: Vec<PathSegment>, now: SimTime) {
+        self.negative.remove(&dst);
         self.cache.insert(dst, (segs, now));
     }
 
@@ -227,6 +344,16 @@ impl PathServer {
     pub fn down_destinations(&self) -> usize {
         self.down_segments.len()
     }
+
+    /// Cache and degradation statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// `now - grace`, saturating at the epoch.
+fn stale_horizon(now: SimTime, grace: Duration) -> SimTime {
+    SimTime::from_micros(now.as_micros().saturating_sub(grace.as_micros()))
 }
 
 #[cfg(test)]
@@ -273,8 +400,14 @@ mod tests {
     fn registration_and_lookup() {
         let tr = trust();
         let mut ps = PathServer::new(ia(1, 1), true);
-        ps.register_down_segment(seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 3), 6));
-        ps.register_core_segment(seg(&tr, SegmentType::Core, ia(1, 1), ia(2, 1), 6));
+        ps.register_down_segment(
+            seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 3), 6),
+            SimTime::ZERO,
+        );
+        ps.register_core_segment(
+            seg(&tr, SegmentType::Core, ia(1, 1), ia(2, 1), 6),
+            SimTime::ZERO,
+        );
         assert_eq!(ps.lookup_down(ia(1, 3), SimTime::ZERO).len(), 1);
         assert!(ps.lookup_down(ia(1, 4), SimTime::ZERO).is_empty());
         assert_eq!(ps.lookup_core(Isd(2), SimTime::ZERO).len(), 1);
@@ -286,9 +419,47 @@ mod tests {
     fn expired_segments_not_served() {
         let tr = trust();
         let mut ps = PathServer::new(ia(1, 1), true);
-        ps.register_down_segment(seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 3), 1));
+        ps.register_down_segment(
+            seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 3), 1),
+            SimTime::ZERO,
+        );
         let later = SimTime::ZERO + Duration::from_hours(2);
         assert!(ps.lookup_down(ia(1, 3), later).is_empty());
+    }
+
+    #[test]
+    fn registration_garbage_collects_expired_predecessors() {
+        let tr = trust();
+        let mut ps = PathServer::new(ia(1, 1), true);
+        ps.register_down_segment(
+            seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 3), 1),
+            SimTime::ZERO,
+        );
+        ps.register_down_segment(
+            seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 3), 1),
+            SimTime::ZERO,
+        );
+        // Another destination's expired segments are untouched by ia(1,3)
+        // registrations — GC is per-destination.
+        ps.register_down_segment(
+            seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 4), 1),
+            SimTime::ZERO,
+        );
+        assert_eq!(ps.cache_stats().segments_purged, 0);
+
+        // Re-registering after expiry purges the two lapsed predecessors.
+        let later = SimTime::ZERO + Duration::from_hours(2);
+        ps.register_down_segment(seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 3), 6), later);
+        assert_eq!(ps.cache_stats().segments_purged, 2);
+        assert_eq!(ps.lookup_down(ia(1, 3), later).len(), 1);
+
+        // Core-segment registrations GC their store the same way.
+        ps.register_core_segment(
+            seg(&tr, SegmentType::Core, ia(1, 1), ia(2, 1), 1),
+            SimTime::ZERO,
+        );
+        ps.register_core_segment(seg(&tr, SegmentType::Core, ia(1, 1), ia(2, 1), 6), later);
+        assert_eq!(ps.cache_stats().segments_purged, 3);
     }
 
     #[test]
@@ -296,7 +467,10 @@ mod tests {
     fn non_core_cannot_take_registrations() {
         let tr = trust();
         let mut ps = PathServer::new(ia(1, 3), false);
-        ps.register_down_segment(seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 3), 6));
+        ps.register_down_segment(
+            seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 3), 6),
+            SimTime::ZERO,
+        );
     }
 
     #[test]
@@ -316,13 +490,61 @@ mod tests {
             local.lookup_cached(ia(2, 4), SimTime::ZERO + Duration::from_mins(5)),
             LookupResult::Hit(_)
         ));
-        assert_eq!((local.cache_hits, local.cache_misses), (1, 1));
+        let stats = local.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
         // Expired cached segments fall out and count as miss.
         assert_eq!(
             local.lookup_cached(ia(2, 4), SimTime::ZERO + Duration::from_hours(7)),
             LookupResult::Miss
         );
-        assert_eq!(local.cache_misses, 2);
+        assert_eq!(local.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn stale_segments_served_degraded_within_grace() {
+        let tr = trust();
+        let mut local = PathServer::new(ia(1, 3), false);
+        local.cache_insert(
+            ia(2, 4),
+            vec![seg(&tr, SegmentType::Down, ia(2, 1), ia(2, 4), 6)],
+            SimTime::ZERO,
+        );
+        // Expired 30 minutes ago: a live lookup misses, but the degraded
+        // path still serves it within the grace window.
+        let now = SimTime::ZERO + Duration::from_hours(6) + Duration::from_mins(30);
+        assert_eq!(local.lookup_cached(ia(2, 4), now), LookupResult::Miss);
+        let stale = local.lookup_stale(ia(2, 4), now, PathServer::STALE_GRACE);
+        assert_eq!(stale.map(|v| v.len()), Some(1));
+        assert_eq!(local.cache_stats().degraded_serves, 1);
+        // Beyond the grace window the entry is gone for good.
+        let much_later = SimTime::ZERO + Duration::from_hours(8);
+        assert_eq!(
+            local.lookup_cached(ia(2, 4), much_later),
+            LookupResult::Miss
+        );
+        assert!(local
+            .lookup_stale(ia(2, 4), much_later, PathServer::STALE_GRACE)
+            .is_none());
+    }
+
+    #[test]
+    fn negative_cache_short_circuits_until_ttl() {
+        let tr = trust();
+        let mut local = PathServer::new(ia(1, 3), false);
+        let ttl = Duration::from_mins(10);
+        assert!(!local.negative_cached(ia(2, 4), SimTime::ZERO));
+        local.note_unreachable(ia(2, 4), SimTime::ZERO, ttl);
+        assert!(local.negative_cached(ia(2, 4), SimTime::ZERO + Duration::from_mins(5)));
+        assert!(!local.negative_cached(ia(2, 4), SimTime::ZERO + Duration::from_mins(10)));
+        assert_eq!(local.cache_stats().negative_hits, 1);
+        // A successful fetch clears the verdict immediately.
+        local.note_unreachable(ia(2, 4), SimTime::ZERO, ttl);
+        local.cache_insert(
+            ia(2, 4),
+            vec![seg(&tr, SegmentType::Down, ia(2, 1), ia(2, 4), 6)],
+            SimTime::ZERO,
+        );
+        assert!(!local.negative_cached(ia(2, 4), SimTime::ZERO + Duration::from_mins(1)));
     }
 
     #[test]
@@ -350,8 +572,14 @@ mod tests {
     fn deregister_removes_matching_segments() {
         let tr = trust();
         let mut ps = PathServer::new(ia(1, 1), true);
-        ps.register_down_segment(seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 3), 6));
-        ps.register_down_segment(seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 4), 6));
+        ps.register_down_segment(
+            seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 3), 6),
+            SimTime::ZERO,
+        );
+        ps.register_down_segment(
+            seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 4), 6),
+            SimTime::ZERO,
+        );
         let removed = ps.deregister_where(|s| s.terminal() == ia(1, 3));
         assert_eq!(removed, 1);
         assert!(ps.lookup_down(ia(1, 3), SimTime::ZERO).is_empty());

@@ -36,6 +36,11 @@ pub fn registration_size(hops: usize, peer_entries: usize) -> u64 {
 /// A path-segment lookup request: queried ⟨ISD,AS⟩ + flags + framing.
 pub const SEGMENT_REQUEST: u64 = 8 + 2 + 8;
 
+/// A reliable-channel delivery acknowledgment: message id (8) + framing
+/// (8). Acks ride the same links as the data they confirm, so the lossy
+/// experiments account them as control-plane overhead.
+pub const RELIABLE_ACK: u64 = 8 + 8;
+
 /// An SCMP "external interface down" revocation message: origin
 /// ⟨ISD,AS⟩ (8) + interface id (8) + timestamp (8) + SCMP/quoting
 /// overhead (40).

@@ -1,0 +1,27 @@
+//! `scion-reliable`: reliable delivery for the simulated control plane.
+//!
+//! The paper's overhead and convergence results (§5, Table 1) implicitly
+//! assume control-plane messages — PCBs, segment registrations, path
+//! lookups — always arrive. Deployed SCION sees constant loss and churn
+//! (the SCIONLab measurement study; "SCION Five Years Later"), so the
+//! protocol machinery that keeps beaconing and lookup converging *anyway*
+//! is part of the deployment story. This crate is that machinery, engine-
+//! agnostic so every driver (beaconing, path-server workloads) can thread
+//! it through its own event loop:
+//!
+//! * [`channel`] — the sender half: monotonically-assigned message ids, a
+//!   pending-ack table, timeout-driven retransmission with exponential
+//!   backoff, deterministic per-(id, attempt) jitter, and max-attempts
+//!   give-up;
+//! * [`dedup`] — the receiver half: per-node duplicate suppression so a
+//!   retransmission whose original did arrive (its ack was lost) is acked
+//!   again but never delivered to the application twice.
+//!
+//! Everything is virtual-time and allocation-light; nothing here touches
+//! wall clocks or OS randomness, so same-seed runs replay bit for bit.
+
+pub mod channel;
+pub mod dedup;
+
+pub use channel::{MsgId, ReliableConfig, ReliableSender, SenderStats, TimeoutAction};
+pub use dedup::DedupReceiver;

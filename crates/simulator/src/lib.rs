@@ -31,8 +31,10 @@ pub mod accounting;
 pub mod engine;
 pub mod fault;
 pub mod latency;
+pub mod loss;
 
 pub use accounting::{Counter, InterfaceTraffic};
 pub use engine::{Engine, Event};
 pub use fault::{FaultSchedule, LinkFault, LinkState};
 pub use latency::LatencyModel;
+pub use loss::{LossModel, Transmission};

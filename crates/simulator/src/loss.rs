@@ -1,0 +1,215 @@
+//! Seeded per-link stochastic loss and latency jitter.
+//!
+//! The fault plane ([`crate::fault`]) models *hard* failures: a link is
+//! either usable or dark. Real control planes additionally see *lossy*
+//! delivery — individual messages dropped by congestion or transient
+//! errors, and per-message latency variation — which is exactly the regime
+//! the SCIONLab measurement study reports for the deployed network. The
+//! [`LossModel`] is the stochastic overlay for that regime: every
+//! transmission draws a loss coin and a latency jitter from one seeded
+//! ChaCha stream, so a run is byte-identical across invocations with the
+//! same seed (the simulation's event order is deterministic, hence so is
+//! the draw order), while different seeds decorrelate the loss pattern.
+//!
+//! The two overlays compose: the fault plane decides whether a link can
+//! carry anything at all; the loss model decides whether *this* message
+//! survives the link it was sent on.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use scion_topology::{AsTopology, LinkIndex};
+use scion_types::Duration;
+
+/// Outcome of one transmission attempt under the loss model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transmission {
+    /// The message survives; add `jitter` to its propagation delay.
+    Delivered { jitter: Duration },
+    /// The message is lost on the wire.
+    Lost,
+}
+
+/// Per-link stochastic loss probability plus bounded latency jitter.
+#[derive(Clone, Debug)]
+pub struct LossModel {
+    /// Loss probability per link, in parts per million.
+    loss_ppm: Vec<u32>,
+    /// Upper bound of the uniform per-message latency jitter.
+    jitter_max: Duration,
+    rng: ChaCha12Rng,
+    transmissions: u64,
+    losses: u64,
+}
+
+/// Parts-per-million denominator.
+const PPM: u32 = 1_000_000;
+
+fn to_ppm(probability: f64) -> u32 {
+    assert!(
+        (0.0..=1.0).contains(&probability),
+        "loss probability {probability} outside [0, 1]"
+    );
+    (probability * PPM as f64).round() as u32
+}
+
+impl LossModel {
+    /// Uniform loss probability and jitter bound on every link of `topo`,
+    /// deterministically seeded.
+    pub fn uniform(
+        topo: &AsTopology,
+        probability: f64,
+        jitter_max: Duration,
+        seed: u64,
+    ) -> LossModel {
+        LossModel {
+            loss_ppm: vec![to_ppm(probability); topo.num_links()],
+            jitter_max,
+            rng: ChaCha12Rng::seed_from_u64(seed ^ 0x10_55_C0DE),
+            transmissions: 0,
+            losses: 0,
+        }
+    }
+
+    /// The lossless model: every transmission is delivered with zero
+    /// jitter (rng draws still happen, so enabling loss later in a run's
+    /// configuration does not perturb unrelated draw streams).
+    pub fn ideal(topo: &AsTopology, seed: u64) -> LossModel {
+        Self::uniform(topo, 0.0, Duration::ZERO, seed)
+    }
+
+    /// Overrides one link's loss probability (e.g. a dead access link with
+    /// probability 1.0, or a known-flaky transit link).
+    pub fn set_link_loss(&mut self, link: LinkIndex, probability: f64) {
+        self.loss_ppm[link.as_usize()] = to_ppm(probability);
+    }
+
+    /// The configured loss probability of `link`.
+    pub fn link_loss(&self, link: LinkIndex) -> f64 {
+        self.loss_ppm[link.as_usize()] as f64 / PPM as f64
+    }
+
+    /// Draws the fate of one transmission over `link`.
+    ///
+    /// Both the loss coin and the jitter are drawn on every call — also
+    /// for lost messages — so the stream position after a call depends
+    /// only on the *number* of prior calls, never on their outcomes.
+    pub fn transmit(&mut self, link: LinkIndex) -> Transmission {
+        self.transmissions += 1;
+        let coin = self.rng.gen_range(0..PPM);
+        let jitter_us = if self.jitter_max.is_zero() {
+            0
+        } else {
+            self.rng.gen_range(0..=self.jitter_max.as_micros())
+        };
+        if coin < self.loss_ppm[link.as_usize()] {
+            self.losses += 1;
+            Transmission::Lost
+        } else {
+            Transmission::Delivered {
+                jitter: Duration::from_micros(jitter_us),
+            }
+        }
+    }
+
+    /// Total transmission attempts drawn so far.
+    pub fn transmissions(&self) -> u64 {
+        self.transmissions
+    }
+
+    /// Transmissions that came up lost.
+    pub fn losses(&self) -> u64 {
+        self.losses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_topology::{topology_from_edges, Relationship};
+
+    fn topo() -> AsTopology {
+        topology_from_edges(&[
+            (1, 2, Relationship::PeerToPeer, 1),
+            (2, 3, Relationship::PeerToPeer, 1),
+        ])
+    }
+
+    #[test]
+    fn same_seed_same_fates() {
+        let t = topo();
+        let mut a = LossModel::uniform(&t, 0.3, Duration::from_millis(5), 7);
+        let mut b = LossModel::uniform(&t, 0.3, Duration::from_millis(5), 7);
+        for i in 0..500 {
+            let li = LinkIndex((i % 2) as u32);
+            assert_eq!(a.transmit(li), b.transmit(li));
+        }
+        assert_eq!(a.losses(), b.losses());
+        assert!(a.losses() > 0, "30% loss over 500 draws must drop some");
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let t = topo();
+        let mut a = LossModel::uniform(&t, 0.5, Duration::ZERO, 1);
+        let mut b = LossModel::uniform(&t, 0.5, Duration::ZERO, 2);
+        let fates_a: Vec<_> = (0..64).map(|_| a.transmit(LinkIndex(0))).collect();
+        let fates_b: Vec<_> = (0..64).map(|_| b.transmit(LinkIndex(0))).collect();
+        assert_ne!(fates_a, fates_b);
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_honoured() {
+        let t = topo();
+        let mut m = LossModel::uniform(&t, 0.1, Duration::ZERO, 42);
+        for _ in 0..10_000 {
+            m.transmit(LinkIndex(0));
+        }
+        let rate = m.losses() as f64 / m.transmissions() as f64;
+        assert!((0.07..0.13).contains(&rate), "measured loss rate {rate}");
+    }
+
+    #[test]
+    fn ideal_model_never_drops_and_never_jitters() {
+        let t = topo();
+        let mut m = LossModel::ideal(&t, 9);
+        for _ in 0..200 {
+            assert_eq!(
+                m.transmit(LinkIndex(1)),
+                Transmission::Delivered {
+                    jitter: Duration::ZERO
+                }
+            );
+        }
+        assert_eq!(m.losses(), 0);
+    }
+
+    #[test]
+    fn per_link_override_kills_one_link_only() {
+        let t = topo();
+        let mut m = LossModel::uniform(&t, 0.0, Duration::ZERO, 3);
+        m.set_link_loss(LinkIndex(0), 1.0);
+        assert_eq!(m.link_loss(LinkIndex(0)), 1.0);
+        for _ in 0..50 {
+            assert_eq!(m.transmit(LinkIndex(0)), Transmission::Lost);
+            assert!(matches!(
+                m.transmit(LinkIndex(1)),
+                Transmission::Delivered { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn jitter_stays_within_bound() {
+        let t = topo();
+        let cap = Duration::from_millis(3);
+        let mut m = LossModel::uniform(&t, 0.0, cap, 11);
+        for _ in 0..500 {
+            match m.transmit(LinkIndex(0)) {
+                Transmission::Delivered { jitter } => assert!(jitter <= cap),
+                Transmission::Lost => unreachable!("loss probability is 0"),
+            }
+        }
+    }
+}

@@ -99,6 +99,28 @@ pub mod ids {
     pub const CHAOS_LIVE_PAIR_FRACTION: &str = "chaos.live_pair_fraction";
     /// Counter: path-server segment invalidations triggered by faults.
     pub const CHAOS_PATHS_INVALIDATED: &str = "chaos.paths_invalidated";
+    /// Counter: messages dropped on the wire by the stochastic loss model.
+    pub const LOSS_MESSAGES_DROPPED: &str = "loss.messages_dropped";
+    /// Counter: retransmissions issued by the reliable channel.
+    pub const RELIABLE_RETRANSMITS: &str = "reliable.retransmits";
+    /// Counter: acks received that settled a pending message.
+    pub const RELIABLE_ACKS: &str = "reliable.acks_received";
+    /// Counter: retransmit deadlines that fired (message still pending).
+    pub const RELIABLE_TIMEOUTS: &str = "reliable.timeouts";
+    /// Counter: duplicate deliveries suppressed at receivers.
+    pub const RELIABLE_DUPLICATES: &str = "reliable.duplicates_suppressed";
+    /// Counter: messages abandoned after max retransmit attempts.
+    pub const RELIABLE_GIVE_UPS: &str = "reliable.give_ups";
+    /// Counter: lookups answered from the cache after expiry (stale-served
+    /// `Degraded` answers when a fresh lookup exhausted its retries).
+    pub const PS_DEGRADED_SERVES: &str = "pathserver.degraded_serves";
+    /// Counter: lookups short-circuited by the negative cache.
+    pub const PS_NEGATIVE_HITS: &str = "pathserver.negative_cache_hits";
+    /// Counter: lookups that missed the cache.
+    pub const PS_CACHE_MISSES: &str = "pathserver.cache_misses";
+    /// Counter: expired segments garbage-collected from authoritative
+    /// stores on registration.
+    pub const PS_SEGMENTS_PURGED: &str = "pathserver.segments_purged";
 }
 
 /// Configuration of a telemetry handle.

@@ -124,7 +124,7 @@ fn full_stack_cross_isd_path_construction() {
     // --- Register + look up through a core path server.
     let mut ps = PathServer::new(core2_ia, true);
     for d in &downs {
-        ps.register_down_segment(d.clone());
+        ps.register_down_segment(d.clone(), now);
     }
     let served = ps.lookup_down(dst_ia, now);
     assert_eq!(served.len(), downs.len());
