@@ -185,7 +185,7 @@ impl DiversityAlgorithm {
                 }
                 // Strictly-greater comparison keeps the first (most
                 // deterministic) candidate on ties.
-                if best.map_or(true, |(s, _)| score > s) {
+                if best.is_none_or(|(s, _)| score > s) {
                     best = Some((score, i));
                 }
             }

@@ -13,6 +13,8 @@
 //! deployments are not phase-locked), which also bounds the number of
 //! in-flight messages at any virtual instant.
 
+use std::sync::Arc;
+
 use scion_crypto::trc::TrustStore;
 use scion_proto::pcb::Pcb;
 use scion_proto::wire;
@@ -31,18 +33,18 @@ use crate::paths::known_paths;
 use crate::server::{egress_refs, BeaconServer, EgressRef};
 
 /// Timer kind of the per-AS beaconing interval tick.
-const KIND_TICK: u32 = 0;
+pub(crate) const KIND_TICK: u32 = 0;
 /// Timer kind of the telemetry sampler (scheduled only when telemetry is
 /// enabled; fires on `TelemetryConfig::sample_cadence`).
-const KIND_SAMPLE: u32 = 1;
+pub(crate) const KIND_SAMPLE: u32 = 1;
 /// Timer kind of a fault-schedule firing (chaos runs only).
-const KIND_FAULT: u32 = 2;
+pub(crate) const KIND_FAULT: u32 = 2;
 /// Timer kind of the reachability probe (chaos runs only).
-const KIND_PROBE: u32 = 3;
+pub(crate) const KIND_PROBE: u32 = 3;
 /// Timer kind of the reliable-channel retransmit wake-up (lossy runs with
 /// reliability only). Spurious firings are harmless: the channel returns
 /// no actions when nothing is due.
-const KIND_RETX: u32 = 4;
+pub(crate) const KIND_RETX: u32 = 4;
 
 /// Fault-injection configuration for a chaos-aware beaconing run: the
 /// fault trace to replay and the AS pairs whose reachability to probe.
@@ -168,21 +170,26 @@ pub struct LossReport {
 }
 
 /// What the reliable channel needs to replay a beacon send, beyond the
-/// `(to, via)` the channel itself tracks.
+/// `(to, via)` the channel itself tracks. The PCB is `Arc`-shared with the
+/// in-flight message and any retransmitted copies, so registering a send
+/// and retrying it never deep-clones the signed path (AS entries,
+/// signatures, peer hops).
 #[derive(Clone)]
-struct ReliablePayload {
-    from: AsIndex,
-    egress_if: IfId,
-    bytes: u64,
-    pcb: Pcb,
+pub(crate) struct ReliablePayload {
+    pub(crate) from: AsIndex,
+    pub(crate) egress_if: IfId,
+    pub(crate) bytes: u64,
+    pub(crate) pcb: Arc<Pcb>,
 }
 
 /// A message on the wire of a lossy/reliable run. Plain runs only ever
 /// carry `Pcb { id: None, .. }`, which behaves exactly like the seed's
-/// bare-`Pcb` engine.
+/// bare-`Pcb` engine. The PCB rides in an `Arc`: in plain runs the
+/// receiver is the only holder and unwraps it for free, in reliable runs
+/// it shares the allocation with the sender's pending-retransmit entry.
 #[derive(Clone, Debug)]
-enum BeaconMsg {
-    Pcb { id: Option<MsgId>, pcb: Pcb },
+pub(crate) enum BeaconMsg {
+    Pcb { id: Option<MsgId>, pcb: Arc<Pcb> },
     Ack { id: MsgId },
 }
 
@@ -197,6 +204,9 @@ pub struct BeaconingOutcome {
     pub sim_duration: Duration,
     /// Total beacons delivered.
     pub beacons_delivered: u64,
+    /// Engine events processed over the whole run (timers + deliveries,
+    /// including warmup) — the denominator of events-per-second throughput.
+    pub events_processed: u64,
 }
 
 impl BeaconingOutcome {
@@ -213,10 +223,10 @@ impl BeaconingOutcome {
 
 /// Which links an AS beacons on, whether it originates, and which peering
 /// links it advertises in extended beacons (intra-ISD only).
-struct Participant {
-    egress: Vec<EgressRef>,
-    originates: bool,
-    peers: Vec<EgressRef>,
+pub(crate) struct Participant {
+    pub(crate) egress: Vec<EgressRef>,
+    pub(crate) originates: bool,
+    pub(crate) peers: Vec<EgressRef>,
 }
 
 /// Runs core beaconing on the core sub-multigraph of `topo` for
@@ -342,7 +352,7 @@ pub fn run_core_beaconing_lossy(
     )
 }
 
-fn core_participants(topo: &AsTopology) -> Vec<Option<Participant>> {
+pub(crate) fn core_participants(topo: &AsTopology) -> Vec<Option<Participant>> {
     topo.as_indices()
         .map(|idx| {
             if !topo.node(idx).core {
@@ -470,7 +480,7 @@ pub fn run_intra_isd_beaconing_lossy(
     )
 }
 
-fn intra_participants(topo: &AsTopology) -> Vec<Option<Participant>> {
+pub(crate) fn intra_participants(topo: &AsTopology) -> Vec<Option<Participant>> {
     topo.as_indices()
         .map(|idx| {
             let customer_links: Vec<LinkIndex> = topo
@@ -509,7 +519,7 @@ fn intra_participants(topo: &AsTopology) -> Vec<Option<Participant>> {
 /// the loss model then drops — and `false` when the egress link swallowed
 /// the send before it cost anything.
 #[allow(clippy::too_many_arguments)]
-fn transmit(
+pub(crate) fn transmit(
     now: SimTime,
     record_from: SimTime,
     from: AsIndex,
@@ -559,7 +569,7 @@ fn transmit(
                 tel.inc(ids::LOSS_MESSAGES_DROPPED, Label::Global, 1);
                 return true;
             }
-            Transmission::Delivered { jitter } => delay = delay + jitter,
+            Transmission::Delivered { jitter } => delay += jitter,
         }
     }
     *in_flight += 1;
@@ -570,13 +580,13 @@ fn transmit(
 /// (Re-)arms the retransmit wake-up timer at the channel's earliest
 /// deadline. Keeps at most one *earliest* timer armed; later stale timers
 /// fire spuriously and find nothing due.
-fn arm_retx(
+pub(crate) fn arm_retx(
     engine: &mut Engine<BeaconMsg>,
     rel: &ReliableSender<ReliablePayload>,
     wakeup: &mut Option<SimTime>,
 ) {
     if let Some(dl) = rel.next_deadline() {
-        if wakeup.map_or(true, |w| dl < w) {
+        if wakeup.is_none_or(|w| dl < w) {
             engine.schedule_timer(dl, AsIndex(0), KIND_RETX);
             *wakeup = Some(dl);
         }
@@ -786,6 +796,7 @@ fn run(
                     &p.peers,
                     tel,
                 ) {
+                    let pcb = Arc::new(prop.pcb);
                     // Under the reliable channel every beacon send is
                     // registered *before* the physical attempt, so a send
                     // suppressed by a downed link or dropped by the loss
@@ -799,7 +810,7 @@ fn run(
                                 from: node,
                                 egress_if: prop.egress_if,
                                 bytes: prop.bytes,
-                                pcb: prop.pcb.clone(),
+                                pcb: pcb.clone(),
                             },
                         )
                     });
@@ -811,7 +822,7 @@ fn run(
                         prop.egress_link,
                         prop.egress_if,
                         prop.bytes,
-                        BeaconMsg::Pcb { id, pcb: prop.pcb },
+                        BeaconMsg::Pcb { id, pcb },
                         true,
                         &mut engine,
                         &latency,
@@ -901,6 +912,11 @@ fn run(
                         });
                     }
                     // Drops (loops, expiry races) are counted by the server.
+                    // In plain runs this `Arc` has one holder and unwraps
+                    // without copying; under the reliable channel the
+                    // pending-retransmit entry still shares it, so the
+                    // receiver clones its own copy here.
+                    let pcb = Arc::try_unwrap(pcb).unwrap_or_else(|shared| (*shared).clone());
                     let _ = srv.handle_beacon_telemetry(pcb, via, topo, &trust, now, tel);
                 }
             }
@@ -929,6 +945,7 @@ fn run(
             servers,
             sim_duration: window,
             beacons_delivered: delivered,
+            events_processed: engine.events_processed(),
         },
         report,
         loss_report,
@@ -937,7 +954,7 @@ fn run(
 
 /// One reachability probe: a pair is live when the holder knows at least
 /// one unexpired path from the origin whose links are all usable.
-fn probe_reachability(
+pub(crate) fn probe_reachability(
     topo: &AsTopology,
     servers: &[Option<BeaconServer>],
     ls: &LinkState,
@@ -964,7 +981,7 @@ fn probe_reachability(
 /// One sampler firing: snapshots the registered gauges (event-queue depth,
 /// in-flight messages, beacon-store occupancy, per-interface traffic) into
 /// the time-series recorder.
-fn sample_gauges(
+pub(crate) fn sample_gauges(
     tel: &mut Telemetry,
     now: SimTime,
     engine: &Engine<BeaconMsg>,
@@ -1270,8 +1287,7 @@ mod tests {
             report
                 .probes
                 .iter()
-                .filter(|p| p.t <= t)
-                .next_back()
+                .rfind(|p| p.t <= t)
                 .map(|p| p.fraction())
                 .unwrap()
         };

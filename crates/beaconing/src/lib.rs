@@ -17,7 +17,8 @@
 //! limits), [`score`] (link-history tables, sent-PCB lists, the scoring
 //! functions), [`server`] (a beacon server tying store + algorithm),
 //! [`driver`] (core and intra-ISD simulation drivers on the discrete-event
-//! engine), [`paths`] (extraction of disseminated path sets for quality
+//! engine), [`parallel`] (the deterministic sharded variant of the same
+//! drivers), [`paths`] (extraction of disseminated path sets for quality
 //! analysis), and [`tuning`] (the grid search for α, β, γ and the score
 //! threshold described in §4.2).
 
@@ -25,6 +26,7 @@ pub mod baseline;
 pub mod config;
 pub mod diversity;
 pub mod driver;
+pub mod parallel;
 pub mod paths;
 pub mod score;
 pub mod server;
@@ -40,6 +42,10 @@ pub use driver::{
     run_intra_isd_beaconing_chaos, run_intra_isd_beaconing_lossy, run_intra_isd_beaconing_windowed,
     run_intra_isd_beaconing_windowed_telemetry, BeaconingOutcome, ChaosConfig, ChaosReport,
     LossReport, LossyConfig, ReachProbe,
+};
+pub use parallel::{
+    run_core_beaconing_parallel, run_core_beaconing_parallel_lossy,
+    run_intra_isd_beaconing_parallel,
 };
 pub use server::BeaconServer;
 pub use store::{BeaconStore, EvictedBeacon, InsertOutcome, StoredBeacon};

@@ -1,0 +1,1054 @@
+//! Deterministic parallel beaconing driver.
+//!
+//! The serial driver ([`crate::driver`]) pops one event at a time. At paper
+//! scale (§5.2: 2 000 core ASes, 12 000 total) almost all wall-clock time
+//! goes into per-AS work — PCB signature verification, store admission,
+//! diversity scoring, origination signing — which is embarrassingly
+//! parallel *within* a window of virtual time that no message can cross.
+//! This driver exploits that without giving up reproducibility:
+//!
+//! 1. **Window pop.** Messages need at least the minimum link latency to
+//!    travel (lookahead `L`). All queued events in `[t₀, t₀ + L)` are
+//!    causally closed: nothing an event in the window does can schedule a
+//!    new event inside the same window (ticks and deliveries only emit
+//!    sends that arrive ≥ `L` later; retransmit deadlines are ≫ `L`). The
+//!    engine drains that window in exact `(time, seq)` order
+//!    ([`Engine::pop_batch_until`]).
+//! 2. **Shard.** Window events are grouped by target AS — the unit of
+//!    mutable state (beacon server, dedup set). Each AS's events are
+//!    processed *in window order* by [`BeaconServer::handle_beacon_outcome`]
+//!    / [`BeaconServer::run_interval_outcome`] on a [`WorkerPool`] worker.
+//!    Results come back in input order regardless of thread scheduling.
+//! 3. **Merge.** A serial pass walks the window in original pop order and
+//!    replays every side effect: traffic accounting, loss-model draws,
+//!    reliable-channel registration (message ids), telemetry counters and
+//!    traces, and new event insertion (batched,
+//!    [`Engine::send_batch`]). Per-tick propagations are ordered by their
+//!    stable `(AS, egress LinkIndex)` key first.
+//!
+//! Because the batch decomposition depends only on queue contents and the
+//! merge runs serially in pop order, **every observable output is
+//! invariant under thread count**: `threads = 8` produces byte-identical
+//! telemetry exports to `threads = 1` under the same seed (enforced by
+//! `tests/parallel_determinism.rs`). Wall-clock profiler phases
+//! ([`phase::PAR_POP`], [`phase::PAR_SHARD`], [`phase::PAR_MERGE`]) are
+//! the only exempt outputs.
+//!
+//! Randomness discipline: shards draw no randomness at all — verification
+//! and selection are deterministic — and the stochastic planes (loss
+//! coins, jitter) draw from the single seeded stream in the serial merge,
+//! in window order. Shard-local randomness, if a future algorithm needs
+//! it, must come from [`scion_simulator::exec::substream`] keyed by the
+//! shard's AS index, never from a shared stateful rng.
+//!
+//! Events that touch global state — telemetry sampling, fault injection,
+//! reachability probes, retransmit wake-ups — are *not* shardable: the
+//! engine pops them as a batch of one and this driver handles them with
+//! the serial driver's exact logic, at their exact position in the global
+//! event order.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+use scion_crypto::trc::TrustStore;
+use scion_proto::pcb::Pcb;
+use scion_proto::wire;
+use scion_reliable::{MsgId, ReliableSender, TimeoutAction};
+use scion_simulator::{
+    Engine, Event, InterfaceTraffic, LatencyModel, LinkFault, LinkState, LossModel, Transmission,
+    WorkerPool,
+};
+use scion_telemetry::{ids, phase, Label, Telemetry, TraceEvent};
+use scion_topology::{AsIndex, AsTopology, LinkIndex};
+use scion_types::{Duration, IfId, IsdAsn, SimTime};
+
+use crate::config::BeaconingConfig;
+use crate::driver::{
+    arm_retx, core_participants, intra_participants, probe_reachability, sample_gauges, transmit,
+    BeaconMsg, BeaconingOutcome, ChaosConfig, ChaosReport, LossReport, LossyConfig, Participant,
+    ReliablePayload, KIND_FAULT, KIND_PROBE, KIND_RETX, KIND_SAMPLE, KIND_TICK,
+};
+use crate::server::{BeaconOutcome, BeaconServer, DropReason, Propagation, SendKind};
+
+/// Parallel variant of
+/// [`run_core_beaconing_windowed_telemetry`](crate::driver::run_core_beaconing_windowed_telemetry):
+/// same topology semantics, same determinism-per-seed guarantee, sharded
+/// across `threads` workers. Any two runs with the same seed produce
+/// identical results for **every** thread count.
+pub fn run_core_beaconing_parallel(
+    topo: &AsTopology,
+    cfg: &BeaconingConfig,
+    warmup: Duration,
+    window: Duration,
+    seed: u64,
+    threads: usize,
+    tel: &mut Telemetry,
+) -> BeaconingOutcome {
+    run_parallel(
+        topo,
+        cfg,
+        warmup,
+        window,
+        seed,
+        threads,
+        core_participants(topo),
+        None,
+        None,
+        tel,
+    )
+    .0
+}
+
+/// Parallel variant of
+/// [`run_intra_isd_beaconing_windowed_telemetry`](crate::driver::run_intra_isd_beaconing_windowed_telemetry).
+pub fn run_intra_isd_beaconing_parallel(
+    topo: &AsTopology,
+    cfg: &BeaconingConfig,
+    warmup: Duration,
+    window: Duration,
+    seed: u64,
+    threads: usize,
+    tel: &mut Telemetry,
+) -> BeaconingOutcome {
+    run_parallel(
+        topo,
+        cfg,
+        warmup,
+        window,
+        seed,
+        threads,
+        intra_participants(topo),
+        None,
+        None,
+        tel,
+    )
+    .0
+}
+
+/// Parallel variant of
+/// [`run_core_beaconing_lossy`](crate::driver::run_core_beaconing_lossy):
+/// the loss plane, reliable channel, and optional fault plane all compose
+/// with sharded execution (stochastic draws happen in the serial merge, so
+/// they stay thread-count invariant).
+#[allow(clippy::too_many_arguments)]
+pub fn run_core_beaconing_parallel_lossy(
+    topo: &AsTopology,
+    cfg: &BeaconingConfig,
+    warmup: Duration,
+    window: Duration,
+    seed: u64,
+    threads: usize,
+    lossy: &LossyConfig,
+    chaos: Option<&ChaosConfig<'_>>,
+    tel: &mut Telemetry,
+) -> (BeaconingOutcome, ChaosReport, LossReport) {
+    run_parallel(
+        topo,
+        cfg,
+        warmup,
+        window,
+        seed,
+        threads,
+        core_participants(topo),
+        chaos,
+        Some(lossy),
+        tel,
+    )
+}
+
+/// Work shipped to one worker: all of one AS's window events, in window
+/// order, plus the AS-owned state they mutate.
+struct ShardTask {
+    node: AsIndex,
+    server: Option<BeaconServer>,
+    /// This AS's dedup slot (reliable runs; empty and unused otherwise).
+    seen: HashSet<u64>,
+    jobs: Vec<Job>,
+}
+
+struct Job {
+    t: SimTime,
+    kind: JobKind,
+}
+
+enum JobKind {
+    Tick,
+    Pcb {
+        via: LinkIndex,
+        id: Option<MsgId>,
+        pcb: Arc<Pcb>,
+    },
+}
+
+/// Shard-phase result of one job; the merge replays its side effects.
+enum JobResult {
+    Tick {
+        /// Sends in stable `(AS, egress LinkIndex)` order.
+        sends: Vec<(Propagation, SendKind)>,
+        selection_ns: u64,
+        origination_ns: u64,
+    },
+    Pcb {
+        id: Option<MsgId>,
+        via: LinkIndex,
+        origin: IsdAsn,
+        hops: u32,
+        duplicate: bool,
+        /// `None` when duplicate or no server at the target.
+        handled: Option<Result<BeaconOutcome, DropReason>>,
+    },
+}
+
+/// One window event in pop order, pointing at its shard result (if any).
+enum Pending {
+    /// Delivery dropped at arrival: its link was down.
+    Dropped,
+    /// Incoming ack (global channel state; merge-only).
+    AckIn { id: MsgId },
+    /// Sharded job: `results[task][slot]`.
+    Job { task: usize, slot: usize },
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_parallel(
+    topo: &AsTopology,
+    cfg: &BeaconingConfig,
+    warmup: Duration,
+    window: Duration,
+    seed: u64,
+    threads: usize,
+    participants: Vec<Option<Participant>>,
+    chaos: Option<&ChaosConfig<'_>>,
+    lossy: Option<&LossyConfig>,
+    tel: &mut Telemetry,
+) -> (BeaconingOutcome, ChaosReport, LossReport) {
+    let pool = WorkerPool::new(threads);
+    let sim_duration = warmup + window;
+    let trust = TrustStore::bootstrap(
+        topo.as_indices()
+            .map(|i| (topo.node(i).ia, topo.node(i).core)),
+        SimTime::ZERO + sim_duration + cfg.pcb_lifetime + Duration::from_days(1),
+    );
+    let latency = LatencyModel::default_for(topo, seed);
+    let end = SimTime::ZERO + sim_duration;
+    let record_from = SimTime::ZERO + warmup;
+
+    // Conservative lookahead: no message can arrive sooner than the
+    // smallest (possibly degraded) link delay, so all queued events within
+    // a window of that width are causally closed. Degradations with a
+    // factor above 100% only lengthen delays; those below shrink the
+    // window accordingly.
+    let lookahead = {
+        let mut la = latency.min_delay();
+        if let Some(chaos) = chaos {
+            let min_pct = chaos
+                .schedule
+                .events()
+                .iter()
+                .filter_map(|(_, f)| match f {
+                    LinkFault::Degrade { factor_pct, .. } => Some(*factor_pct),
+                    _ => None,
+                })
+                .min()
+                .unwrap_or(100)
+                .min(100);
+            la = Duration::from_micros(la.as_micros().saturating_mul(min_pct as u64) / 100);
+        }
+        la
+    };
+    assert!(
+        lookahead > Duration::ZERO,
+        "parallel beaconing requires a nonzero minimum link delay \
+         (a zero-delay link makes every event causally adjacent)"
+    );
+    assert!(
+        cfg.interval >= lookahead,
+        "beaconing interval shorter than the lookahead window"
+    );
+    if let Some(rc) = lossy.and_then(|lc| lc.reliable) {
+        assert!(
+            rc.base_timeout >= lookahead,
+            "retransmit base timeout shorter than the lookahead window"
+        );
+    }
+
+    let mut servers: Vec<Option<BeaconServer>> = participants
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            p.as_ref()
+                .map(|_| BeaconServer::new(topo, AsIndex(i as u32), *cfg))
+        })
+        .collect();
+
+    let mut engine: Engine<BeaconMsg> = Engine::new();
+    let mut traffic = InterfaceTraffic::new();
+    let mut delivered = 0u64;
+
+    let mut loss = lossy.map(|lc| LossModel::uniform(topo, lc.loss, lc.jitter_max, seed));
+    let mut rel: Option<ReliableSender<ReliablePayload>> =
+        lossy.and_then(|lc| lc.reliable).map(|mut rc| {
+            rc.seed ^= seed;
+            ReliableSender::new(rc)
+        });
+    let dedup_enabled = rel.is_some();
+    // Parallel stand-in for `DedupReceiver`: the per-AS seen-sets travel
+    // into shards with their server; the duplicate count stays here.
+    let mut seen_slots: Vec<HashSet<u64>> = if dedup_enabled {
+        vec![HashSet::new(); topo.num_ases()]
+    } else {
+        Vec::new()
+    };
+    let mut duplicates: u64 = 0;
+    let mut next_retx_wakeup: Option<SimTime> = None;
+    let mut loss_report = LossReport::default();
+
+    let interval_us = cfg.interval.as_micros();
+    for (i, p) in participants.iter().enumerate() {
+        if p.is_some() {
+            let offset = (i as u64).wrapping_mul(104_729) % interval_us;
+            engine.schedule_timer(SimTime::from_micros(offset), AsIndex(i as u32), KIND_TICK);
+        }
+    }
+    if tel.is_enabled() {
+        engine.schedule_timer(SimTime::ZERO, AsIndex(0), KIND_SAMPLE);
+    }
+
+    let mut link_state = chaos.map(|_| LinkState::new(topo));
+    let mut fault_cursor = 0usize;
+    let mut report = ChaosReport::default();
+    if let Some(chaos) = chaos {
+        for t in chaos.schedule.fire_times() {
+            if t < end {
+                engine.schedule_timer(t, AsIndex(0), KIND_FAULT);
+            }
+        }
+        if !chaos.probe_cadence.is_zero() {
+            engine.schedule_timer(SimTime::ZERO + chaos.probe_cadence, AsIndex(0), KIND_PROBE);
+        }
+    }
+
+    let mut in_flight: u64 = 0;
+    let timed = tel.profile.is_enabled();
+    let shardable = |ev: &Event<BeaconMsg>| {
+        matches!(
+            ev,
+            Event::Deliver { .. }
+                | Event::Timer {
+                    kind: KIND_TICK,
+                    ..
+                }
+        )
+    };
+
+    let mut batch: Vec<(SimTime, Event<BeaconMsg>)> = Vec::new();
+    let mut pending: Vec<(SimTime, Pending)> = Vec::new();
+    let mut pending_sends: Vec<(SimTime, AsIndex, LinkIndex, BeaconMsg)> = Vec::new();
+    // AS index -> task slot for the current window (usize::MAX = none).
+    let mut task_of: Vec<usize> = vec![usize::MAX; topo.num_ases()];
+
+    while let Some(t0) = engine.peek_time() {
+        if t0 >= end {
+            break;
+        }
+        batch.clear();
+        {
+            let _g = tel.profile.scope(phase::PAR_POP);
+            let deadline = (t0 + lookahead).min(end);
+            engine.pop_batch_until(deadline, shardable, &mut batch);
+        }
+
+        // Globally-ordered events travel as a batch of one and reuse the
+        // serial driver's logic verbatim.
+        if batch.len() == 1 && !shardable(&batch[0].1) {
+            let (now, ev) = batch.pop().expect("one event");
+            match ev {
+                Event::Timer {
+                    kind: KIND_SAMPLE, ..
+                } => {
+                    sample_gauges(tel, now, &engine, in_flight, &servers, &traffic);
+                    engine.schedule_timer(now + tel.config.sample_cadence, AsIndex(0), KIND_SAMPLE);
+                }
+                Event::Timer {
+                    kind: KIND_FAULT, ..
+                } => {
+                    let chaos = chaos.expect("fault timer only in chaos runs");
+                    let ls = link_state.as_mut().expect("chaos implies link state");
+                    let events = chaos.schedule.events();
+                    while fault_cursor < events.len() && events[fault_cursor].0 <= now {
+                        let (_, fault) = events[fault_cursor];
+                        fault_cursor += 1;
+                        if ls.apply(&fault) {
+                            report.fault_events_applied += 1;
+                            tel.inc(ids::CHAOS_FAULT_EVENTS, Label::Global, 1);
+                            match fault {
+                                LinkFault::LinkDown(li) => {
+                                    tel.trace_event(now, || TraceEvent::LinkDown { link: li.0 });
+                                }
+                                LinkFault::LinkUp(li) => {
+                                    tel.trace_event(now, || TraceEvent::LinkUp { link: li.0 });
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                    let cancelled = engine.cancel_deliveries(|_, via, _| !ls.link_usable(via));
+                    if cancelled > 0 {
+                        in_flight = in_flight.saturating_sub(cancelled);
+                        report.cancelled_in_flight += cancelled;
+                        tel.inc(ids::CHAOS_INFLIGHT_CANCELLED, Label::Global, cancelled);
+                    }
+                    tel.sample(
+                        now,
+                        ids::CHAOS_LINKS_DOWN,
+                        Label::Global,
+                        ls.links_down() as f64,
+                    );
+                }
+                Event::Timer {
+                    kind: KIND_PROBE, ..
+                } => {
+                    let chaos = chaos.expect("probe timer only in chaos runs");
+                    let ls = link_state.as_ref().expect("chaos implies link state");
+                    let probe = probe_reachability(topo, &servers, ls, chaos.probe_pairs, now);
+                    tel.sample(
+                        now,
+                        ids::CHAOS_LIVE_PAIR_FRACTION,
+                        Label::Global,
+                        probe.fraction(),
+                    );
+                    report.probes.push(probe);
+                    engine.schedule_timer(now + chaos.probe_cadence, AsIndex(0), KIND_PROBE);
+                }
+                Event::Timer {
+                    kind: KIND_RETX, ..
+                } => {
+                    next_retx_wakeup = None;
+                    if let Some(r) = rel.as_mut() {
+                        for action in r.due_actions(now) {
+                            tel.inc(ids::RELIABLE_TIMEOUTS, Label::Global, 1);
+                            match action {
+                                TimeoutAction::Retransmit {
+                                    id,
+                                    to,
+                                    via,
+                                    payload,
+                                } => {
+                                    tel.inc(
+                                        ids::RELIABLE_RETRANSMITS,
+                                        Label::As(payload.from.0),
+                                        1,
+                                    );
+                                    transmit(
+                                        now,
+                                        record_from,
+                                        payload.from,
+                                        to,
+                                        via,
+                                        payload.egress_if,
+                                        payload.bytes,
+                                        BeaconMsg::Pcb {
+                                            id: Some(id),
+                                            pcb: payload.pcb,
+                                        },
+                                        false,
+                                        &mut engine,
+                                        &latency,
+                                        link_state.as_ref(),
+                                        loss.as_mut(),
+                                        &mut traffic,
+                                        tel,
+                                        &mut report,
+                                        &mut in_flight,
+                                    );
+                                }
+                                TimeoutAction::GiveUp { .. } => {
+                                    tel.inc(ids::RELIABLE_GIVE_UPS, Label::Global, 1);
+                                }
+                            }
+                        }
+                        arm_retx(&mut engine, r, &mut next_retx_wakeup);
+                    }
+                }
+                ev => unreachable!("non-shardable event {ev:?} not handled"),
+            }
+            continue;
+        }
+
+        // ── Group the window by target AS ────────────────────────────────
+        let mut tasks: Vec<ShardTask> = Vec::new();
+        pending.clear();
+        for (t, ev) in batch.drain(..) {
+            match ev {
+                Event::Timer { node, .. } => {
+                    let ti = claim_task(
+                        &mut tasks,
+                        &mut task_of,
+                        &mut servers,
+                        &mut seen_slots,
+                        node,
+                    );
+                    tasks[ti].jobs.push(Job {
+                        t,
+                        kind: JobKind::Tick,
+                    });
+                    let slot = tasks[ti].jobs.len() - 1;
+                    pending.push((t, Pending::Job { task: ti, slot }));
+                }
+                Event::Deliver { to, via, msg } => {
+                    // Link state is frozen for the whole window (fault
+                    // timers are non-shardable), so this check commutes
+                    // with sharding.
+                    if let Some(ls) = &link_state {
+                        if !ls.link_usable(via) {
+                            pending.push((t, Pending::Dropped));
+                            continue;
+                        }
+                    }
+                    match msg {
+                        BeaconMsg::Ack { id } => pending.push((t, Pending::AckIn { id })),
+                        BeaconMsg::Pcb { id, pcb } => {
+                            let ti = claim_task(
+                                &mut tasks,
+                                &mut task_of,
+                                &mut servers,
+                                &mut seen_slots,
+                                to,
+                            );
+                            tasks[ti].jobs.push(Job {
+                                t,
+                                kind: JobKind::Pcb { via, id, pcb },
+                            });
+                            let slot = tasks[ti].jobs.len() - 1;
+                            pending.push((t, Pending::Job { task: ti, slot }));
+                        }
+                    }
+                }
+            }
+        }
+
+        // ── Shard: per-AS work on the pool, results in input order ───────
+        let participants_ref: &[Option<Participant>] = &participants;
+        let mut results: Vec<(ShardTask, Vec<Option<JobResult>>)> = {
+            let _g = tel.profile.scope(phase::PAR_SHARD);
+            pool.run_ordered(tasks, |_, mut task| {
+                let jobs = std::mem::take(&mut task.jobs);
+                let mut out = Vec::with_capacity(jobs.len());
+                for job in jobs {
+                    let r = match job.kind {
+                        JobKind::Tick => {
+                            let p = participants_ref[task.node.as_usize()]
+                                .as_ref()
+                                .expect("tick only for participants");
+                            let srv = task.server.as_mut().expect("server exists for participant");
+                            let iv = srv.run_interval_outcome(
+                                topo,
+                                &trust,
+                                job.t,
+                                &p.egress,
+                                p.originates,
+                                &p.peers,
+                                timed,
+                            );
+                            let mut sends = iv.sends;
+                            // Stable (AS, egress LinkIndex) send order: the
+                            // AS component is fixed by pop order, the link
+                            // component here.
+                            sends.sort_by_key(|(pr, _)| pr.egress_link);
+                            JobResult::Tick {
+                                sends,
+                                selection_ns: iv.selection_ns,
+                                origination_ns: iv.origination_ns,
+                            }
+                        }
+                        JobKind::Pcb { via, id, pcb } => {
+                            let origin = pcb.origin;
+                            let hops = pcb.hop_count() as u32;
+                            let duplicate = match id {
+                                Some(mid) if dedup_enabled => !task.seen.insert(mid.0),
+                                _ => false,
+                            };
+                            let handled = match task.server.as_mut() {
+                                Some(server) if !duplicate => {
+                                    let owned =
+                                        Arc::try_unwrap(pcb).unwrap_or_else(|s| (*s).clone());
+                                    Some(server.handle_beacon_outcome(
+                                        owned, via, topo, &trust, job.t, timed,
+                                    ))
+                                }
+                                _ => None,
+                            };
+                            JobResult::Pcb {
+                                id,
+                                via,
+                                origin,
+                                hops,
+                                duplicate,
+                                handled,
+                            }
+                        }
+                    };
+                    out.push(Some(r));
+                }
+                (task, out)
+            })
+        };
+
+        // Give the AS-owned state back before merging.
+        for (task, _) in results.iter_mut() {
+            let n = task.node.as_usize();
+            task_of[n] = usize::MAX;
+            servers[n] = task.server.take();
+            if dedup_enabled {
+                seen_slots[n] = std::mem::take(&mut task.seen);
+            }
+        }
+
+        // ── Merge: replay side effects serially, in pop order ────────────
+        let merge_started = timed.then(Instant::now);
+        for (t, p) in pending.drain(..) {
+            match p {
+                Pending::Dropped => {
+                    in_flight = in_flight.saturating_sub(1);
+                    report.drops_on_down_link += 1;
+                    tel.inc(ids::CHAOS_DELIVERIES_DROPPED, Label::Global, 1);
+                }
+                Pending::AckIn { id } => {
+                    in_flight = in_flight.saturating_sub(1);
+                    if let Some(r) = rel.as_mut() {
+                        if r.on_ack(id) {
+                            tel.inc(ids::RELIABLE_ACKS, Label::Global, 1);
+                        }
+                    }
+                }
+                Pending::Job { task, slot } => {
+                    let node = results[task].0.node;
+                    let result = results[task].1[slot].take().expect("each slot merged once");
+                    match result {
+                        JobResult::Pcb {
+                            id,
+                            via,
+                            origin,
+                            hops,
+                            duplicate,
+                            handled,
+                        } => {
+                            in_flight = in_flight.saturating_sub(1);
+                            if let Some(id) = id {
+                                let (back, local_if, _) = topo.link(via).opposite(node);
+                                if transmit_batched(
+                                    t,
+                                    record_from,
+                                    node,
+                                    back,
+                                    via,
+                                    local_if,
+                                    wire::RELIABLE_ACK,
+                                    BeaconMsg::Ack { id },
+                                    false,
+                                    &mut pending_sends,
+                                    &latency,
+                                    link_state.as_ref(),
+                                    loss.as_mut(),
+                                    &mut traffic,
+                                    tel,
+                                    &mut report,
+                                    &mut in_flight,
+                                ) {
+                                    loss_report.acks_sent += 1;
+                                    loss_report.ack_bytes += wire::RELIABLE_ACK;
+                                }
+                                if duplicate {
+                                    duplicates += 1;
+                                    tel.inc(ids::RELIABLE_DUPLICATES, Label::Global, 1);
+                                    continue;
+                                }
+                            }
+                            if let Some(res) = handled {
+                                if t >= record_from {
+                                    delivered += 1;
+                                }
+                                if tel.is_enabled() {
+                                    tel.inc(ids::BEACONS_DELIVERED, Label::As(node.0), 1);
+                                    let (n, l) = (node.0, via.0);
+                                    tel.trace_event(t, || TraceEvent::PcbDelivered {
+                                        node: n,
+                                        origin,
+                                        link: l,
+                                        hops,
+                                    });
+                                }
+                                match res {
+                                    Err(_) => {
+                                        tel.inc(ids::BEACONS_DROPPED, Label::As(node.0), 1);
+                                    }
+                                    Ok(out) => {
+                                        if timed && cfg.verify_on_receive {
+                                            tel.profile
+                                                .record_ns(phase::VERIFICATION, out.verify_ns);
+                                        }
+                                        servers[node.as_usize()]
+                                            .as_ref()
+                                            .expect("handled implies server")
+                                            .replay_beacon_telemetry(&out, t, tel);
+                                    }
+                                }
+                            }
+                        }
+                        JobResult::Tick {
+                            sends,
+                            selection_ns,
+                            origination_ns,
+                        } => {
+                            if timed {
+                                tel.profile.record_ns(phase::SELECTION, selection_ns);
+                                if sends
+                                    .iter()
+                                    .any(|(_, k)| matches!(k, SendKind::Originated { .. }))
+                                {
+                                    tel.profile.record_ns(phase::ORIGINATION, origination_ns);
+                                }
+                            }
+                            if let Some(srv) = servers[node.as_usize()].as_ref() {
+                                srv.replay_interval_telemetry(&sends, t, tel);
+                            }
+                            for (prop, _) in sends {
+                                let pcb = Arc::new(prop.pcb);
+                                let id = rel.as_mut().map(|r| {
+                                    r.register(
+                                        t,
+                                        prop.to,
+                                        prop.egress_link,
+                                        ReliablePayload {
+                                            from: node,
+                                            egress_if: prop.egress_if,
+                                            bytes: prop.bytes,
+                                            pcb: pcb.clone(),
+                                        },
+                                    )
+                                });
+                                transmit_batched(
+                                    t,
+                                    record_from,
+                                    node,
+                                    prop.to,
+                                    prop.egress_link,
+                                    prop.egress_if,
+                                    prop.bytes,
+                                    BeaconMsg::Pcb { id, pcb },
+                                    true,
+                                    &mut pending_sends,
+                                    &latency,
+                                    link_state.as_ref(),
+                                    loss.as_mut(),
+                                    &mut traffic,
+                                    tel,
+                                    &mut report,
+                                    &mut in_flight,
+                                );
+                            }
+                            if let Some(r) = &rel {
+                                arm_retx(&mut engine, r, &mut next_retx_wakeup);
+                            }
+                            engine.schedule_timer(t + cfg.interval, node, KIND_TICK);
+                        }
+                    }
+                }
+            }
+        }
+        engine.send_batch(pending_sends.drain(..));
+        if let Some(start) = merge_started {
+            let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            tel.profile.record_ns(phase::PAR_MERGE, ns);
+        }
+    }
+
+    if let Some(l) = &loss {
+        loss_report.transmissions = l.transmissions();
+        loss_report.messages_lost = l.losses();
+    }
+    if let Some(r) = &rel {
+        let s = r.stats();
+        loss_report.retransmits = s.retransmits;
+        loss_report.timeouts = s.timeouts;
+        loss_report.give_ups = s.give_ups;
+        loss_report.acks_received = s.acked;
+        loss_report.unacked_at_end = r.pending_len() as u64;
+    }
+    loss_report.duplicates_suppressed = duplicates;
+
+    (
+        BeaconingOutcome {
+            traffic,
+            servers,
+            sim_duration: window,
+            beacons_delivered: delivered,
+            events_processed: engine.events_processed(),
+        },
+        report,
+        loss_report,
+    )
+}
+
+/// Finds or creates the window task of `node`, moving the AS-owned state
+/// (server, dedup slot) into it.
+fn claim_task(
+    tasks: &mut Vec<ShardTask>,
+    task_of: &mut [usize],
+    servers: &mut [Option<BeaconServer>],
+    seen_slots: &mut [HashSet<u64>],
+    node: AsIndex,
+) -> usize {
+    let n = node.as_usize();
+    if task_of[n] == usize::MAX {
+        task_of[n] = tasks.len();
+        tasks.push(ShardTask {
+            node,
+            server: servers[n].take(),
+            seen: seen_slots
+                .get_mut(n)
+                .map(std::mem::take)
+                .unwrap_or_default(),
+            jobs: Vec::new(),
+        });
+    }
+    task_of[n]
+}
+
+/// The merge step's transmission: identical accounting to
+/// [`crate::driver::transmit`], but the departure instant is the
+/// *originating event's* timestamp (which trails the engine clock inside a
+/// window) and the arrival is appended to `out` for one batched
+/// [`Engine::send_batch`] insertion per window.
+#[allow(clippy::too_many_arguments)]
+fn transmit_batched(
+    t: SimTime,
+    record_from: SimTime,
+    from: AsIndex,
+    to: AsIndex,
+    via: LinkIndex,
+    egress_if: IfId,
+    bytes: u64,
+    msg: BeaconMsg,
+    count_as_beacon: bool,
+    out: &mut Vec<(SimTime, AsIndex, LinkIndex, BeaconMsg)>,
+    latency: &LatencyModel,
+    link_state: Option<&LinkState>,
+    loss: Option<&mut LossModel>,
+    traffic: &mut InterfaceTraffic,
+    tel: &mut Telemetry,
+    report: &mut ChaosReport,
+    in_flight: &mut u64,
+) -> bool {
+    if let Some(ls) = link_state {
+        if !ls.link_usable(via) {
+            report.sends_suppressed += 1;
+            tel.inc(ids::CHAOS_DELIVERIES_DROPPED, Label::Global, 1);
+            return false;
+        }
+    }
+    if t >= record_from {
+        traffic.record_sent(from, egress_if, bytes);
+    }
+    if count_as_beacon {
+        tel.inc(ids::BEACONS_SENT, Label::As(from.0), 1);
+        tel.inc(ids::BEACONS_SENT_BYTES, Label::As(from.0), bytes);
+    }
+    let base_delay = latency.delay(via);
+    let mut delay = match link_state {
+        Some(ls) => ls.degraded_delay(via, base_delay),
+        None => base_delay,
+    };
+    if let Some(loss) = loss {
+        match loss.transmit(via) {
+            Transmission::Lost => {
+                tel.inc(ids::LOSS_MESSAGES_DROPPED, Label::Global, 1);
+                return true;
+            }
+            Transmission::Delivered { jitter } => delay += jitter,
+        }
+    }
+    *in_flight += 1;
+    out.push((t + delay, to, via, msg));
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BeaconingConfig;
+    use crate::driver::{run_core_beaconing, run_core_beaconing_lossy};
+    use scion_topology::{topology_from_edges, Relationship};
+
+    fn ring_of_cores(n: u64) -> AsTopology {
+        let mut edges = Vec::new();
+        for i in 1..=n {
+            let j = i % n + 1;
+            edges.push((i, j, Relationship::PeerToPeer, 1));
+        }
+        let mut t = topology_from_edges(&edges);
+        for idx in t.as_indices().collect::<Vec<_>>() {
+            t.set_core(idx, true);
+        }
+        t
+    }
+
+    #[test]
+    fn parallel_discovers_all_origins() {
+        let topo = ring_of_cores(6);
+        let out = run_core_beaconing_parallel(
+            &topo,
+            &BeaconingConfig::default(),
+            Duration::ZERO,
+            Duration::from_hours(2),
+            1,
+            4,
+            &mut Telemetry::disabled(),
+        );
+        let now = SimTime::ZERO + Duration::from_hours(2);
+        for idx in topo.as_indices() {
+            let srv = out.server(idx).expect("core participates");
+            for origin_idx in topo.as_indices() {
+                if origin_idx == idx {
+                    continue;
+                }
+                let origin = topo.node(origin_idx).ia;
+                assert!(
+                    !srv.store().beacons_of(origin, now).is_empty(),
+                    "{} has no beacon from {}",
+                    topo.node(idx).ia,
+                    origin
+                );
+            }
+        }
+        assert!(out.total_bytes() > 0);
+        assert!(out.beacons_delivered > 0);
+    }
+
+    #[test]
+    fn parallel_outcome_is_thread_count_invariant() {
+        let topo = ring_of_cores(6);
+        let cfg = BeaconingConfig::diversity();
+        let go = |threads: usize| {
+            run_core_beaconing_parallel(
+                &topo,
+                &cfg,
+                Duration::from_secs(1000),
+                Duration::from_secs(3000),
+                9,
+                threads,
+                &mut Telemetry::disabled(),
+            )
+        };
+        let a = go(1);
+        for threads in [2, 3, 8] {
+            let b = go(threads);
+            assert_eq!(a.total_bytes(), b.total_bytes(), "threads={threads}");
+            assert_eq!(
+                a.beacons_delivered, b.beacons_delivered,
+                "threads={threads}"
+            );
+            assert_eq!(
+                a.traffic.per_interface(),
+                b.traffic.per_interface(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_lossy_reliable_is_thread_count_invariant() {
+        let topo = ring_of_cores(6);
+        let cfg = BeaconingConfig {
+            interval: Duration::from_secs(100),
+            ..BeaconingConfig::diversity()
+        };
+        let go = |threads: usize| {
+            run_core_beaconing_parallel_lossy(
+                &topo,
+                &cfg,
+                Duration::ZERO,
+                Duration::from_secs(4000),
+                11,
+                threads,
+                &LossyConfig::reliable(0.2),
+                None,
+                &mut Telemetry::disabled(),
+            )
+        };
+        let (a_out, _, a_rep) = go(1);
+        assert!(a_rep.messages_lost > 0, "20% loss must drop something");
+        assert!(a_rep.retransmits > 0, "drops must trigger retransmits");
+        for threads in [2, 8] {
+            let (b_out, _, b_rep) = go(threads);
+            assert_eq!(
+                a_out.total_bytes(),
+                b_out.total_bytes(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                a_out.beacons_delivered, b_out.beacons_delivered,
+                "threads={threads}"
+            );
+            assert_eq!(a_rep, b_rep, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_delivers_as_much_as_serial() {
+        // The parallel path reorders within-tick sends and batches queue
+        // insertion, so byte-exact equality with the serial driver is not
+        // part of the contract — but protocol-level outcomes must agree.
+        let topo = ring_of_cores(6);
+        let cfg = BeaconingConfig::default();
+        let serial = run_core_beaconing(&topo, &cfg, Duration::from_hours(1), 7);
+        let par = run_core_beaconing_parallel(
+            &topo,
+            &cfg,
+            Duration::ZERO,
+            Duration::from_hours(1),
+            7,
+            4,
+            &mut Telemetry::disabled(),
+        );
+        assert_eq!(serial.beacons_delivered, par.beacons_delivered);
+        assert_eq!(serial.total_bytes(), par.total_bytes());
+    }
+
+    #[test]
+    fn parallel_lossless_matches_serial_lossy_control() {
+        let topo = ring_of_cores(5);
+        let cfg = BeaconingConfig::default();
+        let lossless = LossyConfig {
+            loss: 0.0,
+            jitter_max: Duration::ZERO,
+            reliable: None,
+        };
+        let (s_out, _, s_rep) = run_core_beaconing_lossy(
+            &topo,
+            &cfg,
+            Duration::ZERO,
+            Duration::from_hours(1),
+            9,
+            &lossless,
+            None,
+            &mut Telemetry::disabled(),
+        );
+        let (p_out, _, p_rep) = run_core_beaconing_parallel_lossy(
+            &topo,
+            &cfg,
+            Duration::ZERO,
+            Duration::from_hours(1),
+            9,
+            3,
+            &lossless,
+            None,
+            &mut Telemetry::disabled(),
+        );
+        assert_eq!(s_out.beacons_delivered, p_out.beacons_delivered);
+        assert_eq!(s_out.total_bytes(), p_out.total_bytes());
+        assert_eq!(s_rep.transmissions, p_rep.transmissions);
+        assert_eq!(s_rep.messages_lost, p_rep.messages_lost);
+    }
+}

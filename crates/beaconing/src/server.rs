@@ -13,7 +13,7 @@ use scion_types::{Duration, IfId, IsdAsn, SimTime};
 use crate::baseline::BaselineAlgorithm;
 use crate::config::{Algorithm, BeaconingConfig};
 use crate::diversity::DiversityAlgorithm;
-use crate::store::{BeaconStore, StoredBeacon};
+use crate::store::{BeaconStore, EvictedBeacon, StoredBeacon};
 
 /// One candidate egress: the link, its local interface id, and the
 /// neighbor on the far side.
@@ -68,6 +68,63 @@ pub enum DropReason {
     Loop,
     /// Validation failed.
     Invalid(PcbError),
+}
+
+/// Everything a caller needs to account for one accepted beacon *after*
+/// the fact: store effects, delivery-histogram observations, and the
+/// verification wall-clock.
+///
+/// This is the shard-phase output of the parallel driver — the expensive
+/// work (signature verification, store admission) runs on a worker thread,
+/// and the serial merge step replays counters and traces from this record
+/// in deterministic event order.
+#[derive(Clone, Debug)]
+pub struct BeaconOutcome {
+    /// The store changed (new path or fresher instance).
+    pub changed: bool,
+    /// An entry was evicted to make room.
+    pub evicted: Option<EvictedBeacon>,
+    /// Origin AS of the handled beacon.
+    pub origin: IsdAsn,
+    /// Hop count of the handled beacon.
+    pub hops: u32,
+    /// Beacon age at delivery, seconds of virtual time.
+    pub age_secs: f64,
+    /// Wall-clock nanoseconds spent verifying (0 when verification was
+    /// skipped or not timed). Wall-clock feeds only the profiler, which is
+    /// exempt from the determinism guarantee.
+    pub verify_ns: u64,
+}
+
+/// Why one outgoing send of an interval exists — the trace/counter info
+/// the driver needs, separated from the [`Propagation`] itself so the
+/// parallel merge can replay telemetry deterministically.
+#[derive(Clone, Copy, Debug)]
+pub enum SendKind {
+    /// A fresh origination with this sequence number.
+    Originated {
+        /// Origination sequence number.
+        seq: u32,
+    },
+    /// An extension of a stored beacon.
+    Propagated {
+        /// Origin of the extended beacon.
+        origin: IsdAsn,
+        /// Hop count after extension.
+        hops: u32,
+    },
+}
+
+/// Output of one beaconing interval, with per-send provenance and phase
+/// wall-clocks (shard-phase output of the parallel driver).
+#[derive(Debug, Default)]
+pub struct IntervalOutcome {
+    /// The sends, each with its provenance.
+    pub sends: Vec<(Propagation, SendKind)>,
+    /// Wall-clock nanoseconds of the selection/scoring phase (0 untimed).
+    pub selection_ns: u64,
+    /// Wall-clock nanoseconds spent signing originations (0 untimed).
+    pub origination_ns: u64,
 }
 
 enum AlgorithmState {
@@ -148,25 +205,56 @@ impl BeaconServer {
         now: SimTime,
         tel: &mut Telemetry,
     ) -> Result<bool, DropReason> {
-        let node = self.idx.0;
+        let timed = tel.profile.is_enabled();
+        match self.handle_beacon_outcome(pcb, via, topo, trust, now, timed) {
+            Err(e) => {
+                tel.inc(ids::BEACONS_DROPPED, Label::As(self.idx.0), 1);
+                Err(e)
+            }
+            Ok(out) => {
+                if timed && self.cfg.verify_on_receive {
+                    tel.profile.record_ns(phase::VERIFICATION, out.verify_ns);
+                }
+                self.replay_beacon_telemetry(&out, now, tel);
+                Ok(out.changed)
+            }
+        }
+    }
+
+    /// Telemetry-free core of [`BeaconServer::handle_beacon`]: verifies,
+    /// admits, and returns a [`BeaconOutcome`] describing what happened so
+    /// the caller can emit counters and traces later (and elsewhere — this
+    /// is the method parallel shards call on worker threads). `timed`
+    /// enables wall-clock measurement of the verification phase.
+    ///
+    /// Receive drops are still counted on [`BeaconServer::drops`]; only
+    /// *telemetry* is deferred.
+    pub fn handle_beacon_outcome(
+        &mut self,
+        pcb: Pcb,
+        via: LinkIndex,
+        topo: &AsTopology,
+        trust: &TrustStore,
+        now: SimTime,
+        timed: bool,
+    ) -> Result<BeaconOutcome, DropReason> {
         if pcb.contains_as(self.ia) {
             self.drops += 1;
-            tel.inc(ids::BEACONS_DROPPED, Label::As(node), 1);
             return Err(DropReason::Loop);
         }
+        let mut verify_ns = 0u64;
         if self.cfg.verify_on_receive {
-            let verdict = {
-                let _g = tel.profile.scope(phase::VERIFICATION);
-                pcb.validate(trust, now)
-            };
+            let started = timed.then(std::time::Instant::now);
+            let verdict = pcb.validate(trust, now);
+            if let Some(start) = started {
+                verify_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            }
             if let Err(e) = verdict {
                 self.drops += 1;
-                tel.inc(ids::BEACONS_DROPPED, Label::As(node), 1);
                 return Err(DropReason::Invalid(e));
             }
         } else if pcb.is_expired(now) {
             self.drops += 1;
-            tel.inc(ids::BEACONS_DROPPED, Label::As(node), 1);
             return Err(DropReason::Invalid(PcbError::Expired));
         }
         let (_, local_if, _) = topo.link(via).opposite(self.idx);
@@ -182,24 +270,41 @@ impl BeaconServer {
             },
             now,
         );
-        if tel.is_enabled() {
-            tel.observe(ids::PCB_AGE_AT_DELIVERY, Label::Global, age_secs);
-            tel.observe(ids::PCB_HOPS_AT_DELIVERY, Label::Global, hops as f64);
-            if outcome.changed {
-                tel.inc(ids::STORE_INSERTS, Label::As(node), 1);
-                tel.trace_event(now, || TraceEvent::BeaconStored { node, origin, hops });
-            }
-            if let Some(ev) = outcome.evicted {
-                tel.inc(ids::STORE_EVICTIONS, Label::As(node), 1);
-                tel.trace_event(now, || TraceEvent::BeaconEvicted {
-                    node,
-                    origin: ev.origin,
-                    hops: ev.hops as u32,
-                    expired: ev.expired,
-                });
-            }
+        Ok(BeaconOutcome {
+            changed: outcome.changed,
+            evicted: outcome.evicted,
+            origin,
+            hops,
+            age_secs,
+            verify_ns,
+        })
+    }
+
+    /// Emits the counters and traces of one accepted beacon, exactly as
+    /// the inline path does (observation first, then insert/evict). Used by
+    /// both [`BeaconServer::handle_beacon_telemetry`] and the parallel
+    /// driver's merge step.
+    pub fn replay_beacon_telemetry(&self, out: &BeaconOutcome, now: SimTime, tel: &mut Telemetry) {
+        if !tel.is_enabled() {
+            return;
         }
-        Ok(outcome.changed)
+        let node = self.idx.0;
+        tel.observe(ids::PCB_AGE_AT_DELIVERY, Label::Global, out.age_secs);
+        tel.observe(ids::PCB_HOPS_AT_DELIVERY, Label::Global, out.hops as f64);
+        if out.changed {
+            let (origin, hops) = (out.origin, out.hops);
+            tel.inc(ids::STORE_INSERTS, Label::As(node), 1);
+            tel.trace_event(now, || TraceEvent::BeaconStored { node, origin, hops });
+        }
+        if let Some(ev) = out.evicted {
+            tel.inc(ids::STORE_EVICTIONS, Label::As(node), 1);
+            tel.trace_event(now, || TraceEvent::BeaconEvicted {
+                node,
+                origin: ev.origin,
+                hops: ev.hops as u32,
+                expired: ev.expired,
+            });
+        }
     }
 
     /// Runs one beaconing interval: purges expired state, runs the
@@ -257,6 +362,40 @@ impl BeaconServer {
         peer_links: &[EgressRef],
         tel: &mut Telemetry,
     ) -> Vec<Propagation> {
+        let timed = tel.profile.is_enabled();
+        let out =
+            self.run_interval_outcome(topo, trust, now, egress_links, originate, peer_links, timed);
+        if timed {
+            tel.profile.record_ns(phase::SELECTION, out.selection_ns);
+            if out
+                .sends
+                .iter()
+                .any(|(_, k)| matches!(k, SendKind::Originated { .. }))
+            {
+                tel.profile
+                    .record_ns(phase::ORIGINATION, out.origination_ns);
+            }
+        }
+        self.replay_interval_telemetry(&out.sends, now, tel);
+        out.sends.into_iter().map(|(p, _)| p).collect()
+    }
+
+    /// Telemetry-free core of the interval: purge, select, sign, extend.
+    /// Returns every send with its provenance ([`SendKind`]) plus phase
+    /// wall-clocks, so counters and traces can be replayed later by the
+    /// caller — inline in the serial driver, in the deterministic merge
+    /// step of the parallel driver.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_interval_outcome(
+        &mut self,
+        topo: &AsTopology,
+        trust: &TrustStore,
+        now: SimTime,
+        egress_links: &[EgressRef],
+        originate: bool,
+        peer_links: &[EgressRef],
+        timed: bool,
+    ) -> IntervalOutcome {
         self.store.purge_expired(now);
         let ctx = SelectionCtx {
             topo,
@@ -266,40 +405,35 @@ impl BeaconServer {
             originate,
             pcb_lifetime: self.cfg.pcb_lifetime,
         };
-        let picks = {
-            let _g = tel.profile.scope(phase::SELECTION);
-            match &mut self.algorithm {
-                AlgorithmState::Baseline(b) => b.select(&ctx, &self.store, now),
-                AlgorithmState::Diversity(d) => d.select(&ctx, &self.store, now),
-            }
+        let sel_started = timed.then(std::time::Instant::now);
+        let picks = match &mut self.algorithm {
+            AlgorithmState::Baseline(b) => b.select(&ctx, &self.store, now),
+            AlgorithmState::Diversity(d) => d.select(&ctx, &self.store, now),
         };
+        let selection_ns = sel_started
+            .map(|s| s.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+            .unwrap_or(0);
 
-        let node = self.idx.0;
-        let mut out = Vec::with_capacity(picks.len());
+        let mut origination_ns = 0u64;
+        let mut sends = Vec::with_capacity(picks.len());
         for pick in picks {
-            let pcb = match pick.source {
+            let (pcb, kind) = match pick.source {
                 PickSource::Originate => {
                     let seq = self.seq;
                     self.seq += 1;
-                    let pcb = {
-                        let _g = tel.profile.scope(phase::ORIGINATION);
-                        Pcb::originate(
-                            self.ia,
-                            pick.egress.local_if,
-                            now,
-                            self.cfg.pcb_lifetime,
-                            seq,
-                            trust,
-                        )
-                    };
-                    tel.inc(ids::BEACONS_ORIGINATED, Label::Global, 1);
-                    let egress_if = pick.egress.local_if.0;
-                    tel.trace_event(now, || TraceEvent::PcbOriginated {
-                        node,
-                        egress_if,
+                    let started = timed.then(std::time::Instant::now);
+                    let pcb = Pcb::originate(
+                        self.ia,
+                        pick.egress.local_if,
+                        now,
+                        self.cfg.pcb_lifetime,
                         seq,
-                    });
-                    pcb
+                        trust,
+                    );
+                    if let Some(start) = started {
+                        origination_ns += start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                    }
+                    (pcb, SendKind::Originated { seq })
                 }
                 PickSource::Stored(b) => {
                     let peers = peer_links
@@ -321,28 +455,63 @@ impl BeaconServer {
                     let pcb =
                         b.pcb
                             .extend(self.ia, b.ingress_if, pick.egress.local_if, peers, trust);
-                    let origin = pcb.origin;
-                    let egress_if = pick.egress.local_if.0;
-                    let hops = pcb.hop_count() as u32;
+                    let kind = SendKind::Propagated {
+                        origin: pcb.origin,
+                        hops: pcb.hop_count() as u32,
+                    };
+                    (pcb, kind)
+                }
+            };
+            let bytes = pcb.wire_size();
+            sends.push((
+                Propagation {
+                    pcb,
+                    egress_link: pick.egress.link,
+                    egress_if: pick.egress.local_if,
+                    to: pick.egress.neighbor,
+                    bytes,
+                },
+                kind,
+            ));
+        }
+        IntervalOutcome {
+            sends,
+            selection_ns,
+            origination_ns,
+        }
+    }
+
+    /// Emits the origination counter and the per-send lifecycle traces of
+    /// one interval, in send order — shared by the inline path and the
+    /// parallel merge.
+    pub fn replay_interval_telemetry(
+        &self,
+        sends: &[(Propagation, SendKind)],
+        now: SimTime,
+        tel: &mut Telemetry,
+    ) {
+        let node = self.idx.0;
+        for (p, kind) in sends {
+            let egress_if = p.egress_if.0;
+            match *kind {
+                SendKind::Originated { seq } => {
+                    tel.inc(ids::BEACONS_ORIGINATED, Label::Global, 1);
+                    tel.trace_event(now, || TraceEvent::PcbOriginated {
+                        node,
+                        egress_if,
+                        seq,
+                    });
+                }
+                SendKind::Propagated { origin, hops } => {
                     tel.trace_event(now, || TraceEvent::PcbPropagated {
                         node,
                         origin,
                         egress_if,
                         hops,
                     });
-                    pcb
                 }
-            };
-            let bytes = pcb.wire_size();
-            out.push(Propagation {
-                pcb,
-                egress_link: pick.egress.link,
-                egress_if: pick.egress.local_if,
-                to: pick.egress.neighbor,
-                bytes,
-            });
+            }
         }
-        out
     }
 }
 

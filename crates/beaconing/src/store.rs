@@ -65,10 +65,20 @@ pub struct InsertOutcome {
     pub evicted: Option<EvictedBeacon>,
 }
 
+/// A stored beacon with its interned path key: the key is computed once
+/// at admission and reused by every subsequent duplicate check, instead of
+/// being re-derived (an `O(path length)` allocation) for every stored
+/// entry on every insert.
+#[derive(Clone, Debug)]
+struct Entry {
+    key: PathKey,
+    beacon: StoredBeacon,
+}
+
 /// Per-origin beacon storage.
 #[derive(Clone, Debug, Default)]
 pub struct BeaconStore {
-    by_origin: HashMap<IsdAsn, Vec<StoredBeacon>>,
+    by_origin: HashMap<IsdAsn, Vec<Entry>>,
     limit: Option<usize>,
 }
 
@@ -97,10 +107,10 @@ impl BeaconStore {
         let key = beacon.pcb.path_key();
         let entries = self.by_origin.entry(origin).or_default();
 
-        if let Some(existing) = entries.iter_mut().find(|e| e.pcb.path_key() == key) {
-            let changed = beacon.pcb.initiated_at > existing.pcb.initiated_at;
+        if let Some(existing) = entries.iter_mut().find(|e| e.key == key) {
+            let changed = beacon.pcb.initiated_at > existing.beacon.pcb.initiated_at;
             if changed {
-                *existing = beacon;
+                existing.beacon = beacon;
             }
             return InsertOutcome {
                 changed,
@@ -108,7 +118,7 @@ impl BeaconStore {
             };
         }
 
-        entries.push(beacon);
+        entries.push(Entry { key, beacon });
         let mut evicted = None;
         if let Some(limit) = self.limit {
             if entries.len() > limit {
@@ -123,12 +133,12 @@ impl BeaconStore {
 
     /// Evicts one entry: an expired one if any, otherwise the worst
     /// (longest path, then earliest expiry, then oldest receipt).
-    fn evict(entries: &mut Vec<StoredBeacon>, now: SimTime) -> EvictedBeacon {
-        if let Some(pos) = entries.iter().position(|e| e.pcb.is_expired(now)) {
+    fn evict(entries: &mut Vec<Entry>, now: SimTime) -> EvictedBeacon {
+        if let Some(pos) = entries.iter().position(|e| e.beacon.pcb.is_expired(now)) {
             let gone = entries.remove(pos);
             return EvictedBeacon {
-                origin: gone.pcb.origin,
-                hops: gone.pcb.hop_count(),
+                origin: gone.beacon.pcb.origin,
+                hops: gone.beacon.pcb.hop_count(),
                 expired: true,
             };
         }
@@ -137,9 +147,9 @@ impl BeaconStore {
             .enumerate()
             .max_by_key(|(i, e)| {
                 (
-                    e.pcb.hop_count(),
-                    std::cmp::Reverse(e.pcb.expires_at),
-                    std::cmp::Reverse(e.received_at),
+                    e.beacon.pcb.hop_count(),
+                    std::cmp::Reverse(e.beacon.pcb.expires_at),
+                    std::cmp::Reverse(e.beacon.received_at),
                     *i,
                 )
             })
@@ -147,8 +157,8 @@ impl BeaconStore {
             .expect("non-empty");
         let gone = entries.remove(worst);
         EvictedBeacon {
-            origin: gone.pcb.origin,
-            hops: gone.pcb.hop_count(),
+            origin: gone.beacon.pcb.origin,
+            hops: gone.beacon.pcb.hop_count(),
             expired: false,
         }
     }
@@ -156,7 +166,7 @@ impl BeaconStore {
     /// Drops all expired beacons (run at the start of each interval).
     pub fn purge_expired(&mut self, now: SimTime) {
         for entries in self.by_origin.values_mut() {
-            entries.retain(|e| !e.pcb.is_expired(now));
+            entries.retain(|e| !e.beacon.pcb.is_expired(now));
         }
         self.by_origin.retain(|_, v| !v.is_empty());
     }
@@ -165,7 +175,12 @@ impl BeaconStore {
     pub fn beacons_of(&self, origin: IsdAsn, now: SimTime) -> Vec<&StoredBeacon> {
         self.by_origin
             .get(&origin)
-            .map(|v| v.iter().filter(|e| !e.pcb.is_expired(now)).collect())
+            .map(|v| {
+                v.iter()
+                    .filter(|e| !e.beacon.pcb.is_expired(now))
+                    .map(|e| &e.beacon)
+                    .collect()
+            })
             .unwrap_or_default()
     }
 

@@ -6,11 +6,11 @@
 //! ```text
 //! cargo run --release -p scion-bench --bin lossy -- \
 //!     [--scale tiny|small|paper] [--seed N] [--loss 0,0.01,0.05] \
-//!     [--telemetry DIR]
+//!     [--telemetry DIR] [--threads N]
 //! ```
 
 use scion_bench::{parse_args, write_json, write_telemetry};
-use scion_core::experiments::{run_lossy_with_rates, LOSS_RATES};
+use scion_core::experiments::{run_lossy_sweep, LOSS_RATES};
 use scion_core::report::{human_bytes, json_line, Table};
 
 fn main() {
@@ -22,7 +22,7 @@ fn main() {
         rates.len()
     );
     let mut tel = args.telemetry_handle();
-    let result = run_lossy_with_rates(args.scale, args.seed, &rates, &mut tel);
+    let result = run_lossy_sweep(args.scale, args.seed, &rates, args.thread_count(), &mut tel);
 
     println!(
         "Lossy control plane: seed {}, {} probed AS pairs, rates {:?}",

@@ -1,0 +1,65 @@
+//! Scaling sweep: wall-clock speedup and event throughput of the
+//! deterministic parallel beaconing driver versus worker-thread count.
+//!
+//! ```text
+//! cargo run --release -p scion-bench --bin scaling -- \
+//!     [--scale tiny|small|paper] [--threads 1,2,4,8]
+//! ```
+//!
+//! Prints per-thread-count wall-clock, speedup, events/sec, and the
+//! driver's phase breakdown (window pop / shard / merge), and writes the
+//! JSON record to `results/scaling.json`. Every row must report identical
+//! protocol outcomes — the run doubles as a determinism audit.
+
+use scion_bench::{parse_args, write_json};
+use scion_core::experiments::run_scaling;
+use scion_core::report::{json_line, Table};
+
+fn main() {
+    let args = parse_args();
+    let counts = args.threads.clone().unwrap_or_default();
+    eprintln!(
+        "running parallel-beaconing scaling sweep at {:?} scale…",
+        args.scale
+    );
+    let result = run_scaling(args.scale, &counts);
+
+    println!(
+        "Parallel beaconing scaling: {} core ASes, {} simulated seconds, verification on",
+        result.num_core, result.sim_secs
+    );
+    let mut table = Table::new(&[
+        "threads",
+        "wall ms",
+        "speedup",
+        "events/s",
+        "pop ms",
+        "shard ms",
+        "merge ms",
+        "delivered",
+    ]);
+    for r in &result.rows {
+        table.row(&[
+            r.threads.to_string(),
+            format!("{:.1}", r.wall_ms),
+            format!("{:.2}x", r.speedup),
+            format!("{:.0}", r.events_per_sec),
+            format!("{:.1}", r.pop_ms),
+            format!("{:.1}", r.shard_ms),
+            format!("{:.1}", r.merge_ms),
+            r.beacons_delivered.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "outcomes identical across thread counts: {}",
+        result.outcomes_identical
+    );
+    if !result.outcomes_identical {
+        eprintln!("DETERMINISM VIOLATION: outcomes differ across thread counts");
+        std::process::exit(1);
+    }
+
+    let path = write_json("scaling", &json_line(&result));
+    eprintln!("JSON written to {}", path.display());
+}

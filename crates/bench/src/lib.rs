@@ -24,9 +24,20 @@ pub struct BenchArgs {
     /// Loss-rate sweep override, when `--loss a,b,…` was given. Only the
     /// `lossy` binary consumes it; others ignore it.
     pub loss: Option<Vec<f64>>,
+    /// Worker-thread counts, when `--threads a,b,…` was given. The
+    /// `scaling` binary sweeps the whole list; single-run binaries
+    /// (`table1`, `fig5`, `lossy`) use the first entry to switch their
+    /// beaconing runs onto the parallel driver.
+    pub threads: Option<Vec<usize>>,
 }
 
 impl BenchArgs {
+    /// The single thread count of `--threads` for non-sweep binaries
+    /// (`None` when the flag was absent → serial driver).
+    pub fn thread_count(&self) -> Option<usize> {
+        self.threads.as_ref().and_then(|t| t.first().copied())
+    }
+
     /// A telemetry handle matching the CLI: recording when `--telemetry`
     /// was given, the inert no-op handle otherwise.
     pub fn telemetry_handle(&self) -> Telemetry {
@@ -48,6 +59,7 @@ pub fn parse_args() -> BenchArgs {
     let mut telemetry = None;
     let mut seed = None;
     let mut loss = None;
+    let mut threads = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
@@ -90,10 +102,22 @@ pub fn parse_args() -> BenchArgs {
                     }
                 }
             }
+            "--threads" => {
+                let v = args.next().unwrap_or_default();
+                let counts: Result<Vec<usize>, _> =
+                    v.split(',').map(|s| s.trim().parse::<usize>()).collect();
+                match counts {
+                    Ok(c) if !c.is_empty() && c.iter().all(|&n| n >= 1) => threads = Some(c),
+                    _ => {
+                        eprintln!("--threads requires comma-separated counts ≥ 1, got '{v}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: <bin> [--scale tiny|small|paper] [--tiny] [--full] \
-                     [--seed N] [--telemetry DIR] [--loss a,b,…]"
+                     [--seed N] [--telemetry DIR] [--loss a,b,…] [--threads a,b,…]"
                 );
                 std::process::exit(0);
             }
@@ -108,6 +132,7 @@ pub fn parse_args() -> BenchArgs {
         telemetry,
         seed,
         loss,
+        threads,
     }
 }
 

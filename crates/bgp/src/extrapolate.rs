@@ -70,7 +70,7 @@ pub fn synthesize_outer_population(
                 extra_hops: 1,
                 // Outer ASes are stubs: modest prefix counts, drawn from
                 // the same model keyed far outside the inner index range.
-                prefixes: prefixes.prefixes_of(inner, proxy).min(8).max(1),
+                prefixes: prefixes.prefixes_of(inner, proxy).clamp(1, 8),
             }
         })
         .collect()

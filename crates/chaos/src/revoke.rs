@@ -2,7 +2,7 @@
 //! (§4.1 "Path Revocations") driven from a [`LinkFault`].
 //!
 //! The simulator's fault plane names links by dense [`LinkIndex`]; the
-//! path-server layer names them by wire-level [`LinkId`]. This module
+//! path-server layer names them by wire-level [`LinkId`](scion_types::LinkId). This module
 //! bridges the two, delegating the accounting to
 //! [`scion_pathserver::revocation`] semantics and emitting
 //! [`TraceEvent::PathInvalidated`] per invalidated destination.

@@ -18,8 +18,8 @@ use serde::Serialize;
 
 use scion_analysis::{Cdf, Summary};
 use scion_beaconing::{
-    run_core_beaconing_windowed_telemetry, run_intra_isd_beaconing_windowed_telemetry,
-    BeaconingOutcome,
+    run_core_beaconing_parallel, run_core_beaconing_windowed_telemetry,
+    run_intra_isd_beaconing_parallel, run_intra_isd_beaconing_windowed_telemetry, BeaconingOutcome,
 };
 use scion_bgp::monthly::pick_monitors;
 use scion_bgp::{monthly_overhead, MonthlyConfig};
@@ -91,6 +91,19 @@ pub fn run_fig5(scale: ExperimentScale) -> Fig5Result {
 /// distinct run labels (`bgp_month`, `core_baseline`, `core_diversity`,
 /// `intra_isd`).
 pub fn run_fig5_telemetry(scale: ExperimentScale, tel: &mut Telemetry) -> Fig5Result {
+    run_fig5_with(scale, None, tel)
+}
+
+/// Like [`run_fig5_telemetry`], with the beaconing runs on the
+/// deterministic parallel driver when `threads` is given (`None` keeps the
+/// serial driver; both are deterministic per seed, but the two drivers'
+/// within-tick send orderings differ, so mixed-driver byte totals are not
+/// comparable).
+pub fn run_fig5_with(
+    scale: ExperimentScale,
+    threads: Option<usize>,
+    tel: &mut Telemetry,
+) -> Fig5Result {
     let params = scale.params();
     let world = World::build(params);
 
@@ -115,35 +128,51 @@ pub fn run_fig5_telemetry(scale: ExperimentScale, tel: &mut Telemetry) -> Fig5Re
         scion_beaconing::DiversityParams::default(),
     ));
     let warmup = params.pcb_lifetime;
+    let run_core = |cfg, tel: &mut Telemetry| match threads {
+        Some(n) => run_core_beaconing_parallel(
+            &world.core,
+            cfg,
+            warmup,
+            params.sim_duration,
+            params.seed,
+            n,
+            tel,
+        ),
+        None => run_core_beaconing_windowed_telemetry(
+            &world.core,
+            cfg,
+            warmup,
+            params.sim_duration,
+            params.seed,
+            tel,
+        ),
+    };
     tel.begin_run("core_baseline");
-    let core_base = run_core_beaconing_windowed_telemetry(
-        &world.core,
-        &base_cfg,
-        warmup,
-        params.sim_duration,
-        params.seed,
-        tel,
-    );
+    let core_base = run_core(&base_cfg, tel);
     tel.begin_run("core_diversity");
-    let core_div = run_core_beaconing_windowed_telemetry(
-        &world.core,
-        &div_cfg,
-        warmup,
-        params.sim_duration,
-        params.seed,
-        tel,
-    );
+    let core_div = run_core(&div_cfg, tel);
 
     // --- SCION intra-ISD beaconing (baseline only, as in §5.1). ---
     tel.begin_run("intra_isd");
-    let intra = run_intra_isd_beaconing_windowed_telemetry(
-        &world.intra,
-        &base_cfg,
-        warmup,
-        params.sim_duration,
-        params.seed,
-        tel,
-    );
+    let intra = match threads {
+        Some(n) => run_intra_isd_beaconing_parallel(
+            &world.intra,
+            &base_cfg,
+            warmup,
+            params.sim_duration,
+            params.seed,
+            n,
+            tel,
+        ),
+        None => run_intra_isd_beaconing_windowed_telemetry(
+            &world.intra,
+            &base_cfg,
+            warmup,
+            params.sim_duration,
+            params.seed,
+            tel,
+        ),
+    };
 
     // Extrapolate the beaconing window to one month.
     let month = Duration::from_days(30);
@@ -183,8 +212,10 @@ pub fn run_fig5_telemetry(scale: ExperimentScale, tel: &mut Telemetry) -> Fig5Re
     }
 }
 
+type RowProjection = Box<dyn Fn(&MonitorRow) -> Option<f64>>;
+
 fn summarize(rows: &[MonitorRow]) -> Vec<SeriesSummary> {
-    let series: [(&str, Box<dyn Fn(&MonitorRow) -> Option<f64>>); 4] = [
+    let series: [(&str, RowProjection); 4] = [
         ("BGPsec / BGP", Box::new(|r| Some(r.bgpsec_rel))),
         (
             "SCION core baseline / BGP",
@@ -199,7 +230,7 @@ fn summarize(rows: &[MonitorRow]) -> Vec<SeriesSummary> {
     series
         .iter()
         .filter_map(|(name, f)| {
-            let vals: Vec<f64> = rows.iter().filter_map(|r| f(r)).collect();
+            let vals: Vec<f64> = rows.iter().filter_map(f.as_ref()).collect();
             if vals.is_empty() {
                 return None;
             }

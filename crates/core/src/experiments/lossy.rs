@@ -22,7 +22,8 @@
 use serde::Serialize;
 
 use scion_beaconing::{
-    run_core_beaconing_lossy, Algorithm, ChaosConfig, DiversityParams, LossReport, LossyConfig,
+    run_core_beaconing_lossy, run_core_beaconing_parallel_lossy, Algorithm, ChaosConfig,
+    DiversityParams, LossReport, LossyConfig,
 };
 use scion_chaos::FaultSchedule;
 use scion_crypto::trc::TrustStore;
@@ -165,6 +166,19 @@ pub fn run_lossy_with_rates(
     rates: &[f64],
     tel: &mut Telemetry,
 ) -> LossyResult {
+    run_lossy_sweep(scale, seed_override, rates, None, tel)
+}
+
+/// Like [`run_lossy_with_rates`], with the beaconing runs on the
+/// deterministic parallel driver when `threads` is given (`None` keeps the
+/// serial driver).
+pub fn run_lossy_sweep(
+    scale: ExperimentScale,
+    seed_override: Option<u64>,
+    rates: &[f64],
+    threads: Option<usize>,
+    tel: &mut Telemetry,
+) -> LossyResult {
     let mut params = scale.params();
     if let Some(seed) = seed_override {
         params.seed = seed;
@@ -204,16 +218,29 @@ pub fn run_lossy_with_rates(
                 probe_pairs: &pairs,
                 probe_cadence: params.interval,
             };
-            let (outcome, chaos_rep, report) = run_core_beaconing_lossy(
-                topo,
-                &cfg,
-                Duration::ZERO,
-                sim,
-                seed,
-                &lossy,
-                Some(&chaos),
-                tel,
-            );
+            let (outcome, chaos_rep, report) = match threads {
+                Some(n) => run_core_beaconing_parallel_lossy(
+                    topo,
+                    &cfg,
+                    Duration::ZERO,
+                    sim,
+                    seed,
+                    n,
+                    &lossy,
+                    Some(&chaos),
+                    tel,
+                ),
+                None => run_core_beaconing_lossy(
+                    topo,
+                    &cfg,
+                    Duration::ZERO,
+                    sim,
+                    seed,
+                    &lossy,
+                    Some(&chaos),
+                    tel,
+                ),
+            };
             let total = outcome.traffic.grand_total();
             let curve: Vec<(u64, f64)> = chaos_rep
                 .probes

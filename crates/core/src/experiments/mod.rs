@@ -9,6 +9,7 @@
 //! | [`ablation`] | Ablation of the diversity algorithm's design choices (ours; DESIGN.md §6) |
 //! | [`resilience`] | Resilience under link churn — diversity vs baseline vs BGP on one fault trace (ours; §4.2 motivation) |
 //! | [`lossy`] | Robustness under stochastic message loss — reliable channel vs no-retry control across a loss-rate sweep, plus the path-server degradation leg (ours; §4.2 motivation) |
+//! | [`scaling`] | Wall-clock speedup and event throughput of the deterministic parallel beaconing driver vs worker-thread count (ours; §6 scalability) |
 //!
 //! Every runner takes an [`crate::scale::ExperimentScale`] and returns a
 //! serializable result struct; the harness binaries in `scion-bench` print
@@ -19,18 +20,20 @@ pub mod fig5;
 pub mod fig6;
 pub mod lossy;
 pub mod resilience;
+pub mod scaling;
 pub mod scionlab;
 pub mod table1;
 pub mod world;
 
 pub use ablation::run_ablation;
-pub use fig5::{run_fig5, run_fig5_telemetry};
+pub use fig5::{run_fig5, run_fig5_telemetry, run_fig5_with};
 pub use fig6::run_fig6;
 pub use lossy::{
-    run_lossy, run_lossy_telemetry, run_lossy_with_rates, DegradationStats, LossArm, LossPoint,
-    LossyResult, LOSS_RATES,
+    run_lossy, run_lossy_sweep, run_lossy_telemetry, run_lossy_with_rates, DegradationStats,
+    LossArm, LossPoint, LossyResult, LOSS_RATES,
 };
 pub use resilience::{run_resilience, run_resilience_telemetry, ResilienceResult};
+pub use scaling::{run_scaling, ScalingResult, ScalingRow, DEFAULT_THREAD_COUNTS};
 pub use scionlab::{run_fig78, run_fig9};
-pub use table1::{run_table1, run_table1_telemetry};
+pub use table1::{run_table1, run_table1_telemetry, run_table1_with};
 pub use world::World;

@@ -90,9 +90,10 @@ pub fn run_fig9(scale: ExperimentScale) -> Fig9Result {
     // every core interface.
     let active: usize = bps.len();
     let total_core_interfaces: usize = topo.core_links().len() * 2;
-    for _ in active..total_core_interfaces {
-        bps.push(0.0);
-    }
+    bps.extend(std::iter::repeat_n(
+        0.0,
+        total_core_interfaces.saturating_sub(active),
+    ));
     bps.sort_by(|a, b| a.total_cmp(b));
 
     let cdf = Cdf::new(bps.clone());

@@ -20,7 +20,8 @@
 use serde::Serialize;
 
 use scion_beaconing::{
-    run_core_beaconing_windowed_telemetry, run_intra_isd_beaconing_windowed_telemetry,
+    run_core_beaconing_parallel, run_core_beaconing_windowed_telemetry,
+    run_intra_isd_beaconing_parallel, run_intra_isd_beaconing_windowed_telemetry,
 };
 use scion_crypto::trc::TrustStore;
 use scion_pathserver::ledger::{Component, Ledger, Scope};
@@ -63,6 +64,17 @@ pub fn run_table1(scale: ExperimentScale) -> Table1Result {
 /// their own run labels plus path-server registration/lookup counters and
 /// segment-registration traces.
 pub fn run_table1_telemetry(scale: ExperimentScale, tel: &mut Telemetry) -> Table1Result {
+    run_table1_with(scale, None, tel)
+}
+
+/// Like [`run_table1_telemetry`], with the beaconing runs on the
+/// deterministic parallel driver when `threads` is given (`None` keeps the
+/// serial driver).
+pub fn run_table1_with(
+    scale: ExperimentScale,
+    threads: Option<usize>,
+    tel: &mut Telemetry,
+) -> Table1Result {
     let params = scale.params();
     let world = World::build(params);
     let duration = params.sim_duration;
@@ -71,14 +83,25 @@ pub fn run_table1_telemetry(scale: ExperimentScale, tel: &mut Telemetry) -> Tabl
     // --- Beaconing components, accounted from real runs. ---
     let cfg = params.beaconing_config(scion_beaconing::Algorithm::Baseline);
     tel.begin_run("table1_core");
-    let core_out = run_core_beaconing_windowed_telemetry(
-        &world.core,
-        &cfg,
-        Duration::ZERO,
-        duration,
-        params.seed,
-        tel,
-    );
+    let core_out = match threads {
+        Some(n) => run_core_beaconing_parallel(
+            &world.core,
+            &cfg,
+            Duration::ZERO,
+            duration,
+            params.seed,
+            n,
+            tel,
+        ),
+        None => run_core_beaconing_windowed_telemetry(
+            &world.core,
+            &cfg,
+            Duration::ZERO,
+            duration,
+            params.seed,
+            tel,
+        ),
+    };
     for ((as_idx, ifid), counter) in core_out.traffic.per_interface() {
         // Scope: a core link between ASes of different ISDs is global.
         let scope = core_link_scope(&world.core, as_idx, ifid);
@@ -98,14 +121,25 @@ pub fn run_table1_telemetry(scale: ExperimentScale, tel: &mut Telemetry) -> Tabl
     );
 
     tel.begin_run("table1_intra");
-    let intra_out = run_intra_isd_beaconing_windowed_telemetry(
-        &world.intra,
-        &cfg,
-        Duration::ZERO,
-        duration,
-        params.seed,
-        tel,
-    );
+    let intra_out = match threads {
+        Some(n) => run_intra_isd_beaconing_parallel(
+            &world.intra,
+            &cfg,
+            Duration::ZERO,
+            duration,
+            params.seed,
+            n,
+            tel,
+        ),
+        None => run_intra_isd_beaconing_windowed_telemetry(
+            &world.intra,
+            &cfg,
+            Duration::ZERO,
+            duration,
+            params.seed,
+            tel,
+        ),
+    };
     let intra_total = intra_out.traffic.grand_total();
     record_bulk(
         &mut ledger,

@@ -1,7 +1,7 @@
 //! Control-plane PKI substrate.
 //!
 //! SCION PCBs are signed hop by hop, and the paper's overhead evaluation
-//! (§5.2) "assume[s] the use of ECDSA384 signatures in both SCION and
+//! (§5.2) "assume\[s\] the use of ECDSA384 signatures in both SCION and
 //! BGPsec". What the reproduction needs from cryptography is therefore:
 //!
 //! 1. **Exact wire sizes** — a P-384 ECDSA signature is 96 bytes raw

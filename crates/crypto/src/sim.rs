@@ -44,7 +44,7 @@ impl SignDomain {
 
 /// A public key with the compressed P-384 point size.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct PublicKey(#[serde(with = "serde_bytes_49")] pub [u8; ECDSA_P384_PUBKEY_COMPRESSED]);
+pub struct PublicKey(pub [u8; ECDSA_P384_PUBKEY_COMPRESSED]);
 
 impl std::fmt::Debug for PublicKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -54,7 +54,7 @@ impl std::fmt::Debug for PublicKey {
 
 /// A signature with the raw P-384 size.
 #[derive(Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Signature(#[serde(with = "serde_bytes_96")] pub [u8; ECDSA_P384_SIGNATURE]);
+pub struct Signature(pub [u8; ECDSA_P384_SIGNATURE]);
 
 impl std::fmt::Debug for Signature {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -114,27 +114,6 @@ fn sign_with(public: PublicKey, domain: SignDomain, payload: &[u8]) -> Signature
 pub fn verify(public: PublicKey, domain: SignDomain, payload: &[u8], sig: &Signature) -> bool {
     sign_with(public, domain, payload) == *sig
 }
-
-// Fixed-size array serde helpers (serde's derive caps arrays at 32).
-macro_rules! serde_fixed_bytes {
-    ($mod_name:ident, $n:expr) => {
-        mod $mod_name {
-            use serde::{Deserialize, Deserializer, Serializer};
-
-            pub fn serialize<S: Serializer>(v: &[u8; $n], s: S) -> Result<S::Ok, S::Error> {
-                s.serialize_bytes(v)
-            }
-
-            pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[u8; $n], D::Error> {
-                let v: Vec<u8> = Vec::deserialize(d)?;
-                v.try_into()
-                    .map_err(|_| serde::de::Error::custom(concat!("expected ", $n, " bytes")))
-            }
-        }
-    };
-}
-serde_fixed_bytes!(serde_bytes_49, 49);
-serde_fixed_bytes!(serde_bytes_96, 96);
 
 #[cfg(test)]
 mod tests {

@@ -1,7 +1,7 @@
 //! Wire-size constants for the overhead models.
 //!
 //! Sources: RFC 8205 (BGPsec) §3.1 recommends ECDSA-P-256; the paper
-//! instead "assume[s] the use of ECDSA384 signatures in both SCION and
+//! instead "assume\[s\] the use of ECDSA384 signatures in both SCION and
 //! BGPsec" (§5.2), so every signed artifact here is sized for **P-384**.
 
 /// Raw ECDSA P-384 signature: r ‖ s, two 48-byte scalars.

@@ -2,7 +2,7 @@
 //!
 //! "The SIG is responsible for encapsulating legacy IP packets in SCION
 //! packets … When the SIG receives an outgoing packet, it first determines
-//! the SCION AS to which the destination IP address belongs [ASMap],
+//! the SCION AS to which the destination IP address belongs ([`AsMap`]),
 //! … obtains paths to the remote AS from the control service,
 //! encapsulates the packet with a SCION header, and routes it via a BR."
 //!

@@ -169,10 +169,7 @@ impl Resolver {
     /// lookups.
     pub fn due_actions(&mut self, now: SimTime) -> Vec<RetryAction> {
         let mut out = Vec::new();
-        loop {
-            let Some(&(deadline, id)) = self.due.iter().next() else {
-                break;
-            };
+        while let Some(&(deadline, id)) = self.due.iter().next() {
             if deadline > now {
                 break;
             }

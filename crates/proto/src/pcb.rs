@@ -188,13 +188,28 @@ impl Pcb {
     /// chaining over the serialized prefix mirrors real SCION, where each
     /// signature covers all preceding entries.
     fn signed_payload(&self, ia: IsdAsn, hop: &HopField, peers: &[PeerEntry]) -> Vec<u8> {
-        let mut p = Vec::with_capacity(128 + self.entries.len() * 32);
+        self.signed_payload_over(&self.entries, ia, hop, peers)
+    }
+
+    /// The signed byte string with an explicit entry prefix: what
+    /// [`Pcb::signed_payload`] produces for a beacon whose `entries` are
+    /// exactly `prefix`. Taking the prefix as a slice lets validation
+    /// replay the construction without materializing (and deep-cloning
+    /// entries into) a prefix beacon per hop.
+    fn signed_payload_over(
+        &self,
+        prefix: &[AsEntry],
+        ia: IsdAsn,
+        hop: &HopField,
+        peers: &[PeerEntry],
+    ) -> Vec<u8> {
+        let mut p = Vec::with_capacity(128 + prefix.len() * 32);
         p.extend_from_slice(&self.origin.isd.0.to_le_bytes());
         p.extend_from_slice(&self.origin.asn.value().to_le_bytes());
         p.extend_from_slice(&self.initiated_at.as_micros().to_le_bytes());
         p.extend_from_slice(&self.expires_at.as_micros().to_le_bytes());
         p.extend_from_slice(&self.segment_id.to_le_bytes());
-        for e in &self.entries {
+        for e in prefix {
             Self::push_entry_bytes(&mut p, e.ia, &e.hop, &e.peers);
             p.extend_from_slice(&e.signature.0);
         }
@@ -254,20 +269,15 @@ impl Pcb {
                 return Err(PcbError::MissingEgress);
             }
         }
-        // Verify the signature chain by replaying the construction.
-        let mut prefix = Pcb {
-            origin: self.origin,
-            initiated_at: self.initiated_at,
-            expires_at: self.expires_at,
-            segment_id: self.segment_id,
-            entries: Vec::new(),
-        };
+        // Verify the signature chain by replaying the construction. Each
+        // hop's payload is rebuilt over the entry *slice* before it — no
+        // prefix beacon, no per-hop entry clones (validation is the hot
+        // path of every delivery when `verify_on_receive` is set).
         for (i, e) in self.entries.iter().enumerate() {
-            let payload = prefix.signed_payload(e.ia, &e.hop, &e.peers);
+            let payload = self.signed_payload_over(&self.entries[..i], e.ia, &e.hop, &e.peers);
             trust
                 .verify_chain(e.ia, SignDomain::PcbAsEntry, &payload, &e.signature, now)
                 .map_err(|ve| PcbError::Chain(i, ve))?;
-            prefix.entries.push(e.clone());
         }
         Ok(())
     }

@@ -202,10 +202,7 @@ impl<M: Clone> ReliableSender<M> {
     /// order (the order is deterministic: by deadline, then id).
     pub fn due_actions(&mut self, now: SimTime) -> Vec<TimeoutAction<M>> {
         let mut out = Vec::new();
-        loop {
-            let Some(&(deadline, id)) = self.due.iter().next() else {
-                break;
-            };
+        while let Some(&(deadline, id)) = self.due.iter().next() {
             if deadline > now {
                 break;
             }

@@ -13,7 +13,9 @@ use scion_types::{Duration, IfId};
 /// A monotone message/byte counter.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Counter {
+    /// Messages recorded.
     pub messages: u64,
+    /// Total payload bytes across those messages.
     pub bytes: u64,
 }
 
@@ -50,6 +52,7 @@ pub struct InterfaceTraffic {
 }
 
 impl InterfaceTraffic {
+    /// An empty traffic ledger.
     pub fn new() -> InterfaceTraffic {
         InterfaceTraffic::default()
     }

@@ -11,9 +11,21 @@ use scion_types::{Duration, SimTime};
 pub enum Event<M> {
     /// A node-local timer fired. `kind` is protocol-defined (e.g. "beaconing
     /// interval tick" vs "MRAI expiry").
-    Timer { node: AsIndex, kind: u32 },
+    Timer {
+        /// The node whose timer fired.
+        node: AsIndex,
+        /// Protocol-defined discriminator.
+        kind: u32,
+    },
     /// A message arrived at `to` over `via` (the link it traversed).
-    Deliver { to: AsIndex, via: LinkIndex, msg: M },
+    Deliver {
+        /// The receiving node.
+        to: AsIndex,
+        /// The link the message traversed.
+        via: LinkIndex,
+        /// The message itself.
+        msg: M,
+    },
 }
 
 /// Internal heap entry. Ordering is `(time, seq)`: FIFO among simultaneous
@@ -111,6 +123,43 @@ impl<M> Engine<M> {
         self.push(self.now + latency, Event::Deliver { to, via, msg });
     }
 
+    /// Sends `msg` arriving at the absolute time `at`.
+    ///
+    /// Used by the batched (epoch) execution path, where a send's causal
+    /// origin is an event earlier in the epoch than the engine clock: the
+    /// arrival time must be computed from the *originating* event's
+    /// timestamp, not from `now`. `at` must still not lie in the past.
+    pub fn send_at(&mut self, at: SimTime, to: AsIndex, via: LinkIndex, msg: M) {
+        self.push(at, Event::Deliver { to, via, msg });
+    }
+
+    /// Batched event insertion: schedules every `(at, to, via, msg)` tuple
+    /// in one call.
+    ///
+    /// Semantically identical to calling [`Engine::send_at`] in iteration
+    /// order (sequence numbers are assigned in order, so FIFO ties behave
+    /// the same), but the heap is extended in one pass, which lets
+    /// `BinaryHeap` batch its sift work when an epoch merge inserts a large
+    /// propagation fan-out.
+    pub fn send_batch(
+        &mut self,
+        items: impl IntoIterator<Item = (SimTime, AsIndex, LinkIndex, M)>,
+    ) {
+        let now = self.now;
+        let seq = &mut self.seq;
+        self.queue
+            .extend(items.into_iter().map(|(at, to, via, msg)| {
+                assert!(at >= now, "cannot schedule into the virtual past");
+                let s = *seq;
+                *seq += 1;
+                Reverse(Scheduled {
+                    at,
+                    seq: s,
+                    event: Event::Deliver { to, via, msg },
+                })
+            }));
+    }
+
     fn push(&mut self, at: SimTime, event: Event<M>) {
         assert!(at >= self.now, "cannot schedule into the virtual past");
         let seq = self.seq;
@@ -132,6 +181,54 @@ impl<M> Engine<M> {
             }
             _ => None,
         }
+    }
+
+    /// Timestamp of the next queued event, without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Drains one *epoch batch*: consecutive events strictly before
+    /// `deadline` for which `shardable` holds, in exact `(time, seq)` pop
+    /// order, appended to `out`. Returns how many events were popped.
+    ///
+    /// Two properties make this safe for parallel execution layers:
+    ///
+    /// * If the queue's head event is **not** shardable, it is popped alone
+    ///   (a batch of one), so the caller can handle globally-ordered events
+    ///   (telemetry sampling, fault injection, retransmit bookkeeping)
+    ///   serially at their exact position in the event order.
+    /// * Otherwise only the maximal shardable prefix is drained: the batch
+    ///   boundary depends solely on queue contents and `deadline`, never on
+    ///   thread count, so batch decomposition is deterministic.
+    ///
+    /// The clock advances to the last popped event, exactly as if the events
+    /// had been popped one by one with [`Engine::pop_until`].
+    pub fn pop_batch_until(
+        &mut self,
+        deadline: SimTime,
+        mut shardable: impl FnMut(&Event<M>) -> bool,
+        out: &mut Vec<(SimTime, Event<M>)>,
+    ) -> usize {
+        let mut popped = 0;
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at >= deadline {
+                break;
+            }
+            let head_shardable = shardable(&head.event);
+            if !head_shardable && popped > 0 {
+                break;
+            }
+            let Reverse(s) = self.queue.pop().expect("peeked");
+            self.now = s.at;
+            self.delivered += 1;
+            out.push((s.at, s.event));
+            popped += 1;
+            if !head_shardable {
+                break; // non-shardable events travel as a batch of one
+            }
+        }
+        popped
     }
 
     /// Removes queued `Deliver` events matching `drop`, returning how many

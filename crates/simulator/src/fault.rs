@@ -31,7 +31,12 @@ pub enum LinkFault {
     AsUp(AsIndex),
     /// Latency degradation: the link's propagation delay is multiplied by
     /// `factor_pct`/100 (e.g. 300 = 3× slower) until [`LinkFault::Restore`].
-    Degrade { link: LinkIndex, factor_pct: u32 },
+    Degrade {
+        /// The degraded link.
+        link: LinkIndex,
+        /// Delay multiplier in percent (e.g. 300 = 3× slower).
+        factor_pct: u32,
+    },
     /// Clears a latency degradation.
     Restore(LinkIndex),
 }
@@ -103,10 +108,12 @@ impl FaultSchedule {
             .collect()
     }
 
+    /// Number of scheduled fault transitions.
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
+    /// True when no faults are scheduled.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }

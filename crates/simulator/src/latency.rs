@@ -53,6 +53,14 @@ impl LatencyModel {
     pub fn delay(&self, link: LinkIndex) -> Duration {
         self.delays[link.as_usize()]
     }
+
+    /// The smallest delay of any link ([`Duration::ZERO`] for a linkless
+    /// topology). This bounds the conservative lookahead of parallel
+    /// execution: events less than `min_delay` apart cannot causally
+    /// influence each other through the network.
+    pub fn min_delay(&self) -> Duration {
+        self.delays.iter().copied().min().unwrap_or(Duration::ZERO)
+    }
 }
 
 #[cfg(test)]

@@ -27,14 +27,18 @@
 //! }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod accounting;
 pub mod engine;
+pub mod exec;
 pub mod fault;
 pub mod latency;
 pub mod loss;
 
 pub use accounting::{Counter, InterfaceTraffic};
 pub use engine::{Engine, Event};
+pub use exec::{substream, WorkerPool};
 pub use fault::{FaultSchedule, LinkFault, LinkState};
 pub use latency::LatencyModel;
 pub use loss::{LossModel, Transmission};

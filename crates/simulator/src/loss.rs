@@ -26,7 +26,10 @@ use scion_types::Duration;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Transmission {
     /// The message survives; add `jitter` to its propagation delay.
-    Delivered { jitter: Duration },
+    Delivered {
+        /// Extra latency to add to the propagation delay.
+        jitter: Duration,
+    },
     /// The message is lost on the wire.
     Lost,
 }
@@ -66,7 +69,7 @@ impl LossModel {
         LossModel {
             loss_ppm: vec![to_ppm(probability); topo.num_links()],
             jitter_max,
-            rng: ChaCha12Rng::seed_from_u64(seed ^ 0x10_55_C0DE),
+            rng: ChaCha12Rng::seed_from_u64(seed ^ 0x1055_C0DE),
             transmissions: 0,
             losses: 0,
         }

@@ -24,6 +24,8 @@
 //! and the BGP engine. [`Telemetry::disabled`] is the default everywhere:
 //! a no-op handle whose per-event cost is a branch.
 
+#![warn(missing_docs)]
+
 pub mod export;
 pub mod metrics;
 pub mod profile;
@@ -154,10 +156,15 @@ pub struct Telemetry {
     enabled: bool,
     /// The run label attached to series samples and trace records.
     run: &'static str,
+    /// Sampler cadence and other knobs.
     pub config: TelemetryConfig,
+    /// Counters, gauges, and histograms.
     pub metrics: MetricsRegistry,
+    /// Virtual-time samples of the live gauges.
     pub series: SeriesRecorder,
+    /// Ring buffer of typed lifecycle records.
     pub traces: TraceSink,
+    /// Wall-clock phase profiler (the only nondeterministic stream).
     pub profile: Profiler,
 }
 

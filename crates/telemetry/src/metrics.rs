@@ -161,6 +161,7 @@ pub struct MetricsRegistry {
 }
 
 impl MetricsRegistry {
+    /// An empty registry.
     pub fn new() -> MetricsRegistry {
         MetricsRegistry::default()
     }

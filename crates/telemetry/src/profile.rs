@@ -14,13 +14,26 @@ use serde::Serialize;
 
 /// Phase name constants, so call sites and reports agree on spelling.
 pub mod phase {
+    /// Core beacon servers signing fresh zero-hop PCBs.
     pub const ORIGINATION: &str = "beaconing.origination";
+    /// Candidate scoring and selection (baseline k-shortest or Algorithm 1).
     pub const SELECTION: &str = "beaconing.selection_scoring";
+    /// Signature-chain verification of received PCBs.
     pub const VERIFICATION: &str = "beaconing.verification";
+    /// Up + core + down segment combination into end-to-end paths.
     pub const COMBINATION: &str = "proto.path_combination";
+    /// One per-origin BGP convergence run.
     pub const BGP_CONVERGENCE: &str = "bgp.origin_convergence";
+    /// The full monthly BGP churn workload.
     pub const BGP_MONTH: &str = "bgp.monthly_workload";
+    /// The telemetry sampler reading the live gauges.
     pub const SAMPLING: &str = "telemetry.sampling";
+    /// Draining one causally-closed window from the event queue.
+    pub const PAR_POP: &str = "parallel.window_pop";
+    /// Sharded per-AS execution across the worker pool.
+    pub const PAR_SHARD: &str = "parallel.shard_exec";
+    /// Serial merge: side effects replayed in deterministic event order.
+    pub const PAR_MERGE: &str = "parallel.merge";
 }
 
 /// Accumulated wall-clock statistics of one phase.
@@ -37,11 +50,7 @@ pub struct PhaseStats {
 impl PhaseStats {
     /// Mean scope duration in nanoseconds (0 when no calls).
     pub fn mean_ns(&self) -> u64 {
-        if self.calls == 0 {
-            0
-        } else {
-            self.total_ns / self.calls
-        }
+        self.total_ns.checked_div(self.calls).unwrap_or(0)
     }
 }
 

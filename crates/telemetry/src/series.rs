@@ -25,7 +25,9 @@ pub struct Sample {
     pub t_us: u64,
     /// Metric id (same namespace as the registry's gauges).
     pub id: &'static str,
+    /// The AS / interface / link the sample is about.
     pub label: Label,
+    /// The gauge value at the snapshot.
     pub value: f64,
 }
 
@@ -36,6 +38,7 @@ pub struct SeriesRecorder {
 }
 
 impl SeriesRecorder {
+    /// An empty recorder.
     pub fn new() -> SeriesRecorder {
         SeriesRecorder::default()
     }

@@ -19,49 +19,84 @@ use serde::Serialize;
 #[serde(tag = "event")]
 pub enum TraceEvent {
     /// A core AS originated a fresh zero-hop beacon.
-    PcbOriginated { node: u32, egress_if: u16, seq: u32 },
+    PcbOriginated {
+        /// Originating core AS.
+        node: u32,
+        /// Interface the beacon left through.
+        egress_if: u16,
+        /// Per-(AS, interface) origination sequence number.
+        seq: u32,
+    },
     /// An AS extended a stored beacon and sent it onward.
     PcbPropagated {
+        /// Propagating AS.
         node: u32,
+        /// The beacon's originating AS.
         origin: IsdAsn,
+        /// Interface the extended beacon left through.
         egress_if: u16,
+        /// Hop count after extension.
         hops: u32,
     },
     /// A beacon arrived at an AS over a link.
     PcbDelivered {
+        /// Receiving AS.
         node: u32,
+        /// The beacon's originating AS.
         origin: IsdAsn,
+        /// Link the beacon arrived over.
         link: u32,
+        /// Hop count at delivery.
         hops: u32,
     },
     /// A received beacon was admitted to (or refreshed in) the store.
     BeaconStored {
+        /// Storing AS.
         node: u32,
+        /// The beacon's originating AS.
         origin: IsdAsn,
+        /// Hop count of the stored beacon.
         hops: u32,
     },
     /// The per-origin storage limit evicted a beacon.
     BeaconEvicted {
+        /// Evicting AS.
         node: u32,
+        /// The beacon's originating AS.
         origin: IsdAsn,
+        /// Hop count of the evicted beacon.
         hops: u32,
+        /// True if evicted because it expired (vs crowded out).
         expired: bool,
     },
     /// A path segment was registered at a path server.
     SegmentRegistered {
+        /// The path server that accepted the registration.
         server: IsdAsn,
+        /// The segment's non-core terminal AS.
         terminal: IsdAsn,
+        /// `"up"`, `"down"`, or `"core"`.
         seg_type: &'static str,
+        /// Hop count of the segment.
         hops: u32,
     },
     /// A link became unusable (fault injection).
-    LinkDown { link: u32 },
+    LinkDown {
+        /// The failed link.
+        link: u32,
+    },
     /// A link recovered (fault injection).
-    LinkUp { link: u32 },
+    LinkUp {
+        /// The recovered link.
+        link: u32,
+    },
     /// A path server invalidated stored segments after a link failure.
     PathInvalidated {
+        /// The path server that invalidated the segments.
         node: u32,
+        /// Origin AS of the invalidated segments.
         origin: IsdAsn,
+        /// The failed link that triggered the invalidation.
         link: u32,
     },
 }
@@ -69,8 +104,11 @@ pub enum TraceEvent {
 /// A trace record: the event plus its virtual timestamp and run label.
 #[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct TraceRecord {
+    /// Run label (e.g. `"core_diversity"`).
     pub run: &'static str,
+    /// Virtual timestamp, microseconds since the epoch.
     pub t_us: u64,
+    /// The event itself.
     #[serde(flatten)]
     pub event: TraceEvent,
 }

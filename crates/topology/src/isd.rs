@@ -142,9 +142,9 @@ pub fn assign_isds(topo: &mut AsTopology, isd_size: usize) -> IsdLayout {
         .into_iter()
         .map(|o| o.expect("all assigned"))
         .collect();
-    for idx in 0..n {
+    for (idx, &isd) in isd_of.iter().enumerate() {
         let i = AsIndex(idx as u32);
-        topo.set_isd(i, isd_of[idx]);
+        topo.set_isd(i, isd);
         topo.set_core(i, true);
     }
     IsdLayout {

@@ -64,10 +64,10 @@ pub fn scionlab_topology() -> AsTopology {
     core_link(&mut topo, 7, 19, 1);
 
     // One leaf (user AS) below every core.
-    for i in 0..NUM_CORES {
-        let isd = topo.node(cores[i]).ia.isd;
+    for (i, &core) in cores.iter().enumerate().take(NUM_CORES) {
+        let isd = topo.node(core).ia.isd;
         let leaf = topo.add_as(IsdAsn::new(isd, Asn::from_u64(100 + i as u64 + 1)));
-        topo.add_link(cores[i], leaf, Relationship::AProviderOfB);
+        topo.add_link(core, leaf, Relationship::AProviderOfB);
     }
 
     debug_assert_eq!(topo.check_invariants(), Ok(()));

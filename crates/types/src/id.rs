@@ -114,7 +114,9 @@ impl From<u32> for Asn {
     Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
 )]
 pub struct IsdAsn {
+    /// The isolation domain.
     pub isd: Isd,
+    /// The AS number within (48-bit space).
     pub asn: Asn,
 }
 
@@ -208,11 +210,14 @@ impl From<u16> for IfId {
 /// One end of an inter-domain link: an AS plus the interface id within it.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct LinkEnd {
+    /// The AS on this side of the link.
     pub ia: IsdAsn,
+    /// The interface identifier within that AS.
     pub ifid: IfId,
 }
 
 impl LinkEnd {
+    /// Creates a link end from an AS and one of its interface ids.
     pub fn new(ia: IsdAsn, ifid: IfId) -> LinkEnd {
         LinkEnd { ia, ifid }
     }

@@ -11,6 +11,8 @@
 //! totally ordered, hashable, and serializable, so identifiers can be used as
 //! map keys throughout the control plane and in experiment outputs.
 
+#![warn(missing_docs)]
+
 pub mod error;
 pub mod id;
 pub mod time;

@@ -20,40 +20,50 @@ use serde::{Deserialize, Serialize};
 pub struct Duration(u64);
 
 impl Duration {
+    /// The zero-length span.
     pub const ZERO: Duration = Duration(0);
 
+    /// A span of `us` microseconds (the clock's native resolution).
     pub const fn from_micros(us: u64) -> Duration {
         Duration(us)
     }
 
+    /// A span of `ms` milliseconds.
     pub const fn from_millis(ms: u64) -> Duration {
         Duration(ms * 1_000)
     }
 
+    /// A span of `s` seconds.
     pub const fn from_secs(s: u64) -> Duration {
         Duration(s * 1_000_000)
     }
 
+    /// A span of `m` minutes.
     pub const fn from_mins(m: u64) -> Duration {
         Duration::from_secs(m * 60)
     }
 
+    /// A span of `h` hours.
     pub const fn from_hours(h: u64) -> Duration {
         Duration::from_mins(h * 60)
     }
 
+    /// A span of `d` days.
     pub const fn from_days(d: u64) -> Duration {
         Duration::from_hours(d * 24)
     }
 
+    /// The span in whole microseconds.
     pub const fn as_micros(self) -> u64 {
         self.0
     }
 
+    /// The span in (fractional) seconds.
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e6
     }
 
+    /// True for the zero-length span.
     pub fn is_zero(self) -> bool {
         self.0 == 0
     }
@@ -84,13 +94,13 @@ impl fmt::Display for Duration {
         if us == 0 {
             return write!(f, "0s");
         }
-        if us % 3_600_000_000 == 0 {
+        if us.is_multiple_of(3_600_000_000) {
             write!(f, "{}h", us / 3_600_000_000)
-        } else if us % 60_000_000 == 0 {
+        } else if us.is_multiple_of(60_000_000) {
             write!(f, "{}m", us / 60_000_000)
-        } else if us % 1_000_000 == 0 {
+        } else if us.is_multiple_of(1_000_000) {
             write!(f, "{}s", us / 1_000_000)
-        } else if us % 1_000 == 0 {
+        } else if us.is_multiple_of(1_000) {
             write!(f, "{}ms", us / 1_000)
         } else {
             write!(f, "{}us", us)
@@ -136,14 +146,17 @@ impl SimTime {
     /// The simulation epoch (t = 0).
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The instant `us` microseconds after the epoch.
     pub const fn from_micros(us: u64) -> SimTime {
         SimTime(us)
     }
 
+    /// Microseconds since the epoch.
     pub const fn as_micros(self) -> u64 {
         self.0
     }
 
+    /// Seconds since the epoch, as a float.
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e6
     }

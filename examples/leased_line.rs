@@ -75,7 +75,7 @@ fn main() {
                 &trust,
             );
             let down = PathSegment::from_terminated_pcb(SegmentType::Down, terminated.clone());
-            core_ps.register_down_segment(down);
+            core_ps.register_down_segment(down, now);
             ups.push(PathSegment::from_terminated_pcb(
                 SegmentType::Up,
                 terminated,

@@ -153,11 +153,8 @@ fn sig_failover_cascades_through_the_whole_stack() {
     // link... from 10's perspective: 2 up links + 1 peer link) is gone.
     let mut failed: HashSet<_> = HashSet::new();
     let mut distinct_first_hops = HashSet::new();
-    loop {
-        let mut pkt = match sig.encapsulate(dst_ip, 500, expiry) {
-            Ok(p) => p,
-            Err(_) => break, // no usable path left
-        };
+    // Stop when no usable path is left.
+    while let Ok(mut pkt) = sig.encapsulate(dst_ip, 500, expiry) {
         distinct_first_hops.insert(pkt.path.hops[0].1.egress);
         match deliver(&stack.topo, &mut pkt, &failed, stack.now) {
             Ok(_) => {

@@ -1,0 +1,133 @@
+//! Parallel-driver determinism: the sharded beaconing driver must export
+//! **byte-identical** telemetry dumps for the same seed at *every*
+//! worker-thread count. Only `profile.jsonl` — the wall-clock phase
+//! profile — is allowed to differ.
+//!
+//! This is the tentpole guarantee of the parallel execution layer: the
+//! causally-closed window pop, the order-preserving shard stage
+//! (`WorkerPool::run_ordered`), and the serial pop-order merge together
+//! make thread count an implementation detail invisible to every
+//! deterministic output. See `crates/beaconing/src/parallel.rs`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use scion_core::beaconing::{
+    run_core_beaconing_parallel, run_core_beaconing_parallel_lossy, LossyConfig,
+};
+use scion_core::prelude::*;
+use scion_core::topology::isd::assign_isds;
+
+fn test_topology() -> AsTopology {
+    let topo = generate_internet(&GeneratorConfig::small(60, 42));
+    let (mut core, _) = prune_to_top_degree(&topo, 12);
+    assign_isds(&mut core, 4);
+    core
+}
+
+fn dump_parallel_run(tag: &str, threads: usize) -> PathBuf {
+    let core = test_topology();
+    let mut tel = Telemetry::new(TelemetryConfig::default());
+    tel.begin_run("parallel");
+    let out = run_core_beaconing_parallel(
+        &core,
+        &BeaconingConfig::diversity(),
+        Duration::from_mins(30),
+        Duration::from_hours(1),
+        7,
+        threads,
+        &mut tel,
+    );
+    assert!(out.total_bytes() > 0);
+    assert!(!tel.series.is_empty(), "sampler never fired");
+    assert!(tel.traces.emitted() > 0, "no trace records");
+
+    let dir = std::env::temp_dir().join(format!(
+        "scion-parallel-determinism-{tag}-t{threads}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    tel.export_jsonl(&dir).expect("export telemetry");
+    dir
+}
+
+fn dump_parallel_lossy_run(tag: &str, threads: usize) -> PathBuf {
+    let core = test_topology();
+    let mut tel = Telemetry::new(TelemetryConfig::default());
+    tel.begin_run("parallel_lossy");
+    let (out, _, loss_rep) = run_core_beaconing_parallel_lossy(
+        &core,
+        &BeaconingConfig::diversity(),
+        Duration::ZERO,
+        Duration::from_hours(1),
+        7,
+        threads,
+        &LossyConfig::reliable(0.1),
+        None,
+        &mut tel,
+    );
+    assert!(out.total_bytes() > 0);
+    assert!(loss_rep.messages_lost > 0, "10% loss must drop something");
+
+    let dir = std::env::temp_dir().join(format!(
+        "scion-parallel-lossy-determinism-{tag}-t{threads}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    tel.export_jsonl(&dir).expect("export telemetry");
+    dir
+}
+
+fn assert_dumps_identical(reference: &PathBuf, other: &PathBuf, what: &str) {
+    for name in ["metrics.jsonl", "series.jsonl", "trace.jsonl"] {
+        let fa = fs::read(reference.join(name)).unwrap();
+        let fb = fs::read(other.join(name)).unwrap();
+        assert!(!fa.is_empty(), "{name} is empty");
+        assert_eq!(fa, fb, "{name} differs: {what}");
+    }
+    // profile.jsonl exists but is exempt (it records real elapsed time).
+    assert!(reference.join("profile.jsonl").exists());
+    assert!(other.join("profile.jsonl").exists());
+}
+
+#[test]
+fn thread_count_does_not_change_telemetry_dumps() {
+    let reference = dump_parallel_run("ref", 1);
+    for threads in [2, 8] {
+        let other = dump_parallel_run("other", threads);
+        assert_dumps_identical(
+            &reference,
+            &other,
+            &format!("threads=1 vs threads={threads}"),
+        );
+        fs::remove_dir_all(&other).ok();
+    }
+    fs::remove_dir_all(&reference).ok();
+}
+
+#[test]
+fn thread_count_does_not_change_lossy_telemetry_dumps() {
+    // The stochastic planes (loss coins, jitter, retransmit backoff) draw
+    // in the serial merge, so even a lossy reliable run must stay
+    // byte-identical across thread counts.
+    let reference = dump_parallel_lossy_run("ref", 1);
+    for threads in [2, 8] {
+        let other = dump_parallel_lossy_run("other", threads);
+        assert_dumps_identical(
+            &reference,
+            &other,
+            &format!("lossy threads=1 vs threads={threads}"),
+        );
+        fs::remove_dir_all(&other).ok();
+    }
+    fs::remove_dir_all(&reference).ok();
+}
+
+#[test]
+fn same_seed_same_thread_count_is_reproducible() {
+    let a = dump_parallel_run("repro-a", 4);
+    let b = dump_parallel_run("repro-b", 4);
+    assert_dumps_identical(&a, &b, "two identical threads=4 runs");
+    fs::remove_dir_all(&a).ok();
+    fs::remove_dir_all(&b).ok();
+}

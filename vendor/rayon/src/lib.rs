@@ -1,0 +1,201 @@
+//! Offline subset of the `rayon` API for this workspace.
+//!
+//! Implements the one pattern the repository uses —
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` — with genuine parallelism
+//! on `std::thread::scope`, chunked over a work-stealing atomic cursor.
+//! Results are returned in input order regardless of thread interleaving, so
+//! callers stay deterministic. A global thread-count override is available
+//! through the usual [`ThreadPoolBuilder::build_global`] entry point.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads the pool will use.
+pub fn current_num_threads() -> usize {
+    let n = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if n > 0 {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Error from configuring the global pool (never produced here; the
+/// override is always accepted).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for the global pool's thread count.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default settings.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count (0 = number of cores).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the setting globally. Unlike upstream, repeated calls just
+    /// overwrite the previous value.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Parallel-iterator entry points.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// `.par_iter()` on slices and vectors.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator over borrowed items.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// Mapped parallel iterator.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Minimal `ParallelIterator` marker so `use rayon::prelude::*` call sites
+/// that name the trait keep compiling.
+pub trait ParallelIterator {}
+impl<'a, T, F> ParallelIterator for ParMap<'a, T, F> {}
+impl<'a, T> ParallelIterator for ParIter<'a, T> {}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Runs the map across the pool, preserving input order in the output.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        run_ordered(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Maps `items` in parallel, returning results in input order.
+fn run_ordered<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync>(
+    items: &'a [T],
+    f: &F,
+) -> Vec<R> {
+    let n = items.len();
+    let threads = current_num_threads().max(1).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    // Chunked work stealing: chunks are claimed off an atomic cursor and the
+    // (chunk index, results) pairs are re-assembled in order afterwards.
+    let chunk = (n / (threads * 4)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let mut pieces: Vec<(usize, Vec<R>)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let cursor = &cursor;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    local.push((start, items[start..end].iter().map(f).collect()));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            pieces.extend(h.join().expect("rayon worker panicked"));
+        }
+    });
+    pieces.sort_by_key(|(start, _)| *start);
+    let mut out = Vec::with_capacity(n);
+    for (_, mut piece) in pieces {
+        out.append(&mut piece);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_collect() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn global_override() {
+        crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build_global()
+            .unwrap();
+        assert_eq!(crate::current_num_threads(), 2);
+        crate::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+    }
+}

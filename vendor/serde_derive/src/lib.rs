@@ -1,0 +1,706 @@
+//! Derive macros for the workspace's offline serde subset.
+//!
+//! Generates `impl serde::Serialize` / `impl serde::Deserialize` against the
+//! value-tree model in the vendored `serde` crate. The input grammar is
+//! parsed by hand (no `syn`/`quote` in the offline container) and covers the
+//! shapes this repository uses: named / tuple / unit structs, enums with
+//! unit / newtype / tuple / struct variants, lifetimes and plain generics,
+//! and the `transparent`, `tag`, `flatten`, `skip`, and
+//! `skip_serializing_if` serde attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree subset).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate(&item, Trait::Serialize).parse().unwrap()
+}
+
+/// Derives `serde::Deserialize` (value-tree subset).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate(&item, Trait::Deserialize).parse().unwrap()
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+// --- Parsed model --------------------------------------------------------
+
+#[derive(Default, Debug)]
+struct SerdeAttrs {
+    transparent: bool,
+    tag: Option<String>,
+    flatten: bool,
+    skip: bool,
+    skip_serializing_if: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: Option<String>, // None for tuple fields
+    attrs: SerdeAttrs,
+}
+
+#[derive(Debug)]
+enum Body {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Body),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    /// Raw generic parameter list (with bounds), e.g. `'a, T: Clone`.
+    generics_decl: String,
+    /// Parameter names only, e.g. `'a, T`.
+    generics_use: String,
+    attrs: SerdeAttrs,
+    shape: Shape,
+}
+
+// --- Parser --------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Cursor {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == s)
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    /// Consumes leading attributes, folding `#[serde(...)]` contents into
+    /// the returned attribute set.
+    fn attrs(&mut self) -> SerdeAttrs {
+        let mut out = SerdeAttrs::default();
+        while self.at_punct('#') {
+            self.next(); // '#'
+            if let Some(TokenTree::Group(g)) = self.next() {
+                parse_attr_group(g.stream(), &mut out);
+            }
+        }
+        out
+    }
+
+    /// Skips a visibility qualifier (`pub`, `pub(crate)`, …).
+    fn skip_vis(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Skips a type (or discriminant expression) up to a top-level comma,
+    /// tracking `<...>` nesting.
+    fn skip_type(&mut self) {
+        let mut angle = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_attr_group(stream: TokenStream, out: &mut SerdeAttrs) {
+    let mut c = Cursor::new(stream);
+    // Expect: serde ( ... ) — anything else (doc, derive leftovers) ignored.
+    if !c.at_ident("serde") {
+        return;
+    }
+    c.next();
+    let inner = match c.next() {
+        Some(TokenTree::Group(g)) => g.stream(),
+        _ => return,
+    };
+    let mut ic = Cursor::new(inner);
+    while let Some(t) = ic.next() {
+        let key = match t {
+            TokenTree::Ident(i) => i.to_string(),
+            _ => continue,
+        };
+        let mut val = None;
+        if ic.at_punct('=') {
+            ic.next();
+            if let Some(TokenTree::Literal(l)) = ic.next() {
+                val = Some(strip_str(&l.to_string()));
+            }
+        }
+        match key.as_str() {
+            "transparent" => out.transparent = true,
+            "tag" => out.tag = val,
+            "flatten" => out.flatten = true,
+            "skip" => out.skip = true,
+            "skip_serializing_if" => out.skip_serializing_if = val,
+            _ => panic!("unsupported serde attribute `{key}` (offline serde subset)"),
+        }
+    }
+}
+
+fn strip_str(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    let attrs = c.attrs();
+    c.skip_vis();
+
+    let kind = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        t => panic!("expected struct/enum, got {t:?}"),
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        t => panic!("expected item name, got {t:?}"),
+    };
+
+    // Generics.
+    let mut generics_decl = String::new();
+    let mut generics_use = String::new();
+    if c.at_punct('<') {
+        c.next();
+        let mut depth = 1;
+        let mut raw: Vec<TokenTree> = Vec::new();
+        while depth > 0 {
+            let t = c.next().expect("unterminated generics");
+            match &t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            raw.push(t);
+        }
+        // Join tokens with spaces, except after `'` so lifetimes stay intact.
+        let mut decl = String::new();
+        for t in &raw {
+            decl.push_str(&t.to_string());
+            if !matches!(t, TokenTree::Punct(p) if p.as_char() == '\'') {
+                decl.push(' ');
+            }
+        }
+        generics_decl = decl.trim_end().to_string();
+        generics_use = generic_param_names(&raw);
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => {
+            match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Struct(Body::Named(parse_named_fields(g.stream())))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Struct(Body::Tuple(parse_tuple_fields(g.stream())))
+                }
+                _ => Shape::Struct(Body::Unit),
+            }
+        }
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                t => panic!("expected enum body, got {t:?}"),
+            };
+            Shape::Enum(parse_variants(body))
+        }
+        k => panic!("cannot derive for `{k}`"),
+    };
+
+    Item {
+        name,
+        generics_decl,
+        generics_use,
+        attrs,
+        shape,
+    }
+}
+
+/// Extracts parameter names (`'a, T, N`) from a raw generic token list.
+fn generic_param_names(raw: &[TokenTree]) -> String {
+    let mut names: Vec<String> = Vec::new();
+    let mut i = 0;
+    let mut at_param_start = true;
+    let mut angle = 0i32;
+    while i < raw.len() {
+        match &raw[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => at_param_start = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' && at_param_start && angle == 0 => {
+                if let Some(TokenTree::Ident(id)) = raw.get(i + 1) {
+                    names.push(format!("'{id}"));
+                }
+                at_param_start = false;
+            }
+            TokenTree::Ident(id) if at_param_start && angle == 0 => {
+                let s = id.to_string();
+                if s == "const" {
+                    if let Some(TokenTree::Ident(n)) = raw.get(i + 1) {
+                        names.push(n.to_string());
+                        i += 1;
+                    }
+                } else {
+                    names.push(s);
+                }
+                at_param_start = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    names.join(", ")
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let attrs = c.attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_vis();
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            t => panic!("expected field name, got {t:?}"),
+        };
+        assert!(c.at_punct(':'), "expected `:` after field `{name}`");
+        c.next();
+        c.skip_type();
+        if c.at_punct(',') {
+            c.next();
+        }
+        fields.push(Field {
+            name: Some(name),
+            attrs,
+        });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    while c.peek().is_some() {
+        let _attrs = c.attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_vis();
+        c.skip_type();
+        if c.at_punct(',') {
+            c.next();
+        }
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        let _attrs = c.attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            t => panic!("expected variant name, got {t:?}"),
+        };
+        let body = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let b = Body::Named(parse_named_fields(g.stream()));
+                c.next();
+                b
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let b = Body::Tuple(parse_tuple_fields(g.stream()));
+                c.next();
+                b
+            }
+            _ => Body::Unit,
+        };
+        // Skip an optional discriminant `= expr`.
+        if c.at_punct('=') {
+            c.next();
+            c.skip_type();
+        }
+        if c.at_punct(',') {
+            c.next();
+        }
+        variants.push(Variant { name, body });
+    }
+    variants
+}
+
+// --- Code generation ------------------------------------------------------
+
+fn impl_header(item: &Item, tr: Trait) -> String {
+    let tr_path = match tr {
+        Trait::Serialize => "::serde::Serialize",
+        Trait::Deserialize => "::serde::Deserialize",
+    };
+    let decl = if item.generics_decl.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generics_decl)
+    };
+    let args = if item.generics_use.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generics_use)
+    };
+    format!(
+        "#[automatically_derived] impl{decl} {tr_path} for {name}{args}",
+        name = item.name
+    )
+}
+
+fn generate(item: &Item, tr: Trait) -> String {
+    let body = match (&item.shape, tr) {
+        (Shape::Struct(b), Trait::Serialize) => gen_struct_ser(item, b),
+        (Shape::Struct(b), Trait::Deserialize) => gen_struct_de(item, b),
+        (Shape::Enum(vs), Trait::Serialize) => gen_enum_ser(item, vs),
+        (Shape::Enum(vs), Trait::Deserialize) => gen_enum_de(item, vs),
+    };
+    let method = match tr {
+        Trait::Serialize => format!("fn to_value(&self) -> ::serde::Value {{ {body} }}"),
+        Trait::Deserialize => format!(
+            "fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}"
+        ),
+    };
+    format!("{} {{ {} }}", impl_header(item, tr), method)
+}
+
+/// Serialization expression for named fields, pushed onto `__obj`.
+fn push_named_fields(fields: &[Field], access_prefix: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let name = f.name.as_deref().unwrap();
+        let access = format!("{access_prefix}{name}");
+        if f.attrs.skip {
+            continue;
+        }
+        if f.attrs.flatten {
+            out.push_str(&format!(
+                "match ::serde::Serialize::to_value(&{access}) {{ \
+                   ::serde::Value::Object(__m) => __obj.extend(__m), \
+                   __other => __obj.push((\"{name}\".to_string(), __other)), \
+                 }} "
+            ));
+        } else if let Some(pred) = &f.attrs.skip_serializing_if {
+            out.push_str(&format!(
+                "if !{pred}(&{access}) {{ \
+                   __obj.push((\"{name}\".to_string(), ::serde::Serialize::to_value(&{access}))); \
+                 }} "
+            ));
+        } else {
+            out.push_str(&format!(
+                "__obj.push((\"{name}\".to_string(), ::serde::Serialize::to_value(&{access}))); "
+            ));
+        }
+    }
+    out
+}
+
+fn gen_struct_ser(item: &Item, body: &Body) -> String {
+    match body {
+        Body::Named(fields) => {
+            if item.attrs.transparent {
+                let f = fields
+                    .iter()
+                    .find(|f| !f.attrs.skip)
+                    .expect("transparent struct needs a field");
+                return format!(
+                    "::serde::Serialize::to_value(&self.{})",
+                    f.name.as_deref().unwrap()
+                );
+            }
+            format!(
+                "let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new(); {} ::serde::Value::Object(__obj)",
+                push_named_fields(fields, "self.")
+            )
+        }
+        Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::Unit => "::serde::Value::Null".to_string(),
+    }
+}
+
+fn gen_struct_de(item: &Item, body: &Body) -> String {
+    let name = &item.name;
+    match body {
+        Body::Named(fields) => {
+            if item.attrs.transparent {
+                let mut inits = Vec::new();
+                for f in fields {
+                    let fname = f.name.as_deref().unwrap();
+                    if f.attrs.skip {
+                        inits.push(format!("{fname}: ::std::default::Default::default()"));
+                    } else {
+                        inits.push(format!("{fname}: ::serde::Deserialize::from_value(__v)?"));
+                    }
+                }
+                return format!("Ok({name} {{ {} }})", inits.join(", "));
+            }
+            let mut inits = Vec::new();
+            for f in fields {
+                let fname = f.name.as_deref().unwrap();
+                if f.attrs.skip {
+                    inits.push(format!("{fname}: ::std::default::Default::default()"));
+                } else if f.attrs.flatten {
+                    inits.push(format!("{fname}: ::serde::Deserialize::from_value(__v)?"));
+                } else {
+                    inits.push(format!(
+                        "{fname}: ::serde::__from_object_field(__v, \"{fname}\")?"
+                    ));
+                }
+            }
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Body::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(\
+                           __a.get({i}).ok_or_else(|| ::serde::Error::custom(\"tuple too short\"))?\
+                         )?"
+                    )
+                })
+                .collect();
+            format!(
+                "match __v {{ ::serde::Value::Array(__a) => Ok({name}({items})), \
+                   _ => Err(::serde::Error::custom(\"expected array\")) }}",
+                items = items.join(", ")
+            )
+        }
+        Body::Unit => format!("Ok({name})"),
+    }
+}
+
+fn gen_enum_ser(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match (&v.body, &item.attrs.tag) {
+            (Body::Unit, None) => {
+                arms.push_str(&format!(
+                    "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()), "
+                ));
+            }
+            (Body::Unit, Some(tag)) => {
+                arms.push_str(&format!(
+                    "{name}::{vname} => ::serde::Value::Object(vec![\
+                       (\"{tag}\".to_string(), ::serde::Value::Str(\"{vname}\".to_string()))]), "
+                ));
+            }
+            (Body::Tuple(n), None) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let inner = if *n == 1 {
+                    "::serde::Serialize::to_value(__f0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vname}({}) => ::serde::Value::Object(vec![\
+                       (\"{vname}\".to_string(), {inner})]), ",
+                    binds.join(", ")
+                ));
+            }
+            (Body::Named(fields), None) => {
+                let binds: Vec<String> = fields
+                    .iter()
+                    .map(|f| f.name.clone().unwrap())
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {binds} }} => {{ \
+                       let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                         ::std::vec::Vec::new(); {pushes} \
+                       ::serde::Value::Object(vec![\
+                         (\"{vname}\".to_string(), ::serde::Value::Object(__obj))]) }}, ",
+                    binds = binds.join(", "),
+                    pushes = push_named_fields(fields, "*"),
+                ));
+            }
+            (Body::Named(fields), Some(tag)) => {
+                let binds: Vec<String> = fields
+                    .iter()
+                    .map(|f| f.name.clone().unwrap())
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {binds} }} => {{ \
+                       let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                         ::std::vec::Vec::new(); \
+                       __obj.push((\"{tag}\".to_string(), ::serde::Value::Str(\"{vname}\".to_string()))); \
+                       {pushes} ::serde::Value::Object(__obj) }}, ",
+                    binds = binds.join(", "),
+                    pushes = push_named_fields(fields, "*"),
+                ));
+            }
+            (Body::Tuple(_), Some(_)) => {
+                panic!("internally tagged tuple variants are unsupported (offline serde subset)")
+            }
+        }
+    }
+    format!("match self {{ {arms} }}")
+}
+
+fn gen_enum_de(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    if let Some(tag) = &item.attrs.tag {
+        // Internally tagged: { tag: "Variant", ...fields }.
+        let mut arms = String::new();
+        for v in variants {
+            let vname = &v.name;
+            match &v.body {
+                Body::Unit => arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}), ")),
+                Body::Named(fields) => {
+                    let mut inits = Vec::new();
+                    for f in fields {
+                        let fname = f.name.as_deref().unwrap();
+                        if f.attrs.skip {
+                            inits.push(format!("{fname}: ::std::default::Default::default()"));
+                        } else {
+                            inits.push(format!(
+                                "{fname}: ::serde::__from_object_field(__v, \"{fname}\")?"
+                            ));
+                        }
+                    }
+                    arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname} {{ {} }}), ",
+                        inits.join(", ")
+                    ));
+                }
+                _ => panic!("internally tagged tuple variants are unsupported"),
+            }
+        }
+        return format!(
+            "let __tag: ::std::string::String = ::serde::__from_object_field(__v, \"{tag}\")?; \
+             match __tag.as_str() {{ {arms} \
+               __other => Err(::serde::Error::custom(format!(\"unknown variant {{__other}}\"))) }}"
+        );
+    }
+    // Externally tagged.
+    let mut str_arms = String::new();
+    let mut obj_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.body {
+            Body::Unit => str_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}), ")),
+            Body::Tuple(1) => obj_arms.push_str(&format!(
+                "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::from_value(__inner)?)), "
+            )),
+            Body::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_value(\
+                               __a.get({i}).ok_or_else(|| ::serde::Error::custom(\"tuple too short\"))?\
+                             )?"
+                        )
+                    })
+                    .collect();
+                obj_arms.push_str(&format!(
+                    "\"{vname}\" => match __inner {{ \
+                       ::serde::Value::Array(__a) => Ok({name}::{vname}({items})), \
+                       _ => Err(::serde::Error::custom(\"expected array\")) }}, ",
+                    items = items.join(", ")
+                ));
+            }
+            Body::Named(fields) => {
+                let mut inits = Vec::new();
+                for f in fields {
+                    let fname = f.name.as_deref().unwrap();
+                    if f.attrs.skip {
+                        inits.push(format!("{fname}: ::std::default::Default::default()"));
+                    } else {
+                        inits.push(format!(
+                            "{fname}: ::serde::__from_object_field(__inner, \"{fname}\")?"
+                        ));
+                    }
+                }
+                obj_arms.push_str(&format!(
+                    "\"{vname}\" => Ok({name}::{vname} {{ {} }}), ",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match __v {{ \
+           ::serde::Value::Str(__s) => match __s.as_str() {{ {str_arms} \
+             __other => Err(::serde::Error::custom(format!(\"unknown variant {{__other}}\"))) }}, \
+           ::serde::Value::Object(__m) if __m.len() == 1 => {{ \
+             let (__k, __inner) = &__m[0]; \
+             match __k.as_str() {{ {obj_arms} \
+               __other => Err(::serde::Error::custom(format!(\"unknown variant {{__other}}\"))) }} }}, \
+           _ => Err(::serde::Error::custom(\"expected enum representation\")) }}"
+    )
+}

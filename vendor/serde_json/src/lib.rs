@@ -1,0 +1,45 @@
+//! Offline JSON facade over the workspace's vendored serde subset.
+//!
+//! Provides the `serde_json` API surface this repository uses:
+//! [`to_string`], [`from_str`], [`Value`], and the [`json!`] macro. Output is
+//! compact JSON with insertion-ordered object fields, so repeated runs of a
+//! deterministic simulation export byte-identical files.
+
+pub use serde::{Error, Value};
+
+/// Serializes `value` as compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json())
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = Value::parse_json(s)?;
+    T::from_value(&v)
+}
+
+/// Builds a [`Value`] from a JSON-like literal. Covers the object / array /
+/// expression forms used in this workspace (values may be any serializable
+/// expression; nested braces are not supported).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $( $v:expr ),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from_serialize(&$v) ),* ])
+    };
+    ({ $( $k:literal : $v:expr ),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($k.to_string(), $crate::Value::from_serialize(&$v)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::Value::from_serialize(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn json_macro_object() {
+        let v = json!({ "a": 1u64, "b": 2.5f64 });
+        assert_eq!(v.to_json(), r#"{"a":1,"b":2.5}"#);
+    }
+}
