@@ -3,16 +3,21 @@
 //!
 //! ```text
 //! cargo run --release -p scion-bench --bin scaling -- \
-//!     [--scale tiny|small|paper] [--threads 1,2,4,8]
+//!     [--scale tiny|small|paper] [--threads 1,2,4,8] [--telemetry DIR]
 //! ```
 //!
 //! Prints per-thread-count wall-clock, speedup, events/sec, and the
 //! driver's phase breakdown (window pop / shard / merge), and writes the
 //! JSON record to `results/scaling.json`. Every row must report identical
-//! protocol outcomes — the run doubles as a determinism audit.
+//! protocol outcomes — the run doubles as a determinism audit. With
+//! `--telemetry DIR`, every row runs on a recording handle and dumps its
+//! full telemetry under `DIR/threads-<n>/`; the deterministic files of
+//! any two rows must be byte-identical (`telediff DIR/threads-1
+//! DIR/threads-8` exits 0). Recording adds overhead, so wall-clock
+//! numbers from a dumping run are not comparable to a plain run.
 
 use scion_bench::{parse_args, write_json};
-use scion_core::experiments::run_scaling;
+use scion_core::experiments::run_scaling_with;
 use scion_core::report::{json_line, Table};
 
 fn main() {
@@ -22,7 +27,7 @@ fn main() {
         "running parallel-beaconing scaling sweep at {:?} scale…",
         args.scale
     );
-    let result = run_scaling(args.scale, &counts);
+    let result = run_scaling_with(args.scale, &counts, args.telemetry.as_deref());
 
     println!(
         "Parallel beaconing scaling: {} core ASes, {} simulated seconds, verification on",
@@ -62,4 +67,7 @@ fn main() {
 
     let path = write_json("scaling", &json_line(&result));
     eprintln!("JSON written to {}", path.display());
+    if let Some(dir) = &args.telemetry {
+        eprintln!("per-thread telemetry dumps written under {}", dir.display());
+    }
 }

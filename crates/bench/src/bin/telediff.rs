@@ -1,0 +1,89 @@
+//! Structural diff of two telemetry dumps or bench JSON records — the
+//! regression gate of the observability layer.
+//!
+//! ```text
+//! cargo run --release -p scion-bench --bin telediff -- \
+//!     <reference> <candidate> [--tol R] [--ignore-wall]
+//! ```
+//!
+//! When both arguments are directories, compares the deterministic dump
+//! files (`metrics.jsonl`, `series.jsonl`, `trace.jsonl`) line by line
+//! with zero tolerance; `profile.jsonl` (wall clock) is skipped. When
+//! both are files, compares them as JSON: counters, counts, and virtual
+//! times must match exactly, while wall-clock figures (`*_ms`, `*_ns`,
+//! `*per_sec`, `*_pct`, `speedup`) pass within a relative tolerance
+//! (`--tol`, default 0.5) or are skipped entirely with `--ignore-wall`.
+//!
+//! Exit status: 0 when the candidate matches the reference, 1 when
+//! differences were found (each printed on its own line), 2 on usage or
+//! I/O errors.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use scion_core::telemetry::telediff::{diff_dumps, diff_json_files, DiffConfig, DiffEntry};
+
+fn usage() -> ! {
+    eprintln!("usage: telediff <reference> <candidate> [--tol R] [--ignore-wall]");
+    exit(2);
+}
+
+fn main() {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut cfg = DiffConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tol" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse::<f64>() {
+                    Ok(t) if t >= 0.0 => cfg.wall_tolerance = t,
+                    _ => {
+                        eprintln!("--tol requires a non-negative number, got '{v}'");
+                        exit(2);
+                    }
+                }
+            }
+            "--ignore-wall" => cfg.ignore_wall = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => {
+                eprintln!("unknown argument '{other}'");
+                exit(2);
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    let [reference, candidate] = paths.as_slice() else {
+        usage();
+    };
+
+    let both_dirs = reference.is_dir() && candidate.is_dir();
+    let diffs: Vec<DiffEntry> = if both_dirs {
+        diff_dumps(reference, candidate, &cfg)
+    } else {
+        diff_json_files(reference, candidate, &cfg)
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("telediff: {}: {e}", candidate.display());
+        exit(2);
+    });
+
+    if diffs.is_empty() {
+        println!(
+            "telediff: {} matches {}",
+            candidate.display(),
+            reference.display()
+        );
+        return;
+    }
+    for d in &diffs {
+        println!("{d}");
+    }
+    eprintln!(
+        "telediff: {} difference(s) between {} and {}",
+        diffs.len(),
+        reference.display(),
+        candidate.display()
+    );
+    exit(1);
+}

@@ -10,6 +10,7 @@
 //! | [`resilience`] | Resilience under link churn — diversity vs baseline vs BGP on one fault trace (ours; §4.2 motivation) |
 //! | [`lossy`] | Robustness under stochastic message loss — reliable channel vs no-retry control across a loss-rate sweep, plus the path-server degradation leg (ours; §4.2 motivation) |
 //! | [`scaling`] | Wall-clock speedup and event throughput of the deterministic parallel beaconing driver vs worker-thread count (ours; §6 scalability) |
+//! | [`forwarding`] | Data-plane packets/sec through a border-router chain, scalar vs batched hop-field verification, with per-hop latency quantiles and drop breakdowns (ours; §4.1 Mechanism 4) |
 //!
 //! Every runner takes an [`crate::scale::ExperimentScale`] and returns a
 //! serializable result struct; the harness binaries in `scion-bench` print
@@ -18,6 +19,7 @@
 pub mod ablation;
 pub mod fig5;
 pub mod fig6;
+pub mod forwarding;
 pub mod lossy;
 pub mod resilience;
 pub mod scaling;
@@ -28,12 +30,18 @@ pub mod world;
 pub use ablation::run_ablation;
 pub use fig5::{run_fig5, run_fig5_telemetry, run_fig5_with};
 pub use fig6::run_fig6;
+pub use forwarding::{
+    run_forwarding, run_forwarding_with, ForwardingArm, ForwardingResult, LatencyQuantiles,
+    PACKETS_PER_PATH,
+};
 pub use lossy::{
     run_lossy, run_lossy_sweep, run_lossy_telemetry, run_lossy_with_rates, DegradationStats,
     LossArm, LossPoint, LossyResult, LOSS_RATES,
 };
 pub use resilience::{run_resilience, run_resilience_telemetry, ResilienceResult};
-pub use scaling::{run_scaling, ScalingResult, ScalingRow, DEFAULT_THREAD_COUNTS};
+pub use scaling::{
+    run_scaling, run_scaling_with, ScalingResult, ScalingRow, DEFAULT_THREAD_COUNTS,
+};
 pub use scionlab::{run_fig78, run_fig9};
 pub use table1::{run_table1, run_table1_telemetry, run_table1_with};
 pub use world::World;

@@ -14,10 +14,12 @@
 //! the result records that cross-check so a scaling run doubles as a
 //! determinism audit at full experiment scale.
 
+use std::path::Path;
+
 use serde::Serialize;
 
 use scion_beaconing::{run_core_beaconing_parallel, Algorithm};
-use scion_telemetry::{phase, Profiler, Telemetry};
+use scion_telemetry::{phase, Profiler, Telemetry, TelemetryConfig};
 
 use crate::experiments::world::World;
 use crate::scale::ExperimentScale;
@@ -77,6 +79,21 @@ impl ScalingResult {
 /// Runs the scaling sweep at the given scale over `thread_counts`
 /// (defaulting to [`DEFAULT_THREAD_COUNTS`] when empty).
 pub fn run_scaling(scale: ExperimentScale, thread_counts: &[usize]) -> ScalingResult {
+    run_scaling_with(scale, thread_counts, None)
+}
+
+/// Like [`run_scaling`], optionally exporting a full telemetry dump per
+/// thread count under `<dump_root>/threads-<n>/`. With a dump root every
+/// row runs on a *recording* handle (counters, series, traces, profile) —
+/// byte-comparing the deterministic files of two rows' dumps is a
+/// cross-thread-count determinism check with `telediff`. Recording adds
+/// measurable overhead, so rows with a dump root are not comparable to
+/// rows without one.
+pub fn run_scaling_with(
+    scale: ExperimentScale,
+    thread_counts: &[usize],
+    dump_root: Option<&Path>,
+) -> ScalingResult {
     let counts = if thread_counts.is_empty() {
         DEFAULT_THREAD_COUNTS
     } else {
@@ -92,10 +109,18 @@ pub fn run_scaling(scale: ExperimentScale, thread_counts: &[usize]) -> ScalingRe
 
     let mut rows: Vec<ScalingRow> = Vec::with_capacity(counts.len());
     for &threads in counts {
-        // Profile-only telemetry: phase wall-clocks without the counters,
-        // series, and traces that would perturb the measured run.
-        let mut tel = Telemetry::disabled();
-        tel.profile = Profiler::enabled();
+        // Profile-only telemetry by default: phase wall-clocks without the
+        // counters, series, and traces that would perturb the measured
+        // run. With a dump root the caller asked for the full streams.
+        let mut tel = if dump_root.is_some() {
+            let mut tel = Telemetry::new(TelemetryConfig::default());
+            tel.begin_run("scaling");
+            tel
+        } else {
+            let mut tel = Telemetry::disabled();
+            tel.profile = Profiler::enabled();
+            tel
+        };
 
         let started = std::time::Instant::now();
         let out = run_core_beaconing_parallel(
@@ -108,6 +133,12 @@ pub fn run_scaling(scale: ExperimentScale, thread_counts: &[usize]) -> ScalingRe
             &mut tel,
         );
         let wall = started.elapsed();
+
+        if let Some(root) = dump_root {
+            let dir = root.join(format!("threads-{threads}"));
+            tel.export_jsonl(&dir)
+                .unwrap_or_else(|e| panic!("export scaling telemetry to {dir:?}: {e}"));
+        }
 
         let phase_ms = |p: &str| {
             tel.profile
@@ -168,6 +199,35 @@ mod tests {
         assert!(r.rows.iter().all(|row| row.events > 0));
         assert!(r.rows.iter().all(|row| row.events_per_sec > 0.0));
         assert!((r.speedup_at(1).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_with_dump_root_exports_per_thread_dumps() {
+        let root = std::env::temp_dir().join(format!("scion-scaling-dump-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let r = run_scaling_with(ExperimentScale::Bench, &[1, 2], Some(&root));
+        assert!(r.outcomes_identical);
+        for threads in [1, 2] {
+            let dir = root.join(format!("threads-{threads}"));
+            for name in [
+                "metrics.jsonl",
+                "series.jsonl",
+                "trace.jsonl",
+                "profile.jsonl",
+            ] {
+                assert!(dir.join(name).exists(), "{threads}: {name} missing");
+            }
+        }
+        // Deterministic parallel driver: the deterministic files of the
+        // 1-thread and 2-thread dumps are byte-identical.
+        for name in ["metrics.jsonl", "series.jsonl", "trace.jsonl"] {
+            assert_eq!(
+                std::fs::read(root.join("threads-1").join(name)).unwrap(),
+                std::fs::read(root.join("threads-2").join(name)).unwrap(),
+                "{name} differs across thread counts"
+            );
+        }
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

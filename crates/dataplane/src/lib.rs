@@ -19,13 +19,24 @@
 //! * [`network`] — a harness that walks a packet hop by hop across a
 //!   topology, exercising every router on the path; used by tests and the
 //!   failover machinery.
+//! * [`batch`] — batched hop-field verification: MACs checked in parallel
+//!   across a worker pool, pipeline side effects replayed serially in
+//!   input order (the data-plane twin of the beaconing shard/merge split).
+//!
+//! Every stage has an `_instrumented` variant threading a
+//! [`scion_telemetry::Telemetry`] handle: per-packet trace events, MAC
+//! verify outcomes, per-interface counters, drop reasons, and wall-clock
+//! forwarding-latency histograms. The plain variants delegate to them
+//! with a disabled handle, which costs one branch per instrument site.
 
+pub mod batch;
 pub mod network;
 pub mod packet;
 pub mod router;
 pub mod scmp;
 
-pub use network::{deliver, DeliveryError};
+pub use batch::{forward_batch, BatchStep};
+pub use network::{deliver, deliver_instrumented, DeliveryError};
 pub use packet::{ForwardingPath, Packet};
-pub use router::{forward, ForwardAction, ForwardError};
+pub use router::{forward, forward_instrumented, ForwardAction, ForwardError};
 pub use scmp::ScmpMessage;

@@ -2,12 +2,15 @@
 //! router on the path and produces SCMP errors at failures.
 
 use std::collections::HashSet;
+use std::time::Instant;
 
+use scion_telemetry::trace::TraceEvent;
+use scion_telemetry::{ids, phase, Label, Telemetry};
 use scion_topology::{AsTopology, LinkIndex};
 use scion_types::{IfId, SimTime};
 
 use crate::packet::Packet;
-use crate::router::{forward, ForwardAction, ForwardError};
+use crate::router::{forward_instrumented, ForwardAction, ForwardError};
 use crate::scmp::ScmpMessage;
 
 /// Why delivery failed.
@@ -34,6 +37,37 @@ pub fn deliver(
     failed_links: &HashSet<LinkIndex>,
     now: SimTime,
 ) -> Result<usize, DeliveryError> {
+    deliver_instrumented(topo, packet, failed_links, now, &mut Telemetry::disabled())
+}
+
+/// [`deliver`] with observability: every border-router hop runs through
+/// [`forward_instrumented`], link-failure drops emit
+/// [`TraceEvent::ScmpEmitted`] plus the `scmp_sent` and `drop.link_down`
+/// counters, and the whole source-to-destination walk is timed into the
+/// [`phase::FWD_DELIVER`] profiler phase.
+pub fn deliver_instrumented(
+    topo: &AsTopology,
+    packet: &mut Packet,
+    failed_links: &HashSet<LinkIndex>,
+    now: SimTime,
+    tel: &mut Telemetry,
+) -> Result<usize, DeliveryError> {
+    let t0 = tel.profile.is_enabled().then(Instant::now);
+    let result = deliver_walk(topo, packet, failed_links, now, tel);
+    if let Some(t0) = t0 {
+        let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        tel.profile.record_ns(phase::FWD_DELIVER, ns);
+    }
+    result
+}
+
+fn deliver_walk(
+    topo: &AsTopology,
+    packet: &mut Packet,
+    failed_links: &HashSet<LinkIndex>,
+    now: SimTime,
+    tel: &mut Telemetry,
+) -> Result<usize, DeliveryError> {
     let mut arrival_if = IfId::NONE; // first hop starts inside the source
     let mut cur_as = topo
         .by_address(packet.source)
@@ -42,13 +76,36 @@ pub fn deliver(
 
     loop {
         let local_ia = topo.node(cur_as).ia;
-        match forward(packet, local_ia, arrival_if, now).map_err(DeliveryError::Dropped)? {
+        let node = cur_as.0;
+        match forward_instrumented(packet, local_ia, node, arrival_if, now, None, tel)
+            .map_err(DeliveryError::Dropped)?
+        {
             ForwardAction::Deliver => return Ok(traversed),
             ForwardAction::Egress(egress) => {
-                let li = topo
-                    .link_by_interface(cur_as, egress)
-                    .ok_or(DeliveryError::NoSuchInterface)?;
+                let Some(li) = topo.link_by_interface(cur_as, egress) else {
+                    tel.trace_event(now, || TraceEvent::PacketDropped {
+                        node,
+                        reason: "no_interface",
+                    });
+                    tel.inc(ids::FWD_DROPPED, Label::As(node), 1);
+                    tel.inc(ids::FWD_DROP_NO_INTERFACE, Label::Global, 1);
+                    return Err(DeliveryError::NoSuchInterface);
+                };
                 if failed_links.contains(&li) {
+                    // §4.1: the router observing the dead link reports back
+                    // to the source via SCMP; the packet itself is lost.
+                    tel.trace_event(now, || TraceEvent::ScmpEmitted {
+                        node,
+                        interface: egress.0,
+                        kind: "external_interface_down",
+                    });
+                    tel.inc(ids::FWD_SCMP_SENT, Label::As(node), 1);
+                    tel.trace_event(now, || TraceEvent::PacketDropped {
+                        node,
+                        reason: "link_down",
+                    });
+                    tel.inc(ids::FWD_DROPPED, Label::As(node), 1);
+                    tel.inc(ids::FWD_DROP_LINK_DOWN, Label::Global, 1);
                     return Err(DeliveryError::LinkDown(
                         ScmpMessage::ExternalInterfaceDown {
                             at: local_ia,
@@ -145,6 +202,69 @@ mod tests {
         );
         // Pointer stopped at the tampered hop.
         assert_eq!(pkt.path.current, 1);
+    }
+
+    #[test]
+    fn instrumented_delivery_traces_every_hop() {
+        use scion_telemetry::TelemetryConfig;
+
+        let (topo, path) = world();
+        let mut tel = Telemetry::new(TelemetryConfig::default());
+        let mut pkt = Packet::along(&path, t(100), 64);
+        deliver_instrumented(&topo, &mut pkt, &HashSet::new(), t(1), &mut tel).unwrap();
+
+        let events: Vec<&TraceEvent> = tel.traces.records().map(|r| &r.event).collect();
+        let forwarded = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::PacketForwarded { .. }))
+            .count();
+        let delivered = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::PacketDelivered { .. }))
+            .count();
+        assert_eq!((forwarded, delivered), (2, 1), "{events:?}");
+        assert_eq!(tel.profile.stats(phase::FWD_DELIVER).unwrap().calls, 1);
+        assert_eq!(tel.profile.stats(phase::FWD_FORWARD).unwrap().calls, 3);
+    }
+
+    #[test]
+    fn instrumented_link_failure_emits_scmp_telemetry() {
+        use scion_telemetry::TelemetryConfig;
+
+        let (topo, path) = world();
+        let b = topo.by_address(ia(2)).unwrap();
+        let c = topo.by_address(ia(3)).unwrap();
+        let failed: HashSet<LinkIndex> = [topo.links_between(b, c)[0]].into_iter().collect();
+        let mut tel = Telemetry::new(TelemetryConfig::default());
+        let mut pkt = Packet::along(&path, t(100), 64);
+        assert!(matches!(
+            deliver_instrumented(&topo, &mut pkt, &failed, t(1), &mut tel),
+            Err(DeliveryError::LinkDown(_))
+        ));
+
+        let kinds: Vec<String> = tel
+            .traces
+            .records()
+            .filter_map(|r| match &r.event {
+                TraceEvent::ScmpEmitted { node, kind, .. } => Some(format!("{node}:{kind}")),
+                TraceEvent::PacketDropped { reason, .. } => Some(format!("drop:{reason}")),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                format!("{}:external_interface_down", b.0),
+                "drop:link_down".to_string()
+            ]
+        );
+        let scmp: u64 = tel
+            .metrics
+            .counters()
+            .filter(|(i, _, _)| *i == ids::FWD_SCMP_SENT)
+            .map(|(_, _, v)| v)
+            .sum();
+        assert_eq!(scmp, 1);
     }
 
     #[test]

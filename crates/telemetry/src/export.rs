@@ -1,15 +1,18 @@
-//! JSONL export of a telemetry dump.
+//! JSONL and Prometheus export of a telemetry dump.
 //!
-//! A dump directory holds four files:
+//! A dump directory holds five files:
 //!
 //! * `metrics.jsonl` — final counter/gauge/histogram values, one JSON
 //!   object per line, in deterministic `(kind, id, label)` order;
+//! * `metrics.prom` — the same final values in Prometheus text
+//!   exposition format, ready for `promtool` or a file-based scrape;
 //! * `series.jsonl` — the virtual-time samples, in recording order;
 //! * `trace.jsonl` — the retained trace records, oldest first;
-//! * `profile.jsonl` — the per-phase wall-clock profile. This file is the
-//!   only nondeterministic one; same-seed runs produce byte-identical
-//!   `metrics`/`series`/`trace` files (asserted by
-//!   `tests/telemetry_determinism.rs`).
+//! * `profile.jsonl` — the per-phase wall-clock profile (calls, totals,
+//!   and latency quantiles from the [`crate::profile::WALL_NS_BUCKETS`]
+//!   histograms). This file is the only nondeterministic one; same-seed
+//!   runs produce byte-identical `metrics`/`series`/`trace` files
+//!   (asserted by `tests/telemetry_determinism.rs`).
 
 use std::fs;
 use std::io::{self, Write};
@@ -84,6 +87,12 @@ struct ProfileRow<'a> {
     total_ns: u64,
     mean_ns: u64,
     max_ns: u64,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    p50_ns: Option<f64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    p90_ns: Option<f64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    p99_ns: Option<f64>,
 }
 
 fn write_line<T: Serialize>(out: &mut impl Write, row: &T) -> io::Result<()> {
@@ -165,6 +174,7 @@ impl Telemetry {
                 total_ns,
                 max_ns,
             } = stats;
+            let latency = self.profile.latency(phase);
             write_line(
                 &mut profile,
                 &ProfileRow {
@@ -173,11 +183,159 @@ impl Telemetry {
                     total_ns,
                     mean_ns: stats.mean_ns(),
                     max_ns,
+                    p50_ns: latency.and_then(|h| h.quantile(0.5)),
+                    p90_ns: latency.and_then(|h| h.quantile(0.9)),
+                    p99_ns: latency.and_then(|h| h.quantile(0.99)),
                 },
             )?;
         }
-        profile.flush()
+        profile.flush()?;
+
+        let mut prom = io::BufWriter::new(fs::File::create(dir.join("metrics.prom"))?);
+        self.export_prometheus(&mut prom)?;
+        prom.flush()
     }
+
+    /// Writes the final metric values in Prometheus text exposition
+    /// format: one `# TYPE` line per metric family, dotted ids mapped to
+    /// underscore names, and labels rendered per [`Label`] variant.
+    /// Histograms expand into cumulative `_bucket{le=...}` series plus
+    /// `_sum` and `_count`, as the format requires.
+    pub fn export_prometheus(&self, out: &mut impl Write) -> io::Result<()> {
+        let mut last_family = String::new();
+
+        for (id, label, value) in self.metrics.counters() {
+            let name = prom_family(out, &mut last_family, id, "counter")?;
+            writeln!(out, "{name}{} {value}", prom_labels(label))?;
+        }
+        for (id, value) in [
+            ("trace.records_emitted", self.traces.emitted()),
+            ("trace.records_dropped", self.traces.dropped()),
+        ] {
+            let name = prom_family(out, &mut last_family, id, "counter")?;
+            writeln!(out, "{name} {value}")?;
+        }
+        for (id, label, value) in self.metrics.gauges() {
+            let name = prom_family(out, &mut last_family, id, "gauge")?;
+            writeln!(out, "{name}{} {value}", prom_labels(label))?;
+        }
+        for (id, label, h) in self.metrics.histograms() {
+            let name = prom_family(out, &mut last_family, id, "histogram")?;
+            let labels = prom_label_pairs(label);
+            let mut cumulative = 0u64;
+            for (bound, count) in h.bounds().iter().zip(h.bucket_counts()) {
+                cumulative += count;
+                let le = prom_number(*bound);
+                writeln!(
+                    out,
+                    "{name}_bucket{} {cumulative}",
+                    prom_render_pairs(labels.iter().cloned().chain([("le".into(), le)]))
+                )?;
+            }
+            writeln!(
+                out,
+                "{name}_bucket{} {}",
+                prom_render_pairs(labels.iter().cloned().chain([("le".into(), "+Inf".into())])),
+                h.count()
+            )?;
+            writeln!(
+                out,
+                "{name}_sum{} {}",
+                prom_labels(label),
+                prom_number(h.sum())
+            )?;
+            writeln!(out, "{name}_count{} {}", prom_labels(label), h.count())?;
+        }
+        Ok(())
+    }
+}
+
+/// Emits the `# TYPE` header when entering a new metric family; returns
+/// the sanitized family name.
+fn prom_family(
+    out: &mut impl Write,
+    last_family: &mut String,
+    id: &str,
+    kind: &str,
+) -> io::Result<String> {
+    let name = prom_name(id);
+    if name != *last_family {
+        writeln!(out, "# TYPE {name} {kind}")?;
+        *last_family = name.clone();
+    }
+    Ok(name)
+}
+
+/// Maps a dotted metric id onto a legal Prometheus metric name:
+/// every character outside `[a-zA-Z0-9_:]` becomes `_`, and a leading
+/// digit gets a `_` prefix.
+fn prom_name(id: &str) -> String {
+    let mut name: String = id
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        name.insert(0, '_');
+    }
+    name
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn prom_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` without a trailing `.0` for integral values, so bucket
+/// bounds read `le="1000"` rather than `le="1000.0"`.
+fn prom_number(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn prom_label_pairs(label: Label) -> Vec<(String, String)> {
+    match label {
+        Label::Global => Vec::new(),
+        Label::As(i) => vec![("as".into(), i.to_string())],
+        Label::Iface(a, i) => vec![
+            ("as".into(), a.to_string()),
+            ("iface".into(), i.to_string()),
+        ],
+        Label::Link(l) => vec![("link".into(), l.to_string())],
+    }
+}
+
+fn prom_render_pairs(pairs: impl Iterator<Item = (String, String)>) -> String {
+    let rendered: Vec<String> = pairs
+        .map(|(k, v)| format!("{k}=\"{}\"", prom_escape(&v)))
+        .collect();
+    if rendered.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", rendered.join(","))
+    }
+}
+
+fn prom_labels(label: Label) -> String {
+    prom_render_pairs(prom_label_pairs(label).into_iter())
 }
 
 #[cfg(test)]
@@ -225,6 +383,79 @@ mod tests {
         let metrics = fs::read_to_string(dir.join("metrics.jsonl")).unwrap();
         assert!(metrics.contains("\"x.count\""));
         assert!(metrics.contains("trace.records_emitted"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prometheus_export_renders_types_labels_and_buckets() {
+        let mut tel = Telemetry::new(TelemetryConfig::default());
+        tel.inc("dataplane.packets_forwarded", Label::As(3), 12);
+        tel.inc("dataplane.packets_forwarded", Label::As(7), 1);
+        tel.sample(
+            SimTime::from_micros(1),
+            "store.occupancy",
+            Label::Global,
+            0.5,
+        );
+        for v in [0.5, 1.5, 99.0] {
+            tel.observe("dataplane.hops_at_delivery", Label::Global, v);
+        }
+
+        let mut buf = Vec::new();
+        tel.export_prometheus(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+
+        assert!(text.contains("# TYPE dataplane_packets_forwarded counter"));
+        // One TYPE line per family even with several label sets.
+        assert_eq!(
+            text.matches("# TYPE dataplane_packets_forwarded").count(),
+            1
+        );
+        assert!(text.contains("dataplane_packets_forwarded{as=\"3\"} 12"));
+        assert!(text.contains("dataplane_packets_forwarded{as=\"7\"} 1"));
+        assert!(text.contains("# TYPE store_occupancy gauge"));
+        assert!(text.contains("store_occupancy 0.5"));
+        assert!(text.contains("# TYPE trace_records_emitted counter"));
+        assert!(text.contains("# TYPE dataplane_hops_at_delivery histogram"));
+        // Buckets are cumulative and end with +Inf == _count.
+        assert!(text.contains("dataplane_hops_at_delivery_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("dataplane_hops_at_delivery_sum 101"));
+        assert!(text.contains("dataplane_hops_at_delivery_count 3"));
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "non-cumulative bucket line: {line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn prometheus_names_and_label_values_are_escaped() {
+        assert_eq!(
+            prom_name("dataplane.drop.bad-mac"),
+            "dataplane_drop_bad_mac"
+        );
+        assert_eq!(prom_name("7seconds"), "_7seconds");
+        assert_eq!(prom_escape("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        assert_eq!(prom_number(1000.0), "1000");
+        assert_eq!(prom_number(2.5e6), "2500000");
+        assert_eq!(prom_number(0.25), "0.25");
+    }
+
+    #[test]
+    fn profile_rows_carry_latency_quantiles() {
+        let mut tel = Telemetry::new(TelemetryConfig::default());
+        for ns in [200u64, 2_000, 20_000, 200_000] {
+            tel.profile.record_ns("phase.q", ns);
+        }
+        let dir = tmp_dir("prof-q");
+        tel.export_jsonl(&dir).unwrap();
+        let text = fs::read_to_string(dir.join("profile.jsonl")).unwrap();
+        let row: serde_json::Value = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        assert_eq!(row.get("calls").unwrap().as_u64(), Some(4));
+        let p50 = row.get("p50_ns").unwrap().as_f64().unwrap();
+        let p99 = row.get("p99_ns").unwrap().as_f64().unwrap();
+        assert!(p50 > 0.0 && p99 >= p50, "p50={p50} p99={p99}");
         fs::remove_dir_all(&dir).ok();
     }
 

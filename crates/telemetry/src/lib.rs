@@ -17,7 +17,11 @@
 //!   path one branch;
 //! * [`profile`] — wall-clock RAII spans aggregated into a per-phase
 //!   profile (the only intentionally nondeterministic part);
-//! * [`export`] — the JSONL dump format written by `--telemetry <dir>`.
+//! * [`export`] — the JSONL dump format written by `--telemetry <dir>`,
+//!   plus a Prometheus text-exposition rendering (`metrics.prom`);
+//! * [`telediff`] — a structural regression gate: diffs two telemetry
+//!   dumps or bench JSON records, exact on deterministic values and
+//!   relative-tolerance on wall-clock figures.
 //!
 //! The [`Telemetry`] handle bundles all four and is threaded by mutable
 //! reference through the simulator drivers, beacon servers, path servers,
@@ -30,13 +34,15 @@ pub mod export;
 pub mod metrics;
 pub mod profile;
 pub mod series;
+pub mod telediff;
 pub mod trace;
 
 use scion_types::{Duration, SimTime};
 
 pub use metrics::{Histogram, Label, MetricsRegistry, DEFAULT_BUCKETS};
-pub use profile::{phase, PhaseStats, Profiler};
+pub use profile::{phase, PhaseStats, Profiler, WALL_NS_BUCKETS};
 pub use series::{Sample, SeriesRecorder};
+pub use telediff::{diff_dumps, diff_json_files, DiffConfig, DiffEntry};
 pub use trace::{TraceEvent, TraceRecord, TraceSink, DEFAULT_TRACE_CAPACITY};
 
 /// Well-known metric ids, so instrument sites, reports, and documentation
@@ -123,6 +129,42 @@ pub mod ids {
     /// Counter: expired segments garbage-collected from authoritative
     /// stores on registration.
     pub const PS_SEGMENTS_PURGED: &str = "pathserver.segments_purged";
+    /// Counter (per AS): packets a border router forwarded onward.
+    pub const FWD_FORWARDED: &str = "dataplane.packets_forwarded";
+    /// Counter: packets delivered to their destination AS.
+    pub const FWD_DELIVERED: &str = "dataplane.packets_delivered";
+    /// Counter: packets dropped anywhere on the forwarding path (the
+    /// `dataplane.drop.*` counters break this down by reason).
+    pub const FWD_DROPPED: &str = "dataplane.packets_dropped";
+    /// Counter: SCMP error messages emitted by border routers.
+    pub const FWD_SCMP_SENT: &str = "dataplane.scmp_sent";
+    /// Counter: hop-field MACs that verified successfully.
+    pub const FWD_MACS_VERIFIED: &str = "dataplane.macs_verified";
+    /// Counter: hop-field MACs that failed verification.
+    pub const FWD_MACS_REJECTED: &str = "dataplane.macs_rejected";
+    /// Counter (per interface): packets sent out of an egress interface.
+    pub const FWD_IFACE_PACKETS: &str = "dataplane.iface_packets";
+    /// Counter (per interface): wire bytes sent out of an egress
+    /// interface.
+    pub const FWD_IFACE_BYTES: &str = "dataplane.iface_tx_bytes";
+    /// Histogram: AS hop count of delivered packets (deterministic —
+    /// virtual quantity, safe for byte-identical dumps).
+    pub const FWD_HOPS_AT_DELIVERY: &str = "dataplane.hops_at_delivery";
+    /// Counter: drops — hop field owned by a different AS.
+    pub const FWD_DROP_WRONG_AS: &str = "dataplane.drop.wrong_as";
+    /// Counter: drops — hop-field MAC invalid (path alteration).
+    pub const FWD_DROP_BAD_MAC: &str = "dataplane.drop.bad_mac";
+    /// Counter: drops — hop-field authorization expired.
+    pub const FWD_DROP_EXPIRED: &str = "dataplane.drop.expired";
+    /// Counter: drops — packet arrived on an unauthorized interface.
+    pub const FWD_DROP_WRONG_INGRESS: &str = "dataplane.drop.wrong_ingress";
+    /// Counter: drops — PCFS pointer ran past the end of the path.
+    pub const FWD_DROP_PATH_EXHAUSTED: &str = "dataplane.drop.path_exhausted";
+    /// Counter: drops — the next link on the path is down (SCMP emitted).
+    pub const FWD_DROP_LINK_DOWN: &str = "dataplane.drop.link_down";
+    /// Counter: drops — the hop field names a nonexistent egress
+    /// interface.
+    pub const FWD_DROP_NO_INTERFACE: &str = "dataplane.drop.no_interface";
 }
 
 /// Configuration of a telemetry handle.

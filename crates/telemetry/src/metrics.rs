@@ -124,12 +124,37 @@ impl Histogram {
         &self.counts
     }
 
+    /// Merges another histogram into this one (bucket-wise addition of
+    /// counts plus combined count / sum / min / max). Built for the
+    /// shard/merge pattern: parallel shards each fill a local histogram
+    /// and the serial merge folds them together in input order, keeping
+    /// the result independent of thread scheduling.
+    ///
+    /// # Panics
+    /// Panics when the two histograms have different bucket bounds —
+    /// merging across incompatible layouts silently miscounts, so it is
+    /// treated as a programming error.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "Histogram::merge requires identical bucket bounds"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by cumulative walk:
     /// returns the upper bound of the bucket containing the target rank
     /// (clamped to the observed max for the overflow bucket, and to the
-    /// observed min from below). Returns `None` when empty.
+    /// observed min from below). Returns `None` when empty or when `q` is
+    /// NaN; a `q` outside `[0, 1]` is clamped into the range.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        if self.count == 0 {
+        if self.count == 0 || q.is_nan() {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
@@ -318,6 +343,87 @@ mod tests {
         h.observe(100.0);
         h.observe(200.0);
         assert_eq!(h.quantile(0.99), Some(200.0));
+    }
+
+    #[test]
+    fn quantile_clamps_q_and_rejects_nan() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(1.5);
+        // Out-of-range q clamps to the nearest valid quantile.
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+        // NaN has no meaningful rank.
+        assert_eq!(h.quantile(f64::NAN), None);
+    }
+
+    #[test]
+    fn quantile_in_overflow_bucket_reports_within_observed_range() {
+        let mut h = Histogram::new(&[1.0]);
+        for v in [5.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        // Every rank lands in the overflow bucket; estimates must stay
+        // inside [min, max].
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let est = h.quantile(q).unwrap();
+            assert!((5.0..=500.0).contains(&est), "q={q} -> {est}");
+        }
+        assert_eq!(h.quantile(1.0), Some(500.0));
+    }
+
+    #[test]
+    fn merge_combines_counts_sums_and_extremes() {
+        let mut a = Histogram::new(&[1.0, 2.0, 4.0]);
+        a.observe(0.5);
+        a.observe(3.0);
+        let mut b = Histogram::new(&[1.0, 2.0, 4.0]);
+        b.observe(9.0);
+        b.observe(1.5);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.bucket_counts(), &[1, 1, 1, 1]);
+        assert!((a.sum() - 14.0).abs() < 1e-9);
+        assert_eq!(a.min(), Some(0.5));
+        assert_eq!(a.max(), Some(9.0));
+        // Merging an empty histogram is a no-op.
+        let before = a.clone();
+        a.merge(&Histogram::new(&[1.0, 2.0, 4.0]));
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.min(), before.min());
+        assert_eq!(a.max(), before.max());
+    }
+
+    #[test]
+    fn merge_order_does_not_matter() {
+        let mut parts = Vec::new();
+        for shard in 0..4u64 {
+            let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+            for i in 0..10u64 {
+                h.observe((shard * 10 + i) as f64);
+            }
+            parts.push(h);
+        }
+        let mut fwd = Histogram::new(&[1.0, 10.0, 100.0]);
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = Histogram::new(&[1.0, 10.0, 100.0]);
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd.bucket_counts(), rev.bucket_counts());
+        assert_eq!(fwd.count(), rev.count());
+        assert_eq!(fwd.min(), rev.min());
+        assert_eq!(fwd.max(), rev.max());
+    }
+
+    #[test]
+    #[should_panic(expected = "identical bucket bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new(&[1.0, 2.0]);
+        let b = Histogram::new(&[1.0, 3.0]);
+        a.merge(&b);
     }
 
     #[test]

@@ -12,6 +12,8 @@ use std::time::Instant;
 
 use serde::Serialize;
 
+use crate::metrics::Histogram;
+
 /// Phase name constants, so call sites and reports agree on spelling.
 pub mod phase {
     /// Core beacon servers signing fresh zero-hop PCBs.
@@ -34,7 +36,25 @@ pub mod phase {
     pub const PAR_SHARD: &str = "parallel.shard_exec";
     /// Serial merge: side effects replayed in deterministic event order.
     pub const PAR_MERGE: &str = "parallel.merge";
+    /// One border-router hop: full PCFS pipeline (checks + advance).
+    pub const FWD_FORWARD: &str = "dataplane.forward_hop";
+    /// One packet walked source to destination across the router chain.
+    pub const FWD_DELIVER: &str = "dataplane.deliver";
+    /// One hop-field MAC verification.
+    pub const FWD_VERIFY: &str = "dataplane.hopfield_verify";
+    /// Sharded batch MAC verification across the worker pool.
+    pub const FWD_BATCH_SHARD: &str = "dataplane.batch_shard";
+    /// Serial merge applying batched forwarding decisions in input order.
+    pub const FWD_BATCH_MERGE: &str = "dataplane.batch_merge";
 }
+
+/// Bucket bounds (nanoseconds) of the per-phase latency histograms: 1-2.5-5
+/// decades from 100 ns to 1 s, matching the sub-microsecond-to-seconds
+/// range of per-packet forwarding work.
+pub const WALL_NS_BUCKETS: [f64; 22] = [
+    100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0, 25_000.0, 50_000.0, 100_000.0,
+    250_000.0, 500_000.0, 1e6, 2.5e6, 5e6, 1e7, 2.5e7, 5e7, 1e8, 2.5e8, 5e8, 1e9,
+];
 
 /// Accumulated wall-clock statistics of one phase.
 #[derive(Clone, Copy, Debug, Default, Serialize)]
@@ -54,11 +74,13 @@ impl PhaseStats {
     }
 }
 
-/// Aggregates wall-clock spans per named phase.
+/// Aggregates wall-clock spans per named phase, including a fixed-bucket
+/// latency histogram ([`WALL_NS_BUCKETS`]) for per-span quantiles.
 #[derive(Clone, Debug, Default)]
 pub struct Profiler {
     enabled: bool,
     phases: BTreeMap<&'static str, PhaseStats>,
+    latencies: BTreeMap<&'static str, Histogram>,
 }
 
 impl Profiler {
@@ -67,6 +89,7 @@ impl Profiler {
         Profiler {
             enabled: false,
             phases: BTreeMap::new(),
+            latencies: BTreeMap::new(),
         }
     }
 
@@ -75,6 +98,7 @@ impl Profiler {
         Profiler {
             enabled: true,
             phases: BTreeMap::new(),
+            latencies: BTreeMap::new(),
         }
     }
 
@@ -105,11 +129,40 @@ impl Profiler {
         stats.calls += 1;
         stats.total_ns += ns;
         stats.max_ns = stats.max_ns.max(ns);
+        self.latencies
+            .entry(phase)
+            .or_insert_with(|| Histogram::new(&WALL_NS_BUCKETS))
+            .observe(ns as f64);
+    }
+
+    /// Folds a shard-local latency histogram (bounds [`WALL_NS_BUCKETS`],
+    /// values in nanoseconds) into a phase: bucket counts merge via
+    /// [`Histogram::merge`] and the phase stats absorb the shard's call
+    /// count, total, and max. This is how the parallel batch-verification
+    /// shards report per-item latencies without sharing the profiler.
+    pub fn absorb(&mut self, phase: &'static str, shard: &Histogram) {
+        if shard.count() == 0 {
+            return;
+        }
+        let stats = self.phases.entry(phase).or_default();
+        stats.calls += shard.count();
+        stats.total_ns += shard.sum() as u64;
+        stats.max_ns = stats.max_ns.max(shard.max().unwrap_or(0.0) as u64);
+        self.latencies
+            .entry(phase)
+            .or_insert_with(|| Histogram::new(&WALL_NS_BUCKETS))
+            .merge(shard);
     }
 
     /// The stats of one phase, if it ever ran.
     pub fn stats(&self, phase: &str) -> Option<PhaseStats> {
         self.phases.get(phase).copied()
+    }
+
+    /// The latency histogram of one phase (nanosecond buckets), if the
+    /// phase ever ran.
+    pub fn latency(&self, phase: &str) -> Option<&Histogram> {
+        self.latencies.get(phase)
     }
 
     /// All phases in deterministic name order.
@@ -175,6 +228,38 @@ mod tests {
         let s = p.stats("x").unwrap();
         assert_eq!((s.calls, s.total_ns, s.max_ns), (3, 60, 30));
         assert_eq!(s.mean_ns(), 20);
+    }
+
+    #[test]
+    fn record_ns_feeds_the_latency_histogram() {
+        let mut p = Profiler::enabled();
+        p.record_ns("x", 200);
+        p.record_ns("x", 2_000);
+        p.record_ns("x", 2_000_000);
+        let h = p.latency("x").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), Some(200.0));
+        assert_eq!(h.max(), Some(2_000_000.0));
+        assert!(h.quantile(0.5).unwrap() >= 200.0);
+        assert!(p.latency("never").is_none());
+    }
+
+    #[test]
+    fn absorb_merges_shard_histograms_into_stats_and_latency() {
+        let mut p = Profiler::enabled();
+        p.record_ns("v", 1_000);
+        let mut shard = Histogram::new(&WALL_NS_BUCKETS);
+        shard.observe(500.0);
+        shard.observe(3_000.0);
+        p.absorb("v", &shard);
+        let s = p.stats("v").unwrap();
+        assert_eq!(s.calls, 3);
+        assert_eq!(s.total_ns, 4_500);
+        assert_eq!(s.max_ns, 3_000);
+        assert_eq!(p.latency("v").unwrap().count(), 3);
+        // Absorbing an empty shard is a no-op.
+        p.absorb("v", &Histogram::new(&WALL_NS_BUCKETS));
+        assert_eq!(p.stats("v").unwrap().calls, 3);
     }
 
     #[test]

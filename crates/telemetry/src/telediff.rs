@@ -1,0 +1,374 @@
+//! `telediff`: the structural telemetry regression gate.
+//!
+//! CI needs a machine-checkable answer to "did this change alter any
+//! deterministic metric, or regress a wall-clock figure beyond noise?".
+//! This module diffs two telemetry artifacts:
+//!
+//! * **Dump directories** (the `--telemetry <dir>` output):
+//!   `metrics.jsonl`, `series.jsonl`, and `trace.jsonl` are fully
+//!   deterministic for a given seed, so every line must match *exactly* —
+//!   counters, trace counts, histogram buckets, virtual timestamps.
+//!   `profile.jsonl` records real elapsed time and is skipped, exactly as
+//!   the determinism tests exempt it.
+//! * **Bench JSON records** (`results/*.json`): values are compared
+//!   exactly, except fields recognized as wall-clock figures (`*_ms`,
+//!   `*_ns`, `*per_sec`, `speedup`, …) which match under a relative
+//!   tolerance — or are skipped entirely with
+//!   [`DiffConfig::ignore_wall`] for cross-machine comparisons against
+//!   checked-in references.
+//!
+//! The `telediff` harness binary wraps this into an exit code: `0` when
+//! the artifacts agree, `1` with a printed report when they do not.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde_json::Value;
+
+/// How strictly to compare.
+#[derive(Clone, Copy, Debug)]
+pub struct DiffConfig {
+    /// Relative tolerance for wall-clock figures: `a` and `b` agree when
+    /// `|a - b| <= wall_tolerance * max(|a|, |b|)`.
+    pub wall_tolerance: f64,
+    /// Skip wall-clock figures entirely (for cross-machine comparisons
+    /// where even generous tolerances are meaningless).
+    pub ignore_wall: bool,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            // Generous by design: the gate must catch order-of-magnitude
+            // regressions without tripping on same-machine jitter.
+            wall_tolerance: 0.5,
+            ignore_wall: false,
+        }
+    }
+}
+
+/// One observed difference.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffEntry {
+    /// JSON-pointer-ish location, e.g. `metrics.jsonl:3/value`.
+    pub path: String,
+    /// Human-readable explanation (`12 != 13`).
+    pub detail: String,
+}
+
+impl std::fmt::Display for DiffEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path, self.detail)
+    }
+}
+
+/// True when a JSON object key names a wall-clock figure (real elapsed
+/// time or anything derived from it). Virtual-time fields (`t_us`,
+/// `sim_secs`) are deterministic and deliberately *not* matched.
+pub fn is_wall_key(key: &str) -> bool {
+    key.ends_with("_ms")
+        || key.ends_with("_ns")
+        || key.ends_with("per_sec")
+        || key.ends_with("_pct")
+        || key == "speedup"
+        || key.starts_with("wall")
+}
+
+fn render(v: &Value) -> String {
+    v.to_json()
+}
+
+fn numbers_match(a: f64, b: f64, cfg: &DiffConfig) -> bool {
+    if a == b {
+        return true;
+    }
+    let scale = a.abs().max(b.abs());
+    (a - b).abs() <= cfg.wall_tolerance * scale
+}
+
+/// Recursively diffs two JSON values. `key` is the object key under which
+/// the values sit (`""` at the root) — it decides wall-clock treatment.
+fn diff_value(
+    loc: &str,
+    key: &str,
+    a: &Value,
+    b: &Value,
+    cfg: &DiffConfig,
+    out: &mut Vec<DiffEntry>,
+) {
+    let wall = is_wall_key(key);
+    if wall && cfg.ignore_wall {
+        return;
+    }
+    match (a, b) {
+        (Value::Object(fa), Value::Object(fb)) => {
+            for (k, va) in fa {
+                match b.get(k) {
+                    Some(vb) => diff_value(&format!("{loc}/{k}"), k, va, vb, cfg, out),
+                    None => out.push(DiffEntry {
+                        path: format!("{loc}/{k}"),
+                        detail: "missing from candidate".into(),
+                    }),
+                }
+            }
+            for (k, _) in fb {
+                if a.get(k).is_none() {
+                    out.push(DiffEntry {
+                        path: format!("{loc}/{k}"),
+                        detail: "not present in reference".into(),
+                    });
+                }
+            }
+        }
+        (Value::Array(xa), Value::Array(xb)) => {
+            if xa.len() != xb.len() {
+                out.push(DiffEntry {
+                    path: loc.to_string(),
+                    detail: format!("array length {} != {}", xa.len(), xb.len()),
+                });
+                return;
+            }
+            for (i, (va, vb)) in xa.iter().zip(xb).enumerate() {
+                diff_value(&format!("{loc}[{i}]"), key, va, vb, cfg, out);
+            }
+        }
+        _ => {
+            let (na, nb) = (a.as_f64(), b.as_f64());
+            let matches = match (na, nb) {
+                // Numbers under a wall-clock key compare with tolerance;
+                // everything else must be exactly equal.
+                (Some(x), Some(y)) if wall => numbers_match(x, y, cfg),
+                _ => a == b,
+            };
+            if !matches {
+                out.push(DiffEntry {
+                    path: loc.to_string(),
+                    detail: format!("{} != {}", render(a), render(b)),
+                });
+            }
+        }
+    }
+}
+
+/// Diffs two parsed JSON values (reference vs candidate).
+pub fn diff_values(a: &Value, b: &Value, cfg: &DiffConfig) -> Vec<DiffEntry> {
+    let mut out = Vec::new();
+    diff_value("", "", a, b, cfg, &mut out);
+    out
+}
+
+/// Diffs two JSON files (e.g. `results/forwarding.json` against a
+/// checked-in reference record).
+pub fn diff_json_files(
+    reference: &Path,
+    candidate: &Path,
+    cfg: &DiffConfig,
+) -> io::Result<Vec<DiffEntry>> {
+    let parse = |p: &Path| -> io::Result<Value> {
+        let text = fs::read_to_string(p)?;
+        Value::parse_json(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{p:?}: {e}")))
+    };
+    let (va, vb) = (parse(reference)?, parse(candidate)?);
+    Ok(diff_values(&va, &vb, cfg))
+}
+
+/// The deterministic files of a telemetry dump, in comparison order.
+pub const DETERMINISTIC_DUMP_FILES: [&str; 3] = ["metrics.jsonl", "series.jsonl", "trace.jsonl"];
+
+/// Diffs two telemetry dump directories: every line of the deterministic
+/// JSONL files must match exactly (`profile.jsonl` — wall clock — is
+/// skipped). Lines are compared as parsed values, so a diff names the
+/// offending field rather than a byte offset. The config is accepted for
+/// signature symmetry with [`diff_json_files`] but ignored: deterministic
+/// dumps tolerate nothing.
+pub fn diff_dumps(
+    reference: &Path,
+    candidate: &Path,
+    _cfg: &DiffConfig,
+) -> io::Result<Vec<DiffEntry>> {
+    let mut out = Vec::new();
+    for name in DETERMINISTIC_DUMP_FILES {
+        let (pa, pb) = (reference.join(name), candidate.join(name));
+        match (pa.exists(), pb.exists()) {
+            (false, false) => continue,
+            (true, false) => {
+                out.push(DiffEntry {
+                    path: name.into(),
+                    detail: "missing from candidate dump".into(),
+                });
+                continue;
+            }
+            (false, true) => {
+                out.push(DiffEntry {
+                    path: name.into(),
+                    detail: "not present in reference dump".into(),
+                });
+                continue;
+            }
+            (true, true) => {}
+        }
+        let (ta, tb) = (fs::read_to_string(&pa)?, fs::read_to_string(&pb)?);
+        let (la, lb): (Vec<&str>, Vec<&str>) = (ta.lines().collect(), tb.lines().collect());
+        if la.len() != lb.len() {
+            out.push(DiffEntry {
+                path: name.into(),
+                detail: format!("{} lines != {} lines", la.len(), lb.len()),
+            });
+        }
+        for (i, (a, b)) in la.iter().zip(&lb).enumerate() {
+            if a == b {
+                continue;
+            }
+            let loc = format!("{name}:{}", i + 1);
+            match (Value::parse_json(a), Value::parse_json(b)) {
+                (Ok(va), Ok(vb)) => {
+                    // Deterministic files tolerate nothing: compare with a
+                    // zero-tolerance config regardless of key names.
+                    let strict = DiffConfig {
+                        wall_tolerance: 0.0,
+                        ignore_wall: false,
+                    };
+                    let mut diffs = Vec::new();
+                    diff_value(&loc, "", &va, &vb, &strict, &mut diffs);
+                    if diffs.is_empty() {
+                        // Byte difference without a structural one
+                        // (e.g. float formatting) still counts.
+                        diffs.push(DiffEntry {
+                            path: loc.clone(),
+                            detail: "lines differ".into(),
+                        });
+                    }
+                    out.extend(diffs);
+                }
+                _ => out.push(DiffEntry {
+                    path: loc,
+                    detail: "unparseable line differs".into(),
+                }),
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Value {
+        Value::parse_json(s).unwrap()
+    }
+
+    #[test]
+    fn identical_values_produce_no_diffs() {
+        let a = v(r#"{"kind":"counter","id":"x","value":5,"nested":{"arr":[1,2,3]}}"#);
+        assert!(diff_values(&a, &a.clone(), &DiffConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn counter_perturbation_is_detected() {
+        let a = v(r#"{"delivered":100,"dropped":7}"#);
+        let b = v(r#"{"delivered":100,"dropped":8}"#);
+        let diffs = diff_values(&a, &b, &DiffConfig::default());
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].path, "/dropped");
+    }
+
+    #[test]
+    fn wall_clock_fields_tolerate_noise_but_not_regressions() {
+        let cfg = DiffConfig {
+            wall_tolerance: 0.5,
+            ignore_wall: false,
+        };
+        let a = v(r#"{"wall_ms":100.0,"packets_per_sec":1000.0}"#);
+        let near = v(r#"{"wall_ms":130.0,"packets_per_sec":900.0}"#);
+        assert!(diff_values(&a, &near, &cfg).is_empty());
+        let far = v(r#"{"wall_ms":100.0,"packets_per_sec":10.0}"#);
+        let diffs = diff_values(&a, &far, &cfg);
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].path, "/packets_per_sec");
+    }
+
+    #[test]
+    fn ignore_wall_skips_wall_figures_entirely() {
+        let cfg = DiffConfig {
+            wall_tolerance: 0.0,
+            ignore_wall: true,
+        };
+        let a = v(r#"{"wall_ms":1.0,"delivered":5,"hop_latency":{"p50_ns":10.0}}"#);
+        let b = v(r#"{"wall_ms":99.0,"delivered":5,"hop_latency":{"p50_ns":7777.0}}"#);
+        assert!(diff_values(&a, &b, &cfg).is_empty());
+        let bad = v(r#"{"wall_ms":1.0,"delivered":6,"hop_latency":{"p50_ns":10.0}}"#);
+        assert_eq!(diff_values(&a, &bad, &cfg).len(), 1);
+    }
+
+    #[test]
+    fn virtual_time_fields_are_exact() {
+        let a = v(r#"{"t_us":100,"sim_secs":3600}"#);
+        let b = v(r#"{"t_us":101,"sim_secs":3600}"#);
+        let diffs = diff_values(&a, &b, &DiffConfig::default());
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].path, "/t_us");
+    }
+
+    #[test]
+    fn missing_and_extra_fields_are_reported() {
+        let a = v(r#"{"x":1,"y":2}"#);
+        let b = v(r#"{"x":1,"z":3}"#);
+        let diffs = diff_values(&a, &b, &DiffConfig::default());
+        let paths: Vec<&str> = diffs.iter().map(|d| d.path.as_str()).collect();
+        assert!(paths.contains(&"/y"));
+        assert!(paths.contains(&"/z"));
+    }
+
+    #[test]
+    fn array_length_mismatch_is_one_diff() {
+        let a = v(r#"{"rows":[1,2,3]}"#);
+        let b = v(r#"{"rows":[1,2]}"#);
+        let diffs = diff_values(&a, &b, &DiffConfig::default());
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].detail.contains("length"));
+    }
+
+    #[test]
+    fn dump_dirs_diff_exactly_and_skip_profile() {
+        let root = std::env::temp_dir().join(format!("scion-telediff-{}", std::process::id()));
+        let (da, db) = (root.join("a"), root.join("b"));
+        for d in [&da, &db] {
+            let _ = fs::remove_dir_all(d);
+            fs::create_dir_all(d).unwrap();
+        }
+        let metrics = "{\"kind\":\"counter\",\"id\":\"x\",\"label\":\"Global\",\"value\":3}\n";
+        for d in [&da, &db] {
+            fs::write(d.join("metrics.jsonl"), metrics).unwrap();
+            fs::write(d.join("series.jsonl"), "").unwrap();
+            fs::write(d.join("trace.jsonl"), "").unwrap();
+        }
+        // Profile differs wildly — must not matter.
+        fs::write(
+            da.join("profile.jsonl"),
+            "{\"phase\":\"p\",\"total_ns\":1}\n",
+        )
+        .unwrap();
+        fs::write(
+            db.join("profile.jsonl"),
+            "{\"phase\":\"p\",\"total_ns\":999}\n",
+        )
+        .unwrap();
+        assert!(diff_dumps(&da, &db, &DiffConfig::default())
+            .unwrap()
+            .is_empty());
+
+        // A perturbed counter fails.
+        fs::write(
+            db.join("metrics.jsonl"),
+            "{\"kind\":\"counter\",\"id\":\"x\",\"label\":\"Global\",\"value\":4}\n",
+        )
+        .unwrap();
+        let diffs = diff_dumps(&da, &db, &DiffConfig::default()).unwrap();
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].path.starts_with("metrics.jsonl:1"));
+        fs::remove_dir_all(&root).ok();
+    }
+}

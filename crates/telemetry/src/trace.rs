@@ -99,6 +99,49 @@ pub enum TraceEvent {
         /// The failed link that triggered the invalidation.
         link: u32,
     },
+    /// A border router verified a packet's current hop-field MAC.
+    MacVerified {
+        /// Verifying AS.
+        node: u32,
+        /// True when the MAC was valid under the AS's forwarding key.
+        ok: bool,
+    },
+    /// A packet crossed a border router: entered via `ingress_if`, left
+    /// via `egress_if` with the PCFS pointer advanced.
+    PacketForwarded {
+        /// Forwarding AS.
+        node: u32,
+        /// Interface the packet arrived on (`IfId::NONE.0` at the source).
+        ingress_if: u16,
+        /// Interface the packet left through.
+        egress_if: u16,
+    },
+    /// A packet reached its destination AS and was handed to the local
+    /// dispatcher.
+    PacketDelivered {
+        /// Destination AS.
+        node: u32,
+        /// AS hops of the packet's path (source and destination included).
+        hops: u32,
+    },
+    /// A border router dropped a packet.
+    PacketDropped {
+        /// Dropping AS.
+        node: u32,
+        /// Stable drop reason code (e.g. `"bad_mac"`, `"expired"`,
+        /// `"link_down"`); the same codes key the `dataplane.drop.*`
+        /// counters.
+        reason: &'static str,
+    },
+    /// A border router emitted an SCMP error back toward the source.
+    ScmpEmitted {
+        /// Emitting AS.
+        node: u32,
+        /// The interface the error concerns.
+        interface: u16,
+        /// SCMP message kind (e.g. `"external_interface_down"`).
+        kind: &'static str,
+    },
 }
 
 /// A trace record: the event plus its virtual timestamp and run label.

@@ -10,7 +10,7 @@
 //! deterministic output. See `crates/beaconing/src/parallel.rs`.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use scion_core::beaconing::{
     run_core_beaconing_parallel, run_core_beaconing_parallel_lossy, LossyConfig,
@@ -78,7 +78,7 @@ fn dump_parallel_lossy_run(tag: &str, threads: usize) -> PathBuf {
     dir
 }
 
-fn assert_dumps_identical(reference: &PathBuf, other: &PathBuf, what: &str) {
+fn assert_dumps_identical(reference: &Path, other: &Path, what: &str) {
     for name in ["metrics.jsonl", "series.jsonl", "trace.jsonl"] {
         let fa = fs::read(reference.join(name)).unwrap();
         let fb = fs::read(other.join(name)).unwrap();
