@@ -4,11 +4,12 @@
 //!
 //! ```text
 //! cargo run --release -p scion-bench --bin fig5 \
-//!     [--scale tiny|small|paper] [--telemetry DIR] [--threads N]
+//!     [--scale tiny|small|paper] [--telemetry DIR] [--threads N] \
+//!     [--source kind:path] [--ixp PATH]
 //! ```
 
 use scion_bench::{parse_args, write_json, write_telemetry};
-use scion_core::experiments::run_fig5_with;
+use scion_core::experiments::run_fig5_in;
 use scion_core::report::{human_bytes, json_line, sci, Table};
 
 fn main() {
@@ -16,7 +17,8 @@ fn main() {
     let scale = args.scale;
     eprintln!("running Figure 5 pipeline at {scale:?} scale (BGP/BGPsec month + SCION beaconing)…");
     let mut tel = args.telemetry_handle();
-    let result = run_fig5_with(scale, args.thread_count(), &mut tel);
+    let world = args.build_world();
+    let result = run_fig5_in(&world, args.thread_count(), &mut tel);
 
     println!("Figure 5: monthly control-plane overhead relative to BGP (per monitor)");
     let mut table = Table::new(&[

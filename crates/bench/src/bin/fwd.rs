@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run --release -p scion-bench --bin fwd -- \
-//!     [--scale tiny|small|paper] [--seed N] [--threads N] [--telemetry DIR]
+//!     [--scale tiny|small|paper] [--seed N] [--threads N] [--telemetry DIR] \
+//!     [--source kind:path] [--ixp PATH]
 //! ```
 //!
 //! Prints per-arm throughput, per-hop latency quantiles, and the drop
@@ -15,7 +16,7 @@
 //! outcomes; a mismatch is a determinism violation and exits nonzero.
 
 use scion_bench::{parse_args, write_json, write_telemetry};
-use scion_core::experiments::run_forwarding_with;
+use scion_core::experiments::run_forwarding_in;
 use scion_core::report::{json_line, Table};
 
 fn main() {
@@ -27,13 +28,8 @@ fn main() {
     );
     let mut tel_scalar = args.telemetry_handle();
     let mut tel_batched = args.telemetry_handle();
-    let result = run_forwarding_with(
-        args.scale,
-        args.seed,
-        threads,
-        &mut tel_scalar,
-        &mut tel_batched,
-    );
+    let world = args.build_world();
+    let result = run_forwarding_in(&world, threads, &mut tel_scalar, &mut tel_batched);
 
     println!(
         "Forwarding: {} packets over {} paths across {} core ASes ({} links, {} failed), seed {:#x}",

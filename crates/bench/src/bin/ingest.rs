@@ -1,0 +1,122 @@
+//! Topology-ingestion inspector: loads a `--source kind:path` document
+//! through `scion-ingest`, prints graph statistics, and records the
+//! canonical form.
+//!
+//! ```text
+//! cargo run --release -p scion-bench --bin ingest -- \
+//!     --source as-rel:tests/data/equiv.as-rel [--ixp PATH] [--export PATH]
+//! ```
+//!
+//! Writes the run record to `results/ingest.json` (provenance,
+//! fingerprint, stats, normalization counters). With `--export PATH`, also
+//! writes the canonical topology JSON — which contains *only* the
+//! canonical form, so equivalent inputs in different formats export
+//! byte-identically and `telediff a.json b.json` gates on it.
+
+use serde::Serialize;
+
+use scion_bench::{parse_args, write_json};
+use scion_core::ingest::{
+    canonical_json, ingest_spec, IxpApplyReport, NormalizeReport, Provenance, TopologyStats,
+};
+use scion_core::report::{json_line, Table};
+
+/// The `results/ingest.json` record of one run.
+#[derive(Serialize)]
+struct IngestRecord {
+    provenance: Provenance,
+    fingerprint: String,
+    stats: TopologyStats,
+    normalize: NormalizeReport,
+    ixp: Option<IxpApplyReport>,
+}
+
+fn main() {
+    let args = parse_args();
+    let Some(spec) = args.source.as_deref() else {
+        eprintln!("ingest requires --source kind:path (as-rel|graphml|rib)");
+        std::process::exit(2);
+    };
+    eprintln!("ingesting {spec}…");
+    let ingested = ingest_spec(spec, args.ixp.as_deref()).unwrap_or_else(|e| {
+        eprintln!("--source {spec}: {e}");
+        std::process::exit(2);
+    });
+    let topo = &ingested.topology;
+    let stats = TopologyStats::compute(topo);
+
+    println!(
+        "source: {} ({})",
+        ingested.provenance.origin, ingested.provenance.kind
+    );
+    println!("fingerprint: {}", topo.fingerprint());
+    let mut table = Table::new(&["metric", "value"]);
+    table.row(&["ASes".into(), stats.ases.to_string()]);
+    table.row(&["links".into(), stats.links.to_string()]);
+    table.row(&["p2c pairs".into(), stats.p2c_pairs.to_string()]);
+    table.row(&["p2p pairs".into(), stats.p2p_pairs.to_string()]);
+    table.row(&[
+        "parallel extra links".into(),
+        stats.parallel_extra_links.to_string(),
+    ]);
+    table.row(&[
+        "degree min/p50/p90/p99/max".into(),
+        format!(
+            "{}/{}/{}/{}/{}",
+            stats.degree.min,
+            stats.degree.p50,
+            stats.degree.p90,
+            stats.degree.p99,
+            stats.degree.max
+        ),
+    ]);
+    println!("{}", table.render());
+
+    let n = &topo.report;
+    println!(
+        "normalization: {} raw edges, {} self-loops dropped, {} duplicates merged, \
+         {} conflicts resolved, {} components pruned ({} ASes, {} pairs)",
+        n.input_edges,
+        n.self_loops_dropped,
+        n.duplicates_merged,
+        n.conflicts_resolved,
+        n.components_pruned,
+        n.ases_pruned,
+        n.pairs_pruned,
+    );
+    if let Some(ixp) = &ingested.ixp {
+        println!(
+            "ixp overlay: {} exchanges, {} members matched ({} unknown), \
+             {} parallel links added, {} non-adjacent pairs skipped",
+            ixp.ixps,
+            ixp.members_matched,
+            ixp.members_unknown,
+            ixp.links_added,
+            ixp.pairs_not_adjacent,
+        );
+    }
+
+    // The materialized multigraph must hold the topology invariants —
+    // a cheap end-to-end audit of the whole pipeline on every run.
+    topo.to_topology()
+        .check_invariants()
+        .expect("ingested topology violates multigraph invariants");
+
+    let record = IngestRecord {
+        provenance: ingested.provenance,
+        fingerprint: topo.fingerprint(),
+        stats,
+        normalize: topo.report,
+        ixp: ingested.ixp,
+    };
+    let path = write_json("ingest", &json_line(&record));
+    eprintln!("JSON written to {}", path.display());
+
+    if let Some(export) = &args.export {
+        if let Some(parent) = export.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent).expect("create export directory");
+        }
+        std::fs::write(export, canonical_json(topo)).expect("write canonical export");
+        eprintln!("canonical export written to {}", export.display());
+    }
+}

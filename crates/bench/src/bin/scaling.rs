@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run --release -p scion-bench --bin scaling -- \
-//!     [--scale tiny|small|paper] [--threads 1,2,4,8] [--telemetry DIR]
+//!     [--scale tiny|small|paper] [--threads 1,2,4,8] [--telemetry DIR] \
+//!     [--source kind:path] [--ixp PATH]
 //! ```
 //!
 //! Prints per-thread-count wall-clock, speedup, events/sec, and the
@@ -17,7 +18,7 @@
 //! numbers from a dumping run are not comparable to a plain run.
 
 use scion_bench::{parse_args, write_json};
-use scion_core::experiments::run_scaling_with;
+use scion_core::experiments::run_scaling_in;
 use scion_core::report::{json_line, Table};
 
 fn main() {
@@ -27,7 +28,8 @@ fn main() {
         "running parallel-beaconing scaling sweep at {:?} scale…",
         args.scale
     );
-    let result = run_scaling_with(args.scale, &counts, args.telemetry.as_deref());
+    let world = args.build_world();
+    let result = run_scaling_in(&world, &counts, args.telemetry.as_deref());
 
     println!(
         "Parallel beaconing scaling: {} core ASes, {} simulated seconds, verification on",

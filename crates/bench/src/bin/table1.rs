@@ -3,11 +3,12 @@
 //!
 //! ```text
 //! cargo run --release -p scion-bench --bin table1 \
-//!     [--scale tiny|small|paper] [--telemetry DIR] [--threads N]
+//!     [--scale tiny|small|paper] [--telemetry DIR] [--threads N] \
+//!     [--source kind:path] [--ixp PATH]
 //! ```
 
 use scion_bench::{parse_args, write_json, write_telemetry};
-use scion_core::experiments::run_table1_with;
+use scion_core::experiments::run_table1_in;
 use scion_core::report::{human_bytes, json_line, Table};
 
 fn main() {
@@ -15,7 +16,8 @@ fn main() {
     let scale = args.scale;
     eprintln!("running Table 1 scenario at {scale:?} scale…");
     let mut tel = args.telemetry_handle();
-    let result = run_table1_with(scale, args.thread_count(), &mut tel);
+    let world = args.build_world();
+    let result = run_table1_in(&world, args.thread_count(), &mut tel);
 
     let mut table = Table::new(&[
         "SCION Control Plane Component",

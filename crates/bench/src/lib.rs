@@ -9,6 +9,8 @@
 
 use std::path::{Path, PathBuf};
 
+use scion_core::experiments::World;
+use scion_core::ingest::ingest_spec;
 use scion_core::prelude::{ExperimentScale, Telemetry, TelemetryConfig};
 use scion_core::report::telemetry_summary;
 
@@ -29,6 +31,16 @@ pub struct BenchArgs {
     /// (`table1`, `fig5`, `lossy`) use the first entry to switch their
     /// beaconing runs onto the parallel driver.
     pub threads: Option<Vec<usize>>,
+    /// Ingested-topology spec (`kind:path`), when `--source` was given.
+    /// Experiment binaries then run on the file-derived topology instead
+    /// of the synthetic generator's; see `scion-ingest`.
+    pub source: Option<String>,
+    /// IXP-overlay document path, when `--ixp PATH` was given (only
+    /// meaningful together with `--source`).
+    pub ixp: Option<PathBuf>,
+    /// Canonical-export output path, when `--export PATH` was given.
+    /// Only the `ingest` binary consumes it; others ignore it.
+    pub export: Option<PathBuf>,
 }
 
 impl BenchArgs {
@@ -47,6 +59,35 @@ impl BenchArgs {
             Telemetry::disabled()
         }
     }
+
+    /// Builds the experiment world the CLI asked for: from the ingested
+    /// `--source` topology (plus optional `--ixp` overlay) when given,
+    /// otherwise from the synthetic generator at the requested scale. The
+    /// `--seed` override applies either way.
+    pub fn build_world(&self) -> World {
+        let mut params = self.scale.params();
+        if let Some(seed) = self.seed {
+            params.seed = seed;
+        }
+        match &self.source {
+            Some(spec) => {
+                let ingested = ingest_spec(spec, self.ixp.as_deref()).unwrap_or_else(|e| {
+                    eprintln!("--source {spec}: {e}");
+                    std::process::exit(2);
+                });
+                eprintln!(
+                    "ingested {} ({}): {} ASes, {} links, fingerprint {}",
+                    ingested.provenance.origin,
+                    ingested.provenance.kind,
+                    ingested.topology.num_ases(),
+                    ingested.topology.num_links(),
+                    ingested.topology.fingerprint(),
+                );
+                World::from_internet(ingested.topology.to_topology(), params)
+            }
+            None => World::build(params),
+        }
+    }
 }
 
 /// Parses the common CLI arguments of a harness binary.
@@ -60,6 +101,9 @@ pub fn parse_args() -> BenchArgs {
     let mut seed = None;
     let mut loss = None;
     let mut threads = None;
+    let mut source = None;
+    let mut ixp = None;
+    let mut export = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
@@ -114,10 +158,35 @@ pub fn parse_args() -> BenchArgs {
                     }
                 }
             }
+            "--source" => {
+                let v = args.next().unwrap_or_default();
+                if v.is_empty() {
+                    eprintln!("--source requires a kind:path spec (as-rel|graphml|rib)");
+                    std::process::exit(2);
+                }
+                source = Some(v);
+            }
+            "--ixp" => {
+                let v = args.next().unwrap_or_default();
+                if v.is_empty() {
+                    eprintln!("--ixp requires a path to an IXP-metadata document");
+                    std::process::exit(2);
+                }
+                ixp = Some(PathBuf::from(v));
+            }
+            "--export" => {
+                let v = args.next().unwrap_or_default();
+                if v.is_empty() {
+                    eprintln!("--export requires an output path");
+                    std::process::exit(2);
+                }
+                export = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: <bin> [--scale tiny|small|paper] [--tiny] [--full] \
-                     [--seed N] [--telemetry DIR] [--loss a,b,…] [--threads a,b,…]"
+                     [--seed N] [--telemetry DIR] [--loss a,b,…] [--threads a,b,…] \
+                     [--source kind:path] [--ixp PATH] [--export PATH]"
                 );
                 std::process::exit(0);
             }
@@ -133,6 +202,9 @@ pub fn parse_args() -> BenchArgs {
         seed,
         loss,
         threads,
+        source,
+        ixp,
+        export,
     }
 }
 

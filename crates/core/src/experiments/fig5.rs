@@ -104,8 +104,15 @@ pub fn run_fig5_with(
     threads: Option<usize>,
     tel: &mut Telemetry,
 ) -> Fig5Result {
-    let params = scale.params();
-    let world = World::build(params);
+    let world = World::build(scale.params());
+    run_fig5_in(&world, threads, tel)
+}
+
+/// Like [`run_fig5_with`], on a pre-built world — the entry point for
+/// ingested (file-derived) topologies, which construct their world via
+/// [`World::from_internet`].
+pub fn run_fig5_in(world: &World, threads: Option<usize>, tel: &mut Telemetry) -> Fig5Result {
+    let params = world.params;
 
     // --- BGP + BGPsec: one month of dynamics on the full topology. ---
     // The monthly workload fans out over rayon internally, so only the

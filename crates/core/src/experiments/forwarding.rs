@@ -420,6 +420,20 @@ pub fn run_forwarding_with(
         params.seed = seed;
     }
     let world = World::build(params);
+    run_forwarding_in(&world, threads, tel_scalar, tel_batched)
+}
+
+/// Like [`run_forwarding_with`], on a pre-built world — the entry point
+/// for ingested (file-derived) topologies, which construct their world via
+/// [`World::from_internet`]. Seed overrides apply to the world's params
+/// before construction.
+pub fn run_forwarding_in(
+    world: &World,
+    threads: usize,
+    tel_scalar: &mut Telemetry,
+    tel_batched: &mut Telemetry,
+) -> ForwardingResult {
+    let params = world.params;
     let topo = &world.core;
 
     let pairs = sample_pairs(topo, params.quality_pairs, params.seed);

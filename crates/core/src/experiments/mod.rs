@@ -28,11 +28,11 @@ pub mod table1;
 pub mod world;
 
 pub use ablation::run_ablation;
-pub use fig5::{run_fig5, run_fig5_telemetry, run_fig5_with};
+pub use fig5::{run_fig5, run_fig5_in, run_fig5_telemetry, run_fig5_with};
 pub use fig6::run_fig6;
 pub use forwarding::{
-    run_forwarding, run_forwarding_with, ForwardingArm, ForwardingResult, LatencyQuantiles,
-    PACKETS_PER_PATH,
+    run_forwarding, run_forwarding_in, run_forwarding_with, ForwardingArm, ForwardingResult,
+    LatencyQuantiles, PACKETS_PER_PATH,
 };
 pub use lossy::{
     run_lossy, run_lossy_sweep, run_lossy_telemetry, run_lossy_with_rates, DegradationStats,
@@ -40,8 +40,8 @@ pub use lossy::{
 };
 pub use resilience::{run_resilience, run_resilience_telemetry, ResilienceResult};
 pub use scaling::{
-    run_scaling, run_scaling_with, ScalingResult, ScalingRow, DEFAULT_THREAD_COUNTS,
+    run_scaling, run_scaling_in, run_scaling_with, ScalingResult, ScalingRow, DEFAULT_THREAD_COUNTS,
 };
 pub use scionlab::{run_fig78, run_fig9};
-pub use table1::{run_table1, run_table1_telemetry, run_table1_with};
+pub use table1::{run_table1, run_table1_in, run_table1_telemetry, run_table1_with};
 pub use world::World;

@@ -94,17 +94,29 @@ pub fn run_scaling_with(
     thread_counts: &[usize],
     dump_root: Option<&Path>,
 ) -> ScalingResult {
+    let world = World::build(scale.params());
+    run_scaling_in(&world, thread_counts, dump_root)
+}
+
+/// Like [`run_scaling_with`], on a pre-built world — the entry point for
+/// ingested (file-derived) topologies, which construct their world via
+/// [`World::from_internet`].
+pub fn run_scaling_in(
+    world: &World,
+    thread_counts: &[usize],
+    dump_root: Option<&Path>,
+) -> ScalingResult {
     let counts = if thread_counts.is_empty() {
         DEFAULT_THREAD_COUNTS
     } else {
         thread_counts
     };
-    let mut params = scale.params();
+    let mut params = world.params;
     // The shard stage parallelizes per-AS verification + selection; without
     // receiver-side verification the workload is mostly queue churn and the
-    // sweep measures nothing interesting.
+    // sweep measures nothing interesting. (Only the beaconing config reads
+    // this flag, so flipping it after the world was built is sound.)
     params.verify_on_receive = true;
-    let world = World::build(params);
     let cfg = params.beaconing_config(Algorithm::Baseline);
 
     let mut rows: Vec<ScalingRow> = Vec::with_capacity(counts.len());

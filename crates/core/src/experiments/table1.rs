@@ -75,8 +75,15 @@ pub fn run_table1_with(
     threads: Option<usize>,
     tel: &mut Telemetry,
 ) -> Table1Result {
-    let params = scale.params();
-    let world = World::build(params);
+    let world = World::build(scale.params());
+    run_table1_in(&world, threads, tel)
+}
+
+/// Like [`run_table1_with`], on a pre-built world — the entry point for
+/// ingested (file-derived) topologies, which construct their world via
+/// [`World::from_internet`].
+pub fn run_table1_in(world: &World, threads: Option<usize>, tel: &mut Telemetry) -> Table1Result {
+    let params = world.params;
     let duration = params.sim_duration;
     let mut ledger = Ledger::new();
 

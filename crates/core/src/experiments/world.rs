@@ -39,6 +39,19 @@ impl World {
             seed: params.seed,
             ..GeneratorConfig::default()
         });
+        World::from_internet(internet, params)
+    }
+
+    /// Builds the derived views on top of an existing Internet topology —
+    /// the entry point for ingested (non-synthetic) topologies, where the
+    /// AS graph comes from a file rather than the generator. `num_core`
+    /// and `intra_isd_cores` are clamped to the actual AS count, so scale
+    /// presets sized for the synthetic Internet stay usable on small
+    /// real-world fixtures.
+    pub fn from_internet(internet: AsTopology, mut params: ScaleParams) -> World {
+        params.num_ases = internet.num_ases();
+        params.num_core = params.num_core.min(internet.num_ases());
+        params.intra_isd_cores = params.intra_isd_cores.min(internet.num_ases());
         let (mut core, core_mapping) = prune_to_top_degree(&internet, params.num_core);
         assign_isds(&mut core, params.isd_size);
         let (intra, intra_mapping) = build_intra_isd_topology(&internet, params.intra_isd_cores);

@@ -42,6 +42,7 @@ pub use scion_chaos as chaos;
 pub use scion_crypto as crypto;
 pub use scion_dataplane as dataplane;
 pub use scion_endhost as endhost;
+pub use scion_ingest as ingest;
 pub use scion_pathserver as pathserver;
 pub use scion_proto as proto;
 pub use scion_simulator as simulator;

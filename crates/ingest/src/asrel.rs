@@ -1,0 +1,124 @@
+//! CAIDA `as-rel` backend: the existing `scion-topology` parser adapted
+//! onto the [`TopologySource`] trait.
+//!
+//! Parsing itself stays in [`scion_topology::caida`] (it is also used
+//! directly by tests and the serializer); this module converts its output
+//! into the shared raw edge list so the as-rel path goes through the same
+//! normalization pipeline as every other backend.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use scion_topology::caida::{parse_as_rel, ParseError};
+use scion_topology::{AsTopology, Relationship};
+
+use crate::error::IngestError;
+use crate::raw::{RawRel, RawTopology};
+use crate::{Provenance, TopologySource};
+
+/// A CAIDA `as-rel`(+multiplicity) document on disk.
+#[derive(Clone, Debug)]
+pub struct AsRelSource {
+    path: PathBuf,
+}
+
+impl AsRelSource {
+    /// A source reading from `path` at load time.
+    pub fn new(path: impl Into<PathBuf>) -> AsRelSource {
+        AsRelSource { path: path.into() }
+    }
+}
+
+impl TopologySource for AsRelSource {
+    fn provenance(&self) -> Provenance {
+        Provenance {
+            kind: "as-rel",
+            origin: self.path.display().to_string(),
+        }
+    }
+
+    fn load_raw(&self) -> Result<RawTopology, IngestError> {
+        let text =
+            std::fs::read_to_string(&self.path).map_err(|e| IngestError::io(&self.path, e))?;
+        parse_as_rel_raw(&text)
+    }
+}
+
+/// Parses an `as-rel` document into the raw edge list (pre-normalization).
+pub fn parse_as_rel_raw(text: &str) -> Result<RawTopology, IngestError> {
+    let topo = parse_as_rel(text).map_err(convert_error)?;
+    Ok(topology_to_raw(&topo))
+}
+
+fn convert_error(e: ParseError) -> IngestError {
+    let line = match &e {
+        ParseError::BadFieldCount { line }
+        | ParseError::BadField { line, .. }
+        | ParseError::BadRelationship { line, .. }
+        | ParseError::SelfLoop { line }
+        | ParseError::DuplicatePair { line } => *line,
+    };
+    IngestError::Parse {
+        kind: "as-rel",
+        line,
+        message: e.to_string(),
+    }
+}
+
+/// Flattens an [`AsTopology`] into raw edges, grouping parallel links
+/// into per-pair multiplicities. Also the adapter for feeding an
+/// already-built topology (e.g. the synthetic generator's) through the
+/// canonicalization pipeline.
+pub fn topology_to_raw(topo: &AsTopology) -> RawTopology {
+    let mut groups: BTreeMap<(u64, u64, RawRel), u32> = BTreeMap::new();
+    for li in topo.link_indices() {
+        let l = topo.link(li);
+        let a = topo.node(l.a).ia.asn.value();
+        let b = topo.node(l.b).ia.asn.value();
+        let rel = match l.rel {
+            Relationship::AProviderOfB => RawRel::Provider,
+            Relationship::PeerToPeer => RawRel::Peer,
+        };
+        *groups.entry((a, b, rel)).or_insert(0) += 1;
+    }
+    let mut raw = RawTopology::default();
+    for ((a, b, rel), mult) in groups {
+        raw.push(a, b, rel, mult);
+    }
+    raw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize;
+
+    #[test]
+    fn roundtrips_through_raw_and_normalize() {
+        let raw = parse_as_rel_raw("# c\n1|2|-1|3\n2|3|0\n").unwrap();
+        let c = normalize(&raw).unwrap();
+        assert_eq!(c.num_ases(), 3);
+        assert_eq!(c.num_links(), 4);
+        let t = c.to_topology();
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_as_rel_raw("1|2|-1\n1|2\n").unwrap_err();
+        assert!(matches!(
+            err,
+            IngestError::Parse {
+                kind: "as-rel",
+                line: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn crlf_document_parses() {
+        let raw = parse_as_rel_raw("# c\r\n1|2|-1\r\n\r\n2|3|0\r\n").unwrap();
+        assert_eq!(raw.edges.len(), 2);
+    }
+}

@@ -1,0 +1,60 @@
+//! Errors shared by every ingestion backend.
+
+use std::path::PathBuf;
+
+/// Errors from loading, parsing, or normalizing a topology source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IngestError {
+    /// Reading the backing document failed.
+    Io { path: PathBuf, message: String },
+    /// The document violated its format. `kind` names the backend
+    /// (`as-rel`, `graphml`, `rib`, `ixp`), `line` is 1-based (0 when the
+    /// error is not line-addressable, e.g. malformed XML nesting).
+    Parse {
+        kind: &'static str,
+        line: usize,
+        message: String,
+    },
+    /// The document parsed but yielded no usable links.
+    Empty { kind: &'static str },
+    /// A `--source` specification string was malformed.
+    BadSpec { spec: String, message: String },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Io { path, message } => {
+                write!(f, "{}: {message}", path.display())
+            }
+            IngestError::Parse {
+                kind,
+                line,
+                message,
+            } if *line == 0 => write!(f, "{kind}: {message}"),
+            IngestError::Parse {
+                kind,
+                line,
+                message,
+            } => write!(f, "{kind}: line {line}: {message}"),
+            IngestError::Empty { kind } => {
+                write!(f, "{kind}: document contains no usable links")
+            }
+            IngestError::BadSpec { spec, message } => {
+                write!(f, "bad source spec '{spec}': {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl IngestError {
+    /// Wraps an I/O error with the offending path.
+    pub fn io(path: impl Into<PathBuf>, err: std::io::Error) -> IngestError {
+        IngestError::Io {
+            path: path.into(),
+            message: err.to_string(),
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Graph statistics and the canonical JSON export.
+//!
+//! The export is the machine-checkable artifact of an ingestion run: a
+//! JSON document containing only the canonical form (ASes, edges,
+//! fingerprint). Provenance and normalization counters are deliberately
+//! *excluded* — equivalent inputs in different formats legitimately
+//! differ there, and the whole point of the export is that equivalent
+//! inputs serialize byte-identically, so `telediff` can gate on it.
+
+use serde::Serialize;
+
+use scion_topology::Relationship;
+
+use crate::normalize::{CanonicalEdge, CanonicalTopology};
+
+/// Degree quantiles over the distinct-neighbor degree distribution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct DegreeQuantiles {
+    pub min: usize,
+    pub p50: usize,
+    pub p90: usize,
+    pub p99: usize,
+    pub max: usize,
+}
+
+/// Summary statistics of a canonical topology.
+#[derive(Clone, Debug, Serialize)]
+pub struct TopologyStats {
+    /// Number of ASes.
+    pub ases: usize,
+    /// Physical links, parallel links counted individually.
+    pub links: usize,
+    /// Unique AS pairs with a provider→customer relationship.
+    pub p2c_pairs: usize,
+    /// Unique AS pairs with a peering relationship.
+    pub p2p_pairs: usize,
+    /// Links beyond the first per pair (parallel-link surplus).
+    pub parallel_extra_links: usize,
+    /// Distinct-neighbor degree quantiles.
+    pub degree: DegreeQuantiles,
+}
+
+impl TopologyStats {
+    /// Computes statistics for a canonical topology.
+    pub fn compute(topo: &CanonicalTopology) -> TopologyStats {
+        let mut p2c_pairs = 0;
+        let mut p2p_pairs = 0;
+        let mut parallel_extra_links = 0;
+        let mut degree_of: std::collections::BTreeMap<u64, usize> =
+            topo.ases.iter().map(|&a| (a, 0)).collect();
+        for e in &topo.edges {
+            match e.rel {
+                Relationship::AProviderOfB => p2c_pairs += 1,
+                Relationship::PeerToPeer => p2p_pairs += 1,
+            }
+            parallel_extra_links += (e.mult as usize).saturating_sub(1);
+            *degree_of.entry(e.a).or_insert(0) += 1;
+            *degree_of.entry(e.b).or_insert(0) += 1;
+        }
+        let mut degrees: Vec<usize> = degree_of.into_values().collect();
+        degrees.sort_unstable();
+        let q = |p: usize| {
+            if degrees.is_empty() {
+                0
+            } else {
+                degrees[(degrees.len() - 1) * p / 100]
+            }
+        };
+        TopologyStats {
+            ases: topo.num_ases(),
+            links: topo.num_links(),
+            p2c_pairs,
+            p2p_pairs,
+            parallel_extra_links,
+            degree: DegreeQuantiles {
+                min: q(0),
+                p50: q(50),
+                p90: q(90),
+                p99: q(99),
+                max: q(100),
+            },
+        }
+    }
+}
+
+/// The canonical export document (see module docs for what it omits).
+#[derive(Clone, Debug, Serialize)]
+pub struct CanonicalExport<'a> {
+    /// Format tag, bumped if the canonical form ever changes.
+    pub format: &'static str,
+    /// 128-bit hex fingerprint of the canonical text.
+    pub fingerprint: String,
+    /// All ASNs, ascending.
+    pub ases: &'a [u64],
+    /// Canonical edge list.
+    pub edges: &'a [CanonicalEdge],
+}
+
+/// Serializes the canonical export JSON for a topology. Byte-identical
+/// for equivalent inputs regardless of the source format.
+pub fn canonical_json(topo: &CanonicalTopology) -> String {
+    let export = CanonicalExport {
+        format: "scion-ingest-canonical-v1",
+        fingerprint: topo.fingerprint(),
+        ases: &topo.ases,
+        edges: &topo.edges,
+    };
+    serde_json::to_string(&export).expect("canonical export serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize;
+    use crate::raw::{RawRel, RawTopology};
+
+    fn topo() -> CanonicalTopology {
+        let mut r = RawTopology::default();
+        r.push(1, 2, RawRel::Provider, 2);
+        r.push(1, 3, RawRel::Provider, 1);
+        r.push(2, 3, RawRel::Peer, 1);
+        normalize(&r).unwrap()
+    }
+
+    #[test]
+    fn stats_count_pairs_links_and_degrees() {
+        let s = TopologyStats::compute(&topo());
+        assert_eq!(s.ases, 3);
+        assert_eq!(s.links, 4);
+        assert_eq!(s.p2c_pairs, 2);
+        assert_eq!(s.p2p_pairs, 1);
+        assert_eq!(s.parallel_extra_links, 1);
+        assert_eq!(s.degree.min, 2);
+        assert_eq!(s.degree.max, 2);
+    }
+
+    #[test]
+    fn export_contains_fingerprint_and_no_report() {
+        let t = topo();
+        let json = canonical_json(&t);
+        assert!(json.contains(&t.fingerprint()));
+        assert!(json.contains("scion-ingest-canonical-v1"));
+        assert!(!json.contains("self_loops_dropped"), "report excluded");
+        // Parses back as JSON.
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let ases: Vec<u64> = match v.get("ases") {
+            Some(serde_json::Value::Array(items)) => {
+                items.iter().filter_map(|i| i.as_u64()).collect()
+            }
+            other => panic!("ases should be an array, got {other:?}"),
+        };
+        assert_eq!(ases, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        assert_eq!(canonical_json(&topo()), canonical_json(&topo()));
+    }
+}

@@ -1,0 +1,230 @@
+//! PeeringDB-flavoured IXP-metadata overlay.
+//!
+//! An overlay document lists Internet exchange points and their member
+//! ASes in a simple line format:
+//!
+//! ```text
+//! # ixp|<ixp id>|<name>
+//! ixp|31|DE-CIX Frankfurt
+//! member|31|64500
+//! member|31|64501
+//! ```
+//!
+//! [`IxpOverlay::apply`] enriches an already-normalized topology with
+//! parallel-link multiplicity: for every IXP, each *already-adjacent*
+//! pair of its members gains one extra parallel link per shared exchange
+//! — modelling the common reality that two networks interconnect both
+//! privately and across one or more public fabrics. The overlay never
+//! invents adjacency (a shared switch does not imply a BGP session), so
+//! the graph's reachability and relationship structure are unchanged;
+//! only link multiplicity grows. Member ASNs absent from the topology
+//! are counted and ignored.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+use crate::error::IngestError;
+use crate::normalize::CanonicalTopology;
+
+/// One parsed exchange point.
+#[derive(Clone, Debug)]
+pub struct Ixp {
+    pub id: u64,
+    pub name: String,
+    pub members: BTreeSet<u64>,
+}
+
+/// A parsed IXP-metadata document.
+#[derive(Clone, Debug, Default)]
+pub struct IxpOverlay {
+    /// Exchanges by id, insertion-ordered by id.
+    pub ixps: BTreeMap<u64, Ixp>,
+}
+
+/// What applying an overlay did (for reports and telemetry).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct IxpApplyReport {
+    /// Exchanges in the overlay document.
+    pub ixps: usize,
+    /// Member entries naming ASes present in the topology.
+    pub members_matched: usize,
+    /// Member entries naming ASes absent from the topology.
+    pub members_unknown: usize,
+    /// Parallel links added (one per adjacent member pair per shared IXP).
+    pub links_added: usize,
+    /// Member pairs sharing an IXP but not adjacent (no link invented).
+    pub pairs_not_adjacent: usize,
+}
+
+impl IxpOverlay {
+    /// Reads and parses an overlay document from disk.
+    pub fn from_path(path: impl AsRef<Path>) -> Result<IxpOverlay, IngestError> {
+        let path: PathBuf = path.as_ref().into();
+        let text = std::fs::read_to_string(&path).map_err(|e| IngestError::io(&path, e))?;
+        parse_ixp(&text)
+    }
+
+    /// Enriches `topo` in place; see the module docs for semantics.
+    pub fn apply(&self, topo: &mut CanonicalTopology) -> IxpApplyReport {
+        let mut report = IxpApplyReport {
+            ixps: self.ixps.len(),
+            ..IxpApplyReport::default()
+        };
+        let present: BTreeSet<u64> = topo.ases.iter().copied().collect();
+        // How many extra links each unordered adjacent pair gains.
+        let mut boost: BTreeMap<(u64, u64), u32> = BTreeMap::new();
+        let adjacent: BTreeSet<(u64, u64)> = topo
+            .edges
+            .iter()
+            .map(|e| (e.a.min(e.b), e.a.max(e.b)))
+            .collect();
+        for ixp in self.ixps.values() {
+            let mut matched: Vec<u64> = Vec::new();
+            for &m in &ixp.members {
+                if present.contains(&m) {
+                    matched.push(m);
+                    report.members_matched += 1;
+                } else {
+                    report.members_unknown += 1;
+                }
+            }
+            for (i, &a) in matched.iter().enumerate() {
+                for &b in &matched[i + 1..] {
+                    let key = (a.min(b), a.max(b));
+                    if adjacent.contains(&key) {
+                        *boost.entry(key).or_insert(0) += 1;
+                        report.links_added += 1;
+                    } else {
+                        report.pairs_not_adjacent += 1;
+                    }
+                }
+            }
+        }
+        for e in &mut topo.edges {
+            if let Some(&extra) = boost.get(&(e.a.min(e.b), e.a.max(e.b))) {
+                e.mult = e.mult.saturating_add(extra);
+            }
+        }
+        report
+    }
+}
+
+/// Parses the `ixp|…` / `member|…` line format.
+pub fn parse_ixp(text: &str) -> Result<IxpOverlay, IngestError> {
+    let mut overlay = IxpOverlay::default();
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line = raw_line.trim();
+        let lineno = idx + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('|').map(str::trim).collect();
+        let parse_u64 = |s: &str| {
+            s.parse::<u64>().map_err(|_| IngestError::Parse {
+                kind: "ixp",
+                line: lineno,
+                message: format!("bad number {s:?}"),
+            })
+        };
+        match fields.as_slice() {
+            ["ixp", id, name] => {
+                let id = parse_u64(id)?;
+                overlay.ixps.entry(id).or_insert_with(|| Ixp {
+                    id,
+                    name: name.to_string(),
+                    members: BTreeSet::new(),
+                });
+            }
+            ["member", id, asn] => {
+                let id = parse_u64(id)?;
+                let asn = parse_u64(asn)?;
+                let ixp = overlay.ixps.get_mut(&id).ok_or(IngestError::Parse {
+                    kind: "ixp",
+                    line: lineno,
+                    message: format!("member references undeclared ixp {id}"),
+                })?;
+                ixp.members.insert(asn);
+            }
+            _ => {
+                return Err(IngestError::Parse {
+                    kind: "ixp",
+                    line: lineno,
+                    message: format!("expected ixp|id|name or member|id|asn, got {line:?}"),
+                });
+            }
+        }
+    }
+    if overlay.ixps.is_empty() {
+        return Err(IngestError::Empty { kind: "ixp" });
+    }
+    Ok(overlay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize;
+    use crate::raw::{RawRel, RawTopology};
+
+    fn topo() -> CanonicalTopology {
+        let mut r = RawTopology::default();
+        r.push(1, 2, RawRel::Provider, 1);
+        r.push(2, 3, RawRel::Peer, 1);
+        normalize(&r).unwrap()
+    }
+
+    #[test]
+    fn boosts_adjacent_members_only() {
+        let overlay = parse_ixp("ixp|7|Test-IX\nmember|7|1\nmember|7|2\nmember|7|3\n").unwrap();
+        let mut t = topo();
+        let before = t.fingerprint();
+        let rep = overlay.apply(&mut t);
+        // Pairs (1,2) and (2,3) are adjacent; (1,3) is not.
+        assert_eq!(rep.links_added, 2);
+        assert_eq!(rep.pairs_not_adjacent, 1);
+        assert_eq!(rep.members_matched, 3);
+        assert_eq!(t.num_links(), 4);
+        assert_eq!(t.num_ases(), 3, "no adjacency invented");
+        assert_ne!(t.fingerprint(), before, "overlay changes the fingerprint");
+        t.to_topology().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn unknown_members_are_counted_not_fatal() {
+        let overlay = parse_ixp("ixp|1|X\nmember|1|999\nmember|1|1\n").unwrap();
+        let mut t = topo();
+        let rep = overlay.apply(&mut t);
+        assert_eq!(rep.members_unknown, 1);
+        assert_eq!(rep.links_added, 0);
+    }
+
+    #[test]
+    fn shared_ixps_stack() {
+        let overlay =
+            parse_ixp("ixp|1|A\nmember|1|1\nmember|1|2\nixp|2|B\nmember|2|1\nmember|2|2\n")
+                .unwrap();
+        let mut t = topo();
+        let rep = overlay.apply(&mut t);
+        assert_eq!(rep.links_added, 2);
+        let e = t.edges.iter().find(|e| (e.a, e.b) == (1, 2)).unwrap();
+        assert_eq!(e.mult, 3);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            parse_ixp("member|1|2\n"),
+            Err(IngestError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_ixp("ixp|x|name\n"),
+            Err(IngestError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_ixp("# only comments\n"),
+            Err(IngestError::Empty { .. })
+        ));
+    }
+}

@@ -1,0 +1,210 @@
+//! # scion-ingest — multi-backend topology ingestion
+//!
+//! Real deployments don't get their AS graph from one blessed file
+//! format: CAIDA publishes `as-rel` relationship dumps, Topology Zoo
+//! ships GraphML, and route collectors emit RIB/AS-path tables. This
+//! crate puts all of them behind one trait:
+//!
+//! ```text
+//!   AsRelSource ─┐
+//!   GraphmlSource ├─ load_raw() → RawTopology → normalize() → CanonicalTopology
+//!   RibSource ───┘                                   │
+//!                                  IxpOverlay::apply ┘ (optional enrichment)
+//! ```
+//!
+//! Every backend parses into the same [`raw::RawTopology`] edge list and
+//! goes through the same [`normalize()`] pipeline, so *equivalent inputs in
+//! different formats converge on byte-identical canonical exports* with
+//! equal fingerprints — the property `tests/ingest_determinism.rs` locks
+//! in. The canonical topology then materializes as a
+//! [`scion_topology::AsTopology`] and flows into the existing ISD
+//! assignment / core selection, exactly like the synthetic generator's
+//! output.
+//!
+//! Sources are named on the command line as `kind:path` specs
+//! (`as-rel:dump.txt`, `graphml:zoo.graphml`, `rib:table.txt`); see
+//! [`SourceSpec`].
+
+pub mod asrel;
+pub mod error;
+pub mod export;
+pub mod graphml;
+pub mod ixp;
+pub mod normalize;
+pub mod raw;
+pub mod rib;
+
+use std::path::{Path, PathBuf};
+
+pub use asrel::AsRelSource;
+pub use error::IngestError;
+pub use export::{canonical_json, DegreeQuantiles, TopologyStats};
+pub use graphml::GraphmlSource;
+pub use ixp::{IxpApplyReport, IxpOverlay};
+pub use normalize::{normalize, CanonicalEdge, CanonicalTopology, NormalizeReport};
+pub use raw::{RawEdge, RawRel, RawTopology};
+pub use rib::RibSource;
+
+/// Where a topology came from, for reproducibility records.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize)]
+pub struct Provenance {
+    /// Backend kind: `"as-rel"`, `"graphml"`, or `"rib"`.
+    pub kind: &'static str,
+    /// The concrete origin (file path).
+    pub origin: String,
+}
+
+/// A topology backend: parses some external format into the shared raw
+/// edge list. The provided [`TopologySource::load`] method runs the
+/// shared normalization pipeline on top.
+pub trait TopologySource {
+    /// Identifies this source for reproducibility records.
+    fn provenance(&self) -> Provenance;
+
+    /// Parses the source into the pre-normalization edge list.
+    fn load_raw(&self) -> Result<RawTopology, IngestError>;
+
+    /// Parses and normalizes: the canonical topology every consumer uses.
+    fn load(&self) -> Result<CanonicalTopology, IngestError> {
+        normalize(&self.load_raw()?)
+    }
+}
+
+/// The backend kinds a [`SourceSpec`] can name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SourceKind {
+    AsRel,
+    Graphml,
+    Rib,
+}
+
+impl SourceKind {
+    /// The canonical spec prefix for this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SourceKind::AsRel => "as-rel",
+            SourceKind::Graphml => "graphml",
+            SourceKind::Rib => "rib",
+        }
+    }
+}
+
+/// A parsed `kind:path` source specification, e.g. `graphml:zoo.graphml`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SourceSpec {
+    pub kind: SourceKind,
+    pub path: PathBuf,
+}
+
+impl SourceSpec {
+    /// Parses a `kind:path` spec. Accepted kind aliases: `as-rel`/`asrel`/
+    /// `caida`, `graphml`/`zoo`, `rib`/`bgpstream`/`paths`.
+    pub fn parse(spec: &str) -> Result<SourceSpec, IngestError> {
+        let bad = |message: &str| IngestError::BadSpec {
+            spec: spec.to_string(),
+            message: message.to_string(),
+        };
+        let (kind_str, path) = spec
+            .split_once(':')
+            .ok_or_else(|| bad("expected kind:path, e.g. as-rel:topo.txt"))?;
+        let kind = match kind_str.trim().to_ascii_lowercase().as_str() {
+            "as-rel" | "asrel" | "caida" => SourceKind::AsRel,
+            "graphml" | "zoo" => SourceKind::Graphml,
+            "rib" | "bgpstream" | "paths" => SourceKind::Rib,
+            _ => return Err(bad("unknown kind (want as-rel, graphml, or rib)")),
+        };
+        let path = path.trim();
+        if path.is_empty() {
+            return Err(bad("empty path"));
+        }
+        Ok(SourceSpec {
+            kind,
+            path: PathBuf::from(path),
+        })
+    }
+
+    /// Instantiates the backend this spec names.
+    pub fn open(&self) -> Box<dyn TopologySource> {
+        match self.kind {
+            SourceKind::AsRel => Box::new(AsRelSource::new(&self.path)),
+            SourceKind::Graphml => Box::new(GraphmlSource::new(&self.path)),
+            SourceKind::Rib => Box::new(RibSource::new(&self.path)),
+        }
+    }
+}
+
+/// The full result of one ingestion run.
+#[derive(Clone, Debug)]
+pub struct Ingested {
+    /// Where the topology came from.
+    pub provenance: Provenance,
+    /// The normalized topology (IXP-enriched if an overlay was given).
+    pub topology: CanonicalTopology,
+    /// Overlay application report, when an overlay was applied.
+    pub ixp: Option<IxpApplyReport>,
+}
+
+/// One-call ingestion: parse a `kind:path` spec, load and normalize the
+/// source, and optionally enrich it with an IXP overlay document.
+pub fn ingest_spec(spec: &str, ixp: Option<&Path>) -> Result<Ingested, IngestError> {
+    let spec = SourceSpec::parse(spec)?;
+    let source = spec.open();
+    let provenance = source.provenance();
+    let mut topology = source.load()?;
+    let ixp = match ixp {
+        Some(path) => Some(IxpOverlay::from_path(path)?.apply(&mut topology)),
+        None => None,
+    };
+    Ok(Ingested {
+        provenance,
+        topology,
+        ixp,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parsing_accepts_aliases() {
+        for (s, kind) in [
+            ("as-rel:x", SourceKind::AsRel),
+            ("caida:x", SourceKind::AsRel),
+            ("graphml:x", SourceKind::Graphml),
+            ("zoo:x", SourceKind::Graphml),
+            ("rib:x", SourceKind::Rib),
+            ("bgpstream:x", SourceKind::Rib),
+            ("RIB:x", SourceKind::Rib),
+        ] {
+            let spec = SourceSpec::parse(s).unwrap();
+            assert_eq!(spec.kind, kind, "{s}");
+            assert_eq!(spec.path, PathBuf::from("x"));
+        }
+        // Windows-style second colon stays in the path.
+        let spec = SourceSpec::parse("rib:C:/dumps/table.txt").unwrap();
+        assert_eq!(spec.path, PathBuf::from("C:/dumps/table.txt"));
+    }
+
+    #[test]
+    fn spec_parsing_rejects_garbage() {
+        assert!(matches!(
+            SourceSpec::parse("no-colon"),
+            Err(IngestError::BadSpec { .. })
+        ));
+        assert!(matches!(
+            SourceSpec::parse("ftp:x"),
+            Err(IngestError::BadSpec { .. })
+        ));
+        assert!(matches!(
+            SourceSpec::parse("rib:"),
+            Err(IngestError::BadSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn ingest_spec_reports_missing_files() {
+        let err = ingest_spec("as-rel:/nonexistent/x.txt", None).unwrap_err();
+        assert!(matches!(err, IngestError::Io { .. }));
+    }
+}

@@ -1,0 +1,403 @@
+//! The shared normalization/validation pipeline.
+//!
+//! Every backend's [`crate::raw::RawTopology`] goes through the same five
+//! steps, so equivalent inputs in different formats converge on the same
+//! canonical form:
+//!
+//! 1. **Self-loop removal** — an AS cannot link to itself; dropped with a
+//!    counter.
+//! 2. **Canonical orientation** — provider→customer edges keep the
+//!    provider first; peering edges are oriented `(min ASN, max ASN)`.
+//! 3. **Duplicate merging** — repeated `(pair, relationship)` entries sum
+//!    their multiplicities; a pair claimed with *conflicting*
+//!    relationships deterministically resolves to the variant with the
+//!    largest accumulated multiplicity (ties break on the canonical
+//!    variant ordering), with a conflict counter.
+//! 4. **Largest-connected-component extraction** — RIB dumps and GraphML
+//!    files routinely carry disconnected fragments; experiments need one
+//!    connected Internet. The surviving component is the largest, ties
+//!    broken toward the one containing the smallest ASN.
+//! 5. **Canonical ordering** — edges sort by `(min ASN, max ASN,
+//!    relationship, provider ASN)`; ASes sort ascending.
+//!
+//! The result is a [`CanonicalTopology`]: a deterministic edge list whose
+//! serialized form ([`CanonicalTopology::canonical_text`]) is byte-stable
+//! across backends and runs, and whose fingerprint
+//! ([`CanonicalTopology::fingerprint`]) names the graph for
+//! reproducibility records.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use scion_topology::{AsTopology, Relationship};
+use scion_types::{Asn, Isd, IsdAsn};
+
+use crate::error::IngestError;
+use crate::raw::{RawRel, RawTopology};
+
+/// Counters from one normalization run (for reports and telemetry; not
+/// part of the canonical form, since equivalent documents in different
+/// formats legitimately differ here).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct NormalizeReport {
+    /// Raw edges the backend parsed.
+    pub input_edges: usize,
+    /// Self-loop edges dropped.
+    pub self_loops_dropped: usize,
+    /// Extra same-relationship entries merged into an existing pair.
+    pub duplicates_merged: usize,
+    /// Pairs claimed with conflicting relationships (resolved, not fatal).
+    pub conflicts_resolved: usize,
+    /// Connected components discarded (0 when the input was connected).
+    pub components_pruned: usize,
+    /// ASes discarded with those components.
+    pub ases_pruned: usize,
+    /// Unique pairs discarded with those components.
+    pub pairs_pruned: usize,
+}
+
+/// One canonical edge: `a` is the provider for provider→customer edges
+/// and the smaller ASN for peering edges; `mult` counts parallel links.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct CanonicalEdge {
+    pub a: u64,
+    pub b: u64,
+    pub rel: Relationship,
+    pub mult: u32,
+}
+
+/// The normalized, canonically-ordered topology.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CanonicalTopology {
+    /// All ASNs, ascending.
+    pub ases: Vec<u64>,
+    /// Canonical edge list (see module docs for the ordering).
+    pub edges: Vec<CanonicalEdge>,
+    /// What normalization did to the raw input.
+    pub report: NormalizeReport,
+}
+
+impl CanonicalTopology {
+    /// Number of ASes.
+    pub fn num_ases(&self) -> usize {
+        self.ases.len()
+    }
+
+    /// Number of physical links (parallel links counted individually).
+    pub fn num_links(&self) -> usize {
+        self.edges.iter().map(|e| e.mult as usize).sum()
+    }
+
+    /// The canonical serialized form: one header line, then one
+    /// `a|b|rel|mult` line per edge in canonical order. Byte-identical
+    /// for equivalent inputs regardless of source format.
+    pub fn canonical_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("# scion-ingest canonical v1\n");
+        for e in &self.edges {
+            let rel = match e.rel {
+                Relationship::AProviderOfB => -1,
+                Relationship::PeerToPeer => 0,
+            };
+            writeln!(out, "{}|{}|{}|{}", e.a, e.b, rel, e.mult).expect("write to String");
+        }
+        out
+    }
+
+    /// 128-bit hex fingerprint of the canonical form.
+    pub fn fingerprint(&self) -> String {
+        let digest = scion_crypto::hash::hash32(self.canonical_text().as_bytes());
+        digest[..16].iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Materializes the canonical form as an [`AsTopology`]: ASes added
+    /// in ascending-ASN order, links in canonical edge order (multiplicity
+    /// expands to parallel links), everything in ISD 1 — ISD assignment
+    /// and core selection stay a separate, downstream step, exactly as
+    /// for the synthetic generator.
+    pub fn to_topology(&self) -> AsTopology {
+        let mut topo = AsTopology::new();
+        let mut idx_of = BTreeMap::new();
+        for &asn in &self.ases {
+            idx_of.insert(asn, topo.add_as(IsdAsn::new(Isd(1), Asn::from_u64(asn))));
+        }
+        for e in &self.edges {
+            let (ai, bi) = (idx_of[&e.a], idx_of[&e.b]);
+            for _ in 0..e.mult {
+                topo.add_link(ai, bi, e.rel);
+            }
+        }
+        topo
+    }
+}
+
+/// Per-pair relationship variant in canonical orientation. Ordering is
+/// the deterministic conflict tie-break: provider variants (by provider
+/// ASN) win over the peer variant at equal weight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Variant {
+    /// Provider→customer, keyed by the provider's ASN.
+    Provider(u64),
+    /// Settlement-free peering.
+    Peer,
+}
+
+/// Runs the full pipeline (see module docs).
+pub fn normalize(raw: &RawTopology) -> Result<CanonicalTopology, IngestError> {
+    let mut report = NormalizeReport {
+        input_edges: raw.edges.len(),
+        ..NormalizeReport::default()
+    };
+
+    // Steps 1-3: orient, bucket per unordered pair, merge and resolve.
+    let mut pairs: BTreeMap<(u64, u64), BTreeMap<Variant, u64>> = BTreeMap::new();
+    for e in &raw.edges {
+        if e.a == e.b {
+            report.self_loops_dropped += 1;
+            continue;
+        }
+        let key = (e.a.min(e.b), e.a.max(e.b));
+        let variant = match e.rel {
+            RawRel::Provider => Variant::Provider(e.a),
+            RawRel::Peer => Variant::Peer,
+        };
+        let bucket = pairs.entry(key).or_default();
+        let slot = bucket.entry(variant).or_insert(0);
+        if *slot > 0 {
+            report.duplicates_merged += 1;
+        }
+        *slot += e.mult.max(1) as u64;
+    }
+    if pairs.is_empty() {
+        return Err(IngestError::Empty { kind: "normalize" });
+    }
+
+    let mut resolved: BTreeMap<(u64, u64), (Variant, u64)> = BTreeMap::new();
+    for (&key, bucket) in &pairs {
+        if bucket.len() > 1 {
+            report.conflicts_resolved += bucket.len() - 1;
+        }
+        // Winner: largest accumulated multiplicity; ties break on the
+        // Variant ordering so resolution is independent of input order.
+        let (&variant, &mult) = bucket
+            .iter()
+            .max_by_key(|&(v, m)| (*m, std::cmp::Reverse(*v)))
+            .expect("bucket non-empty");
+        resolved.insert(key, (variant, mult));
+    }
+
+    // Step 4: largest connected component via union-find over pairs.
+    let nodes: Vec<u64> = {
+        let mut v: Vec<u64> = resolved.keys().flat_map(|&(a, b)| [a, b]).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let index: BTreeMap<u64, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let mut parent: Vec<usize> = (0..nodes.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for &(a, b) in resolved.keys() {
+        let (ra, rb) = (find(&mut parent, index[&a]), find(&mut parent, index[&b]));
+        if ra != rb {
+            parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+    let mut component_size: BTreeMap<usize, usize> = BTreeMap::new();
+    for i in 0..nodes.len() {
+        *component_size.entry(find(&mut parent, i)).or_insert(0) += 1;
+    }
+    // Largest component wins; BTreeMap iteration makes the tie-break the
+    // component whose root (= smallest member ASN index) is smallest.
+    let (&winner, _) = component_size
+        .iter()
+        .max_by_key(|&(root, size)| (*size, std::cmp::Reverse(*root)))
+        .expect("at least one component");
+    report.components_pruned = component_size.len() - 1;
+    report.ases_pruned = nodes.len() - component_size[&winner];
+
+    let kept: Vec<((u64, u64), (Variant, u64))> = resolved
+        .iter()
+        .filter(|((a, _), _)| find(&mut parent, index[a]) == winner)
+        .map(|(&k, &v)| (k, v))
+        .collect();
+    report.pairs_pruned = resolved.len() - kept.len();
+
+    // Step 5: canonical ordering and materialization.
+    let mut edges: Vec<CanonicalEdge> = kept
+        .iter()
+        .map(|&((lo, hi), (variant, mult))| {
+            let mult = u32::try_from(mult).unwrap_or(u32::MAX);
+            match variant {
+                Variant::Peer => CanonicalEdge {
+                    a: lo,
+                    b: hi,
+                    rel: Relationship::PeerToPeer,
+                    mult,
+                },
+                Variant::Provider(p) => CanonicalEdge {
+                    a: p,
+                    b: if p == lo { hi } else { lo },
+                    rel: Relationship::AProviderOfB,
+                    mult,
+                },
+            }
+        })
+        .collect();
+    edges.sort_by_key(|e| (e.a.min(e.b), e.a.max(e.b), e.rel, e.a));
+
+    let mut ases: Vec<u64> = edges.iter().flat_map(|e| [e.a, e.b]).collect();
+    ases.sort_unstable();
+    ases.dedup();
+
+    Ok(CanonicalTopology {
+        ases,
+        edges,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(edges: &[(u64, u64, RawRel, u32)]) -> RawTopology {
+        let mut r = RawTopology::default();
+        for &(a, b, rel, m) in edges {
+            r.push(a, b, rel, m);
+        }
+        r
+    }
+
+    #[test]
+    fn drops_self_loops_and_counts() {
+        let c = normalize(&raw(&[
+            (1, 1, RawRel::Peer, 1),
+            (1, 2, RawRel::Provider, 1),
+        ]))
+        .unwrap();
+        assert_eq!(c.report.self_loops_dropped, 1);
+        assert_eq!(c.edges.len(), 1);
+    }
+
+    #[test]
+    fn merges_duplicates_summing_multiplicity() {
+        let c = normalize(&raw(&[
+            (1, 2, RawRel::Provider, 2),
+            (1, 2, RawRel::Provider, 3),
+        ]))
+        .unwrap();
+        assert_eq!(c.report.duplicates_merged, 1);
+        assert_eq!(c.edges[0].mult, 5);
+        assert_eq!(c.num_links(), 5);
+    }
+
+    #[test]
+    fn resolves_conflicts_by_weight_then_canonically() {
+        // Heavier provider claim beats the peer claim.
+        let c = normalize(&raw(&[
+            (1, 2, RawRel::Peer, 1),
+            (2, 1, RawRel::Provider, 3),
+        ]))
+        .unwrap();
+        assert_eq!(c.report.conflicts_resolved, 1);
+        assert_eq!(c.edges[0].rel, Relationship::AProviderOfB);
+        assert_eq!(c.edges[0].a, 2, "provider kept first");
+        // Equal weight: the canonically-smaller variant (provider 1) wins,
+        // independent of input order.
+        let x = normalize(&raw(&[
+            (2, 1, RawRel::Provider, 1),
+            (1, 2, RawRel::Provider, 1),
+        ]))
+        .unwrap();
+        let y = normalize(&raw(&[
+            (1, 2, RawRel::Provider, 1),
+            (2, 1, RawRel::Provider, 1),
+        ]))
+        .unwrap();
+        assert_eq!(x, y);
+        assert_eq!(x.edges[0].a, 1);
+    }
+
+    #[test]
+    fn keeps_largest_component() {
+        let c = normalize(&raw(&[
+            (1, 2, RawRel::Provider, 1),
+            (2, 3, RawRel::Provider, 1),
+            (10, 11, RawRel::Peer, 1),
+        ]))
+        .unwrap();
+        assert_eq!(c.ases, vec![1, 2, 3]);
+        assert_eq!(c.report.components_pruned, 1);
+        assert_eq!(c.report.ases_pruned, 2);
+        assert_eq!(c.report.pairs_pruned, 1);
+    }
+
+    #[test]
+    fn component_tie_breaks_toward_smallest_asn() {
+        let c = normalize(&raw(&[(10, 11, RawRel::Peer, 1), (1, 2, RawRel::Peer, 1)])).unwrap();
+        assert_eq!(c.ases, vec![1, 2]);
+    }
+
+    #[test]
+    fn canonical_text_is_order_invariant() {
+        let a = normalize(&raw(&[
+            (1, 2, RawRel::Peer, 1),
+            (1, 3, RawRel::Provider, 2),
+            (3, 2, RawRel::Provider, 1),
+        ]))
+        .unwrap();
+        let b = normalize(&raw(&[
+            (3, 2, RawRel::Provider, 1),
+            (2, 1, RawRel::Peer, 1),
+            (1, 3, RawRel::Provider, 2),
+        ]))
+        .unwrap();
+        assert_eq!(a.canonical_text(), b.canonical_text());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_content() {
+        let a = normalize(&raw(&[(1, 2, RawRel::Peer, 1)])).unwrap();
+        let b = normalize(&raw(&[(1, 2, RawRel::Peer, 2)])).unwrap();
+        let c = normalize(&raw(&[(1, 2, RawRel::Provider, 1)])).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(a.fingerprint().len(), 32);
+    }
+
+    #[test]
+    fn to_topology_expands_multiplicity_and_holds_invariants() {
+        let c = normalize(&raw(&[
+            (5, 9, RawRel::Provider, 3),
+            (9, 7, RawRel::Peer, 1),
+        ]))
+        .unwrap();
+        let t = c.to_topology();
+        t.check_invariants().unwrap();
+        assert_eq!(t.num_ases(), 3);
+        assert_eq!(t.num_links(), 4);
+        // Provider direction survives materialization.
+        let p = t.by_address(IsdAsn::new(Isd(1), Asn::from_u64(5))).unwrap();
+        assert_eq!(t.customers(p).len(), 1);
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(matches!(
+            normalize(&RawTopology::default()),
+            Err(IngestError::Empty { .. })
+        ));
+        assert!(matches!(
+            normalize(&raw(&[(1, 1, RawRel::Peer, 1)])),
+            Err(IngestError::Empty { .. })
+        ));
+    }
+}

@@ -1,0 +1,43 @@
+//! The pre-normalization edge list every backend parses into.
+//!
+//! Backends only have to get the *content* right: duplicate edges,
+//! self-loops, disconnected fragments, and arbitrary edge order are all
+//! legal here and are cleaned up by [`crate::normalize()`]. This keeps each
+//! parser small and puts every correctness rule in one audited place.
+
+/// Business relationship of a raw edge, before canonicalization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RawRel {
+    /// `a` sells transit to `b` (CAIDA `-1`).
+    Provider,
+    /// Settlement-free peering (CAIDA `0`).
+    Peer,
+}
+
+/// One parsed edge: an AS pair, its relationship, and how many parallel
+/// links the document claims for the pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RawEdge {
+    pub a: u64,
+    pub b: u64,
+    pub rel: RawRel,
+    pub mult: u32,
+}
+
+/// The raw parse result of one backend: an edge list in document order.
+#[derive(Clone, Debug, Default)]
+pub struct RawTopology {
+    pub edges: Vec<RawEdge>,
+}
+
+impl RawTopology {
+    /// Appends an edge (multiplicity clamped to at least 1).
+    pub fn push(&mut self, a: u64, b: u64, rel: RawRel, mult: u32) {
+        self.edges.push(RawEdge {
+            a,
+            b,
+            rel,
+            mult: mult.max(1),
+        });
+    }
+}

@@ -38,6 +38,8 @@ pub enum ParseError {
     BadField { line: usize, field: &'static str },
     /// Relationship value other than `-1` or `0`.
     BadRelationship { line: usize, value: i64 },
+    /// An AS listed as related to itself.
+    SelfLoop { line: usize },
     /// The same AS pair appeared twice.
     DuplicatePair { line: usize },
 }
@@ -52,6 +54,7 @@ impl std::fmt::Display for ParseError {
             ParseError::BadRelationship { line, value } => {
                 write!(f, "line {line}: relationship must be -1 or 0, got {value}")
             }
+            ParseError::SelfLoop { line } => write!(f, "line {line}: AS related to itself"),
             ParseError::DuplicatePair { line } => write!(f, "line {line}: duplicate AS pair"),
         }
     }
@@ -75,7 +78,9 @@ pub fn parse_as_rel(input: &str) -> Result<AsTopology, ParseError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let fields: Vec<&str> = line.split('|').collect();
+        // Individual fields are trimmed too, so editors that align columns
+        // with spaces (or leave trailing tabs) don't break parsing.
+        let fields: Vec<&str> = line.split('|').map(str::trim).collect();
         if fields.len() != 3 && fields.len() != 4 {
             return Err(ParseError::BadFieldCount { line: line_no });
         }
@@ -110,6 +115,9 @@ pub fn parse_as_rel(input: &str) -> Result<AsTopology, ParseError> {
             1
         };
 
+        if a == b {
+            return Err(ParseError::SelfLoop { line: line_no });
+        }
         let key = (a.min(b), a.max(b));
         if seen_pairs.insert(key, line_no).is_some() {
             return Err(ParseError::DuplicatePair { line: line_no });
@@ -230,6 +238,29 @@ mod tests {
     fn skips_comments_and_blank_lines() {
         let t = parse_as_rel("# hi\n\n  \n1|2|0\n").unwrap();
         assert_eq!(t.num_links(), 1);
+    }
+
+    #[test]
+    fn comment_only_document_is_an_empty_topology() {
+        let t = parse_as_rel("# only\n# comments\n\n").unwrap();
+        assert_eq!(t.num_ases(), 0);
+        assert_eq!(t.num_links(), 0);
+    }
+
+    #[test]
+    fn tolerates_crlf_and_trailing_whitespace() {
+        let t = parse_as_rel("# c\r\n1|2|-1\r\n2|3|0   \r\n\r\n1 | 3 |\t-1\t| 2\n").unwrap();
+        assert_eq!(t.num_ases(), 3);
+        assert_eq!(t.num_links(), 4);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rejects_self_loop_instead_of_panicking() {
+        assert_eq!(
+            parse_as_rel("1|2|-1\n7|7|0\n").unwrap_err(),
+            ParseError::SelfLoop { line: 2 }
+        );
     }
 
     #[test]
