@@ -36,7 +36,7 @@ pub mod testkit;
 
 pub use analysis::{mean_fraction, mean_reconvergence, min_fraction, reconvergence_times};
 pub use churn::{ChurnModel, LinkClassParams};
-pub use revoke::{revoke_for_fault, FaultRevocation};
+pub use revoke::{restore_lapsed_revocations, revoke_for_fault, revoke_for_scmp, FaultRevocation};
 pub use schedule::Script;
 
 // Re-export the fault plane and both drivers' chaos types, so experiment

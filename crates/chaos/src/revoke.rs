@@ -7,14 +7,15 @@
 //! [`scion_pathserver::revocation`] semantics and emitting
 //! [`TraceEvent::PathInvalidated`] per invalidated destination.
 
+use scion_dataplane::scmp::ScmpMessage;
 use scion_pathserver::ledger::{Component, Ledger, Scope};
-use scion_pathserver::revocation::segment_uses_link;
+use scion_pathserver::revocation::{segment_uses_link, RevocationTable};
 use scion_pathserver::server::PathServer;
 use scion_proto::wire;
 use scion_simulator::LinkFault;
 use scion_telemetry::{ids, Label, Telemetry, TraceEvent};
 use scion_topology::{AsTopology, LinkIndex};
-use scion_types::SimTime;
+use scion_types::{Duration, SimTime};
 
 /// Accounting of one fault's revocation reaction.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -55,6 +56,113 @@ pub fn revoke_for_fault(
         total.scmp_notifications += r.scmp_notifications;
     }
     total
+}
+
+/// The §4.1 closed loop, driven from the data plane: a border router's
+/// SCMP `ExternalInterfaceDown` reaches the responsible core path server,
+/// which revokes every stored segment crossing the reported link — with a
+/// TTL via `table`, so a spurious revocation heals itself and a genuinely
+/// dead link is kept revoked by subsequent SCMP-triggered renewals.
+///
+/// Accounting matches [`revoke_for_fault`]: one intra-ISD revocation
+/// message plus `active_flows` global SCMP notifications when at least
+/// one segment was pulled, `CHAOS_PATHS_INVALIDATED` /
+/// [`TraceEvent::PathInvalidated`] per revoked terminal, and additionally
+/// the `pathserver.revocations` / `pathserver.segments_revoked` counters.
+/// A message naming an unknown AS or interface is a counted no-op
+/// (`pathserver.rejected_ops`), never a panic.
+#[allow(clippy::too_many_arguments)]
+pub fn revoke_for_scmp(
+    ps: &mut PathServer,
+    table: &mut RevocationTable,
+    topo: &AsTopology,
+    msg: &ScmpMessage,
+    ttl: Duration,
+    active_flows: u64,
+    ledger: &mut Ledger,
+    now: SimTime,
+    tel: &mut Telemetry,
+) -> FaultRevocation {
+    let Some(near) = msg.link_end() else {
+        // InvalidPath and friends carry no revocable link.
+        return FaultRevocation::default();
+    };
+    let li = topo
+        .by_address(near.ia)
+        .and_then(|idx| topo.link_by_interface(idx, near.ifid));
+    let Some(li) = li else {
+        tel.inc(ids::PS_REJECTED_OPS, Label::Global, 1);
+        return FaultRevocation::default();
+    };
+    let failed = topo.link_id(li);
+
+    let mut terminals = Vec::new();
+    let segments_revoked = {
+        let mut seen = Vec::new();
+        let n = table.revoke_with_ttl_observed(ps, failed, now, ttl, &mut seen);
+        terminals.extend(seen);
+        n
+    };
+    tel.inc(ids::PS_REVOCATIONS, Label::Global, 1);
+    if segments_revoked == 0 {
+        return FaultRevocation::default();
+    }
+    tel.inc(
+        ids::PS_SEGMENTS_REVOKED,
+        Label::Global,
+        segments_revoked as u64,
+    );
+
+    ledger.record(
+        Component::PathRevocation,
+        Scope::IntraIsd,
+        wire::SCMP_REVOCATION,
+    );
+    ledger.record_event(Component::PathRevocation, now);
+    for _ in 0..active_flows {
+        ledger.record(
+            Component::PathRevocation,
+            Scope::Global,
+            wire::SCMP_REVOCATION,
+        );
+    }
+
+    let node = topo
+        .by_address(ps.isd_asn())
+        .map(|i| i.0)
+        .unwrap_or(u32::MAX);
+    tel.inc(
+        ids::CHAOS_PATHS_INVALIDATED,
+        Label::Global,
+        segments_revoked as u64,
+    );
+    for origin in terminals {
+        tel.trace_event(now, || TraceEvent::PathInvalidated {
+            node,
+            origin,
+            link: li.0,
+        });
+    }
+    FaultRevocation {
+        segments_revoked,
+        scmp_notifications: active_flows,
+    }
+}
+
+/// Reinstates every revocation in `table` that has lapsed by `now`,
+/// counting restored segments into `pathserver.segments_restored`.
+/// Returns how many segments went back into the lookup stores.
+pub fn restore_lapsed_revocations(
+    ps: &mut PathServer,
+    table: &mut RevocationTable,
+    now: SimTime,
+    tel: &mut Telemetry,
+) -> usize {
+    let restored = table.restore_due(ps, now);
+    if restored > 0 {
+        tel.inc(ids::PS_SEGMENTS_RESTORED, Label::Global, restored as u64);
+    }
+    restored
 }
 
 fn revoke_link(
@@ -205,6 +313,134 @@ mod tests {
         );
         assert_eq!(r.segments_revoked, segs.len(), "whole min cut gone");
         assert!(ps.lookup_down(leaf_ia, now).is_empty());
+    }
+
+    #[test]
+    fn scmp_drives_ttl_revocation_and_restoration() {
+        // The closed loop: dataplane SCMP → PS revocation (parked with a
+        // TTL) → restoration once the revocation lapses unrenewed.
+        let topo = dual_homed_world();
+        let duration = Duration::from_hours(6);
+        let leaf_ia = IsdAsn::new(Isd(1), Asn::from_u64(10));
+        let (segs, _) = segments_for(&topo, leaf_ia, duration, 1);
+        let mut ps = PathServer::new(IsdAsn::new(Isd(1), Asn::from_u64(1)), true);
+        register_down_segments(&mut ps, &segs);
+        let registered = ps.lookup_down(leaf_ia, SimTime::ZERO).len();
+
+        // A border router at the leaf's first link reports it down.
+        let leaf = topo.by_address(leaf_ia).unwrap();
+        let li = topo.node(leaf).links[0];
+        let failed = topo.link_id(li);
+        let msg = ScmpMessage::ExternalInterfaceDown {
+            at: failed.lo().ia,
+            interface: failed.lo().ifid,
+            observed_at: SimTime::ZERO,
+        };
+
+        let ttl = Duration::from_secs(5);
+        let mut table = RevocationTable::new();
+        let mut ledger = Ledger::new();
+        let mut tel = Telemetry::new(scion_telemetry::TelemetryConfig::default());
+        let t0 = SimTime::ZERO + Duration::from_secs(1);
+        let r = revoke_for_scmp(
+            &mut ps,
+            &mut table,
+            &topo,
+            &msg,
+            ttl,
+            2,
+            &mut ledger,
+            t0,
+            &mut tel,
+        );
+        assert!(r.segments_revoked >= 1);
+        assert!(ps.lookup_down(leaf_ia, t0).len() < registered);
+        assert_eq!(tel.metrics.counter(ids::PS_REVOCATIONS, Label::Global), 1);
+        assert_eq!(
+            tel.metrics.counter(ids::PS_SEGMENTS_REVOKED, Label::Global),
+            r.segments_revoked as u64
+        );
+
+        // Before the TTL lapses nothing comes back …
+        assert_eq!(
+            restore_lapsed_revocations(&mut ps, &mut table, t0 + Duration::from_secs(4), &mut tel),
+            0
+        );
+        // … after it, the parked segments are reinstated and counted.
+        let t_restore = t0 + ttl;
+        let restored = restore_lapsed_revocations(&mut ps, &mut table, t_restore, &mut tel);
+        assert_eq!(restored, r.segments_revoked);
+        assert_eq!(ps.lookup_down(leaf_ia, t_restore).len(), registered);
+        assert_eq!(
+            tel.metrics
+                .counter(ids::PS_SEGMENTS_RESTORED, Label::Global),
+            restored as u64
+        );
+    }
+
+    #[test]
+    fn scmp_for_unknown_interface_is_rejected_not_fatal() {
+        let topo = dual_homed_world();
+        let mut ps = PathServer::new(IsdAsn::new(Isd(1), Asn::from_u64(1)), true);
+        let mut table = RevocationTable::new();
+        let mut ledger = Ledger::new();
+        let mut tel = Telemetry::new(scion_telemetry::TelemetryConfig::default());
+
+        // Known AS, bogus interface.
+        let msg = ScmpMessage::ExternalInterfaceDown {
+            at: IsdAsn::new(Isd(1), Asn::from_u64(1)),
+            interface: scion_types::IfId(9999),
+            observed_at: SimTime::ZERO,
+        };
+        let ttl = Duration::from_secs(5);
+        let r = revoke_for_scmp(
+            &mut ps,
+            &mut table,
+            &topo,
+            &msg,
+            ttl,
+            1,
+            &mut ledger,
+            SimTime::ZERO,
+            &mut tel,
+        );
+        assert_eq!(r, FaultRevocation::default());
+        // Unknown AS entirely.
+        let msg = ScmpMessage::ExternalInterfaceDown {
+            at: IsdAsn::new(Isd(9), Asn::from_u64(99)),
+            interface: scion_types::IfId(1),
+            observed_at: SimTime::ZERO,
+        };
+        let r = revoke_for_scmp(
+            &mut ps,
+            &mut table,
+            &topo,
+            &msg,
+            ttl,
+            1,
+            &mut ledger,
+            SimTime::ZERO,
+            &mut tel,
+        );
+        assert_eq!(r, FaultRevocation::default());
+        assert_eq!(tel.metrics.counter(ids::PS_REJECTED_OPS, Label::Global), 2);
+        // InvalidPath never revokes.
+        let msg = ScmpMessage::InvalidPath {
+            at: IsdAsn::new(Isd(1), Asn::from_u64(1)),
+            observed_at: SimTime::ZERO,
+        };
+        let r = revoke_for_scmp(
+            &mut ps,
+            &mut table,
+            &topo,
+            &msg,
+            ttl,
+            1,
+            &mut ledger,
+            SimTime::ZERO,
+            &mut tel,
+        );
+        assert_eq!(r, FaultRevocation::default());
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub struct LatencyQuantiles {
     pub max_ns: f64,
 }
 
-fn quantiles(profiler: &Profiler, phase_name: &str) -> Option<LatencyQuantiles> {
+pub(crate) fn quantiles(profiler: &Profiler, phase_name: &str) -> Option<LatencyQuantiles> {
     let h = profiler.latency(phase_name)?;
     let stats = profiler.stats(phase_name)?;
     Some(LatencyQuantiles {

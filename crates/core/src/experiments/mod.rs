@@ -11,6 +11,7 @@
 //! | [`lossy`] | Robustness under stochastic message loss — reliable channel vs no-retry control across a loss-rate sweep, plus the path-server degradation leg (ours; §4.2 motivation) |
 //! | [`scaling`] | Wall-clock speedup and event throughput of the deterministic parallel beaconing driver vs worker-thread count (ours; §6 scalability) |
 //! | [`forwarding`] | Data-plane packets/sec through a border-router chain, scalar vs batched hop-field verification, with per-hop latency quantiles and drop breakdowns (ours; §4.1 Mechanism 4) |
+//! | [`recovery`] | Failure recovery of live flows — SCMP fast failover over cached multipaths vs path-server re-query vs reconvergence baseline, with per-flow outage CDFs (ours; §4.1 path revocations) |
 //!
 //! Every runner takes an [`crate::scale::ExperimentScale`] and returns a
 //! serializable result struct; the harness binaries in `scion-bench` print
@@ -21,6 +22,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod forwarding;
 pub mod lossy;
+pub mod recovery;
 pub mod resilience;
 pub mod scaling;
 pub mod scionlab;
@@ -37,6 +39,9 @@ pub use forwarding::{
 pub use lossy::{
     run_lossy, run_lossy_sweep, run_lossy_telemetry, run_lossy_with_rates, DegradationStats,
     LossArm, LossPoint, LossyResult, LOSS_RATES,
+};
+pub use recovery::{
+    run_recovery, run_recovery_in, run_recovery_with, OutageCdf, RecoveryArm, RecoveryResult,
 };
 pub use resilience::{run_resilience, run_resilience_telemetry, ResilienceResult};
 pub use scaling::{

@@ -39,4 +39,4 @@ pub use batch::{forward_batch, BatchStep};
 pub use network::{deliver, deliver_instrumented, DeliveryError};
 pub use packet::{ForwardingPath, Packet};
 pub use router::{forward, forward_instrumented, ForwardAction, ForwardError};
-pub use scmp::ScmpMessage;
+pub use scmp::{ScmpLimiter, ScmpMessage};

@@ -23,7 +23,35 @@ pub enum DeliveryError {
     /// The next link is down; carries the SCMP message the observing
     /// border router sends back to the source (§4.1).
     LinkDown(ScmpMessage),
+    /// The packet names a source AS absent from the topology — a
+    /// malformed packet, not a panic (the walk cannot even start).
+    UnknownSource,
 }
+
+impl DeliveryError {
+    /// Stable drop-reason code, matching the `dataplane.drop.*` counters.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            DeliveryError::Dropped(e) => e.reason(),
+            DeliveryError::NoSuchInterface => "no_interface",
+            DeliveryError::LinkDown(_) => "link_down",
+            DeliveryError::UnknownSource => "unknown_source",
+        }
+    }
+}
+
+impl std::fmt::Display for DeliveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeliveryError::Dropped(e) => write!(f, "dropped: {e}"),
+            DeliveryError::NoSuchInterface => write!(f, "egress interface does not exist"),
+            DeliveryError::LinkDown(m) => write!(f, "link down at {}", m.origin()),
+            DeliveryError::UnknownSource => write!(f, "source AS not in topology"),
+        }
+    }
+}
+
+impl std::error::Error for DeliveryError {}
 
 /// Walks `packet` from its source AS to its destination across `topo`,
 /// treating every link in `failed_links` as down.
@@ -69,9 +97,17 @@ fn deliver_walk(
     tel: &mut Telemetry,
 ) -> Result<usize, DeliveryError> {
     let mut arrival_if = IfId::NONE; // first hop starts inside the source
-    let mut cur_as = topo
-        .by_address(packet.source)
-        .expect("source AS exists in topology");
+    let Some(mut cur_as) = topo.by_address(packet.source) else {
+        // Malformed packet: no router can even start the walk. Dropped
+        // with a counted reason instead of panicking.
+        tel.trace_event(now, || TraceEvent::PacketDropped {
+            node: u32::MAX,
+            reason: "unknown_source",
+        });
+        tel.inc(ids::FWD_DROPPED, Label::Global, 1);
+        tel.inc(ids::FWD_DROP_UNKNOWN_SOURCE, Label::Global, 1);
+        return Err(DeliveryError::UnknownSource);
+    };
     let mut traversed = 0usize;
 
     loop {

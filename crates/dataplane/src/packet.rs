@@ -68,15 +68,22 @@ impl Packet {
     /// Builds a packet along `path`.
     ///
     /// # Panics
-    /// Panics on an empty path.
+    /// Panics on an empty path; hot paths handling untrusted path data
+    /// should use [`Packet::try_along`].
     pub fn along(path: &EndToEndPath, expiry: SimTime, payload_len: u32) -> Packet {
-        assert!(!path.is_empty(), "packet needs a non-empty path");
-        Packet {
-            source: path.source(),
-            destination: path.destination(),
+        Packet::try_along(path, expiry, payload_len).expect("packet needs a non-empty path")
+    }
+
+    /// Builds a packet along `path`, or `None` for an empty path — the
+    /// panic-free constructor for paths of untrusted provenance.
+    pub fn try_along(path: &EndToEndPath, expiry: SimTime, payload_len: u32) -> Option<Packet> {
+        let (&(source, _, _), &(destination, _, _)) = (path.hops.first()?, path.hops.last()?);
+        Some(Packet {
+            source,
+            destination,
             path: ForwardingPath::from_path(path, expiry),
             payload_len,
-        }
+        })
     }
 
     /// Total wire size: common header (24) + address headers (2×12) +

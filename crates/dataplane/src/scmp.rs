@@ -5,10 +5,12 @@
 //! border router observing the failed link … hosts switch to a different
 //! path as soon as the SCMP message is received."
 
+use std::collections::BTreeMap;
+
 use serde::{Deserialize, Serialize};
 
 use scion_proto::wire;
-use scion_types::{IfId, IsdAsn, SimTime};
+use scion_types::{Duration, IfId, IsdAsn, LinkEnd, SimTime};
 
 /// An SCMP error message sent back toward a packet's source.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -37,6 +39,89 @@ impl ScmpMessage {
             ScmpMessage::InvalidPath { at, .. } => *at,
         }
     }
+
+    /// The near end of the link the message concerns, when link-scoped.
+    pub fn link_end(&self) -> Option<LinkEnd> {
+        match self {
+            ScmpMessage::ExternalInterfaceDown { at, interface, .. } => {
+                Some(LinkEnd::new(*at, *interface))
+            }
+            ScmpMessage::InvalidPath { .. } => None,
+        }
+    }
+}
+
+/// Per-link SCMP revocation admission control.
+///
+/// A burst of in-flight packets hitting one failed link would otherwise
+/// turn into a burst of identical revocation signals toward the path
+/// server — a revocation storm. The observing border router therefore
+/// admits at most **one** revocation per `(link end, holdoff window)`:
+/// the first signal passes, duplicates within `holdoff` are suppressed
+/// (deduplicated), and once the window lapses the next packet may probe
+/// the link again.
+///
+/// State is a `BTreeMap`, so admission decisions replay deterministically
+/// for a deterministic packet order.
+#[derive(Clone, Debug)]
+pub struct ScmpLimiter {
+    holdoff: Duration,
+    last_admitted: BTreeMap<LinkEnd, SimTime>,
+    admitted: u64,
+    suppressed: u64,
+}
+
+impl ScmpLimiter {
+    /// A limiter admitting one revocation per link end per `holdoff`.
+    pub fn new(holdoff: Duration) -> ScmpLimiter {
+        ScmpLimiter {
+            holdoff,
+            last_admitted: BTreeMap::new(),
+            admitted: 0,
+            suppressed: 0,
+        }
+    }
+
+    /// The holdoff window in force.
+    pub fn holdoff(&self) -> Duration {
+        self.holdoff
+    }
+
+    /// Decides whether a revocation for the link at `near` may go out at
+    /// `now`. Callers must only invoke this with non-decreasing `now`.
+    pub fn admit(&mut self, near: LinkEnd, now: SimTime) -> bool {
+        match self.last_admitted.get(&near) {
+            Some(&t) if now.since(t) < self.holdoff => {
+                self.suppressed += 1;
+                false
+            }
+            _ => {
+                self.last_admitted.insert(near, now);
+                self.admitted += 1;
+                true
+            }
+        }
+    }
+
+    /// [`ScmpLimiter::admit`] keyed by the message's link end. Messages
+    /// without one (e.g. [`ScmpMessage::InvalidPath`]) carry no
+    /// revocation and are never admitted.
+    pub fn admit_message(&mut self, msg: &ScmpMessage, now: SimTime) -> bool {
+        match msg.link_end() {
+            Some(near) => self.admit(near, now),
+            None => false,
+        }
+    }
+
+    /// Revocations admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Revocations suppressed inside a holdoff window so far.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
 }
 
 #[cfg(test)]
@@ -59,5 +144,58 @@ mod tests {
             observed_at: SimTime::ZERO,
         };
         assert_eq!(m2.origin(), at);
+        assert_eq!(m.link_end(), Some(LinkEnd::new(at, IfId(3))));
+        assert_eq!(m2.link_end(), None);
+    }
+
+    #[test]
+    fn burst_of_100_packets_admits_one_revocation_per_window() {
+        // Satellite: SCMP dedup under a 100-packet burst on one failed
+        // link — the limiter caps revocations at ≤ 1 per (link, holdoff).
+        let at = IsdAsn::new(Isd(1), Asn::from_u64(5));
+        let near = LinkEnd::new(at, IfId(3));
+        let holdoff = Duration::from_millis(200);
+        let mut lim = ScmpLimiter::new(holdoff);
+
+        let t0 = SimTime::ZERO + Duration::from_secs(1);
+        let mut admitted = 0;
+        for i in 0..100u64 {
+            // Burst spread over 10 ms — far inside one holdoff window.
+            let now = t0 + Duration::from_micros(i * 100);
+            if lim.admit(near, now) {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 1, "one revocation per (link, window)");
+        assert_eq!(lim.admitted(), 1);
+        assert_eq!(lim.suppressed(), 99);
+
+        // Once the window lapses, the link may be probed again.
+        assert!(lim.admit(near, t0 + holdoff + Duration::from_millis(1)));
+        assert_eq!(lim.admitted(), 2);
+    }
+
+    #[test]
+    fn limiter_tracks_links_independently() {
+        let at = IsdAsn::new(Isd(1), Asn::from_u64(5));
+        let mut lim = ScmpLimiter::new(Duration::from_millis(100));
+        let t0 = SimTime::ZERO + Duration::from_secs(1);
+        assert!(lim.admit(LinkEnd::new(at, IfId(1)), t0));
+        assert!(lim.admit(LinkEnd::new(at, IfId(2)), t0));
+        assert!(!lim.admit(LinkEnd::new(at, IfId(1)), t0));
+        let other = IsdAsn::new(Isd(1), Asn::from_u64(6));
+        assert!(lim.admit(LinkEnd::new(other, IfId(1)), t0));
+    }
+
+    #[test]
+    fn invalid_path_messages_never_revoke() {
+        let at = IsdAsn::new(Isd(1), Asn::from_u64(5));
+        let mut lim = ScmpLimiter::new(Duration::from_millis(100));
+        let msg = ScmpMessage::InvalidPath {
+            at,
+            observed_at: SimTime::ZERO,
+        };
+        assert!(!lim.admit_message(&msg, SimTime::ZERO + Duration::from_secs(1)));
+        assert_eq!((lim.admitted(), lim.suppressed()), (0, 0));
     }
 }

@@ -11,7 +11,7 @@ use std::collections::{HashMap, HashSet};
 use scion_dataplane::scmp::ScmpMessage;
 use scion_proto::combine::{combine_paths, peering_path, shortcut_path, EndToEndPath};
 use scion_proto::segment::{PathSegment, SegmentType};
-use scion_types::{IsdAsn, LinkEnd, LinkId, SimTime};
+use scion_types::{Duration, IsdAsn, LinkEnd, LinkId, SimTime};
 
 /// The segments the control service handed the daemon for one resolution:
 /// the host's up-segments, core segments toward the destination ISD, and
@@ -31,6 +31,10 @@ pub struct ScionDaemon {
     /// Links currently known-failed from SCMP messages, with the time of
     /// the notification.
     failed_links: HashMap<LinkId, SimTime>,
+    /// How long an SCMP failure mark stays in force before it ages out
+    /// and the marked paths are considered usable again. `None` keeps
+    /// marks until [`ScionDaemon::expire_failures`] is called explicitly.
+    failure_ttl: Option<Duration>,
     /// Paths handed out (for statistics).
     pub paths_served: u64,
     /// SCMP messages processed.
@@ -50,6 +54,17 @@ impl ScionDaemon {
         ScionDaemon::default()
     }
 
+    /// A daemon whose SCMP failure marks age out after `ttl` — expiry runs
+    /// automatically inside [`ScionDaemon::resolve`] and
+    /// [`ScionDaemon::best_path_at`], so a repaired link's paths come back
+    /// without any explicit restoration call.
+    pub fn with_failure_ttl(ttl: Duration) -> ScionDaemon {
+        ScionDaemon {
+            failure_ttl: Some(ttl),
+            ..ScionDaemon::default()
+        }
+    }
+
     /// Resolves every end-to-end path the segment set permits, caches
     /// them (shortest first, deduplicated by link sequence), and returns
     /// how many were found.
@@ -58,6 +73,7 @@ impl ScionDaemon {
     /// shared core, shortcuts at a common non-core AS, and peering-link
     /// crossovers.
     pub fn resolve(&mut self, dst: IsdAsn, segments: &SegmentSet, now: SimTime) -> usize {
+        self.expire_failures_by_ttl(now);
         let mut found: Vec<EndToEndPath> = Vec::new();
         let live = |s: &PathSegment| !s.is_expired(now);
 
@@ -91,6 +107,28 @@ impl ScionDaemon {
         let n = found.len();
         self.cache.insert(dst, found);
         n
+    }
+
+    /// Installs pre-combined paths toward `dst` directly (the recovery
+    /// driver hands daemons their multipath set this way). Paths are
+    /// cached shortest-first and deduplicated by link sequence, exactly
+    /// like [`ScionDaemon::resolve`] output. Returns the cached count.
+    pub fn install_paths(&mut self, dst: IsdAsn, paths: Vec<EndToEndPath>) -> usize {
+        let mut found = paths;
+        found.retain(|p| p.destination() == dst);
+        found.sort_by_key(|p| (p.len(), p.links()));
+        found.dedup_by_key(|p| p.links());
+        let n = found.len();
+        self.cache.insert(dst, found);
+        n
+    }
+
+    /// [`ScionDaemon::best_path`] at a known instant: ages out failure
+    /// marks older than the daemon's failure TTL first, so paths over a
+    /// repaired (or merely unconfirmed-dead) link become eligible again.
+    pub fn best_path_at(&mut self, dst: IsdAsn, now: SimTime) -> Option<EndToEndPath> {
+        self.expire_failures_by_ttl(now);
+        self.best_path(dst)
     }
 
     /// The best usable (non-failed) path toward `dst`, if any.
@@ -140,9 +178,23 @@ impl ScionDaemon {
     }
 
     /// Clears failure state older than `horizon` (links get repaired; the
-    /// control plane re-disseminates paths over them).
-    pub fn expire_failures(&mut self, horizon: SimTime) {
+    /// control plane re-disseminates paths over them). Returns how many
+    /// marks aged out.
+    pub fn expire_failures(&mut self, horizon: SimTime) -> usize {
+        let before = self.failed_links.len();
         self.failed_links.retain(|_, &mut at| at >= horizon);
+        before - self.failed_links.len()
+    }
+
+    /// Applies the configured failure TTL at `now`, if one is set.
+    fn expire_failures_by_ttl(&mut self, now: SimTime) -> usize {
+        match self.failure_ttl {
+            Some(ttl) => {
+                let horizon = SimTime::from_micros(now.as_micros().saturating_sub(ttl.as_micros()));
+                self.expire_failures(horizon)
+            }
+            None => 0,
+        }
     }
 
     /// Number of currently known-failed links.
@@ -301,6 +353,80 @@ mod tests {
         d.expire_failures(t_fail + Duration::from_secs(1));
         assert_eq!(d.failed_link_count(), 0);
         assert_eq!(d.best_path(ia(2, 5)).unwrap().links(), first.links());
+    }
+
+    #[test]
+    fn failure_ttl_expires_marks_inside_resolution() {
+        // Satellite regression: `expire_failures` is wired into the
+        // resolution surface itself — a TTL'd daemon restores failed-over
+        // paths through `best_path_at`/`resolve` with no explicit call.
+        let tr = trust();
+        let ttl = Duration::from_secs(5);
+        let mut d = ScionDaemon::with_failure_ttl(ttl);
+        d.resolve(ia(2, 5), &segments(&tr), SimTime::ZERO);
+        let first = d.best_path(ia(2, 5)).unwrap();
+        let (near, _) = first.links()[0];
+        let t_fail = SimTime::ZERO + Duration::from_secs(10);
+        d.handle_scmp(
+            &ScmpMessage::ExternalInterfaceDown {
+                at: near.ia,
+                interface: near.ifid,
+                observed_at: t_fail,
+            },
+            t_fail,
+        );
+
+        // Inside the TTL the mark holds and failover is in force.
+        let during = t_fail + Duration::from_secs(4);
+        assert_ne!(
+            d.best_path_at(ia(2, 5), during).unwrap().links(),
+            first.links()
+        );
+        assert_eq!(d.failed_link_count(), 1);
+
+        // Past the TTL, best_path_at alone restores the primary.
+        let after = t_fail + ttl + Duration::from_secs(1);
+        assert_eq!(
+            d.best_path_at(ia(2, 5), after).unwrap().links(),
+            first.links()
+        );
+        assert_eq!(d.failed_link_count(), 0);
+
+        // And resolve() applies the same expiry (re-mark, then resolve).
+        d.handle_scmp(
+            &ScmpMessage::ExternalInterfaceDown {
+                at: near.ia,
+                interface: near.ifid,
+                observed_at: after,
+            },
+            after,
+        );
+        assert_eq!(d.failed_link_count(), 1);
+        d.resolve(
+            ia(2, 5),
+            &segments(&tr),
+            after + ttl + Duration::from_secs(1),
+        );
+        assert_eq!(d.failed_link_count(), 0);
+    }
+
+    #[test]
+    fn installed_paths_serve_like_resolved_ones() {
+        let tr = trust();
+        let mut source = ScionDaemon::new();
+        source.resolve(ia(2, 5), &segments(&tr), SimTime::ZERO);
+        let paths: Vec<EndToEndPath> = source.cached_paths(ia(2, 5)).to_vec();
+
+        let mut d = ScionDaemon::new();
+        // Install reversed + duplicated: ordering and dedup must match.
+        let mut shuffled: Vec<EndToEndPath> = paths.iter().rev().cloned().collect();
+        shuffled.extend(paths.iter().cloned());
+        assert_eq!(d.install_paths(ia(2, 5), shuffled), paths.len());
+        assert_eq!(d.cached_paths(ia(2, 5)), source.cached_paths(ia(2, 5)));
+        assert_eq!(
+            d.best_path(ia(2, 5)).unwrap().links(),
+            source.best_path(ia(2, 5)).unwrap().links()
+        );
     }
 
     #[test]

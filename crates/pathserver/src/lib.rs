@@ -32,6 +32,6 @@ pub mod workload;
 
 pub use ledger::{Component, Ledger, Scope};
 pub use resolver::{Resolution, Resolver, ResolverConfig, ResolverStats, RetryAction};
-pub use revocation::{revoke_segments, Revocation};
-pub use server::{CacheStats, LookupResult, PathServer};
+pub use revocation::{revoke_segments, Revocation, RevocationTable};
+pub use server::{CacheStats, LookupResult, PathServer, ServerError};
 pub use workload::ZipfDestinations;

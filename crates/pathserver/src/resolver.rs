@@ -174,11 +174,17 @@ impl Resolver {
                 break;
             }
             self.due.remove(&(deadline, id));
-            let p = self.pending.get_mut(&id).expect("due implies pending");
+            // A deadline whose pending entry is gone is a stale index
+            // entry (answered and dropped concurrently); skip it rather
+            // than panicking the driver.
+            let Some(p) = self.pending.get_mut(&id) else {
+                continue;
+            };
             if p.attempts >= self.cfg.max_attempts {
-                let p = self.pending.remove(&id).expect("present");
+                let dst = p.dst;
+                self.pending.remove(&id);
                 self.stats.exhausted += 1;
-                out.push(RetryAction::Exhausted { id, dst: p.dst });
+                out.push(RetryAction::Exhausted { id, dst });
             } else {
                 p.attempts += 1;
                 p.deadline = now + self.cfg.timeout_for(p.attempts);

@@ -26,6 +26,53 @@ fn seg_type_name(ty: SegmentType) -> &'static str {
     }
 }
 
+/// Why a path-server operation was rejected — the typed, non-panicking
+/// surface of role and segment-type misuse. Untrusted inputs (segments of
+/// the wrong type arriving at the wrong server) must hit these variants,
+/// never an `assert!`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerError {
+    /// The operation requires a core path server.
+    NotCore {
+        /// The operation that was attempted (stable code, e.g.
+        /// `"register_down"`).
+        op: &'static str,
+    },
+    /// The segment's type does not match the store it was offered to.
+    WrongSegmentType {
+        /// The type the store accepts.
+        expected: SegmentType,
+        /// The type that arrived.
+        got: SegmentType,
+    },
+}
+
+impl ServerError {
+    /// Stable reason code, keying the `pathserver.rejected_ops` counter's
+    /// trace annotations.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            ServerError::NotCore { .. } => "not_core",
+            ServerError::WrongSegmentType { .. } => "wrong_segment_type",
+        }
+    }
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::NotCore { op } => {
+                write!(f, "{op} requires a core path server")
+            }
+            ServerError::WrongSegmentType { expected, got } => {
+                write!(f, "expected a {expected:?} segment, got {got:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
 /// Outcome of a lookup against one server.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum LookupResult {
@@ -112,15 +159,40 @@ impl PathServer {
     /// authoritative store stays bounded over arbitrarily long runs.
     ///
     /// # Panics
-    /// Panics on a non-core server or a wrong-type segment.
+    /// Panics on a non-core server or a wrong-type segment; hot paths
+    /// handling untrusted registrations should use
+    /// [`PathServer::try_register_down_segment`].
     pub fn register_down_segment(&mut self, seg: PathSegment, now: SimTime) {
         assert!(self.core, "down-segments register at core path servers");
-        assert_eq!(seg.seg_type, SegmentType::Down);
+        self.try_register_down_segment(seg, now)
+            .expect("core server accepts down-segments");
+    }
+
+    /// Panic-free [`PathServer::register_down_segment`]: rejects the
+    /// registration with a typed [`ServerError`] on a non-core server or
+    /// a wrong-type segment.
+    pub fn try_register_down_segment(
+        &mut self,
+        seg: PathSegment,
+        now: SimTime,
+    ) -> Result<(), ServerError> {
+        if !self.core {
+            return Err(ServerError::NotCore {
+                op: "register_down",
+            });
+        }
+        if seg.seg_type != SegmentType::Down {
+            return Err(ServerError::WrongSegmentType {
+                expected: SegmentType::Down,
+                got: seg.seg_type,
+            });
+        }
         let entry = self.down_segments.entry(seg.terminal()).or_default();
         let before = entry.len();
         entry.retain(|s| !s.is_expired(now));
         self.stats.segments_purged += (before - entry.len()) as u64;
         entry.push(seg);
+        Ok(())
     }
 
     /// Like [`PathServer::register_down_segment`], additionally counting
@@ -157,18 +229,62 @@ impl PathServer {
     /// [`PathServer::register_down_segment`].
     pub fn register_core_segment(&mut self, seg: PathSegment, now: SimTime) {
         assert!(self.core, "core-segments register at core path servers");
-        assert_eq!(seg.seg_type, SegmentType::Core);
+        self.try_register_core_segment(seg, now)
+            .expect("core server accepts core-segments");
+    }
+
+    /// Panic-free [`PathServer::register_core_segment`].
+    pub fn try_register_core_segment(
+        &mut self,
+        seg: PathSegment,
+        now: SimTime,
+    ) -> Result<(), ServerError> {
+        if !self.core {
+            return Err(ServerError::NotCore {
+                op: "register_core",
+            });
+        }
+        if seg.seg_type != SegmentType::Core {
+            return Err(ServerError::WrongSegmentType {
+                expected: SegmentType::Core,
+                got: seg.seg_type,
+            });
+        }
         let entry = self.core_segments.entry(seg.terminal()).or_default();
         let before = entry.len();
         entry.retain(|s| !s.is_expired(now));
         self.stats.segments_purged += (before - entry.len()) as u64;
         entry.push(seg);
+        Ok(())
     }
 
     /// Stores a local up-segment (local servers).
     pub fn store_up_segment(&mut self, seg: PathSegment) {
-        assert_eq!(seg.seg_type, SegmentType::Up);
+        self.try_store_up_segment(seg)
+            .expect("up-segment store accepts up-segments");
+    }
+
+    /// Panic-free [`PathServer::store_up_segment`].
+    pub fn try_store_up_segment(&mut self, seg: PathSegment) -> Result<(), ServerError> {
+        if seg.seg_type != SegmentType::Up {
+            return Err(ServerError::WrongSegmentType {
+                expected: SegmentType::Up,
+                got: seg.seg_type,
+            });
+        }
         self.up_segments.push(seg);
+        Ok(())
+    }
+
+    /// Re-registers a segment into the store its type belongs to — the
+    /// restoration half of TTL'd revocation
+    /// ([`crate::revocation::RevocationTable`]).
+    pub fn reinstate_segment(&mut self, seg: PathSegment, now: SimTime) -> Result<(), ServerError> {
+        match seg.seg_type {
+            SegmentType::Down => self.try_register_down_segment(seg, now),
+            SegmentType::Core => self.try_register_core_segment(seg, now),
+            SegmentType::Up => self.try_store_up_segment(seg),
+        }
     }
 
     /// The local AS's live up-segments.
@@ -198,26 +314,99 @@ impl PathServer {
         removed + before - self.up_segments.len()
     }
 
+    /// [`PathServer::deregister_where`], but returns the removed segments
+    /// instead of discarding them — the revocation table holds them for
+    /// restoration when the revocation's TTL lapses.
+    pub fn deregister_collect(
+        &mut self,
+        mut pred: impl FnMut(&PathSegment) -> bool,
+    ) -> Vec<PathSegment> {
+        let mut removed = Vec::new();
+        for store in [&mut self.down_segments, &mut self.core_segments] {
+            // Visit destinations in address order: callers (the revocation
+            // table, trace emission) depend on a deterministic removal
+            // order, which the hash map's own iteration can't provide.
+            let mut keys: Vec<IsdAsn> = store.keys().copied().collect();
+            keys.sort_unstable();
+            for key in keys {
+                let segs = store.get_mut(&key).expect("key just listed");
+                let mut kept = Vec::with_capacity(segs.len());
+                for seg in segs.drain(..) {
+                    if pred(&seg) {
+                        removed.push(seg);
+                    } else {
+                        kept.push(seg);
+                    }
+                }
+                *segs = kept;
+            }
+            store.retain(|_, v| !v.is_empty());
+        }
+        let mut kept = Vec::with_capacity(self.up_segments.len());
+        for seg in self.up_segments.drain(..) {
+            if pred(&seg) {
+                removed.push(seg);
+            } else {
+                kept.push(seg);
+            }
+        }
+        self.up_segments = kept;
+        removed
+    }
+
     /// Authoritative down-segment lookup at a core server.
+    ///
+    /// # Panics
+    /// Panics on a non-core server; request handlers for untrusted query
+    /// traffic should use [`PathServer::try_lookup_down`].
     pub fn lookup_down(&self, dst: IsdAsn, now: SimTime) -> Vec<PathSegment> {
-        assert!(self.core);
-        self.down_segments
+        self.try_lookup_down(dst, now)
+            .expect("core server answers down-segment lookups")
+    }
+
+    /// Panic-free [`PathServer::lookup_down`].
+    pub fn try_lookup_down(
+        &self,
+        dst: IsdAsn,
+        now: SimTime,
+    ) -> Result<Vec<PathSegment>, ServerError> {
+        if !self.core {
+            return Err(ServerError::NotCore { op: "lookup_down" });
+        }
+        Ok(self
+            .down_segments
             .get(&dst)
             .map(|v| v.iter().filter(|s| !s.is_expired(now)).cloned().collect())
-            .unwrap_or_default()
+            .unwrap_or_default())
     }
 
     /// Authoritative core-segment lookup at a core server: segments whose
     /// far end lies in `dst_isd` (or at the exact AS when known).
+    ///
+    /// # Panics
+    /// Panics on a non-core server; request handlers for untrusted query
+    /// traffic should use [`PathServer::try_lookup_core`].
     pub fn lookup_core(&self, dst_isd: Isd, now: SimTime) -> Vec<PathSegment> {
-        assert!(self.core);
+        self.try_lookup_core(dst_isd, now)
+            .expect("core server answers core-segment lookups")
+    }
+
+    /// Panic-free [`PathServer::lookup_core`].
+    pub fn try_lookup_core(
+        &self,
+        dst_isd: Isd,
+        now: SimTime,
+    ) -> Result<Vec<PathSegment>, ServerError> {
+        if !self.core {
+            return Err(ServerError::NotCore { op: "lookup_core" });
+        }
         let mut out = Vec::new();
         for (remote, segs) in &self.core_segments {
             if remote.isd == dst_isd {
                 out.extend(segs.iter().filter(|s| !s.is_expired(now)).cloned());
             }
         }
-        out
+        Ok(out)
     }
 
     /// Cached lookup at a local server: hit if a live cached answer
@@ -375,6 +564,56 @@ mod tests {
             }
         }
         TrustStore::bootstrap(ases.into_iter(), SimTime::ZERO + Duration::from_days(30))
+    }
+
+    #[test]
+    fn typed_errors_replace_role_and_type_asserts() {
+        let tr = trust();
+        let mut local = PathServer::new(ia(1, 3), false);
+        let down = seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 4), 6);
+        assert_eq!(
+            local.try_register_down_segment(down.clone(), SimTime::ZERO),
+            Err(ServerError::NotCore {
+                op: "register_down"
+            })
+        );
+        assert_eq!(
+            local.try_lookup_down(ia(1, 4), SimTime::ZERO),
+            Err(ServerError::NotCore { op: "lookup_down" })
+        );
+        assert_eq!(
+            local.try_lookup_core(Isd(1), SimTime::ZERO),
+            Err(ServerError::NotCore { op: "lookup_core" })
+        );
+        assert_eq!(
+            local.try_store_up_segment(down.clone()),
+            Err(ServerError::WrongSegmentType {
+                expected: SegmentType::Up,
+                got: SegmentType::Down,
+            })
+        );
+
+        let mut core = PathServer::new(ia(1, 1), true);
+        assert_eq!(
+            core.try_register_core_segment(down.clone(), SimTime::ZERO),
+            Err(ServerError::WrongSegmentType {
+                expected: SegmentType::Core,
+                got: SegmentType::Down,
+            })
+        );
+        // The happy path still lands the segment, and reinstate routes by
+        // type.
+        assert_eq!(
+            core.try_register_down_segment(down.clone(), SimTime::ZERO),
+            Ok(())
+        );
+        assert_eq!(core.deregister_collect(|_| true).len(), 1);
+        assert_eq!(core.reinstate_segment(down, SimTime::ZERO), Ok(()));
+        assert_eq!(core.lookup_down(ia(1, 4), SimTime::ZERO).len(), 1);
+        // Errors render for operators.
+        let e = ServerError::NotCore { op: "lookup_down" };
+        assert_eq!(e.reason(), "not_core");
+        assert!(e.to_string().contains("lookup_down"));
     }
 
     fn seg(

@@ -23,24 +23,37 @@ impl ZipfDestinations {
     /// Builds a sampler over `destinations` with Zipf exponent `s`
     /// (classic web-traffic fits use s ≈ 0.8–1.1). Rank order is the given
     /// order: the first destination is the most popular.
+    ///
+    /// # Panics
+    /// Panics on an empty destination set; workload builders with
+    /// possibly-empty inputs should use [`ZipfDestinations::try_new`].
     pub fn new(destinations: Vec<IsdAsn>, s: f64, seed: u64) -> ZipfDestinations {
-        assert!(!destinations.is_empty());
+        ZipfDestinations::try_new(destinations, s, seed).expect("non-empty destination set")
+    }
+
+    /// Panic-free [`ZipfDestinations::new`]: `None` for an empty
+    /// destination set.
+    pub fn try_new(destinations: Vec<IsdAsn>, s: f64, seed: u64) -> Option<ZipfDestinations> {
+        if destinations.is_empty() {
+            return None;
+        }
         let mut cumulative = Vec::with_capacity(destinations.len());
         let mut acc = 0.0;
         for rank in 1..=destinations.len() {
             acc += 1.0 / (rank as f64).powf(s);
             cumulative.push(acc);
         }
-        ZipfDestinations {
+        Some(ZipfDestinations {
             destinations,
             cumulative,
             rng: ChaCha12Rng::seed_from_u64(seed),
-        }
+        })
     }
 
     /// Draws the next lookup destination.
     pub fn sample(&mut self) -> IsdAsn {
-        let total = *self.cumulative.last().expect("non-empty");
+        // Invariant from construction: `cumulative` is non-empty.
+        let total = *self.cumulative.last().unwrap_or(&1.0);
         let x = self.rng.gen_range(0.0..total);
         let idx = self.cumulative.partition_point(|&c| c <= x);
         self.destinations[idx.min(self.destinations.len() - 1)]

@@ -165,6 +165,34 @@ pub mod ids {
     /// Counter: drops — the hop field names a nonexistent egress
     /// interface.
     pub const FWD_DROP_NO_INTERFACE: &str = "dataplane.drop.no_interface";
+    /// Counter: drops — the packet's source AS is not in the topology.
+    pub const FWD_DROP_UNKNOWN_SOURCE: &str = "dataplane.drop.unknown_source";
+    /// Counter: SCMP revocation signals suppressed by the per-link rate
+    /// limiter (dedup within the holdoff window).
+    pub const FWD_SCMP_SUPPRESSED: &str = "dataplane.scmp_suppressed";
+    /// Counter: dataplane-driven revocation reactions executed at a path
+    /// server (one per admitted SCMP signal, storms deduplicated).
+    pub const PS_REVOCATIONS: &str = "pathserver.revocations";
+    /// Counter: segments pulled from a path server by revocations.
+    pub const PS_SEGMENTS_REVOKED: &str = "pathserver.segments_revoked";
+    /// Counter: revoked segments re-registered after their revocation TTL
+    /// lapsed (expiry-driven path restoration).
+    pub const PS_SEGMENTS_RESTORED: &str = "pathserver.segments_restored";
+    /// Counter: path-server operations rejected with a typed
+    /// `ServerError` instead of panicking (wrong role / wrong segment
+    /// type).
+    pub const PS_REJECTED_OPS: &str = "pathserver.rejected_ops";
+    /// Counter: SCMP notifications processed by endhost daemons.
+    pub const RECOVERY_SCMP_RECEIVED: &str = "recovery.scmp_received";
+    /// Counter: flows switched onto an alternate cached path on SCMP.
+    pub const RECOVERY_FAILOVERS: &str = "recovery.path_failovers";
+    /// Counter: flow paths restored after failure marks expired.
+    pub const RECOVERY_RESTORED: &str = "recovery.paths_restored";
+    /// Counter: path-server re-queries launched when every cached path of
+    /// a flow was dead.
+    pub const RECOVERY_REQUERIES: &str = "recovery.requeries";
+    /// Counter: flow ticks skipped because the daemon had no usable path.
+    pub const RECOVERY_NO_PATH: &str = "recovery.no_path_drops";
 }
 
 /// Configuration of a telemetry handle.

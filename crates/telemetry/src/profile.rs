@@ -46,6 +46,15 @@ pub mod phase {
     pub const FWD_BATCH_SHARD: &str = "dataplane.batch_shard";
     /// Serial merge applying batched forwarding decisions in input order.
     pub const FWD_BATCH_MERGE: &str = "dataplane.batch_merge";
+    /// One flow tick of the recovery experiment: path selection plus the
+    /// hop-major wave drive of every packet sent this tick.
+    pub const RECOVERY_TICK: &str = "recovery.flow_tick";
+    /// Endhost/path-server reaction to one SCMP arrival (failover,
+    /// revocation, retransmit).
+    pub const RECOVERY_SCMP: &str = "recovery.scmp_handling";
+    /// Path-server re-query round trip handling (request, response,
+    /// retry bookkeeping).
+    pub const RECOVERY_REQUERY: &str = "recovery.requery";
 }
 
 /// Bucket bounds (nanoseconds) of the per-phase latency histograms: 1-2.5-5

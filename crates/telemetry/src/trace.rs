@@ -142,6 +142,31 @@ pub enum TraceEvent {
         /// SCMP message kind (e.g. `"external_interface_down"`).
         kind: &'static str,
     },
+    /// An endhost daemon received an SCMP error for one of its flows.
+    ScmpReceived {
+        /// Receiving (source endhost) AS.
+        node: u32,
+        /// The AS that raised the error.
+        origin: IsdAsn,
+        /// The interface the error concerns.
+        interface: u16,
+    },
+    /// An endhost daemon switched a flow onto an alternate cached path
+    /// after an SCMP notification (§4.1 fast failover).
+    PathFailedOver {
+        /// Source endhost AS.
+        node: u32,
+        /// Destination of the failed-over flow.
+        dst: IsdAsn,
+    },
+    /// A previously failed path became usable again (failure marks
+    /// expired or revoked segments were restored after their TTL).
+    PathRestored {
+        /// The AS whose path set recovered (endhost or path server).
+        node: u32,
+        /// Destination whose path was restored.
+        dst: IsdAsn,
+    },
 }
 
 /// A trace record: the event plus its virtual timestamp and run label.

@@ -1,0 +1,69 @@
+//! Recovery-run determinism: same-seed invocations of the three-arm
+//! recovery experiment must export byte-identical `metrics.jsonl`,
+//! `series.jsonl`, and `trace.jsonl` telemetry dumps — across reruns AND
+//! across worker-thread counts (1/2/8), since the dataplane walk runs on
+//! the parallel batch verifier. Only the wall-clock `profile.jsonl` is
+//! exempt.
+//!
+//! This extends the byte-identity guarantee across the whole recovery
+//! plane: the engine-ordered SCMP/revocation/query event interleaving,
+//! the limiter's admission windows, the revocation table's TTL renewals
+//! and restorations, and the resolver's retry wheel.
+
+use std::fs;
+use std::path::PathBuf;
+
+use scion_core::experiments::run_recovery_with;
+use scion_core::prelude::*;
+
+fn dump_one_recovery_run(tag: &str, threads: usize) -> PathBuf {
+    let mut tel = Telemetry::new(TelemetryConfig::default());
+    let r = run_recovery_with(ExperimentScale::Tiny, Some(7), threads, &mut tel);
+    assert_eq!(r.arms.len(), 3);
+    for arm in &r.arms {
+        assert!(arm.packets_sent > 0, "{}: nothing sent", arm.name);
+        assert!(arm.affected_flows > 0, "{}: fault hit nobody", arm.name);
+    }
+
+    let dir = std::env::temp_dir().join(format!(
+        "scion-recovery-determinism-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    tel.export_jsonl(&dir).expect("export telemetry");
+    dir
+}
+
+#[test]
+fn same_seed_recovery_runs_export_identical_dumps() {
+    let a = dump_one_recovery_run("a", 2);
+    let b = dump_one_recovery_run("b", 2);
+    for name in ["metrics.jsonl", "series.jsonl", "trace.jsonl"] {
+        let fa = fs::read(a.join(name)).unwrap();
+        let fb = fs::read(b.join(name)).unwrap();
+        assert_eq!(fa, fb, "{name} differs between same-seed recovery runs");
+    }
+    assert!(!fs::read(a.join("metrics.jsonl")).unwrap().is_empty());
+    // profile.jsonl exists but records real elapsed time, so it is
+    // exempt from byte equality.
+    assert!(a.join("profile.jsonl").exists());
+    fs::remove_dir_all(&a).ok();
+    fs::remove_dir_all(&b).ok();
+}
+
+#[test]
+fn recovery_dumps_are_identical_across_thread_counts() {
+    let one = dump_one_recovery_run("t1", 1);
+    let two = dump_one_recovery_run("t2", 2);
+    let eight = dump_one_recovery_run("t8", 8);
+    for name in ["metrics.jsonl", "series.jsonl", "trace.jsonl"] {
+        let f1 = fs::read(one.join(name)).unwrap();
+        let f2 = fs::read(two.join(name)).unwrap();
+        let f8 = fs::read(eight.join(name)).unwrap();
+        assert_eq!(f1, f2, "{name} differs between 1 and 2 worker threads");
+        assert_eq!(f1, f8, "{name} differs between 1 and 8 worker threads");
+    }
+    for dir in [one, two, eight] {
+        fs::remove_dir_all(&dir).ok();
+    }
+}
