@@ -312,7 +312,7 @@ mod tests {
             &mut tel,
         );
         assert_eq!(r.segments_revoked, segs.len(), "whole min cut gone");
-        assert!(ps.lookup_down(leaf_ia, now).is_empty());
+        assert!(ps.lookup_down(leaf_ia, now).unwrap().is_empty());
     }
 
     #[test]
@@ -325,7 +325,7 @@ mod tests {
         let (segs, _) = segments_for(&topo, leaf_ia, duration, 1);
         let mut ps = PathServer::new(IsdAsn::new(Isd(1), Asn::from_u64(1)), true);
         register_down_segments(&mut ps, &segs);
-        let registered = ps.lookup_down(leaf_ia, SimTime::ZERO).len();
+        let registered = ps.lookup_down(leaf_ia, SimTime::ZERO).unwrap().len();
 
         // A border router at the leaf's first link reports it down.
         let leaf = topo.by_address(leaf_ia).unwrap();
@@ -354,7 +354,7 @@ mod tests {
             &mut tel,
         );
         assert!(r.segments_revoked >= 1);
-        assert!(ps.lookup_down(leaf_ia, t0).len() < registered);
+        assert!(ps.lookup_down(leaf_ia, t0).unwrap().len() < registered);
         assert_eq!(tel.metrics.counter(ids::PS_REVOCATIONS, Label::Global), 1);
         assert_eq!(
             tel.metrics.counter(ids::PS_SEGMENTS_REVOKED, Label::Global),
@@ -370,7 +370,10 @@ mod tests {
         let t_restore = t0 + ttl;
         let restored = restore_lapsed_revocations(&mut ps, &mut table, t_restore, &mut tel);
         assert_eq!(restored, r.segments_revoked);
-        assert_eq!(ps.lookup_down(leaf_ia, t_restore).len(), registered);
+        assert_eq!(
+            ps.lookup_down(leaf_ia, t_restore).unwrap().len(),
+            registered
+        );
         assert_eq!(
             tel.metrics
                 .counter(ids::PS_SEGMENTS_RESTORED, Label::Global),

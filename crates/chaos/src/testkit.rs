@@ -66,7 +66,7 @@ pub fn segments_for(
 /// epoch — testkit segments are freshly minted, so nothing is GC-eligible.
 pub fn register_down_segments(ps: &mut PathServer, segs: &[PathSegment]) {
     for s in segs {
-        ps.register_down_segment(s.clone(), SimTime::ZERO);
+        ps.register_down_segment(s.clone(), SimTime::ZERO).unwrap();
     }
 }
 
@@ -101,6 +101,7 @@ mod tests {
         register_down_segments(&mut ps, &segs);
         assert_eq!(
             ps.lookup_down(leaf_ia, SimTime::ZERO + Duration::from_hours(1))
+                .unwrap()
                 .len(),
             segs.len()
         );

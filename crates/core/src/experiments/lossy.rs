@@ -382,7 +382,9 @@ fn run_degradation_leg(seed: u64, tel: &mut Telemetry) -> DegradationStats {
             return;
         }
         if dedup.accept(hub.as_usize(), id) {
-            hub_ps.register_down_segment(seg.clone(), now);
+            hub_ps
+                .register_down_segment(seg.clone(), now)
+                .expect("hub is a core server");
             stats.registrations_stored += 1;
         }
         if delivered(loss, ack_link) && rel.on_ack(id) {
@@ -491,7 +493,7 @@ fn run_degradation_leg(seed: u64, tel: &mut Telemetry) -> DegradationStats {
         if !delivered(loss, c_link) {
             return;
         }
-        let answer = hub_ps.lookup_down(dst, now);
+        let answer = hub_ps.lookup_down(dst, now).expect("hub is a core server");
         if answer.is_empty() {
             let _ = delivered(loss, access);
             return;

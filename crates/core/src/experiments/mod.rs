@@ -12,6 +12,7 @@
 //! | [`scaling`] | Wall-clock speedup and event throughput of the deterministic parallel beaconing driver vs worker-thread count (ours; §6 scalability) |
 //! | [`forwarding`] | Data-plane packets/sec through a border-router chain, scalar vs batched hop-field verification, with per-hop latency quantiles and drop breakdowns (ours; §4.1 Mechanism 4) |
 //! | [`recovery`] | Failure recovery of live flows — SCMP fast failover over cached multipaths vs path-server re-query vs reconvergence baseline, with per-flow outage CDFs (ours; §4.1 path revocations) |
+//! | [`overload`] | Overload protection of the lookup plane — flash-crowd sweep 0.5×–8× capacity, unprotected vs load-shedding vs shed+brownout+breaker (ours; §4.1 lookup amortization) |
 //!
 //! Every runner takes an [`crate::scale::ExperimentScale`] and returns a
 //! serializable result struct; the harness binaries in `scion-bench` print
@@ -22,6 +23,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod forwarding;
 pub mod lossy;
+pub mod overload;
 pub mod recovery;
 pub mod resilience;
 pub mod scaling;
@@ -39,6 +41,10 @@ pub use forwarding::{
 pub use lossy::{
     run_lossy, run_lossy_sweep, run_lossy_telemetry, run_lossy_with_rates, DegradationStats,
     LossArm, LossPoint, LossyResult, LOSS_RATES,
+};
+pub use overload::{
+    run_overload, run_overload_sweep, run_overload_with, OverloadArm, OverloadParams,
+    OverloadPoint, OverloadResult, LOAD_PERMILLE,
 };
 pub use recovery::{
     run_recovery, run_recovery_in, run_recovery_with, OutageCdf, RecoveryArm, RecoveryResult,

@@ -526,7 +526,8 @@ impl<'a> Sim<'a> {
         for flow in flows {
             for path in &flow.paths {
                 if seen.insert(path.links()) {
-                    ps.register_down_segment(segment_for_path(path, trust), SimTime::ZERO);
+                    ps.register_down_segment(segment_for_path(path, trust), SimTime::ZERO)
+                        .expect("recovery path server is core");
                 }
             }
         }
@@ -1027,6 +1028,7 @@ impl<'a> Sim<'a> {
     fn live_paths_for(&self, src: IsdAsn, dst: IsdAsn, now: SimTime) -> Vec<EndToEndPath> {
         self.ps
             .lookup_down(dst, now)
+            .expect("recovery path server is core")
             .into_iter()
             .filter(|seg| seg.hops_forward().first().map(|h| h.0) == Some(src))
             .map(|seg| EndToEndPath {

@@ -308,7 +308,8 @@ fn run_revocation_leg(
             ps.register_down_segment(
                 PathSegment::from_terminated_pcb(SegmentType::Down, pcb),
                 now,
-            );
+            )
+            .expect("resilience path server is core");
         }
     }
 

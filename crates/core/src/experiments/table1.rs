@@ -198,7 +198,9 @@ pub fn run_table1_in(world: &World, threads: Option<usize>, tel: &mut Telemetry)
         for &leaf in &leaves {
             let seg = synth_down_segment(&trust, core_ia, leaf, at);
             let bytes = wire::registration_size(seg.hop_count(), 0) * 5;
-            core_ps.register_down_segment_telemetry(seg, at, tel);
+            core_ps
+                .register_down_segment_telemetry(seg, at, tel)
+                .expect("core server accepts leaf registrations");
             ledger.record(Component::PathRegistration, Scope::IntraIsd, bytes);
         }
     }
@@ -206,7 +208,8 @@ pub fn run_table1_in(world: &World, threads: Option<usize>, tel: &mut Telemetry)
     // Lookups: Zipf-popular destinations, one local server with a cache
     // standing in for a typical leaf AS's path server.
     let mut local_ps = PathServer::new(leaves[0], false);
-    let mut zipf = ZipfDestinations::new(leaves.clone(), 0.9, params.seed);
+    let mut zipf = ZipfDestinations::try_new(leaves.clone(), 0.9, params.seed)
+        .expect("scale params guarantee at least one leaf");
     let lookup_interval = Duration::from_secs(5);
     let lookups = duration.as_micros() / lookup_interval.as_micros();
     for i in 0..lookups {
@@ -232,7 +235,7 @@ pub fn run_table1_in(world: &World, threads: Option<usize>, tel: &mut Telemetry)
                 ledger.record_event(Component::CoreSegmentLookup, at);
                 // …then core PS → origin ISD's core PS: down-segment
                 // lookup (global).
-                let segs = core_ps.lookup_down(dst, at);
+                let segs = core_ps.lookup_down(dst, at).expect("core server");
                 let resp_bytes: u64 = segs
                     .iter()
                     .map(|s| wire::registration_size(s.hop_count(), 0))

@@ -176,6 +176,29 @@ mod tests {
     }
 
     #[test]
+    fn holdoff_expires_at_the_exact_tick_boundary() {
+        // Satellite edge case: `admit` suppresses strictly *inside* the
+        // window (`since(t) < holdoff`), so the first tick at exactly
+        // t0 + holdoff is admitted again — no off-by-one in either
+        // direction.
+        let at = IsdAsn::new(Isd(1), Asn::from_u64(5));
+        let near = LinkEnd::new(at, IfId(3));
+        let holdoff = Duration::from_millis(200);
+        let mut lim = ScmpLimiter::new(holdoff);
+        let t0 = SimTime::ZERO + Duration::from_secs(1);
+        assert!(lim.admit(near, t0));
+        // One microsecond before the boundary: still suppressed.
+        assert!(!lim.admit(near, t0 + (holdoff - Duration::from_micros(1))));
+        // Exactly at the boundary: admitted, and the window re-arms from
+        // this instant, not from t0.
+        let t1 = t0 + holdoff;
+        assert!(lim.admit(near, t1));
+        assert!(!lim.admit(near, t1 + (holdoff - Duration::from_micros(1))));
+        assert!(lim.admit(near, t1 + holdoff));
+        assert_eq!((lim.admitted(), lim.suppressed()), (3, 2));
+    }
+
+    #[test]
     fn limiter_tracks_links_independently() {
         let at = IsdAsn::new(Isd(1), Asn::from_u64(5));
         let mut lim = ScmpLimiter::new(Duration::from_millis(100));

@@ -13,12 +13,19 @@ use scion_types::{Duration, SimTime};
 /// The SCION control-plane components of Table 1.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Component {
+    /// Core-AS PCB origination and propagation.
     CoreBeaconing,
+    /// Intra-ISD PCB propagation toward leaf ASes.
     IntraIsdBeaconing,
+    /// Down-segment lookup at a core path server.
     DownSegmentLookup,
+    /// Core-segment lookup between core path servers.
     CoreSegmentLookup,
+    /// Endpoint path lookup at the local path server.
     EndpointPathLookup,
+    /// Segment (de-)registration by leaf ASes.
     PathRegistration,
+    /// Path revocation after a link failure.
     PathRevocation,
 }
 
@@ -60,6 +67,7 @@ pub enum Scope {
 }
 
 impl Scope {
+    /// Column label matching the paper's wording.
     pub fn label(self) -> &'static str {
         match self {
             Scope::IntraAs => "AS",
@@ -72,8 +80,11 @@ impl Scope {
 /// Frequency classes of Table 1, derived from the measured median period.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FrequencyClass {
+    /// Median inter-event period of an hour or more.
     Hours,
+    /// Median inter-event period between a minute and an hour.
     Minutes,
+    /// Median inter-event period under a minute.
     Seconds,
 }
 
@@ -89,6 +100,7 @@ impl FrequencyClass {
         }
     }
 
+    /// Column label matching the paper's wording.
     pub fn label(self) -> &'static str {
         match self {
             FrequencyClass::Hours => "Hours",
@@ -117,15 +129,21 @@ pub struct Ledger {
 /// A printable Table 1 row.
 #[derive(Clone, Debug)]
 pub struct TableRow {
+    /// The component this row accounts for.
     pub component: Component,
     /// The widest scope this component's messages reached.
     pub scope: Option<Scope>,
+    /// Frequency class of the median inter-event period, if any events
+    /// were recorded.
     pub frequency: Option<FrequencyClass>,
+    /// Total messages recorded.
     pub messages: u64,
+    /// Total bytes recorded.
     pub bytes: u64,
 }
 
 impl Ledger {
+    /// An empty ledger.
     pub fn new() -> Ledger {
         Ledger::default()
     }

@@ -22,15 +22,27 @@
 //! * [`resolver`] — lookup timeout and bounded retry with graceful
 //!   degradation: exhausted lookups serve recently-expired cached
 //!   segments flagged degraded, and negative-cache the destination to
-//!   stop retry storms.
+//!   stop retry storms;
+//! * [`overload`] — overload protection for the lookup plane:
+//!   per-client token buckets, a bounded priority-aware admission queue
+//!   with deterministic shedding, brownout stale-serving, and a circuit
+//!   breaker on upstream core-server lookups.
+
+#![warn(missing_docs)]
 
 pub mod ledger;
+pub mod overload;
 pub mod resolver;
 pub mod revocation;
 pub mod server;
 pub mod workload;
 
 pub use ledger::{Component, Ledger, Scope};
+pub use overload::{
+    Admission, AdmissionQueue, BreakerDecision, BrownoutController, BrownoutTransition,
+    CircuitBreaker, ClientAdmission, OverloadConfig, OverloadControl, OverloadStats, QueueOutcome,
+    RequestClass, ShedReason, Ticket, TokenBucket, MILLITOKENS_PER_REQUEST,
+};
 pub use resolver::{Resolution, Resolver, ResolverConfig, ResolverStats, RetryAction};
 pub use revocation::{revoke_segments, Revocation, RevocationTable};
 pub use server::{CacheStats, LookupResult, PathServer, ServerError};

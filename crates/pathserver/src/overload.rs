@@ -1,0 +1,1075 @@
+//! Overload protection and graceful degradation for the path-lookup
+//! plane.
+//!
+//! The paper's deployment story has path servers absorbing lookup load
+//! from an Internet's worth of endhosts (§2.2, §4.1); "SCION Five Years
+//! Later" calls out control-plane isolation under load as a core
+//! requirement. This module is the admission side of that requirement,
+//! four composable mechanisms in front of a [`crate::PathServer`]:
+//!
+//! 1. **Per-client token buckets** ([`TokenBucket`], [`ClientAdmission`])
+//!    — a flash crowd of lookups from one client cannot starve the rest;
+//!    generalizes the `ScmpLimiter` holdoff pattern from the dataplane to
+//!    a refillable rate.
+//! 2. **A bounded, priority-aware admission queue** ([`AdmissionQueue`])
+//!    — registrations and revocations outrank lookups, cache-hit lookups
+//!    outrank cache-miss fan-out; when the queue is full the
+//!    lowest-priority, youngest work is shed *deterministically*.
+//! 3. **Brownout mode** ([`BrownoutController`]) — when utilization
+//!    crosses a threshold, cache-miss lookups are answered from
+//!    stale-but-valid cache (the [`crate::Resolution::Degraded`]
+//!    machinery) instead of fanning out upstream; hysteresis keeps the
+//!    mode from flapping.
+//! 4. **A circuit breaker on upstream lookups** ([`CircuitBreaker`]) —
+//!    consecutive upstream failures trip the breaker open; while open,
+//!    misses short-circuit to degraded serving, and after a cooldown a
+//!    single half-open probe tests whether the upstream recovered.
+//!
+//! All state lives in ordered maps and integer arithmetic, so for a given
+//! request sequence every admit/shed/brownout/breaker decision replays
+//! byte-identically — the property `tests/overload_determinism.rs` gates.
+
+use std::collections::BTreeMap;
+
+use scion_types::{Duration, IsdAsn, SimTime};
+use serde::Serialize;
+
+/// Millitokens per request: buckets refill in 1/1000ths of a request so
+/// sub-1-rps client rates stay exact in integer arithmetic.
+pub const MILLITOKENS_PER_REQUEST: u64 = 1_000;
+
+/// The work classes the admission queue distinguishes, highest priority
+/// first. Revocations carry failure signal (losing one keeps serving dead
+/// paths), registrations keep the authoritative store fresh, and of the
+/// lookups the cache hits are an order of magnitude cheaper than the
+/// upstream fan-out a miss triggers — so under pressure the misses go
+/// first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum RequestClass {
+    /// Segment revocation after a link failure.
+    Revocation,
+    /// Segment (re-)registration from a leaf AS.
+    Registration,
+    /// Lookup answerable from the local cache.
+    LookupHit,
+    /// Lookup requiring an upstream core-server fan-out.
+    LookupMiss,
+}
+
+impl RequestClass {
+    /// Shed priority: lower sheds last.
+    pub fn priority(self) -> u8 {
+        match self {
+            RequestClass::Revocation => 0,
+            RequestClass::Registration => 1,
+            RequestClass::LookupHit => 2,
+            RequestClass::LookupMiss => 3,
+        }
+    }
+
+    /// Stable wire name, keying trace annotations.
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestClass::Revocation => "revocation",
+            RequestClass::Registration => "registration",
+            RequestClass::LookupHit => "lookup_hit",
+            RequestClass::LookupMiss => "lookup_miss",
+        }
+    }
+
+    /// True for the two lookup classes (the ones subject to per-client
+    /// rate limiting; infrastructure traffic bypasses the buckets).
+    pub fn is_lookup(self) -> bool {
+        matches!(self, RequestClass::LookupHit | RequestClass::LookupMiss)
+    }
+
+    /// All classes, priority order.
+    pub const ALL: [RequestClass; 4] = [
+        RequestClass::Revocation,
+        RequestClass::Registration,
+        RequestClass::LookupHit,
+        RequestClass::LookupMiss,
+    ];
+}
+
+/// A deterministic token bucket over virtual time.
+///
+/// Integer millitoken arithmetic: refill is `rate × elapsed_µs / 10⁶`,
+/// truncated, accumulated from the last refill instant — two buckets fed
+/// the same request sequence make identical decisions on any host.
+#[derive(Clone, Debug)]
+pub struct TokenBucket {
+    /// Burst ceiling, millitokens. A zero-capacity bucket admits nothing.
+    capacity_mt: u64,
+    /// Currently available millitokens.
+    available_mt: u64,
+    /// Refill rate, millitokens per virtual second.
+    rate_mt_per_sec: u64,
+    /// Instant of the last refill accrual.
+    last_refill: SimTime,
+    /// Sub-millitoken refill progress, in millitoken-microseconds
+    /// (1 000 000 = one millitoken): exact integer accrual, no float and
+    /// no truncation loss.
+    acc_mt_us: u64,
+}
+
+impl TokenBucket {
+    /// A bucket refilling at `rate_mt_per_sec` millitokens per second with
+    /// burst capacity `capacity_mt`, starting full at `now`.
+    pub fn new(rate_mt_per_sec: u64, capacity_mt: u64, now: SimTime) -> TokenBucket {
+        TokenBucket {
+            capacity_mt,
+            available_mt: capacity_mt,
+            rate_mt_per_sec,
+            last_refill: now,
+            acc_mt_us: 0,
+        }
+    }
+
+    /// Accrues refill up to `now`. Saturates at capacity; a zero-capacity
+    /// bucket stays empty no matter how long it refills.
+    pub fn refill(&mut self, now: SimTime) {
+        if now <= self.last_refill {
+            return;
+        }
+        let elapsed_us = now.since(self.last_refill).as_micros();
+        self.last_refill = now;
+        self.acc_mt_us = self
+            .acc_mt_us
+            .saturating_add(self.rate_mt_per_sec.saturating_mul(elapsed_us));
+        let earned = self.acc_mt_us / 1_000_000;
+        if earned > 0 {
+            self.acc_mt_us -= earned * 1_000_000;
+            self.available_mt = self
+                .available_mt
+                .saturating_add(earned)
+                .min(self.capacity_mt);
+        }
+        if self.available_mt == self.capacity_mt {
+            // A full bucket banks nothing: refill while saturated must not
+            // accumulate a hidden surplus beyond the burst ceiling.
+            self.acc_mt_us = 0;
+        }
+    }
+
+    /// Takes `cost_mt` millitokens if available after refilling to `now`.
+    pub fn try_take(&mut self, now: SimTime, cost_mt: u64) -> bool {
+        self.refill(now);
+        if self.available_mt >= cost_mt {
+            self.available_mt -= cost_mt;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Millitokens currently available (without accruing refill).
+    pub fn available_mt(&self) -> u64 {
+        self.available_mt
+    }
+}
+
+/// Per-client token-bucket admission over one server's lookup traffic.
+///
+/// Buckets are created lazily per client AS and keyed in a `BTreeMap`, so
+/// admission decisions replay deterministically for a deterministic
+/// request order.
+#[derive(Clone, Debug)]
+pub struct ClientAdmission {
+    rate_mt_per_sec: u64,
+    burst_mt: u64,
+    buckets: BTreeMap<IsdAsn, TokenBucket>,
+    admitted: u64,
+    limited: u64,
+}
+
+impl ClientAdmission {
+    /// An admission table whose per-client buckets refill at
+    /// `rate_mt_per_sec` with burst `burst_mt`.
+    pub fn new(rate_mt_per_sec: u64, burst_mt: u64) -> ClientAdmission {
+        ClientAdmission {
+            rate_mt_per_sec,
+            burst_mt,
+            buckets: BTreeMap::new(),
+            admitted: 0,
+            limited: 0,
+        }
+    }
+
+    /// Charges one request to `client`'s bucket at `now`. A new client's
+    /// bucket starts full.
+    pub fn admit(&mut self, client: IsdAsn, now: SimTime) -> bool {
+        let bucket = self
+            .buckets
+            .entry(client)
+            .or_insert_with(|| TokenBucket::new(self.rate_mt_per_sec, self.burst_mt, now));
+        if bucket.try_take(now, MILLITOKENS_PER_REQUEST) {
+            self.admitted += 1;
+            true
+        } else {
+            self.limited += 1;
+            false
+        }
+    }
+
+    /// Requests admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Requests rate-limited so far.
+    pub fn limited(&self) -> u64 {
+        self.limited
+    }
+
+    /// Number of client buckets in the table.
+    pub fn clients(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+/// One admitted request waiting in the queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ticket {
+    /// Caller-assigned request id (the driver maps it back to its own
+    /// request record).
+    pub id: u64,
+    /// The client AS that issued the request.
+    pub client: IsdAsn,
+    /// Work class, deciding shed priority.
+    pub class: RequestClass,
+    /// Arrival instant (for time-in-queue accounting).
+    pub arrived: SimTime,
+}
+
+/// Outcome of offering a request to the bounded queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueOutcome {
+    /// The request was enqueued; the queue had room.
+    Enqueued,
+    /// The request was enqueued by shedding a lower-priority victim.
+    EnqueuedEvicting(Ticket),
+    /// The queue was full of equal-or-higher-priority work; the request
+    /// itself was shed.
+    Rejected,
+}
+
+/// A bounded admission queue with deterministic priority-aware shedding.
+///
+/// Orders work by `(priority, arrival, seq)`: higher-priority classes
+/// drain first, FIFO within a class, and the monotonic `seq` breaks ties
+/// between identical timestamps so the shed order is stable. When full,
+/// an incoming request either evicts the worst queued entry (strictly
+/// lower priority, or same priority but younger) or is itself rejected.
+#[derive(Clone, Debug)]
+pub struct AdmissionQueue {
+    capacity: usize,
+    queue: BTreeMap<(u8, u64, u64), Ticket>,
+    next_seq: u64,
+    shed: u64,
+    peak_depth: usize,
+}
+
+impl AdmissionQueue {
+    /// A queue holding at most `capacity` requests (`capacity` 0 sheds
+    /// everything).
+    pub fn new(capacity: usize) -> AdmissionQueue {
+        AdmissionQueue {
+            capacity,
+            queue: BTreeMap::new(),
+            next_seq: 0,
+            shed: 0,
+            peak_depth: 0,
+        }
+    }
+
+    /// Offers `ticket`; on overflow the lowest-priority youngest entry
+    /// (incoming included) is shed.
+    pub fn offer(&mut self, ticket: Ticket) -> QueueOutcome {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let key = (ticket.class.priority(), ticket.arrived.as_micros(), seq);
+        if self.queue.len() < self.capacity {
+            self.queue.insert(key, ticket);
+            self.peak_depth = self.peak_depth.max(self.queue.len());
+            return QueueOutcome::Enqueued;
+        }
+        let Some(&worst_key) = self.queue.keys().next_back() else {
+            // Zero capacity: everything is shed on arrival.
+            self.shed += 1;
+            return QueueOutcome::Rejected;
+        };
+        if key < worst_key {
+            let victim = self
+                .queue
+                .remove(&worst_key)
+                .unwrap_or_else(|| unreachable!("worst key just listed"));
+            self.queue.insert(key, ticket);
+            self.shed += 1;
+            QueueOutcome::EnqueuedEvicting(victim)
+        } else {
+            self.shed += 1;
+            QueueOutcome::Rejected
+        }
+    }
+
+    /// Pops the highest-priority oldest request.
+    pub fn pop(&mut self) -> Option<Ticket> {
+        let (&key, _) = self.queue.iter().next()?;
+        self.queue.remove(&key)
+    }
+
+    /// Requests currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Queue occupancy in permille of capacity (1000 = full).
+    pub fn occupancy_permille(&self) -> u32 {
+        if self.capacity == 0 {
+            return 1000;
+        }
+        ((self.queue.len() * 1000) / self.capacity) as u32
+    }
+
+    /// Requests shed at this queue so far (rejected or evicted).
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth
+    }
+}
+
+/// A brownout transition reported by [`BrownoutController::observe`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BrownoutTransition {
+    /// Utilization crossed the enter threshold: start serving stale.
+    Entered,
+    /// Utilization fell below the exit threshold: resume fresh fan-out.
+    Exited,
+}
+
+/// Hysteretic brownout mode: above `enter_permille` utilization the
+/// server answers cache-miss lookups from stale-but-valid cache instead
+/// of querying upstream; it only leaves brownout once utilization drops
+/// below the (lower) `exit_permille`, so the mode cannot flap on a
+/// boundary load.
+#[derive(Clone, Debug)]
+pub struct BrownoutController {
+    enter_permille: u32,
+    exit_permille: u32,
+    active: bool,
+    entries: u64,
+    exits: u64,
+}
+
+impl BrownoutController {
+    /// A controller entering brownout at `enter_permille` utilization and
+    /// exiting below `exit_permille` (enter must exceed exit for the
+    /// hysteresis to bite; equal thresholds degenerate to a plain
+    /// comparator).
+    pub fn new(enter_permille: u32, exit_permille: u32) -> BrownoutController {
+        BrownoutController {
+            enter_permille,
+            exit_permille: exit_permille.min(enter_permille),
+            active: false,
+            entries: 0,
+            exits: 0,
+        }
+    }
+
+    /// Feeds one utilization observation (permille); returns the
+    /// transition it caused, if any.
+    pub fn observe(&mut self, utilization_permille: u32) -> Option<BrownoutTransition> {
+        if !self.active && utilization_permille >= self.enter_permille {
+            self.active = true;
+            self.entries += 1;
+            Some(BrownoutTransition::Entered)
+        } else if self.active && utilization_permille < self.exit_permille {
+            self.active = false;
+            self.exits += 1;
+            Some(BrownoutTransition::Exited)
+        } else {
+            None
+        }
+    }
+
+    /// True while the server is in brownout.
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Times brownout was entered.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Times brownout was exited.
+    pub fn exits(&self) -> u64 {
+        self.exits
+    }
+}
+
+/// What the breaker tells the caller to do with an upstream-bound lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Closed: forward upstream normally.
+    Forward,
+    /// Half-open: forward exactly this request as the recovery probe.
+    Probe,
+    /// Open (or half-open with a probe already out): do not touch the
+    /// upstream; serve degraded locally.
+    ShortCircuit,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    Open {
+        until: SimTime,
+    },
+    /// Half-open with the single allowed probe already dispatched.
+    Probing,
+}
+
+/// A circuit breaker over upstream core-server lookups.
+///
+/// `failure_threshold` consecutive upstream failures trip it open; while
+/// open every upstream-bound lookup short-circuits to degraded local
+/// serving. After `cooldown` the next lookup goes out as a half-open
+/// probe: success closes the breaker, failure re-opens it for another
+/// cooldown.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    failure_threshold: u32,
+    cooldown: Duration,
+    consecutive_failures: u32,
+    state: BreakerState,
+    trips: u64,
+    probes: u64,
+    short_circuits: u64,
+}
+
+impl CircuitBreaker {
+    /// A breaker tripping after `failure_threshold` consecutive failures,
+    /// probing again after `cooldown`. A threshold of 0 is clamped to 1
+    /// (a breaker that trips on nothing protects nothing).
+    pub fn new(failure_threshold: u32, cooldown: Duration) -> CircuitBreaker {
+        CircuitBreaker {
+            failure_threshold: failure_threshold.max(1),
+            cooldown,
+            consecutive_failures: 0,
+            state: BreakerState::Closed,
+            trips: 0,
+            probes: 0,
+            short_circuits: 0,
+        }
+    }
+
+    /// Decides the fate of one upstream-bound lookup at `now`.
+    pub fn decide(&mut self, now: SimTime) -> BreakerDecision {
+        match self.state {
+            BreakerState::Closed => BreakerDecision::Forward,
+            BreakerState::Open { until } if now >= until => {
+                self.state = BreakerState::Probing;
+                self.probes += 1;
+                BreakerDecision::Probe
+            }
+            BreakerState::Open { .. } | BreakerState::Probing => {
+                self.short_circuits += 1;
+                BreakerDecision::ShortCircuit
+            }
+        }
+    }
+
+    /// Reports an upstream success (response arrived in time): closes the
+    /// breaker and clears the failure streak.
+    pub fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Reports an upstream failure at `now`. Returns `true` when this
+    /// failure tripped the breaker open (callers emit the
+    /// `BreakerTripped` trace on exactly these).
+    pub fn on_failure(&mut self, now: SimTime) -> bool {
+        match self.state {
+            BreakerState::Probing => {
+                // The recovery probe failed: straight back to open.
+                self.state = BreakerState::Open {
+                    until: now + self.cooldown,
+                };
+                self.trips += 1;
+                true
+            }
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.failure_threshold {
+                    self.state = BreakerState::Open {
+                        until: now + self.cooldown,
+                    };
+                    self.trips += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::Open { .. } => false,
+        }
+    }
+
+    /// True while the breaker is not closed.
+    pub fn is_open(&self) -> bool {
+        !matches!(self.state, BreakerState::Closed)
+    }
+
+    /// Times the breaker tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Half-open probes dispatched.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Upstream lookups short-circuited while open.
+    pub fn short_circuits(&self) -> u64 {
+        self.short_circuits
+    }
+}
+
+/// Tuning of the bundled overload control.
+#[derive(Clone, Copy, Debug)]
+pub struct OverloadConfig {
+    /// Bound of the admission queue.
+    pub queue_capacity: usize,
+    /// Per-client token-bucket refill, millitokens per second
+    /// ([`MILLITOKENS_PER_REQUEST`] per request).
+    pub client_rate_mt_per_sec: u64,
+    /// Per-client burst capacity, millitokens.
+    pub client_burst_mt: u64,
+    /// Queue occupancy (permille) at which brownout engages.
+    pub brownout_enter_permille: u32,
+    /// Queue occupancy (permille) below which brownout releases.
+    pub brownout_exit_permille: u32,
+    /// Consecutive upstream failures tripping the circuit breaker.
+    pub breaker_failure_threshold: u32,
+    /// Breaker cooldown before a half-open probe.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        // Queue bound ≈ 250 ms of work at the reference 1 000 rps service
+        // rate, so worst-case time-in-queue stays far inside a 1 s client
+        // deadline. Brownout engages at 85% occupancy and needs a drain
+        // to 55% to release; the breaker mirrors the resolver's bounded
+        // patience (5 strikes, 2 s cooldown).
+        OverloadConfig {
+            queue_capacity: 256,
+            client_rate_mt_per_sec: 50 * MILLITOKENS_PER_REQUEST,
+            client_burst_mt: 25 * MILLITOKENS_PER_REQUEST,
+            brownout_enter_permille: 850,
+            brownout_exit_permille: 550,
+            breaker_failure_threshold: 5,
+            breaker_cooldown: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Why a request was shed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum ShedReason {
+    /// The client's token bucket was empty.
+    RateLimited,
+    /// The queue was full of equal-or-higher-priority work.
+    QueueFull,
+    /// The request was queued but later evicted by higher-priority work.
+    Evicted,
+}
+
+impl ShedReason {
+    /// Stable reason code for counters and traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::RateLimited => "rate_limited",
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::Evicted => "evicted",
+        }
+    }
+}
+
+/// Outcome of offering one request to [`OverloadControl::offer`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Admitted and queued.
+    Enqueued,
+    /// Admitted by evicting a lower-priority victim; the victim's ticket
+    /// is returned so the driver can send its client the busy signal.
+    EnqueuedEvicting(Ticket),
+    /// Shed on arrival for the given reason.
+    Shed(ShedReason),
+}
+
+/// Lifetime counters of one server's overload control.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct OverloadStats {
+    /// Requests admitted to the queue.
+    pub admitted: u64,
+    /// Requests shed because the client's token bucket was empty.
+    pub shed_rate_limited: u64,
+    /// Requests shed because the queue was full.
+    pub shed_queue_full: u64,
+    /// Queued requests evicted by higher-priority arrivals.
+    pub shed_evicted: u64,
+    /// Times brownout mode was entered.
+    pub brownout_entries: u64,
+    /// Times brownout mode was exited.
+    pub brownout_exits: u64,
+    /// Cache-miss lookups answered stale because of brownout or an open
+    /// breaker.
+    pub stale_served: u64,
+    /// Circuit-breaker trips.
+    pub breaker_trips: u64,
+    /// Half-open probes dispatched.
+    pub breaker_probes: u64,
+    /// Upstream lookups short-circuited while the breaker was open.
+    pub breaker_short_circuits: u64,
+}
+
+impl OverloadStats {
+    /// Total requests shed, all reasons.
+    pub fn total_shed(&self) -> u64 {
+        self.shed_rate_limited + self.shed_queue_full + self.shed_evicted
+    }
+}
+
+/// The bundled overload-control state a [`crate::PathServer`] carries:
+/// per-client buckets in front of a bounded priority queue, plus the
+/// brownout controller and upstream circuit breaker.
+#[derive(Clone, Debug)]
+pub struct OverloadControl {
+    cfg: OverloadConfig,
+    clients: ClientAdmission,
+    queue: AdmissionQueue,
+    brownout: BrownoutController,
+    breaker: CircuitBreaker,
+    stats: OverloadStats,
+}
+
+impl OverloadControl {
+    /// Fresh overload control under `cfg`.
+    pub fn new(cfg: OverloadConfig) -> OverloadControl {
+        OverloadControl {
+            cfg,
+            clients: ClientAdmission::new(cfg.client_rate_mt_per_sec, cfg.client_burst_mt),
+            queue: AdmissionQueue::new(cfg.queue_capacity),
+            brownout: BrownoutController::new(
+                cfg.brownout_enter_permille,
+                cfg.brownout_exit_permille,
+            ),
+            breaker: CircuitBreaker::new(cfg.breaker_failure_threshold, cfg.breaker_cooldown),
+            stats: OverloadStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &OverloadConfig {
+        &self.cfg
+    }
+
+    /// Offers one request: token-bucket admission (lookups only), then the
+    /// bounded priority queue.
+    pub fn offer(
+        &mut self,
+        client: IsdAsn,
+        class: RequestClass,
+        id: u64,
+        now: SimTime,
+    ) -> Admission {
+        if class.is_lookup() && !self.clients.admit(client, now) {
+            self.stats.shed_rate_limited += 1;
+            return Admission::Shed(ShedReason::RateLimited);
+        }
+        let ticket = Ticket {
+            id,
+            client,
+            class,
+            arrived: now,
+        };
+        match self.queue.offer(ticket) {
+            QueueOutcome::Enqueued => {
+                self.stats.admitted += 1;
+                Admission::Enqueued
+            }
+            QueueOutcome::EnqueuedEvicting(victim) => {
+                self.stats.admitted += 1;
+                self.stats.shed_evicted += 1;
+                Admission::EnqueuedEvicting(victim)
+            }
+            QueueOutcome::Rejected => {
+                self.stats.shed_queue_full += 1;
+                Admission::Shed(ShedReason::QueueFull)
+            }
+        }
+    }
+
+    /// Pops the next request to serve (highest priority, oldest first).
+    pub fn next_request(&mut self) -> Option<Ticket> {
+        self.queue.pop()
+    }
+
+    /// Feeds the brownout controller the current queue occupancy;
+    /// returns the transition it caused, if any.
+    pub fn update_brownout(&mut self) -> Option<BrownoutTransition> {
+        let t = self.brownout.observe(self.queue.occupancy_permille());
+        match t {
+            Some(BrownoutTransition::Entered) => self.stats.brownout_entries += 1,
+            Some(BrownoutTransition::Exited) => self.stats.brownout_exits += 1,
+            None => {}
+        }
+        t
+    }
+
+    /// True while brownout is in force (serve stale instead of fanning
+    /// out).
+    pub fn brownout_active(&self) -> bool {
+        self.brownout.active()
+    }
+
+    /// Asks the breaker what to do with one upstream-bound lookup,
+    /// folding the decision into the stats.
+    pub fn breaker_decide(&mut self, now: SimTime) -> BreakerDecision {
+        let d = self.breaker.decide(now);
+        match d {
+            BreakerDecision::Probe => self.stats.breaker_probes += 1,
+            BreakerDecision::ShortCircuit => self.stats.breaker_short_circuits += 1,
+            BreakerDecision::Forward => {}
+        }
+        d
+    }
+
+    /// Reports an upstream success to the breaker.
+    pub fn breaker_success(&mut self) {
+        self.breaker.on_success();
+    }
+
+    /// Reports an upstream failure; `true` when the breaker tripped.
+    pub fn breaker_failure(&mut self, now: SimTime) -> bool {
+        let tripped = self.breaker.on_failure(now);
+        if tripped {
+            self.stats.breaker_trips += 1;
+        }
+        tripped
+    }
+
+    /// Counts one stale (degraded) answer served under brownout or an
+    /// open breaker.
+    pub fn note_stale_served(&mut self) {
+        self.stats.stale_served += 1;
+    }
+
+    /// Requests currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The admission queue (for occupancy and shed accounting).
+    pub fn queue(&self) -> &AdmissionQueue {
+        &self.queue
+    }
+
+    /// The per-client admission table.
+    pub fn clients(&self) -> &ClientAdmission {
+        &self.clients
+    }
+
+    /// The upstream circuit breaker.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> OverloadStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scion_types::{Asn, Isd};
+
+    fn ia(n: u64) -> IsdAsn {
+        IsdAsn::new(Isd(1), Asn::from_u64(n))
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn token_bucket_at_zero_capacity_never_admits() {
+        // Satellite edge case: refill at zero capacity must stay empty.
+        let mut b = TokenBucket::new(1_000_000, 0, t(0));
+        assert!(!b.try_take(t(0), 1));
+        b.refill(t(3_600_000_000));
+        assert_eq!(b.available_mt(), 0);
+        assert!(!b.try_take(t(3_600_000_000), 1));
+    }
+
+    #[test]
+    fn token_bucket_burst_then_drain_boundaries() {
+        // Satellite edge case: exact boundaries of a burst-then-drain.
+        // 10 rps refill, 5-token burst.
+        let rate = 10 * MILLITOKENS_PER_REQUEST;
+        let burst = 5 * MILLITOKENS_PER_REQUEST;
+        let mut b = TokenBucket::new(rate, burst, t(0));
+        for _ in 0..5 {
+            assert!(b.try_take(t(0), MILLITOKENS_PER_REQUEST));
+        }
+        // Bucket drained: the 6th take at the same instant fails.
+        assert!(!b.try_take(t(0), MILLITOKENS_PER_REQUEST));
+        // One token refills in exactly 100 ms. 1 µs early: still short.
+        assert!(!b.try_take(t(99_999), MILLITOKENS_PER_REQUEST));
+        // At the exact boundary the token is whole again.
+        assert!(b.try_take(t(100_000), MILLITOKENS_PER_REQUEST));
+        // Refill saturates at the burst ceiling: after an hour idle only
+        // 5 tokens are available, not 36 000.
+        let later = t(3_600_000_000);
+        b.refill(later);
+        assert_eq!(b.available_mt(), burst);
+    }
+
+    #[test]
+    fn token_bucket_truncation_does_not_lose_subtoken_progress() {
+        // 1 rps: refilling in 400 ms steps must still earn a token by
+        // 1 s, even though each step truncates to sub-token progress.
+        let mut b = TokenBucket::new(MILLITOKENS_PER_REQUEST, MILLITOKENS_PER_REQUEST, t(0));
+        assert!(b.try_take(t(0), MILLITOKENS_PER_REQUEST));
+        b.refill(t(400));
+        b.refill(t(800));
+        b.refill(t(1_000_000));
+        assert_eq!(b.available_mt(), MILLITOKENS_PER_REQUEST);
+    }
+
+    #[test]
+    fn client_buckets_are_independent() {
+        let mut adm = ClientAdmission::new(MILLITOKENS_PER_REQUEST, MILLITOKENS_PER_REQUEST);
+        assert!(adm.admit(ia(1), t(0)));
+        assert!(!adm.admit(ia(1), t(0)), "client 1 drained");
+        assert!(adm.admit(ia(2), t(0)), "client 2 unaffected");
+        assert_eq!(adm.admitted(), 2);
+        assert_eq!(adm.limited(), 1);
+        assert_eq!(adm.clients(), 2);
+    }
+
+    #[test]
+    fn queue_sheds_lowest_priority_youngest_first() {
+        let mut q = AdmissionQueue::new(3);
+        let tk = |id, class, at| Ticket {
+            id,
+            client: ia(9),
+            class,
+            arrived: t(at),
+        };
+        assert_eq!(
+            q.offer(tk(0, RequestClass::LookupMiss, 5)),
+            QueueOutcome::Enqueued
+        );
+        assert_eq!(
+            q.offer(tk(1, RequestClass::LookupHit, 5)),
+            QueueOutcome::Enqueued
+        );
+        assert_eq!(
+            q.offer(tk(2, RequestClass::LookupMiss, 7)),
+            QueueOutcome::Enqueued
+        );
+        // Full. A registration evicts the youngest lowest-priority entry
+        // (the miss that arrived at t=7), not the older miss.
+        match q.offer(tk(3, RequestClass::Registration, 8)) {
+            QueueOutcome::EnqueuedEvicting(v) => assert_eq!(v.id, 2),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        // An incoming miss younger than every queued entry is rejected
+        // outright.
+        assert_eq!(
+            q.offer(tk(4, RequestClass::LookupMiss, 9)),
+            QueueOutcome::Rejected
+        );
+        // Drain order: registration, hit, old miss.
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|tk| tk.id).collect();
+        assert_eq!(order, vec![3, 1, 0]);
+        assert_eq!(q.shed(), 2);
+    }
+
+    #[test]
+    fn shed_order_is_stable_under_identical_timestamps() {
+        // Satellite edge case: all arrivals share one timestamp; the
+        // sequence number must keep admission and shedding stable.
+        let mk = |id, class| Ticket {
+            id,
+            client: ia(1),
+            class,
+            arrived: t(100),
+        };
+        let run = || {
+            let mut q = AdmissionQueue::new(2);
+            let mut events = Vec::new();
+            for (id, class) in [
+                (0, RequestClass::LookupMiss),
+                (1, RequestClass::LookupMiss),
+                (2, RequestClass::LookupMiss),
+                (3, RequestClass::LookupHit),
+                (4, RequestClass::Revocation),
+            ] {
+                events.push(match q.offer(mk(id, class)) {
+                    QueueOutcome::Enqueued => format!("enq:{id}"),
+                    QueueOutcome::EnqueuedEvicting(v) => format!("evict:{}:{id}", v.id),
+                    QueueOutcome::Rejected => format!("rej:{id}"),
+                });
+            }
+            while let Some(tk) = q.pop() {
+                events.push(format!("pop:{}", tk.id));
+            }
+            events
+        };
+        let a = run();
+        assert_eq!(a, run(), "identical timestamps must replay identically");
+        // Same-class ties break by arrival sequence: the younger miss
+        // (id 1) is evicted before the older one (id 0).
+        assert_eq!(
+            a,
+            vec![
+                "enq:0",
+                "enq:1",
+                "rej:2",
+                "evict:1:3",
+                "evict:0:4",
+                "pop:4",
+                "pop:3"
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_capacity_queue_sheds_everything() {
+        let mut q = AdmissionQueue::new(0);
+        let ticket = Ticket {
+            id: 0,
+            client: ia(1),
+            class: RequestClass::Revocation,
+            arrived: t(0),
+        };
+        assert_eq!(q.offer(ticket), QueueOutcome::Rejected);
+        assert_eq!(q.occupancy_permille(), 1000);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn brownout_hysteresis_prevents_flapping() {
+        let mut b = BrownoutController::new(850, 550);
+        assert_eq!(b.observe(840), None);
+        assert_eq!(b.observe(850), Some(BrownoutTransition::Entered));
+        assert!(b.active());
+        // Dropping between the thresholds keeps brownout in force.
+        assert_eq!(b.observe(600), None);
+        assert!(b.active());
+        assert_eq!(b.observe(549), Some(BrownoutTransition::Exited));
+        assert!(!b.active());
+        assert_eq!((b.entries(), b.exits()), (1, 1));
+    }
+
+    #[test]
+    fn breaker_trips_probes_and_recovers() {
+        let mut cb = CircuitBreaker::new(3, Duration::from_secs(2));
+        // Two failures: still closed.
+        assert!(!cb.on_failure(t(0)));
+        assert!(!cb.on_failure(t(1)));
+        assert_eq!(cb.decide(t(2)), BreakerDecision::Forward);
+        // Third failure trips it.
+        assert!(cb.on_failure(t(2)));
+        assert!(cb.is_open());
+        // While open, everything short-circuits.
+        assert_eq!(cb.decide(t(3)), BreakerDecision::ShortCircuit);
+        assert_eq!(cb.decide(t(1_999_999)), BreakerDecision::ShortCircuit);
+        // Cooldown elapsed: exactly one probe goes out; the rest keep
+        // short-circuiting until the probe resolves.
+        assert_eq!(cb.decide(t(2_000_002)), BreakerDecision::Probe);
+        assert_eq!(cb.decide(t(2_000_003)), BreakerDecision::ShortCircuit);
+        // Probe failure re-opens for another cooldown.
+        assert!(cb.on_failure(t(2_100_000)));
+        assert_eq!(cb.decide(t(2_100_001)), BreakerDecision::ShortCircuit);
+        // Next probe succeeds: breaker closes, traffic forwards again.
+        assert_eq!(cb.decide(t(4_100_001)), BreakerDecision::Probe);
+        cb.on_success();
+        assert!(!cb.is_open());
+        assert_eq!(cb.decide(t(4_100_002)), BreakerDecision::Forward);
+        assert_eq!(cb.trips(), 2);
+        assert_eq!(cb.probes(), 2);
+        assert!(cb.short_circuits() >= 4);
+    }
+
+    #[test]
+    fn overload_control_end_to_end_accounting() {
+        let cfg = OverloadConfig {
+            queue_capacity: 2,
+            client_rate_mt_per_sec: MILLITOKENS_PER_REQUEST,
+            client_burst_mt: 2 * MILLITOKENS_PER_REQUEST,
+            ..OverloadConfig::default()
+        };
+        let mut oc = OverloadControl::new(cfg);
+        // Two lookups fit the burst and the queue.
+        assert_eq!(
+            oc.offer(ia(1), RequestClass::LookupHit, 0, t(0)),
+            Admission::Enqueued
+        );
+        assert_eq!(
+            oc.offer(ia(1), RequestClass::LookupMiss, 1, t(0)),
+            Admission::Enqueued
+        );
+        // Third lookup from the same client: bucket empty.
+        assert_eq!(
+            oc.offer(ia(1), RequestClass::LookupHit, 2, t(0)),
+            Admission::Shed(ShedReason::RateLimited)
+        );
+        // A revocation bypasses the bucket and evicts the queued miss.
+        match oc.offer(ia(1), RequestClass::Revocation, 3, t(0)) {
+            Admission::EnqueuedEvicting(v) => assert_eq!(v.id, 1),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        // Full queue + full-priority work: a second revocation is shed as
+        // queue-full.
+        assert_eq!(
+            oc.offer(ia(2), RequestClass::LookupMiss, 4, t(0)),
+            Admission::Shed(ShedReason::QueueFull)
+        );
+        let s = oc.stats();
+        assert_eq!(s.admitted, 3);
+        assert_eq!(s.shed_rate_limited, 1);
+        assert_eq!(s.shed_queue_full, 1);
+        assert_eq!(s.shed_evicted, 1);
+        assert_eq!(s.total_shed(), 3);
+        // Queue is at 2/2: brownout engages immediately at the default
+        // 850‰ threshold.
+        assert_eq!(oc.update_brownout(), Some(BrownoutTransition::Entered));
+        assert!(oc.brownout_active());
+        assert_eq!(oc.next_request().map(|tk| tk.id), Some(3));
+        assert_eq!(oc.next_request().map(|tk| tk.id), Some(0));
+        assert_eq!(oc.update_brownout(), Some(BrownoutTransition::Exited));
+    }
+}

@@ -36,6 +36,10 @@ pub struct ResolverConfig {
     pub stale_grace: Duration,
     /// Negative-cache verdict lifetime after an exhausted lookup.
     pub negative_ttl: Duration,
+    /// Multiplier (percent) stretching the re-armed deadline when the
+    /// upstream sheds the lookup with an explicit busy signal
+    /// ([`Resolver::on_busy`]); values under 100 are treated as 100.
+    pub busy_penalty_pct: u32,
 }
 
 impl Default for ResolverConfig {
@@ -51,6 +55,7 @@ impl Default for ResolverConfig {
             max_attempts: 3,
             stale_grace: PathServer::STALE_GRACE,
             negative_ttl: Duration::from_mins(5),
+            busy_penalty_pct: 400,
         }
     }
 }
@@ -73,10 +78,22 @@ impl ResolverConfig {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RetryAction {
     /// Re-send the query upstream; the next deadline is already armed.
-    Retry { id: u64, dst: IsdAsn, attempt: u32 },
+    Retry {
+        /// The lookup's resolver id.
+        id: u64,
+        /// The destination being resolved.
+        dst: IsdAsn,
+        /// 1-based attempt number of the re-send.
+        attempt: u32,
+    },
     /// Attempt budget exhausted: resolve via
     /// [`Resolver::degrade`] and stop querying.
-    Exhausted { id: u64, dst: IsdAsn },
+    Exhausted {
+        /// The lookup's resolver id.
+        id: u64,
+        /// The destination being resolved.
+        dst: IsdAsn,
+    },
 }
 
 /// Terminal outcome of one lookup.
@@ -103,6 +120,9 @@ pub struct ResolverStats {
     pub resolved: u64,
     /// Queries that exhausted their attempt budget.
     pub exhausted: u64,
+    /// Busy signals that re-armed a pending deadline on the penalized
+    /// schedule.
+    pub busy_backoffs: u64,
 }
 
 struct InFlight {
@@ -121,6 +141,7 @@ pub struct Resolver {
 }
 
 impl Resolver {
+    /// A resolver with no in-flight lookups.
     pub fn new(cfg: ResolverConfig) -> Resolver {
         Resolver {
             cfg,
@@ -162,6 +183,24 @@ impl Resolver {
         self.due.remove(&(p.deadline, id));
         self.stats.resolved += 1;
         Some(p.dst)
+    }
+
+    /// Handles an explicit *busy* rejection of lookup `id`: the pending
+    /// deadline is re-armed at `busy_penalty_pct` of the normal backoff,
+    /// so the retry lands after the overload instead of feeding it. The
+    /// attempt budget is untouched — the query was shed, not lost.
+    /// Returns `true` when the lookup was pending.
+    pub fn on_busy(&mut self, id: u64, now: SimTime) -> bool {
+        let Some(p) = self.pending.get_mut(&id) else {
+            return false;
+        };
+        self.due.remove(&(p.deadline, id));
+        let us = self.cfg.timeout_for(p.attempts).as_micros();
+        let penalty = self.cfg.busy_penalty_pct.max(100) as u64;
+        p.deadline = now + Duration::from_micros(us.saturating_mul(penalty) / 100);
+        self.due.insert((p.deadline, id));
+        self.stats.busy_backoffs += 1;
+        true
     }
 
     /// Pops every deadline at or before `now` in deterministic
@@ -249,6 +288,31 @@ mod tests {
             max_attempts: 3,
             ..ResolverConfig::default()
         }
+    }
+
+    #[test]
+    fn busy_signal_re_arms_on_the_penalized_schedule() {
+        let mut r = Resolver::new(ResolverConfig {
+            busy_penalty_pct: 400,
+            ..cfg()
+        });
+        let id = r.begin(t(0), dst(4));
+        assert_eq!(r.next_deadline(), Some(t(100)));
+        // The upstream sheds the query at t=50: the retry waits 4× the
+        // normal timeout from the busy signal, not 1×.
+        assert!(r.on_busy(id, t(50)));
+        assert_eq!(r.next_deadline(), Some(t(450)));
+        assert_eq!(r.stats().busy_backoffs, 1);
+        // The attempt budget did not shrink: the ladder continues.
+        let acts = r.due_actions(t(450));
+        assert!(
+            matches!(acts.as_slice(), [RetryAction::Retry { attempt: 2, .. }]),
+            "got {acts:?}"
+        );
+        // Busy for a settled lookup is a no-op.
+        assert_eq!(r.on_response(id), Some(dst(4)));
+        assert!(!r.on_busy(id, t(500)));
+        assert_eq!(r.stats().busy_backoffs, 1);
     }
 
     #[test]

@@ -149,7 +149,9 @@ impl RevocationTable {
             .collect();
         let mut restored = 0;
         for link in due {
-            let (_, segments) = self.parked.remove(&link).expect("key listed as due");
+            let Some((_, segments)) = self.parked.remove(&link) else {
+                continue;
+            };
             for seg in segments {
                 if seg.is_expired(now) {
                     continue;
@@ -211,16 +213,18 @@ mod tests {
     fn revocation_drops_only_affected_segments() {
         let tr = trust();
         let mut ps = PathServer::new(ia(1), true);
-        ps.register_down_segment(down_seg(&tr, 7, 3), SimTime::ZERO); // via link 1#7 <-> 3#1
-        ps.register_down_segment(down_seg(&tr, 8, 4), SimTime::ZERO); // via link 1#8 <-> 4#1
+        ps.register_down_segment(down_seg(&tr, 7, 3), SimTime::ZERO)
+            .unwrap(); // via link 1#7 <-> 3#1
+        ps.register_down_segment(down_seg(&tr, 8, 4), SimTime::ZERO)
+            .unwrap(); // via link 1#8 <-> 4#1
         let failed = LinkId::new(LinkEnd::new(ia(1), IfId(7)), LinkEnd::new(ia(3), IfId(1)));
 
         let mut ledger = Ledger::new();
         let r = revoke_segments(&mut ps, failed, 3, &mut ledger, SimTime::ZERO);
         assert_eq!(r.segments_revoked, 1);
         assert_eq!(r.scmp_notifications, 3);
-        assert!(ps.lookup_down(ia(3), SimTime::ZERO).is_empty());
-        assert_eq!(ps.lookup_down(ia(4), SimTime::ZERO).len(), 1);
+        assert!(ps.lookup_down(ia(3), SimTime::ZERO).unwrap().is_empty());
+        assert_eq!(ps.lookup_down(ia(4), SimTime::ZERO).unwrap().len(), 1);
         // Ledger: 1 intra-ISD revocation + 3 global SCMP.
         assert_eq!(
             ledger.messages_at(Component::PathRevocation, Scope::IntraIsd),
@@ -236,7 +240,8 @@ mod tests {
     fn duplicate_revocation_is_idempotent_and_renews_ttl() {
         let tr = trust();
         let mut ps = PathServer::new(ia(1), true);
-        ps.register_down_segment(down_seg(&tr, 7, 3), SimTime::ZERO);
+        ps.register_down_segment(down_seg(&tr, 7, 3), SimTime::ZERO)
+            .unwrap();
         let failed = LinkId::new(LinkEnd::new(ia(1), IfId(7)), LinkEnd::new(ia(3), IfId(1)));
         let ttl = Duration::from_secs(5);
 
@@ -253,7 +258,7 @@ mod tests {
         // Restoration happens once, with one copy of the segment.
         assert_eq!(table.restore_due(&mut ps, t0 + ttl), 0, "TTL was renewed");
         assert_eq!(table.restore_due(&mut ps, t1 + ttl), 1);
-        assert_eq!(ps.lookup_down(ia(3), t1 + ttl).len(), 1);
+        assert_eq!(ps.lookup_down(ia(3), t1 + ttl).unwrap().len(), 1);
         assert_eq!(table.revoked_links(), 0);
     }
 
@@ -261,7 +266,8 @@ mod tests {
     fn unknown_link_revocation_is_a_counted_noop() {
         let tr = trust();
         let mut ps = PathServer::new(ia(1), true);
-        ps.register_down_segment(down_seg(&tr, 7, 3), SimTime::ZERO);
+        ps.register_down_segment(down_seg(&tr, 7, 3), SimTime::ZERO)
+            .unwrap();
         // No stored segment traverses this link.
         let unknown = LinkId::new(LinkEnd::new(ia(2), IfId(99)), LinkEnd::new(ia(5), IfId(99)));
 
@@ -273,7 +279,7 @@ mod tests {
         );
         // The existing segment is untouched and restoration has nothing
         // to reinstate.
-        assert_eq!(ps.lookup_down(ia(3), t0).len(), 1);
+        assert_eq!(ps.lookup_down(ia(3), t0).unwrap().len(), 1);
         assert_eq!(table.restore_due(&mut ps, t0 + Duration::from_secs(5)), 0);
     }
 
@@ -283,7 +289,8 @@ mod tests {
         let mut ps = PathServer::new(ia(1), true);
         // Lifetime 6h (see `down_seg`); park it, then let the revocation
         // lapse *after* the segment's own expiry.
-        ps.register_down_segment(down_seg(&tr, 7, 3), SimTime::ZERO);
+        ps.register_down_segment(down_seg(&tr, 7, 3), SimTime::ZERO)
+            .unwrap();
         let failed = LinkId::new(LinkEnd::new(ia(1), IfId(7)), LinkEnd::new(ia(3), IfId(1)));
 
         let mut table = RevocationTable::new();
@@ -294,7 +301,7 @@ mod tests {
         );
         let t_restore = t0 + Duration::from_hours(2); // 7h > 6h lifetime
         assert_eq!(table.restore_due(&mut ps, t_restore), 0);
-        assert!(ps.lookup_down(ia(3), t_restore).is_empty());
+        assert!(ps.lookup_down(ia(3), t_restore).unwrap().is_empty());
         assert_eq!(table.revoked_links(), 0, "lapsed entry is still cleared");
     }
 

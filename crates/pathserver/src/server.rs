@@ -17,6 +17,8 @@ use scion_telemetry::{ids, Label, Telemetry, TraceEvent};
 use scion_types::{Duration, Isd, IsdAsn, SimTime};
 use serde::Serialize;
 
+use crate::overload::{OverloadConfig, OverloadControl};
+
 /// Stable wire names of the segment types for trace records.
 fn seg_type_name(ty: SegmentType) -> &'static str {
     match ty {
@@ -122,6 +124,10 @@ pub struct PathServer {
     negative: HashMap<IsdAsn, SimTime>,
     /// Cache and degradation statistics.
     stats: CacheStats,
+    /// Optional overload-control plane (admission queue, per-client token
+    /// buckets, brownout, circuit breaker). `None` = legacy unbounded
+    /// behavior; boxed so the common unprotected server stays small.
+    overload: Option<Box<OverloadControl>>,
 }
 
 impl PathServer {
@@ -129,6 +135,8 @@ impl PathServer {
     /// degraded serving (and is retained in the cache).
     pub const STALE_GRACE: Duration = Duration::from_hours(1);
 
+    /// A path server for AS `ia`; `core` servers accept registrations and
+    /// store the authoritative segment sets.
     pub fn new(ia: IsdAsn, core: bool) -> PathServer {
         PathServer {
             ia,
@@ -139,7 +147,26 @@ impl PathServer {
             cache: HashMap::new(),
             negative: HashMap::new(),
             stats: CacheStats::default(),
+            overload: None,
         }
+    }
+
+    /// Arms the overload-control plane: subsequent request traffic can be
+    /// run through [`PathServer::overload_control_mut`] for admission,
+    /// priority shedding, brownout, and breaker decisions. Replaces any
+    /// previously armed controller (counters restart from zero).
+    pub fn enable_overload_control(&mut self, cfg: OverloadConfig) {
+        self.overload = Some(Box::new(OverloadControl::new(cfg)));
+    }
+
+    /// The armed overload controller, if any.
+    pub fn overload_control(&self) -> Option<&OverloadControl> {
+        self.overload.as_deref()
+    }
+
+    /// Mutable access to the armed overload controller, if any.
+    pub fn overload_control_mut(&mut self) -> Option<&mut OverloadControl> {
+        self.overload.as_deref_mut()
     }
 
     /// The server's AS.
@@ -158,20 +185,10 @@ impl PathServer {
     /// re-registration replaces its predecessors once they lapse, so the
     /// authoritative store stays bounded over arbitrarily long runs.
     ///
-    /// # Panics
-    /// Panics on a non-core server or a wrong-type segment; hot paths
-    /// handling untrusted registrations should use
-    /// [`PathServer::try_register_down_segment`].
-    pub fn register_down_segment(&mut self, seg: PathSegment, now: SimTime) {
-        assert!(self.core, "down-segments register at core path servers");
-        self.try_register_down_segment(seg, now)
-            .expect("core server accepts down-segments");
-    }
-
-    /// Panic-free [`PathServer::register_down_segment`]: rejects the
-    /// registration with a typed [`ServerError`] on a non-core server or
-    /// a wrong-type segment.
-    pub fn try_register_down_segment(
+    /// Rejects the registration with a typed [`ServerError`] on a
+    /// non-core server or a wrong-type segment — untrusted registration
+    /// traffic must never be able to panic the server.
+    pub fn register_down_segment(
         &mut self,
         seg: PathSegment,
         now: SimTime,
@@ -196,19 +213,22 @@ impl PathServer {
     }
 
     /// Like [`PathServer::register_down_segment`], additionally counting
-    /// the registration and emitting a [`TraceEvent::SegmentRegistered`].
+    /// the registration and emitting a [`TraceEvent::SegmentRegistered`]
+    /// once it lands.
     pub fn register_down_segment_telemetry(
         &mut self,
         seg: PathSegment,
         now: SimTime,
         tel: &mut Telemetry,
-    ) {
+    ) -> Result<(), ServerError> {
+        let server = self.ia;
+        let terminal = seg.terminal();
+        let seg_type = seg_type_name(seg.seg_type);
+        let hops = seg.hop_count() as u32;
+        let purged_before = self.stats.segments_purged;
+        self.register_down_segment(seg, now)?;
         if tel.is_enabled() {
             tel.inc(ids::PS_REGISTRATIONS, Label::Global, 1);
-            let server = self.ia;
-            let terminal = seg.terminal();
-            let seg_type = seg_type_name(seg.seg_type);
-            let hops = seg.hop_count() as u32;
             tel.trace_event(now, || TraceEvent::SegmentRegistered {
                 server,
                 terminal,
@@ -216,25 +236,17 @@ impl PathServer {
                 hops,
             });
         }
-        let purged_before = self.stats.segments_purged;
-        self.register_down_segment(seg, now);
         let purged = self.stats.segments_purged - purged_before;
         if purged > 0 {
             tel.inc(ids::PS_SEGMENTS_PURGED, Label::Global, purged);
         }
+        Ok(())
     }
 
     /// Registers a core-segment (core servers only), garbage-collecting
     /// the destination's expired segments like
     /// [`PathServer::register_down_segment`].
-    pub fn register_core_segment(&mut self, seg: PathSegment, now: SimTime) {
-        assert!(self.core, "core-segments register at core path servers");
-        self.try_register_core_segment(seg, now)
-            .expect("core server accepts core-segments");
-    }
-
-    /// Panic-free [`PathServer::register_core_segment`].
-    pub fn try_register_core_segment(
+    pub fn register_core_segment(
         &mut self,
         seg: PathSegment,
         now: SimTime,
@@ -258,14 +270,9 @@ impl PathServer {
         Ok(())
     }
 
-    /// Stores a local up-segment (local servers).
-    pub fn store_up_segment(&mut self, seg: PathSegment) {
-        self.try_store_up_segment(seg)
-            .expect("up-segment store accepts up-segments");
-    }
-
-    /// Panic-free [`PathServer::store_up_segment`].
-    pub fn try_store_up_segment(&mut self, seg: PathSegment) -> Result<(), ServerError> {
+    /// Stores a local up-segment (local servers). Rejects wrong-type
+    /// segments with a typed [`ServerError`].
+    pub fn store_up_segment(&mut self, seg: PathSegment) -> Result<(), ServerError> {
         if seg.seg_type != SegmentType::Up {
             return Err(ServerError::WrongSegmentType {
                 expected: SegmentType::Up,
@@ -281,9 +288,9 @@ impl PathServer {
     /// ([`crate::revocation::RevocationTable`]).
     pub fn reinstate_segment(&mut self, seg: PathSegment, now: SimTime) -> Result<(), ServerError> {
         match seg.seg_type {
-            SegmentType::Down => self.try_register_down_segment(seg, now),
-            SegmentType::Core => self.try_register_core_segment(seg, now),
-            SegmentType::Up => self.try_store_up_segment(seg),
+            SegmentType::Down => self.register_down_segment(seg, now),
+            SegmentType::Core => self.register_core_segment(seg, now),
+            SegmentType::Up => self.store_up_segment(seg),
         }
     }
 
@@ -329,7 +336,9 @@ impl PathServer {
             let mut keys: Vec<IsdAsn> = store.keys().copied().collect();
             keys.sort_unstable();
             for key in keys {
-                let segs = store.get_mut(&key).expect("key just listed");
+                let Some(segs) = store.get_mut(&key) else {
+                    continue;
+                };
                 let mut kept = Vec::with_capacity(segs.len());
                 for seg in segs.drain(..) {
                     if pred(&seg) {
@@ -354,22 +363,9 @@ impl PathServer {
         removed
     }
 
-    /// Authoritative down-segment lookup at a core server.
-    ///
-    /// # Panics
-    /// Panics on a non-core server; request handlers for untrusted query
-    /// traffic should use [`PathServer::try_lookup_down`].
-    pub fn lookup_down(&self, dst: IsdAsn, now: SimTime) -> Vec<PathSegment> {
-        self.try_lookup_down(dst, now)
-            .expect("core server answers down-segment lookups")
-    }
-
-    /// Panic-free [`PathServer::lookup_down`].
-    pub fn try_lookup_down(
-        &self,
-        dst: IsdAsn,
-        now: SimTime,
-    ) -> Result<Vec<PathSegment>, ServerError> {
+    /// Authoritative down-segment lookup at a core server. Rejects the
+    /// query with a typed [`ServerError`] on a non-core server.
+    pub fn lookup_down(&self, dst: IsdAsn, now: SimTime) -> Result<Vec<PathSegment>, ServerError> {
         if !self.core {
             return Err(ServerError::NotCore { op: "lookup_down" });
         }
@@ -381,22 +377,9 @@ impl PathServer {
     }
 
     /// Authoritative core-segment lookup at a core server: segments whose
-    /// far end lies in `dst_isd` (or at the exact AS when known).
-    ///
-    /// # Panics
-    /// Panics on a non-core server; request handlers for untrusted query
-    /// traffic should use [`PathServer::try_lookup_core`].
-    pub fn lookup_core(&self, dst_isd: Isd, now: SimTime) -> Vec<PathSegment> {
-        self.try_lookup_core(dst_isd, now)
-            .expect("core server answers core-segment lookups")
-    }
-
-    /// Panic-free [`PathServer::lookup_core`].
-    pub fn try_lookup_core(
-        &self,
-        dst_isd: Isd,
-        now: SimTime,
-    ) -> Result<Vec<PathSegment>, ServerError> {
+    /// far end lies in `dst_isd` (or at the exact AS when known). Rejects
+    /// the query with a typed [`ServerError`] on a non-core server.
+    pub fn lookup_core(&self, dst_isd: Isd, now: SimTime) -> Result<Vec<PathSegment>, ServerError> {
         if !self.core {
             return Err(ServerError::NotCore { op: "lookup_core" });
         }
@@ -572,21 +555,21 @@ mod tests {
         let mut local = PathServer::new(ia(1, 3), false);
         let down = seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 4), 6);
         assert_eq!(
-            local.try_register_down_segment(down.clone(), SimTime::ZERO),
+            local.register_down_segment(down.clone(), SimTime::ZERO),
             Err(ServerError::NotCore {
                 op: "register_down"
             })
         );
         assert_eq!(
-            local.try_lookup_down(ia(1, 4), SimTime::ZERO),
+            local.lookup_down(ia(1, 4), SimTime::ZERO),
             Err(ServerError::NotCore { op: "lookup_down" })
         );
         assert_eq!(
-            local.try_lookup_core(Isd(1), SimTime::ZERO),
+            local.lookup_core(Isd(1), SimTime::ZERO),
             Err(ServerError::NotCore { op: "lookup_core" })
         );
         assert_eq!(
-            local.try_store_up_segment(down.clone()),
+            local.store_up_segment(down.clone()),
             Err(ServerError::WrongSegmentType {
                 expected: SegmentType::Up,
                 got: SegmentType::Down,
@@ -595,7 +578,7 @@ mod tests {
 
         let mut core = PathServer::new(ia(1, 1), true);
         assert_eq!(
-            core.try_register_core_segment(down.clone(), SimTime::ZERO),
+            core.register_core_segment(down.clone(), SimTime::ZERO),
             Err(ServerError::WrongSegmentType {
                 expected: SegmentType::Core,
                 got: SegmentType::Down,
@@ -604,12 +587,12 @@ mod tests {
         // The happy path still lands the segment, and reinstate routes by
         // type.
         assert_eq!(
-            core.try_register_down_segment(down.clone(), SimTime::ZERO),
+            core.register_down_segment(down.clone(), SimTime::ZERO),
             Ok(())
         );
         assert_eq!(core.deregister_collect(|_| true).len(), 1);
         assert_eq!(core.reinstate_segment(down, SimTime::ZERO), Ok(()));
-        assert_eq!(core.lookup_down(ia(1, 4), SimTime::ZERO).len(), 1);
+        assert_eq!(core.lookup_down(ia(1, 4), SimTime::ZERO).unwrap().len(), 1);
         // Errors render for operators.
         let e = ServerError::NotCore { op: "lookup_down" };
         assert_eq!(e.reason(), "not_core");
@@ -642,15 +625,17 @@ mod tests {
         ps.register_down_segment(
             seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 3), 6),
             SimTime::ZERO,
-        );
+        )
+        .unwrap();
         ps.register_core_segment(
             seg(&tr, SegmentType::Core, ia(1, 1), ia(2, 1), 6),
             SimTime::ZERO,
-        );
-        assert_eq!(ps.lookup_down(ia(1, 3), SimTime::ZERO).len(), 1);
-        assert!(ps.lookup_down(ia(1, 4), SimTime::ZERO).is_empty());
-        assert_eq!(ps.lookup_core(Isd(2), SimTime::ZERO).len(), 1);
-        assert!(ps.lookup_core(Isd(3), SimTime::ZERO).is_empty());
+        )
+        .unwrap();
+        assert_eq!(ps.lookup_down(ia(1, 3), SimTime::ZERO).unwrap().len(), 1);
+        assert!(ps.lookup_down(ia(1, 4), SimTime::ZERO).unwrap().is_empty());
+        assert_eq!(ps.lookup_core(Isd(2), SimTime::ZERO).unwrap().len(), 1);
+        assert!(ps.lookup_core(Isd(3), SimTime::ZERO).unwrap().is_empty());
         assert_eq!(ps.down_destinations(), 1);
     }
 
@@ -661,9 +646,10 @@ mod tests {
         ps.register_down_segment(
             seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 3), 1),
             SimTime::ZERO,
-        );
+        )
+        .unwrap();
         let later = SimTime::ZERO + Duration::from_hours(2);
-        assert!(ps.lookup_down(ia(1, 3), later).is_empty());
+        assert!(ps.lookup_down(ia(1, 3), later).unwrap().is_empty());
     }
 
     #[test]
@@ -673,43 +659,54 @@ mod tests {
         ps.register_down_segment(
             seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 3), 1),
             SimTime::ZERO,
-        );
+        )
+        .unwrap();
         ps.register_down_segment(
             seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 3), 1),
             SimTime::ZERO,
-        );
+        )
+        .unwrap();
         // Another destination's expired segments are untouched by ia(1,3)
         // registrations — GC is per-destination.
         ps.register_down_segment(
             seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 4), 1),
             SimTime::ZERO,
-        );
+        )
+        .unwrap();
         assert_eq!(ps.cache_stats().segments_purged, 0);
 
         // Re-registering after expiry purges the two lapsed predecessors.
         let later = SimTime::ZERO + Duration::from_hours(2);
-        ps.register_down_segment(seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 3), 6), later);
+        ps.register_down_segment(seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 3), 6), later)
+            .unwrap();
         assert_eq!(ps.cache_stats().segments_purged, 2);
-        assert_eq!(ps.lookup_down(ia(1, 3), later).len(), 1);
+        assert_eq!(ps.lookup_down(ia(1, 3), later).unwrap().len(), 1);
 
         // Core-segment registrations GC their store the same way.
         ps.register_core_segment(
             seg(&tr, SegmentType::Core, ia(1, 1), ia(2, 1), 1),
             SimTime::ZERO,
-        );
-        ps.register_core_segment(seg(&tr, SegmentType::Core, ia(1, 1), ia(2, 1), 6), later);
+        )
+        .unwrap();
+        ps.register_core_segment(seg(&tr, SegmentType::Core, ia(1, 1), ia(2, 1), 6), later)
+            .unwrap();
         assert_eq!(ps.cache_stats().segments_purged, 3);
     }
 
     #[test]
-    #[should_panic(expected = "core path servers")]
     fn non_core_cannot_take_registrations() {
         let tr = trust();
         let mut ps = PathServer::new(ia(1, 3), false);
-        ps.register_down_segment(
-            seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 3), 6),
-            SimTime::ZERO,
+        assert_eq!(
+            ps.register_down_segment(
+                seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 3), 6),
+                SimTime::ZERO,
+            ),
+            Err(ServerError::NotCore {
+                op: "register_down"
+            })
         );
+        assert_eq!(ps.down_destinations(), 0, "rejected segment must not land");
     }
 
     #[test]
@@ -796,7 +793,8 @@ mod tests {
             seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 3), 6),
             SimTime::ZERO,
             &mut tel,
-        );
+        )
+        .unwrap();
         assert_eq!(ps.down_destinations(), 1);
         let mut local = PathServer::new(ia(1, 3), false);
         let miss = local.lookup_cached_telemetry(ia(1, 4), SimTime::ZERO, &mut tel);
@@ -814,22 +812,26 @@ mod tests {
         ps.register_down_segment(
             seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 3), 6),
             SimTime::ZERO,
-        );
+        )
+        .unwrap();
         ps.register_down_segment(
             seg(&tr, SegmentType::Down, ia(1, 1), ia(1, 4), 6),
             SimTime::ZERO,
-        );
+        )
+        .unwrap();
         let removed = ps.deregister_where(|s| s.terminal() == ia(1, 3));
         assert_eq!(removed, 1);
-        assert!(ps.lookup_down(ia(1, 3), SimTime::ZERO).is_empty());
-        assert_eq!(ps.lookup_down(ia(1, 4), SimTime::ZERO).len(), 1);
+        assert!(ps.lookup_down(ia(1, 3), SimTime::ZERO).unwrap().is_empty());
+        assert_eq!(ps.lookup_down(ia(1, 4), SimTime::ZERO).unwrap().len(), 1);
     }
 
     #[test]
     fn up_segments_stored_and_filtered() {
         let tr = trust();
         let mut local = PathServer::new(ia(1, 3), false);
-        local.store_up_segment(seg(&tr, SegmentType::Up, ia(1, 1), ia(1, 3), 1));
+        local
+            .store_up_segment(seg(&tr, SegmentType::Up, ia(1, 1), ia(1, 3), 1))
+            .unwrap();
         assert_eq!(local.up_segments(SimTime::ZERO).len(), 1);
         assert!(local
             .up_segments(SimTime::ZERO + Duration::from_hours(2))

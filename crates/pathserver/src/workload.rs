@@ -22,17 +22,9 @@ pub struct ZipfDestinations {
 impl ZipfDestinations {
     /// Builds a sampler over `destinations` with Zipf exponent `s`
     /// (classic web-traffic fits use s ≈ 0.8–1.1). Rank order is the given
-    /// order: the first destination is the most popular.
-    ///
-    /// # Panics
-    /// Panics on an empty destination set; workload builders with
-    /// possibly-empty inputs should use [`ZipfDestinations::try_new`].
-    pub fn new(destinations: Vec<IsdAsn>, s: f64, seed: u64) -> ZipfDestinations {
-        ZipfDestinations::try_new(destinations, s, seed).expect("non-empty destination set")
-    }
-
-    /// Panic-free [`ZipfDestinations::new`]: `None` for an empty
-    /// destination set.
+    /// order: the first destination is the most popular. `None` for an
+    /// empty destination set — workload builders decide how to surface
+    /// that, the library never panics.
     pub fn try_new(destinations: Vec<IsdAsn>, s: f64, seed: u64) -> Option<ZipfDestinations> {
         if destinations.is_empty() {
             return None;
@@ -83,7 +75,7 @@ mod tests {
 
     #[test]
     fn top_rank_dominates() {
-        let mut z = ZipfDestinations::new(dests(100), 1.0, 42);
+        let mut z = ZipfDestinations::try_new(dests(100), 1.0, 42).unwrap();
         let mut counts = std::collections::HashMap::new();
         for _ in 0..10_000 {
             *counts.entry(z.sample()).or_insert(0u32) += 1;
@@ -102,8 +94,8 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let mut a = ZipfDestinations::new(dests(50), 0.9, 7);
-        let mut b = ZipfDestinations::new(dests(50), 0.9, 7);
+        let mut a = ZipfDestinations::try_new(dests(50), 0.9, 7).unwrap();
+        let mut b = ZipfDestinations::try_new(dests(50), 0.9, 7).unwrap();
         for _ in 0..100 {
             assert_eq!(a.sample(), b.sample());
         }
@@ -111,7 +103,7 @@ mod tests {
 
     #[test]
     fn all_destinations_reachable() {
-        let mut z = ZipfDestinations::new(dests(5), 0.5, 3);
+        let mut z = ZipfDestinations::try_new(dests(5), 0.5, 3).unwrap();
         let mut seen = std::collections::HashSet::new();
         for _ in 0..5_000 {
             seen.insert(z.sample());

@@ -37,6 +37,12 @@ pub struct ReliableConfig {
     pub max_attempts: u32,
     /// Seed of the deterministic jitter hash.
     pub seed: u64,
+    /// Multiplier (percent) applied on top of the normal backoff when the
+    /// receiver says *busy*: an overloaded server that sheds a request
+    /// must see the retry later than a lost packet would, or retries add
+    /// load exactly when capacity is short. 400 = the busy retry waits 4×
+    /// the normal timeout. Values under 100 are treated as 100.
+    pub busy_penalty_pct: u32,
 }
 
 impl Default for ReliableConfig {
@@ -52,6 +58,7 @@ impl Default for ReliableConfig {
             jitter_pct: 25,
             max_attempts: 6,
             seed: 0,
+            busy_penalty_pct: 400,
         }
     }
 }
@@ -80,6 +87,16 @@ impl ReliableConfig {
             us += us.saturating_mul(pct) / 100;
         }
         Duration::from_micros(us)
+    }
+
+    /// The deadline offset armed after a *busy* signal for transmission
+    /// `attempt` of message `id`: the normal exponential+jittered backoff
+    /// stretched by [`ReliableConfig::busy_penalty_pct`]. Still a pure
+    /// function of `(seed, id, attempt)`.
+    pub fn busy_timeout_for(&self, id: MsgId, attempt: u32) -> Duration {
+        let us = self.timeout_for(id, attempt).as_micros();
+        let penalty = self.busy_penalty_pct.max(100) as u64;
+        Duration::from_micros(us.saturating_mul(penalty) / 100)
     }
 }
 
@@ -126,6 +143,9 @@ pub struct SenderStats {
     pub timeouts: u64,
     /// Messages abandoned after `max_attempts`.
     pub give_ups: u64,
+    /// Busy signals that re-armed a pending deadline on the penalized
+    /// schedule.
+    pub busy_backoffs: u64,
 }
 
 struct Pending<M> {
@@ -234,6 +254,23 @@ impl<M: Clone> ReliableSender<M> {
         out
     }
 
+    /// Handles an explicit *busy* rejection of message `id`: the pending
+    /// deadline is re-armed on the penalized schedule
+    /// ([`ReliableConfig::busy_timeout_for`]) so the retry lands after the
+    /// overload, not during it. The attempt budget is untouched — the
+    /// request was shed, not lost. Returns `true` when the message was
+    /// pending (late/duplicate busy signals change nothing).
+    pub fn on_busy(&mut self, id: MsgId, now: SimTime) -> bool {
+        let Some(p) = self.pending.get_mut(&id.0) else {
+            return false;
+        };
+        self.due.remove(&(p.deadline, id.0));
+        p.deadline = now + self.cfg.busy_timeout_for(id, p.attempts);
+        self.due.insert((p.deadline, id.0));
+        self.stats.busy_backoffs += 1;
+        true
+    }
+
     /// The earliest armed deadline, for scheduling the driver's wake-up
     /// timer. `None` when nothing is pending.
     pub fn next_deadline(&self) -> Option<SimTime> {
@@ -267,6 +304,7 @@ mod tests {
             jitter_pct: 0,
             max_attempts: 3,
             seed: 7,
+            busy_penalty_pct: 400,
         }
     }
 
@@ -358,10 +396,57 @@ mod tests {
             jitter_pct: 0,
             max_attempts: 10,
             seed: 0,
+            busy_penalty_pct: 400,
         };
         assert_eq!(cfg.timeout_for(MsgId(0), 1).as_micros(), 100);
         assert_eq!(cfg.timeout_for(MsgId(0), 2).as_micros(), 500);
         assert_eq!(cfg.timeout_for(MsgId(0), 9).as_micros(), 500);
+    }
+
+    #[test]
+    fn busy_signal_backs_off_harder_than_a_timeout() {
+        // Satellite: a shed request must retry *later* than a lost one —
+        // the busy penalty stretches the armed deadline 4×.
+        let mut s: ReliableSender<u8> = ReliableSender::new(cfg_no_jitter());
+        let id = s.register(t(0), AsIndex(0), LinkIndex(0), 1);
+        assert_eq!(s.next_deadline(), Some(t(100)));
+        // Busy response arrives at t=50: deadline re-arms at 50 + 4×100.
+        assert!(s.on_busy(id, t(50)));
+        assert_eq!(s.next_deadline(), Some(t(450)));
+        assert_eq!(s.stats().busy_backoffs, 1);
+        // The attempt budget is untouched: the full retransmit ladder
+        // still runs after the penalized wait.
+        let acts = s.due_actions(t(450));
+        assert_eq!(acts.len(), 1);
+        assert!(matches!(acts[0], TimeoutAction::Retransmit { .. }));
+        // A busy for a settled message is a no-op.
+        assert!(s.on_ack(id));
+        assert!(!s.on_busy(id, t(500)));
+        assert_eq!(s.stats().busy_backoffs, 1);
+    }
+
+    #[test]
+    fn busy_penalty_is_deterministic_and_floored_at_normal_schedule() {
+        let cfg = ReliableConfig {
+            jitter_pct: 25,
+            seed: 9,
+            ..cfg_no_jitter()
+        };
+        for attempt in 1..=3 {
+            let normal = cfg.timeout_for(MsgId(3), attempt);
+            let busy = cfg.busy_timeout_for(MsgId(3), attempt);
+            assert_eq!(busy.as_micros(), normal.as_micros() * 4);
+        }
+        // A penalty under 100% never schedules the busy retry *sooner*
+        // than the normal timeout.
+        let degenerate = ReliableConfig {
+            busy_penalty_pct: 10,
+            ..cfg_no_jitter()
+        };
+        assert_eq!(
+            degenerate.busy_timeout_for(MsgId(0), 1),
+            degenerate.timeout_for(MsgId(0), 1)
+        );
     }
 
     #[test]

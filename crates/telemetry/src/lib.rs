@@ -193,6 +193,38 @@ pub mod ids {
     pub const RECOVERY_REQUERIES: &str = "recovery.requeries";
     /// Counter: flow ticks skipped because the daemon had no usable path.
     pub const RECOVERY_NO_PATH: &str = "recovery.no_path_drops";
+    /// Counter: requests admitted to the path server's bounded queue.
+    pub const PS_OVERLOAD_ADMITTED: &str = "pathserver.overload_admitted";
+    /// Counter: requests shed because the client's token bucket was
+    /// empty.
+    pub const PS_SHED_RATE_LIMITED: &str = "pathserver.shed_rate_limited";
+    /// Counter: requests shed because the bounded queue was full of
+    /// equal-or-higher-priority work.
+    pub const PS_SHED_QUEUE_FULL: &str = "pathserver.shed_queue_full";
+    /// Counter: queued requests evicted by higher-priority arrivals.
+    pub const PS_SHED_EVICTED: &str = "pathserver.shed_evicted";
+    /// Gauge: current depth of the bounded admission queue.
+    pub const PS_QUEUE_DEPTH: &str = "pathserver.queue_depth";
+    /// Histogram: time a request spent in the admission queue before
+    /// service, in virtual microseconds.
+    pub const PS_TIME_IN_QUEUE_US: &str = "pathserver.time_in_queue_us";
+    /// Counter: times brownout mode was entered.
+    pub const PS_BROWNOUT_ENTRIES: &str = "pathserver.brownout_entries";
+    /// Counter: times brownout mode was exited.
+    pub const PS_BROWNOUT_EXITS: &str = "pathserver.brownout_exits";
+    /// Counter: cache-miss lookups answered stale under brownout or an
+    /// open circuit breaker.
+    pub const PS_BROWNOUT_STALE_SERVES: &str = "pathserver.brownout_stale_serves";
+    /// Counter: circuit-breaker trips on consecutive upstream failures.
+    pub const PS_BREAKER_TRIPS: &str = "pathserver.breaker_trips";
+    /// Counter: half-open recovery probes dispatched by the breaker.
+    pub const PS_BREAKER_PROBES: &str = "pathserver.breaker_probes";
+    /// Counter: upstream lookups short-circuited while the breaker was
+    /// open.
+    pub const PS_BREAKER_SHORT_CIRCUITS: &str = "pathserver.breaker_short_circuits";
+    /// Counter: busy signals that re-armed a reliable sender's deadline
+    /// on the penalized backoff schedule.
+    pub const RELIABLE_BUSY_BACKOFFS: &str = "reliable.busy_backoffs";
 }
 
 /// Configuration of a telemetry handle.

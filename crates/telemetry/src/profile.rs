@@ -55,6 +55,12 @@ pub mod phase {
     /// Path-server re-query round trip handling (request, response,
     /// retry bookkeeping).
     pub const RECOVERY_REQUERY: &str = "recovery.requery";
+    /// One admission round of the overload experiment: token buckets,
+    /// queue offers, shed decisions.
+    pub const OVERLOAD_ADMIT: &str = "overload.admission";
+    /// One service round: queue drain, cache/upstream serving, brownout
+    /// and breaker bookkeeping.
+    pub const OVERLOAD_SERVE: &str = "overload.service";
 }
 
 /// Bucket bounds (nanoseconds) of the per-phase latency histograms: 1-2.5-5

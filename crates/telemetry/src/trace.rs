@@ -167,6 +167,46 @@ pub enum TraceEvent {
         /// Destination whose path was restored.
         dst: IsdAsn,
     },
+    /// A path server shed requests under overload. Emitted aggregated —
+    /// at most one record per (tick, class, reason) — so a flash crowd
+    /// cannot flush the trace ring with per-request records.
+    RequestShed {
+        /// The shedding path server's AS.
+        node: u32,
+        /// Request class (`"lookup_miss"`, `"lookup_hit"`,
+        /// `"registration"`, `"revocation"`).
+        class: &'static str,
+        /// Why (`"rate_limited"`, `"queue_full"`, `"evicted"`).
+        reason: &'static str,
+        /// Requests shed in this aggregation window.
+        count: u64,
+    },
+    /// Utilization crossed the brownout threshold: the server now answers
+    /// cache-miss lookups from stale-but-valid cache instead of fanning
+    /// out upstream.
+    BrownoutEntered {
+        /// The path server's AS.
+        node: u32,
+        /// Queue occupancy at the transition, permille of capacity.
+        utilization_permille: u32,
+    },
+    /// Utilization fell below the brownout exit threshold: fresh upstream
+    /// fan-out resumes.
+    BrownoutExited {
+        /// The path server's AS.
+        node: u32,
+        /// Queue occupancy at the transition, permille of capacity.
+        utilization_permille: u32,
+    },
+    /// The circuit breaker on upstream core-server lookups tripped open
+    /// after consecutive failures; lookups short-circuit to degraded
+    /// serving until a half-open probe succeeds.
+    BreakerTripped {
+        /// The path server's AS.
+        node: u32,
+        /// Consecutive-failure count that tripped it.
+        failures: u32,
+    },
 }
 
 /// A trace record: the event plus its virtual timestamp and run label.

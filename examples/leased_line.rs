@@ -75,7 +75,9 @@ fn main() {
                 &trust,
             );
             let down = PathSegment::from_terminated_pcb(SegmentType::Down, terminated.clone());
-            core_ps.register_down_segment(down, now);
+            core_ps
+                .register_down_segment(down, now)
+                .expect("fresh down-segment registers");
             ups.push(PathSegment::from_terminated_pcb(
                 SegmentType::Up,
                 terminated,
@@ -90,7 +92,9 @@ fn main() {
     for (b, &branch) in branches.iter().enumerate() {
         for &dc in datacenters {
             let ups = &up_segments[b];
-            let downs = core_ps.lookup_down(topo.node(dc).ia, now);
+            let downs = core_ps
+                .lookup_down(topo.node(dc).ia, now)
+                .expect("data center registered its down-segments");
             let path = ups
                 .iter()
                 .flat_map(|u| downs.iter().map(move |d| (u, d)))
@@ -127,7 +131,9 @@ fn main() {
         .iter()
         .find(|u| !segment_uses_link(u, failed))
         .expect("dual-homing guarantees a disjoint up-segment");
-    let downs = core_ps.lookup_down(topo.node(dc0).ia, now);
+    let downs = core_ps
+        .lookup_down(topo.node(dc0).ia, now)
+        .expect("data center registered its down-segments");
     let path = combine_paths(Some(alt), None, Some(&downs[0])).expect("combines");
     println!(
         "{} fails over to: {:?} — no convergence wait, the alternate segment was already cached",

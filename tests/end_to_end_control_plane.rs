@@ -124,9 +124,12 @@ fn full_stack_cross_isd_path_construction() {
     // --- Register + look up through a core path server.
     let mut ps = PathServer::new(core2_ia, true);
     for d in &downs {
-        ps.register_down_segment(d.clone(), now);
+        ps.register_down_segment(d.clone(), now)
+            .expect("fresh down-segment registers");
     }
-    let served = ps.lookup_down(dst_ia, now);
+    let served = ps
+        .lookup_down(dst_ia, now)
+        .expect("registered destination resolves");
     assert_eq!(served.len(), downs.len());
 
     // --- Combine: up (reversed) + core + down. Core segments at ISD1's

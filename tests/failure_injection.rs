@@ -37,7 +37,9 @@ fn failover_survives_single_link_failure_on_dual_homed_leaf() {
     assert!(rev.segments_revoked >= 1);
 
     // Remaining segments avoid the failed link, and at least one survives.
-    let remaining = ps.lookup_down(leaf_ia, now);
+    let remaining = ps
+        .lookup_down(leaf_ia, now)
+        .expect("core server answers down-segment lookups");
     assert!(!remaining.is_empty(), "dual-homed leaf stays reachable");
     for s in &remaining {
         assert!(!segment_uses_link(s, failed));
@@ -73,7 +75,9 @@ fn double_failure_disconnects_exactly_at_the_min_cut() {
         revoke_segments(&mut ps, failed, 0, &mut ledger, now);
     }
     assert!(
-        ps.lookup_down(leaf_ia, now).is_empty(),
+        ps.lookup_down(leaf_ia, now)
+            .expect("core server answers down-segment lookups")
+            .is_empty(),
         "failing the whole min cut must disconnect"
     );
     // The other leaf is untouched.

@@ -1,0 +1,76 @@
+//! Overload-run determinism: same-seed invocations of the three-arm
+//! flash-crowd sweep must export byte-identical `metrics.jsonl`,
+//! `series.jsonl`, and `trace.jsonl` telemetry dumps — across reruns AND
+//! across worker-thread counts (1/2/8), since the arrival schedules are
+//! generated on the worker pool. Only the wall-clock `profile.jsonl` is
+//! exempt.
+//!
+//! This extends the byte-identity guarantee across the whole overload
+//! plane: token-bucket admission, priority-queue eviction order, brownout
+//! hysteresis transitions, circuit-breaker state, the resolver's busy
+//! backoff, and the per-tick aggregated shed traces.
+
+use std::fs;
+use std::path::PathBuf;
+
+use scion_core::experiments::run_overload_with;
+use scion_core::prelude::*;
+
+fn dump_one_overload_run(tag: &str, threads: usize) -> PathBuf {
+    let mut tel = Telemetry::new(TelemetryConfig::default());
+    let r = run_overload_with(ExperimentScale::Tiny, Some(7), threads, &mut tel);
+    assert_eq!(r.points.len(), 5);
+    for point in &r.points {
+        assert_eq!(point.arms.len(), 3);
+        for arm in &point.arms {
+            assert!(
+                arm.offered > 0,
+                "{} at {}: nothing offered",
+                arm.name,
+                point.load_permille
+            );
+        }
+    }
+
+    let dir = std::env::temp_dir().join(format!(
+        "scion-overload-determinism-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    tel.export_jsonl(&dir).expect("export telemetry");
+    dir
+}
+
+#[test]
+fn same_seed_overload_runs_export_identical_dumps() {
+    let a = dump_one_overload_run("a", 2);
+    let b = dump_one_overload_run("b", 2);
+    for name in ["metrics.jsonl", "series.jsonl", "trace.jsonl"] {
+        let fa = fs::read(a.join(name)).unwrap();
+        let fb = fs::read(b.join(name)).unwrap();
+        assert_eq!(fa, fb, "{name} differs between same-seed overload runs");
+    }
+    assert!(!fs::read(a.join("metrics.jsonl")).unwrap().is_empty());
+    // profile.jsonl exists but records real elapsed time, so it is
+    // exempt from byte equality.
+    assert!(a.join("profile.jsonl").exists());
+    fs::remove_dir_all(&a).ok();
+    fs::remove_dir_all(&b).ok();
+}
+
+#[test]
+fn overload_dumps_are_identical_across_thread_counts() {
+    let one = dump_one_overload_run("t1", 1);
+    let two = dump_one_overload_run("t2", 2);
+    let eight = dump_one_overload_run("t8", 8);
+    for name in ["metrics.jsonl", "series.jsonl", "trace.jsonl"] {
+        let f1 = fs::read(one.join(name)).unwrap();
+        let f2 = fs::read(two.join(name)).unwrap();
+        let f8 = fs::read(eight.join(name)).unwrap();
+        assert_eq!(f1, f2, "{name} differs between 1 and 2 worker threads");
+        assert_eq!(f1, f8, "{name} differs between 1 and 8 worker threads");
+    }
+    for dir in [one, two, eight] {
+        fs::remove_dir_all(&dir).ok();
+    }
+}
